@@ -1,0 +1,1 @@
+bench/common.ml: Float Fmt Rng Sim Ssmc Stat Sys Table Time Trace

@@ -1,0 +1,1 @@
+bench/e10_battery.ml: Common Device Engine List Printf Sim Ssmc Storage Table Time Trace Units

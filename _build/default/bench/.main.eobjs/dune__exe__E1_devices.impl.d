@@ -1,0 +1,1 @@
+bench/e1_devices.ml: Common Device List Printf Rng Sim Ssmc Stat Table Time Trace Units

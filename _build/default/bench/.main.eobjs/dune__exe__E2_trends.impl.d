@@ -1,0 +1,1 @@
+bench/e2_trends.ml: Common List Printf Sim Ssmc Table

@@ -1,0 +1,1 @@
+bench/e3_filesystem.ml: Array Common Device Engine Fmt Fs List Printf Rng Sim Ssmc Stat Storage Table Time Trace Units

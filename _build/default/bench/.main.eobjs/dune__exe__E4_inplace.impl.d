@@ -1,0 +1,1 @@
+bench/e4_inplace.ml: Array Common Device Engine Fmt Printf Sim Storage Table Time Units Vmem

@@ -1,0 +1,1 @@
+bench/e5_xip.ml: Common Device Engine List Printf Rng Sim Stat Storage Table Time Units Vmem

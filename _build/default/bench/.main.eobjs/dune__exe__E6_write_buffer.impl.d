@@ -1,0 +1,1 @@
+bench/e6_write_buffer.ml: Chart Common Float List Option Printf Rng Sim Ssmc Stat Storage Table Time Trace Units

@@ -1,0 +1,1 @@
+bench/e7_cleaning_wear.ml: Array Common Device Distribution Engine Float List Option Printf Rng Sim Ssmc Storage Table Time Units

@@ -1,0 +1,1 @@
+bench/e8_banks.ml: Array Common Device Engine List Printf Rng Sim Stat Storage Table Time Units

@@ -1,0 +1,1 @@
+bench/e9_sizing.ml: Chart Common Float List Printf Sim Ssmc Table Trace

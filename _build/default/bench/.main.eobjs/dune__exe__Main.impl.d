@@ -1,0 +1,1 @@
+bench/main.ml: Array Common E10_battery E1_devices E2_trends E3_filesystem E4_inplace E5_xip E6_write_buffer E7_cleaning_wear E8_banks E9_sizing Fmt List Micro Sys

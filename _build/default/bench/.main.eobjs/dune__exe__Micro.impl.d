@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Common Hashtbl Instance List Measure Option Printf Sim Staged Storage String Test Time Toolkit

@@ -1,0 +1,26 @@
+(* Shared plumbing for the experiment harness. *)
+open Sim
+
+(* Experiment durations scale down when the QUICK environment variable is
+   set, for fast iteration; published numbers use the full durations. *)
+let quick = Sys.getenv_opt "QUICK" <> None
+
+let minutes m =
+  let m = if quick then Float.max 1.0 (m /. 5.0) else m in
+  Time.span_s (60.0 *. m)
+
+let section title = Fmt.pr "@.######## %s ########@.@." title
+
+let note fmt = Fmt.pr ("  " ^^ fmt ^^ "@.")
+
+let run_machine ?(seed = 42) ~cfg ~profile ~duration () =
+  let trace = Trace.Synth.generate profile ~rng:(Rng.create ~seed) ~duration in
+  let machine = Ssmc.Machine.create cfg in
+  Ssmc.Machine.preload machine trace.Trace.Synth.initial_files;
+  let result = Ssmc.Machine.run machine trace.Trace.Synth.records in
+  (machine, trace, result)
+
+let p50 h = Stat.Histogram.quantile h 0.5
+let p99 h = Stat.Histogram.quantile h 0.99
+
+let cell_us v = Table.cell_f ~decimals:1 v

@@ -1,0 +1,139 @@
+(* E1 — Section 2's device comparison: DRAM vs flash vs small disks.
+   Shape to reproduce: flash reads near DRAM reads; flash writes two orders
+   of magnitude slower; disks milliseconds; flash draws the least power;
+   DRAM ~10x disk cost per MB; densities within a small factor. *)
+open Sim
+
+let measured_disk_access spec ~seed =
+  let disk = Device.Disk.create ~spec ~rng:(Rng.create ~seed) () in
+  let summary = Stat.Summary.create () in
+  let cursor = ref Time.zero in
+  let nsectors = Device.Disk.capacity_bytes disk / 512 in
+  let rng = Rng.create ~seed:(seed + 1) in
+  for _ = 1 to 200 do
+    let lba = Rng.int rng (nsectors - 1) in
+    let op = Device.Disk.access disk ~now:!cursor ~lba ~bytes:512 ~kind:`Read in
+    Stat.Summary.observe summary
+      (Time.span_to_us (Time.diff op.Device.Disk.finish !cursor));
+    cursor := op.Device.Disk.finish
+  done;
+  Stat.Summary.mean summary
+
+let rec run () =
+  Common.section "E1: storage technologies for small mobile computers (Section 2)";
+  let t =
+    Table.create ~title:"device characteristics (512B transfers)"
+      ~columns:
+        [
+          ("device", Table.Left);
+          ("read", Table.Right);
+          ("write", Table.Right);
+          ("erase unit", Table.Right);
+          ("endurance", Table.Right);
+          ("$/MB", Table.Right);
+          ("MB/in3", Table.Right);
+          ("active mW/MB", Table.Right);
+          ("idle mW/MB", Table.Right);
+        ]
+  in
+  let dram = Device.Specs.nec_dram in
+  Table.add_row t
+    [
+      "NEC DRAM (battery-backed)";
+      Table.cell_span (Device.Specs.access_time dram.Device.Specs.d_read ~bytes:512);
+      Table.cell_span (Device.Specs.access_time dram.Device.Specs.d_write ~bytes:512);
+      "-";
+      "unlimited";
+      Table.cell_f dram.Device.Specs.d_econ.Device.Specs.dollars_per_mb;
+      Table.cell_f dram.Device.Specs.d_econ.Device.Specs.mb_per_cubic_inch;
+      Table.cell_f dram.Device.Specs.d_active_mw_per_mb;
+      Table.cell_f dram.Device.Specs.d_refresh_mw_per_mb;
+    ];
+  let flash_row name (spec : Device.Specs.flash_spec) =
+    Table.add_row t
+      [
+        name;
+        Table.cell_span (Device.Specs.access_time spec.Device.Specs.f_read ~bytes:512);
+        Table.cell_span (Device.Specs.access_time spec.Device.Specs.f_write ~bytes:512);
+        Table.cell_bytes spec.Device.Specs.f_sector_bytes;
+        Printf.sprintf "%dk cycles" (spec.Device.Specs.f_endurance / 1000);
+        Table.cell_f spec.Device.Specs.f_econ.Device.Specs.dollars_per_mb;
+        Table.cell_f spec.Device.Specs.f_econ.Device.Specs.mb_per_cubic_inch;
+        Table.cell_f spec.Device.Specs.f_active_mw_per_mb;
+        Table.cell_f spec.Device.Specs.f_idle_mw_per_mb;
+      ]
+  in
+  flash_row "Intel flash (memory-mapped)" Device.Specs.intel_flash;
+  flash_row "SunDisk flash (drive-style)" Device.Specs.sundisk_flash;
+  let disk_row name spec ~seed =
+    let mib = Units.to_mib spec.Device.Specs.k_capacity_bytes in
+    Table.add_row t
+      [
+        name;
+        Printf.sprintf "%.1fms (measured avg)" (measured_disk_access spec ~seed /. 1000.0);
+        "same as read";
+        "-";
+        "mechanical";
+        Table.cell_f spec.Device.Specs.k_econ.Device.Specs.dollars_per_mb;
+        Table.cell_f spec.Device.Specs.k_econ.Device.Specs.mb_per_cubic_inch;
+        Table.cell_f (1000.0 *. spec.Device.Specs.k_spinning_w /. mib);
+        Table.cell_f (1000.0 *. spec.Device.Specs.k_standby_w /. mib);
+      ]
+  in
+  disk_row "HP KittyHawk 1.3\" disk" Device.Specs.hp_kittyhawk ~seed:21;
+  disk_row "Fujitsu M2633 2.5\" disk" Device.Specs.fujitsu_m2633 ~seed:23;
+  Table.print t;
+  let flash = Device.Specs.intel_flash in
+  let read_us =
+    Time.span_to_us (Device.Specs.access_time flash.Device.Specs.f_read ~bytes:512)
+  in
+  let write_us =
+    Time.span_to_us (Device.Specs.access_time flash.Device.Specs.f_write ~bytes:512)
+  in
+  Common.note "flash write/read ratio: %.0fx (paper: two orders of magnitude)"
+    (write_us /. read_us);
+  Common.note "DRAM/disk cost ratio: %.1fx (paper: ten times)"
+    Device.Specs.(
+      nec_dram.d_econ.dollars_per_mb /. hp_kittyhawk.k_econ.dollars_per_mb);
+  which_flash ()
+
+(* The paper contrasts the two flash products: Intel's memory-mapped parts
+   (fast reads, for direct mapping and XIP) and SunDisk's drive-replacement
+   parts (balanced, behind a controller).  Run the same machine on each. *)
+and which_flash () =
+  let t =
+    Table.create ~title:"which flash for secondary storage? (same machine, same workload)"
+      ~columns:
+        [
+          ("workload", Table.Left);
+          ("flash", Table.Left);
+          ("read mean (us)", Table.Right);
+          ("read p50 (us)", Table.Right);
+          ("write mean (us)", Table.Right);
+          ("energy (J)", Table.Right);
+        ]
+  in
+  let duration = Common.minutes 5.0 in
+  List.iter
+    (fun profile ->
+      List.iter
+        (fun (label, spec) ->
+          let cfg = Ssmc.Config.solid_state ~flash_spec:spec ~seed:19 () in
+          let _m, _trace, r = Common.run_machine ~seed:19 ~cfg ~profile ~duration () in
+          Table.add_row t
+            [
+              profile.Trace.Synth.name;
+              label;
+              Common.cell_us (Stat.Summary.mean r.Ssmc.Machine.read_latency);
+              Common.cell_us (Common.p50 r.Ssmc.Machine.read_hist_us);
+              Common.cell_us (Stat.Summary.mean r.Ssmc.Machine.write_latency);
+              Table.cell_f r.Ssmc.Machine.energy_j;
+            ])
+        [ ("Intel (memory-mapped)", Device.Specs.intel_flash);
+          ("SunDisk (drive-style)", Device.Specs.sundisk_flash) ];
+      Table.add_rule t)
+    [ Trace.Workloads.engineering; Trace.Workloads.database ];
+  Table.print t;
+  Common.note
+    "memory-mapped flash wins read-heavy use (direct mapping, XIP); the drive-style \
+     part's faster programs help only write-dominated loads."

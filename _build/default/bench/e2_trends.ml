@@ -1,0 +1,89 @@
+(* E2 — Section 2's technology-trend extrapolation.
+   Shape to reproduce: DRAM and flash $/MB and MB/in3 improve ~40%/yr vs
+   disk's ~25%/yr, so the curves cross; for 40MB configurations flash
+   meets disk cost "by 1996" under the Intel projection the paper quotes
+   (flash halving in $/MB yearly); small drives hit their mechanism-cost
+   floor while big drives keep getting cheaper; DRAM density passes the
+   1.3-inch disk almost immediately. *)
+open Sim
+
+let run () =
+  Common.section "E2: technology trends and crossovers (Section 2)";
+  let years = [ 1993.0; 1995.0; 1996.0; 1998.0; 2000.0; 2003.0 ] in
+  let t =
+    Table.create ~title:"$/MB for a 40MB configuration, by year"
+      ~columns:
+        ([ ("technology", Table.Left) ]
+        @ List.map (fun y -> (Printf.sprintf "%.0f" y, Table.Right)) years)
+  in
+  let row name f = Table.add_row t (name :: List.map (fun y -> Table.cell_f (f y)) years) in
+  row "DRAM" (fun year -> Ssmc.Trends.cost_per_mb Ssmc.Trends.Dram ~year ~capacity_mb:40.0);
+  row "flash (trend 45%/yr)" (fun year ->
+      Ssmc.Trends.cost_per_mb Ssmc.Trends.Flash ~year ~capacity_mb:40.0);
+  row "flash (Intel projection)" (fun year ->
+      Ssmc.Trends.cost_per_mb ~flash_improvement:1.0 Ssmc.Trends.Flash ~year
+        ~capacity_mb:40.0);
+  row "disk 40MB (w/ price floor)" (fun year ->
+      Ssmc.Trends.cost_per_mb Ssmc.Trends.Disk ~year ~capacity_mb:40.0);
+  row "disk 1GB" (fun year ->
+      Ssmc.Trends.cost_per_mb Ssmc.Trends.Disk ~year ~capacity_mb:1000.0);
+  Table.print t;
+
+  let t2 =
+    Table.create ~title:"density, MB per cubic inch"
+      ~columns:
+        ([ ("technology", Table.Left) ]
+        @ List.map (fun y -> (Printf.sprintf "%.0f" y, Table.Right)) years)
+  in
+  let drow name tech =
+    Table.add_row t2
+      (name :: List.map (fun year -> Table.cell_f (Ssmc.Trends.density_mb_per_in3 tech ~year)) years)
+  in
+  drow "DRAM" Ssmc.Trends.Dram;
+  drow "flash" Ssmc.Trends.Flash;
+  drow "disk" Ssmc.Trends.Disk;
+  Table.print t2;
+
+  let t3 =
+    Table.create ~title:"crossover years"
+      ~columns:[ ("event", Table.Left); ("year", Table.Right) ]
+  in
+  let cross name v =
+    Table.add_row t3
+      [ name; (match v with Some y -> Printf.sprintf "%.1f" y | None -> "beyond 2030") ]
+  in
+  cross "flash $/MB meets 40MB disk (trend rates)"
+    (Ssmc.Trends.cost_crossover ~cheaper:Ssmc.Trends.Disk ~pricier:Ssmc.Trends.Flash
+       ~capacity_mb:40.0 ());
+  cross "flash $/MB meets 40MB disk (Intel projection; paper says 1996)"
+    (Ssmc.Trends.cost_crossover ~flash_improvement:1.0 ~cheaper:Ssmc.Trends.Disk
+       ~pricier:Ssmc.Trends.Flash ~capacity_mb:40.0 ());
+  cross "flash $/MB meets 1GB disk (trend rates)"
+    (Ssmc.Trends.cost_crossover ~cheaper:Ssmc.Trends.Disk ~pricier:Ssmc.Trends.Flash
+       ~capacity_mb:1000.0 ());
+  cross "DRAM $/MB meets 40MB disk (trend rates)"
+    (Ssmc.Trends.cost_crossover ~cheaper:Ssmc.Trends.Disk ~pricier:Ssmc.Trends.Dram
+       ~capacity_mb:40.0 ());
+  cross "DRAM density passes 1.3\" disk"
+    (Ssmc.Trends.density_crossover ~slower:Ssmc.Trends.Disk ~faster:Ssmc.Trends.Dram);
+  Table.print t3;
+
+  let t4 =
+    Table.create ~title:"MB a $1000 storage budget buys (Section 4's trade)"
+      ~columns:
+        [ ("year", Table.Right); ("DRAM", Table.Right); ("flash", Table.Right);
+          ("disk", Table.Right) ]
+  in
+  List.iter
+    (fun year ->
+      Table.add_row t4
+        [
+          Printf.sprintf "%.0f" year;
+          Table.cell_f (Ssmc.Trends.capacity_affordable Ssmc.Trends.Dram ~year ~budget:1000.0);
+          Table.cell_f (Ssmc.Trends.capacity_affordable Ssmc.Trends.Flash ~year ~budget:1000.0);
+          Table.cell_f (Ssmc.Trends.capacity_affordable Ssmc.Trends.Disk ~year ~budget:1000.0);
+        ])
+    years;
+  Table.print t4;
+  Common.note
+    "1993 row reproduces Section 4's 'choose between 12MB DRAM, 20MB flash, 120MB disk'."

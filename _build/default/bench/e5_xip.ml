@@ -1,0 +1,223 @@
+(* E5 — Section 3.2: execute-in-place.
+   Shape to reproduce: XIP launch is near-instant and duplicates no DRAM;
+   copying text out of flash costs time proportional to the text and
+   duplicates it; loading from disk is slower still; steady-state fetches
+   from flash cost somewhat more than from DRAM, so heavy reuse eventually
+   amortizes a copy (the crossover is in the millions of fetches). *)
+open Sim
+
+let make_machine () =
+  let engine = Engine.create () in
+  let flash =
+    Device.Flash.create (Device.Flash.config ~nbanks:4 ~size_bytes:(8 * Units.mib) ())
+  in
+  let dram = Device.Dram.create ~size_bytes:(8 * Units.mib) ~battery_backed:true () in
+  let manager = Storage.Manager.create Storage.Manager.default_config ~engine ~flash ~dram in
+  let vm =
+    Vmem.Vm.create
+      { Vmem.Vm.page_bytes = 4096; dram_frames = 4096; swap = Vmem.Vm.No_swap }
+      ~engine ~manager
+  in
+  (engine, manager, vm)
+
+let settle engine manager =
+  let flash = Storage.Manager.flash manager in
+  let busy = ref (Engine.now engine) in
+  for bank = 0 to Device.Flash.nbanks flash - 1 do
+    busy := Time.max !busy (Device.Flash.bank_busy_until flash ~bank)
+  done;
+  Engine.run_until engine (Time.add !busy (Time.span_s 1.0))
+
+let rec run () =
+  Common.section "E5: execute-in-place vs loading programs (Section 3.2)";
+  let t =
+    Table.create ~title:"program launch and steady-state execution"
+      ~columns:
+        [
+          ("text size", Table.Right);
+          ("strategy", Table.Left);
+          ("launch", Table.Right);
+          ("text DRAM", Table.Right);
+          ("per-fetch (us)", Table.Right);
+        ]
+  in
+  let fetches = 20_000 in
+  List.iter
+    (fun text_kib ->
+      let program =
+        {
+          Vmem.Exec.prog_name = Printf.sprintf "app-%dk" text_kib;
+          text_bytes = text_kib * 1024;
+          data_bytes = 32 * 1024;
+        }
+      in
+      let strategies =
+        [
+          Vmem.Exec.Execute_in_place;
+          Vmem.Exec.Copy_to_dram;
+          Vmem.Exec.Load_from_disk (Device.Disk.create ~rng:(Rng.create ~seed:51) ());
+        ]
+      in
+      List.iter
+        (fun strategy ->
+          let engine, manager, vm = make_machine () in
+          let blocks = Vmem.Exec.install_text manager program in
+          settle engine manager;
+          let launched = Vmem.Exec.launch vm program ~text_blocks:blocks strategy in
+          let runtime = Vmem.Exec.run vm launched ~rng:(Rng.create ~seed:52) ~fetches in
+          Table.add_row t
+            [
+              Table.cell_bytes program.Vmem.Exec.text_bytes;
+              Vmem.Exec.strategy_name strategy;
+              Table.cell_span launched.Vmem.Exec.launch_latency;
+              Table.cell_bytes launched.Vmem.Exec.text_dram_bytes;
+              Printf.sprintf "%.2f" (Time.span_to_us runtime /. float_of_int fetches);
+            ])
+        strategies;
+      Table.add_rule t)
+    [ 64; 256; 1024 ];
+  Table.print t;
+
+  (* Break-even analysis for the largest program. *)
+  let engine, manager, vm = make_machine () in
+  let program =
+    { Vmem.Exec.prog_name = "app-1m"; text_bytes = Units.mib; data_bytes = 32 * 1024 }
+  in
+  let blocks = Vmem.Exec.install_text manager program in
+  settle engine manager;
+  let xip = Vmem.Exec.launch vm program ~text_blocks:blocks Vmem.Exec.Execute_in_place in
+  let copy = Vmem.Exec.launch vm program ~text_blocks:blocks Vmem.Exec.Copy_to_dram in
+  let per_fetch l =
+    Time.span_to_us (Vmem.Exec.run vm l ~rng:(Rng.create ~seed:53) ~fetches:20_000)
+    /. 20_000.0
+  in
+  let fx = per_fetch xip and fc = per_fetch copy in
+  let launch_gap =
+    Time.span_to_us copy.Vmem.Exec.launch_latency
+    -. Time.span_to_us xip.Vmem.Exec.launch_latency
+  in
+  if fx > fc then
+    Common.note
+      "break-even for copying 1MB of text: ~%.0f thousand fetches (launch gap %.0fms / %.2fus per-fetch gap)"
+      (launch_gap /. (fx -. fc) /. 1e3)
+      (launch_gap /. 1000.0) (fx -. fc)
+  else Common.note "XIP never loses at these device speeds";
+  paging_table ()
+
+(* Section 3.2's other claim: with DRAM a larger share of total storage,
+   "virtual memory will be used primarily to provide protection ...
+   rather than to expand capacity", "reducing the need to page or swap".
+   Touch a data working set against a bounded frame pool and compare
+   having enough DRAM with the two ways of paging. *)
+and paging_table () =
+  let t =
+    Table.create ~title:"anonymous working set vs DRAM frames (4KB pages)"
+      ~columns:
+        [
+          ("configuration", Table.Left);
+          ("mean touch (us)", Table.Right);
+          ("swap-outs", Table.Right);
+          ("swap-ins", Table.Right);
+        ]
+  in
+  let working_set_pages = 512 (* 2MB *) in
+  let run label frames swap =
+    let engine = Engine.create () in
+    let flash =
+      Device.Flash.create (Device.Flash.config ~nbanks:4 ~size_bytes:(8 * Units.mib) ())
+    in
+    let dram = Device.Dram.create ~size_bytes:(8 * Units.mib) ~battery_backed:true () in
+    let manager =
+      Storage.Manager.create Storage.Manager.default_config ~engine ~flash ~dram
+    in
+    let vm =
+      Vmem.Vm.create { Vmem.Vm.page_bytes = 4096; dram_frames = frames; swap } ~engine
+        ~manager
+    in
+    let space = Vmem.Vm.new_space vm in
+    let region, _ =
+      Vmem.Vm.map_anon vm space ~kind:Vmem.Addr_space.Heap ~prot:Vmem.Page_table.prot_rw
+        ~bytes:(working_set_pages * 4096)
+    in
+    let rng = Rng.create ~seed:55 in
+    let lat = Stat.Summary.create () in
+    for _ = 1 to 4_000 do
+      let page = Rng.int rng working_set_pages in
+      let addr = region.Vmem.Addr_space.base + (page * 4096) in
+      let access = if Rng.bernoulli rng ~p:0.3 then `Write else `Read in
+      match Vmem.Vm.touch vm space ~addr ~access () with
+      | Ok span ->
+        Stat.Summary.observe lat (Time.span_to_us span);
+        Engine.run_until engine (Time.add (Engine.now engine) span)
+      | Error _ -> ()
+    done;
+    let stats = Vmem.Vm.stats vm in
+    Table.add_row t
+      [
+        label;
+        Common.cell_us (Stat.Summary.mean lat);
+        Table.cell_i stats.Vmem.Vm.swap_outs;
+        Table.cell_i stats.Vmem.Vm.swap_ins;
+      ]
+  in
+  run "DRAM covers the working set (the paper's machine)" 768 Vmem.Vm.No_swap;
+  run "half the frames, page to flash" 256 Vmem.Vm.Swap_flash;
+  run "half the frames, page to disk"
+    256
+    (Vmem.Vm.Swap_disk (Device.Disk.create ~rng:(Rng.create ~seed:56) ()));
+  Table.print t;
+  Common.note
+    "when DRAM is sized for the working set, virtual memory is protection only; paging — \
+     even to flash — costs orders of magnitude.";
+  sharing_table ()
+
+(* Several processes running the same flash-resident program: one text
+   copy for everyone (the single-level store's sharing win) vs one DRAM
+   copy each the conventional way. *)
+and sharing_table () =
+  let nprocs = 5 in
+  let program =
+    { Vmem.Exec.prog_name = "shared-app"; text_bytes = 256 * 1024; data_bytes = 32 * 1024 }
+  in
+  let engine, manager, vm = make_machine () in
+  let blocks = Vmem.Exec.install_text manager program in
+  settle engine manager;
+  let first = Vmem.Exec.launch vm program ~text_blocks:blocks Vmem.Exec.Execute_in_place in
+  (* The rest fork from the first: shared text, private COW data. *)
+  let children =
+    List.init (nprocs - 1) (fun _ -> fst (Vmem.Vm.clone_space vm first.Vmem.Exec.space))
+  in
+  (* Everyone runs a little and dirties a bit of private data. *)
+  let rng = Rng.create ~seed:57 in
+  List.iter
+    (fun space ->
+      for _ = 1 to 64 do
+        let addr =
+          first.Vmem.Exec.data.Vmem.Addr_space.base + (Rng.int rng 8 * 4096)
+        in
+        ignore (Vmem.Vm.touch vm space ~addr ~access:`Write ())
+      done)
+    (first.Vmem.Exec.space :: children);
+  let stats = Vmem.Vm.stats vm in
+  let t =
+    Table.create
+      ~title:(Printf.sprintf "%d processes of the same 256KB program" nprocs)
+      ~columns:[ ("approach", Table.Left); ("text DRAM", Table.Right);
+                 ("data frames", Table.Right) ]
+  in
+  Table.add_row t
+    [
+      "XIP + fork (shared text, COW data)";
+      "0B";
+      Table.cell_i stats.Vmem.Vm.frames_in_use;
+    ];
+  Table.add_row t
+    [
+      "conventional (a copy per process)";
+      Table.cell_bytes (nprocs * program.Vmem.Exec.text_bytes);
+      Printf.sprintf "%d+" (nprocs * 8);
+    ];
+  Table.print t;
+  Common.note
+    "protection stays per-process (each space has its own page table); only the frames \
+     actually written are private."

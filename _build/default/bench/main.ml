@@ -1,0 +1,51 @@
+(* The experiment harness: regenerates every quantitative claim in the
+   paper (experiments E1-E9, see DESIGN.md and EXPERIMENTS.md), plus
+   wall-clock micro-benchmarks of the simulator itself.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- e6 e8   # selected experiments
+     QUICK=1 dune exec bench/main.exe    # shorter runs for iteration *)
+
+let experiments =
+  [
+    ("e1", "Section 2 device comparison", E1_devices.run);
+    ("e2", "Section 2 technology trends", E2_trends.run);
+    ("e3", "Section 3.1 memory-resident FS vs disk FS", E3_filesystem.run);
+    ("e4", "Section 3.1 map-in-place and copy-on-write", E4_inplace.run);
+    ("e5", "Section 3.2 execute-in-place", E5_xip.run);
+    ("e6", "Section 3.3 DRAM write buffering", E6_write_buffer.run);
+    ("e7", "Section 3.3 cleaning and wear leveling", E7_cleaning_wear.run);
+    ("e8", "Section 3.3 bank partitioning", E8_banks.run);
+    ("e9", "Section 4 DRAM/flash sizing", E9_sizing.run);
+    ("e10", "Section 2 storage power and battery life", E10_battery.run);
+    ("micro", "simulator micro-benchmarks", Micro.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as picks) -> picks
+    | _ -> List.map (fun (name, _, _) -> name) experiments
+  in
+  let unknown =
+    List.filter (fun pick -> not (List.exists (fun (n, _, _) -> n = pick) experiments))
+      requested
+  in
+  if unknown <> [] then begin
+    Fmt.epr "unknown experiment(s): %a@.known: %a@."
+      Fmt.(list ~sep:sp string)
+      unknown
+      Fmt.(list ~sep:sp string)
+      (List.map (fun (n, _, _) -> n) experiments);
+    exit 2
+  end;
+  Fmt.pr
+    "Reproduction harness for 'Operating System Implications of Solid-State Mobile \
+     Computers' (HotOS-IV 1993)@.";
+  if Common.quick then Fmt.pr "(QUICK mode: shortened runs)@.";
+  List.iter
+    (fun pick ->
+      let _, _, run = List.find (fun (n, _, _) -> n = pick) experiments in
+      run ())
+    requested;
+  Fmt.pr "@.done.@."

@@ -1,0 +1,100 @@
+(* Wall-clock micro-benchmarks (Bechamel) of the simulator's hot data
+   structures.  The paper offers no wall-clock numbers to match; these
+   exist so performance regressions in the library itself are visible. *)
+open Bechamel
+open Toolkit
+
+let test_event_queue =
+  Test.make ~name:"event_queue: add+pop x64"
+    (Staged.stage (fun () ->
+         let q = Sim.Event_queue.create () in
+         for i = 0 to 63 do
+           ignore (Sim.Event_queue.add q ~at:(Sim.Time.of_ns ((i * 7919) mod 1000)) i)
+         done;
+         while Sim.Event_queue.pop q <> None do
+           ()
+         done))
+
+let test_write_buffer =
+  Test.make ~name:"write_buffer: 64 writes"
+    (Staged.stage (fun () ->
+         let b =
+           Sim.Units.mib / 512
+           |> fun capacity_blocks ->
+           Storage.Write_buffer.create
+             {
+               Storage.Write_buffer.capacity_blocks;
+               writeback_delay = Sim.Time.span_s 30.0;
+               refresh_on_rewrite = true;
+             }
+         in
+         for i = 0 to 63 do
+           ignore (Storage.Write_buffer.write b ~now:Sim.Time.zero ~block:(i mod 16))
+         done))
+
+let test_zipf =
+  let z = Sim.Distribution.Zipf.create ~n:1000 ~s:0.9 in
+  let rng = Sim.Rng.create ~seed:1 in
+  Test.make ~name:"zipf: sample (n=1000)"
+    (Staged.stage (fun () -> ignore (Sim.Distribution.Zipf.sample z rng)))
+
+let test_rng =
+  let rng = Sim.Rng.create ~seed:2 in
+  Test.make ~name:"rng: bits64" (Staged.stage (fun () -> ignore (Sim.Rng.bits64 rng)))
+
+let test_cleaner_select =
+  let segments =
+    Array.init 64 (fun id ->
+        let s = Storage.Segment.create ~id ~first_sector:(id * 32) ~nslots:32 in
+        Storage.Segment.open_ s;
+        for b = 0 to 31 do
+          ignore (Storage.Segment.append s ~block:b)
+        done;
+        for slot = 0 to id mod 32 do
+          Storage.Segment.kill s ~slot
+        done;
+        s)
+  in
+  Test.make ~name:"cleaner: cost-benefit select (64 segs)"
+    (Staged.stage (fun () ->
+         ignore
+           (Storage.Cleaner.select Storage.Cleaner.Cost_benefit ~now:(Sim.Time.of_ns 1_000_000)
+              ~eligible:(fun _ -> true)
+              segments)))
+
+let test_histogram =
+  let h = Sim.Stat.Histogram.create () in
+  Test.make ~name:"histogram: observe"
+    (Staged.stage (fun () -> Sim.Stat.Histogram.observe h 123.0))
+
+let run () =
+  Common.section "micro-benchmarks of the simulator's hot paths (wall-clock)";
+  let tests =
+    [
+      test_event_queue; test_write_buffer; test_zipf; test_rng; test_cleaner_select;
+      test_histogram;
+    ]
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:true () in
+  let grouped = Test.make_grouped ~name:"micro" ~fmt:"%s %s" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table =
+    Sim.Table.create ~title:"nanoseconds per run (OLS estimate)"
+      ~columns:[ ("benchmark", Sim.Table.Left); ("ns/run", Sim.Table.Right); ("R^2", Sim.Table.Right) ]
+  in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let estimate =
+        match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
+      in
+      let r2 = Option.value (Analyze.OLS.r_square ols) ~default:nan in
+      Sim.Table.add_row table
+        [ name; Printf.sprintf "%.1f" estimate; Printf.sprintf "%.3f" r2 ])
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
+  Sim.Table.print table

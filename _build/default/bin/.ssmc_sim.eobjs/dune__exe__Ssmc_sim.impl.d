@@ -1,0 +1,1 @@
+bin/ssmc_sim.ml: Arg Cmd Cmdliner Float Fmt List Logs Logs_fmt Printf Rng Sim Ssmc Storage Term Time Trace

@@ -1,0 +1,1 @@
+bin/ssmc_sim.mli:

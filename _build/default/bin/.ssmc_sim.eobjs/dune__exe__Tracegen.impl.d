@@ -1,0 +1,1 @@
+bin/tracegen.ml: Arg Cmd Cmdliner Fmt List Rng Sim Term Time Trace

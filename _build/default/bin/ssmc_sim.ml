@@ -1,0 +1,161 @@
+(* ssmc_sim: run a workload against a simulated mobile computer.
+
+     dune exec bin/ssmc_sim.exe -- --workload engineering --minutes 10
+     dune exec bin/ssmc_sim.exe -- --machine conventional --workload pim
+     dune exec bin/ssmc_sim.exe -- --trace mytrace.txt *)
+open Sim
+open Cmdliner
+
+let run_simulation machine_kind workload trace_file minutes seed flash_mb dram_mb
+    buffer_kb nbanks partitioned wear verbose debug =
+  if debug then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  let profile =
+    match Trace.Workloads.find workload with
+    | Some p -> p
+    | None ->
+      Fmt.epr "unknown workload %S; available: %a@." workload
+        Fmt.(list ~sep:comma string)
+        (List.map (fun p -> p.Trace.Synth.name) Trace.Workloads.all);
+      exit 2
+  in
+  let duration = Time.span_s (60.0 *. minutes) in
+  let initial_files, records =
+    match trace_file with
+    | Some path -> begin
+      match Trace.Format_io.read_file_with_init path with
+      | Ok (initial_files, records) -> (initial_files, records)
+      | Error msg ->
+        Fmt.epr "cannot read trace %s: %s@." path msg;
+        exit 2
+    end
+    | None ->
+      let t = Trace.Synth.generate profile ~rng:(Rng.create ~seed) ~duration in
+      (t.Trace.Synth.initial_files, t.Trace.Synth.records)
+  in
+  let cfg =
+    match machine_kind with
+    | `Solid_state ->
+      let banking =
+        if partitioned then Storage.Banks.Partitioned { write_banks = 1 }
+        else Storage.Banks.Unified
+      in
+      let manager =
+        {
+          Storage.Manager.default_config with
+          Storage.Manager.banking;
+          wear;
+          buffer =
+            {
+              Storage.Write_buffer.default_config with
+              Storage.Write_buffer.capacity_blocks = buffer_kb * 1024 / 512;
+            };
+        }
+      in
+      Ssmc.Config.solid_state ~flash_mb ~dram_mb ~nbanks ~manager ~seed ()
+    | `Conventional -> Ssmc.Config.conventional ~dram_mb ~seed ()
+  in
+  let machine = Ssmc.Machine.create cfg in
+  Ssmc.Machine.preload machine initial_files;
+  let summary = Trace.Stats.summarize records in
+  Fmt.pr "machine: %s | workload: %s (%a)@."
+    (match machine_kind with `Solid_state -> "solid-state" | `Conventional -> "conventional")
+    workload Trace.Stats.pp_summary summary;
+  let result = Ssmc.Machine.run machine records in
+  Fmt.pr "%a@." Ssmc.Machine.pp_result result;
+  (match result.Ssmc.Machine.manager_stats with
+  | Some stats when verbose -> Fmt.pr "storage manager: %a@." Storage.Manager.pp_stats stats
+  | Some stats ->
+    Fmt.pr "write traffic reduced by %.1f%%; flash lifetime estimate: %s@."
+      (100.0 *. stats.Storage.Manager.write_reduction)
+      (match result.Ssmc.Machine.lifetime_years with
+      | Some y when Float.is_finite y -> Printf.sprintf "%.1f years" y
+      | _ -> "unbounded")
+  | None -> ());
+  if verbose then begin
+    match Ssmc.Machine.manager machine with
+    | Some manager ->
+      let e = Storage.Manager.wear_evenness manager in
+      Fmt.pr "wear: min=%d max=%d stddev=%.1f@." e.Storage.Wear.min_erases
+        e.Storage.Wear.max_erases e.Storage.Wear.stddev_erases
+    | None -> ()
+  end
+
+let wear_arg =
+  let parse = function
+    | "none" -> Ok Storage.Wear.None_
+    | "dynamic" -> Ok Storage.Wear.Dynamic
+    | "static" -> Ok (Storage.Wear.Static { spread_threshold = 16 })
+    | s -> Error (`Msg (Printf.sprintf "unknown wear policy %S (none|dynamic|static)" s))
+  in
+  let print ppf p = Fmt.string ppf (Storage.Wear.policy_name p) in
+  Arg.conv (parse, print)
+
+let machine_arg =
+  let parse = function
+    | "solid" | "solid-state" -> Ok `Solid_state
+    | "conventional" | "disk" -> Ok `Conventional
+    | s -> Error (`Msg (Printf.sprintf "unknown machine %S (solid|conventional)" s))
+  in
+  let print ppf = function
+    | `Solid_state -> Fmt.string ppf "solid"
+    | `Conventional -> Fmt.string ppf "conventional"
+  in
+  Arg.conv (parse, print)
+
+let cmd =
+  let machine =
+    Arg.(value & opt machine_arg `Solid_state & info [ "machine"; "m" ] ~docv:"KIND"
+           ~doc:"Machine kind: solid (DRAM+flash) or conventional (DRAM+disk).")
+  in
+  let workload =
+    Arg.(value & opt string "engineering" & info [ "workload"; "w" ] ~docv:"NAME"
+           ~doc:"Synthetic workload profile (engineering, pim, compile, database).")
+  in
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Replay a trace file instead of generating one.")
+  in
+  let minutes =
+    Arg.(value & opt float 10.0 & info [ "minutes" ] ~docv:"MIN"
+           ~doc:"Simulated duration of the generated workload.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.") in
+  let flash_mb =
+    Arg.(value & opt int 20 & info [ "flash-mb" ] ~docv:"MB" ~doc:"Flash capacity.")
+  in
+  let dram_mb =
+    Arg.(value & opt int 4 & info [ "dram-mb" ] ~docv:"MB" ~doc:"DRAM capacity.")
+  in
+  let buffer_kb =
+    Arg.(value & opt int 1024 & info [ "buffer-kb" ] ~docv:"KB"
+           ~doc:"DRAM write-buffer capacity (0 = write-through).")
+  in
+  let nbanks =
+    Arg.(value & opt int 4 & info [ "banks" ] ~docv:"N" ~doc:"Flash banks.")
+  in
+  let partitioned =
+    Arg.(value & flag & info [ "partitioned" ]
+           ~doc:"Partition flash banks into write and read-mostly sets.")
+  in
+  let wear =
+    Arg.(value & opt wear_arg Storage.Wear.Dynamic & info [ "wear" ] ~docv:"POLICY"
+           ~doc:"Wear-leveling policy: none, dynamic or static.")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Extra statistics.") in
+  let debug =
+    Arg.(value & flag & info [ "debug" ]
+           ~doc:"Log storage-manager internals (cleaning, wear-out, flushes).")
+  in
+  let term =
+    Term.(
+      const run_simulation $ machine $ workload $ trace_file $ minutes $ seed $ flash_mb
+      $ dram_mb $ buffer_kb $ nbanks $ partitioned $ wear $ verbose $ debug)
+  in
+  Cmd.v
+    (Cmd.info "ssmc_sim" ~doc:"Simulate a solid-state (or conventional) mobile computer")
+    term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,74 @@
+(* tracegen: generate a synthetic file-system trace to a text file.
+
+     dune exec bin/tracegen.exe -- -w compile --minutes 5 -o compile.trace *)
+open Sim
+open Cmdliner
+
+let generate workload minutes seed output analyze =
+  let profile =
+    match Trace.Workloads.find workload with
+    | Some p -> p
+    | None ->
+      Fmt.epr "unknown workload %S; available: %a@." workload
+        Fmt.(list ~sep:comma string)
+        (List.map (fun p -> p.Trace.Synth.name) Trace.Workloads.all);
+      exit 2
+  in
+  let duration = Time.span_s (60.0 *. minutes) in
+  let t = Trace.Synth.generate profile ~rng:(Rng.create ~seed) ~duration in
+  (match output with
+  | Some path ->
+    Trace.Format_io.write_file ~initial_files:t.Trace.Synth.initial_files path
+      t.Trace.Synth.records;
+    Fmt.pr "wrote %d records (and %d preload directives) to %s@."
+      (List.length t.Trace.Synth.records)
+      (List.length t.Trace.Synth.initial_files)
+      path
+  | None ->
+    List.iter
+      (fun (file, size) -> print_endline (Trace.Format_io.init_directive file size))
+      t.Trace.Synth.initial_files;
+    Trace.Format_io.write_channel stdout t.Trace.Synth.records);
+  if analyze then begin
+    let summary = Trace.Stats.summarize t.Trace.Synth.records in
+    Fmt.epr "summary: %a@." Trace.Stats.pp_summary summary;
+    Fmt.epr "calibration:@.%a@." Trace.Calibration.pp_report (Trace.Calibration.analyze t);
+    List.iter
+      (fun (range, v, ok) ->
+        Fmt.epr "  %s: %.2f in [%.2f, %.2f] %s@." range.Trace.Calibration.what v
+          range.Trace.Calibration.lo range.Trace.Calibration.hi
+          (if ok then "ok" else "OUT OF RANGE"))
+      (Trace.Calibration.evaluate (Trace.Calibration.analyze t));
+    List.iter
+      (fun window_s ->
+        let death =
+          Trace.Stats.write_death t.Trace.Synth.records
+            ~window:(Time.span_s window_s)
+        in
+        Fmt.epr "write death within %.0fs: %.1f%% of %d written bytes@." window_s
+          (100.0 *. death.Trace.Stats.dead_fraction)
+          death.Trace.Stats.written_bytes)
+      [ 5.0; 30.0; 120.0 ]
+  end
+
+let cmd =
+  let workload =
+    Arg.(value & opt string "engineering" & info [ "workload"; "w" ] ~docv:"NAME"
+           ~doc:"Profile: engineering, pim, compile, database.")
+  in
+  let minutes =
+    Arg.(value & opt float 10.0 & info [ "minutes" ] ~docv:"MIN" ~doc:"Trace duration.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE"
+           ~doc:"Output file (stdout if omitted).")
+  in
+  let analyze =
+    Arg.(value & flag & info [ "analyze"; "a" ]
+           ~doc:"Print summary and write-death statistics to stderr.")
+  in
+  let term = Term.(const generate $ workload $ minutes $ seed $ output $ analyze) in
+  Cmd.v (Cmd.info "tracegen" ~doc:"Generate synthetic file-system traces") term
+
+let () = exit (Cmd.eval cmd)

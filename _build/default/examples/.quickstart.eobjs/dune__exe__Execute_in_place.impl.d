@@ -1,0 +1,1 @@
+examples/execute_in_place.ml: Device Engine Fmt List Rng Sim Storage Time Units Vmem

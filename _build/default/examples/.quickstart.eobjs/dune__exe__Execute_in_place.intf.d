@@ -1,0 +1,1 @@
+examples/execute_in_place.mli:

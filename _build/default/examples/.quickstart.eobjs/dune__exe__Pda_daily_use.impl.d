@@ -1,0 +1,1 @@
+examples/pda_daily_use.ml: Device Fmt Fs List Option Rng Sim Ssmc Time Trace

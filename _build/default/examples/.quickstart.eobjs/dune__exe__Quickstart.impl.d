@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Rng Sim Ssmc Stat Storage Time Trace

@@ -1,0 +1,1 @@
+examples/removable_card.ml: Device Engine Fmt Fs Sim Ssmc Time Units

@@ -1,0 +1,1 @@
+examples/removable_card.mli:

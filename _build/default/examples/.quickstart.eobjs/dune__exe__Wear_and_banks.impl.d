@@ -1,0 +1,1 @@
+examples/wear_and_banks.ml: Array Device Engine Fmt List Rng Sim Stat Storage Time Units

@@ -1,0 +1,1 @@
+examples/wear_and_banks.mli:

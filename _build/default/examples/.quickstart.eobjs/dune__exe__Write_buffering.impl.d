@@ -1,0 +1,1 @@
+examples/write_buffering.ml: Fmt List Option Printf Rng Sim Ssmc Stat Storage Table Time Trace

@@ -1,0 +1,49 @@
+(* Quickstart: build the paper's solid-state machine and the conventional
+   disk machine, run the same engineering workload on both, and compare.
+
+     dune exec examples/quickstart.exe *)
+
+open Sim
+
+let () =
+  (* One hour of a Sprite-calibrated engineering workload. *)
+  let duration = Time.span_s 600.0 in
+  let trace =
+    Trace.Synth.generate Trace.Workloads.engineering ~rng:(Rng.create ~seed:1)
+      ~duration
+  in
+  let summary = Trace.Stats.summarize trace.Trace.Synth.records in
+  Fmt.pr "workload: %a@." Trace.Stats.pp_summary summary;
+
+  let run cfg =
+    let machine = Ssmc.Machine.create cfg in
+    Ssmc.Machine.preload machine trace.Trace.Synth.initial_files;
+    let result = Ssmc.Machine.run machine trace.Trace.Synth.records in
+    (machine, result)
+  in
+
+  let _solid, solid_result = run (Ssmc.Config.solid_state ()) in
+  let _conv, conv_result = run (Ssmc.Config.conventional ()) in
+
+  Fmt.pr "@.== solid-state (DRAM + flash, no disk) ==@.%a@." Ssmc.Machine.pp_result
+    solid_result;
+  (match solid_result.Ssmc.Machine.manager_stats with
+  | Some stats -> Fmt.pr "storage manager: %a@." Storage.Manager.pp_stats stats
+  | None -> ());
+
+  Fmt.pr "@.== conventional (DRAM + disk) ==@.%a@." Ssmc.Machine.pp_result conv_result;
+
+  let p50 h = Stat.Histogram.quantile h 0.5 in
+  Fmt.pr "@.typical (median) operation latency:@.";
+  Fmt.pr "  reads : %8.1fus vs %8.1fus  (%.0fx)@."
+    (p50 solid_result.Ssmc.Machine.read_hist_us)
+    (p50 conv_result.Ssmc.Machine.read_hist_us)
+    (p50 conv_result.Ssmc.Machine.read_hist_us
+    /. p50 solid_result.Ssmc.Machine.read_hist_us);
+  Fmt.pr "  writes: %8.1fus vs %8.1fus  (%.0fx)@."
+    (p50 solid_result.Ssmc.Machine.write_hist_us)
+    (p50 conv_result.Ssmc.Machine.write_hist_us)
+    (p50 conv_result.Ssmc.Machine.write_hist_us
+    /. p50 solid_result.Ssmc.Machine.write_hist_us);
+  Fmt.pr "energy: solid %.1fJ vs conventional %.1fJ@."
+    solid_result.Ssmc.Machine.energy_j conv_result.Ssmc.Machine.energy_j

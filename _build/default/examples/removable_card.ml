@@ -1,0 +1,52 @@
+(* Removable flash cards, the way the OmniBook shipped software: create a
+   card, fill it, eject it properly (or yank it), and reinsert.
+
+     dune exec examples/removable_card.exe *)
+
+open Sim
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Fmt.failwith "card: %a" Fs.Fs_error.pp e
+
+let () =
+  let engine = Engine.create () in
+  let host_dram = Device.Dram.create ~size_bytes:(4 * Units.mib) ~battery_backed:true () in
+  let card = Ssmc.Card.create ~name:"omnibook-card" ~size_mb:10 ~engine ~host_dram () in
+
+  Fmt.pr "A %a flash card is inserted.  Installing software and notes...@."
+    Fmt.byte_size (Ssmc.Card.size_bytes card);
+  let fs = Ssmc.Card.fs card in
+  ignore (ok (Fs.Memfs.mkdir fs "/apps"));
+  ignore (ok (Fs.Memfs.create fs "/apps/word-processor"));
+  ignore (ok (Fs.Memfs.write fs "/apps/word-processor" ~offset:0 ~bytes:(256 * 1024)));
+  ignore (ok (Fs.Memfs.create fs "/meeting-notes"));
+  ignore (ok (Fs.Memfs.write fs "/meeting-notes" ~offset:0 ~bytes:4096));
+
+  Fmt.pr "@.Orderly eject (flush, checkpoint, release):@.";
+  let report = Ssmc.Card.eject card in
+  Fmt.pr "  %a@." Ssmc.Card.pp_eject_report report;
+
+  Engine.run_until engine (Time.add (Engine.now engine) (Time.span_s 5.0));
+  Fmt.pr "@.Reinserting (the header scan rebuilds the card's state):@.";
+  let insert = Ssmc.Card.insert card in
+  Fmt.pr "  %a@." Ssmc.Card.pp_insert_report insert;
+  let fs = Ssmc.Card.fs card in
+  Fmt.pr "  /apps/word-processor: %a@." Fmt.byte_size
+    (ok (Fs.Memfs.file_size fs "/apps/word-processor"));
+  Fmt.pr "  /meeting-notes:       %a@." Fmt.byte_size
+    (ok (Fs.Memfs.file_size fs "/meeting-notes"));
+
+  Fmt.pr "@.Now the user edits a note and yanks the card mid-thought:@.";
+  ignore (ok (Fs.Memfs.write fs "/meeting-notes" ~offset:0 ~bytes:1024));
+  let report = Ssmc.Card.eject ~surprise:true card in
+  Fmt.pr "  %a@." Ssmc.Card.pp_eject_report report;
+  Engine.run_until engine (Time.add (Engine.now engine) (Time.span_s 5.0));
+  let insert = Ssmc.Card.insert card in
+  Fmt.pr "  after reinsert: %a@." Ssmc.Card.pp_insert_report insert;
+  let fs = Ssmc.Card.fs card in
+  Fmt.pr "  /meeting-notes rolled back to its last flushed version: %a@." Fmt.byte_size
+    (ok (Fs.Memfs.file_size fs "/meeting-notes"));
+  Fmt.pr
+    "@.The dirty blocks lived in the host's write buffer, not on the card: a surprise@.\
+     eject loses exactly that window, and the checkpointed state survives.@."

@@ -1,0 +1,61 @@
+(* The Section 3.3 headline claim, hands-on: "as little as one megabyte of
+   battery-backed RAM can reduce write traffic by 40 to 50%".
+
+     dune exec examples/write_buffering.exe *)
+
+open Sim
+
+let () =
+  let duration = Time.span_s 600.0 in
+  let trace =
+    Trace.Synth.generate Trace.Workloads.engineering ~rng:(Rng.create ~seed:7) ~duration
+  in
+  let death =
+    Trace.Stats.write_death trace.Trace.Synth.records ~window:(Time.span_s 30.0)
+  in
+  Fmt.pr
+    "Sprite-calibrated workload: %a written; %.0f%% of those bytes are overwritten or@.\
+     deleted within 30 seconds - data that never needs to reach flash at all.@.@."
+    Fmt.byte_size death.Trace.Stats.written_bytes
+    (100.0 *. death.Trace.Stats.dead_fraction);
+
+  let table =
+    Table.create ~title:"write traffic to flash vs buffer size (30s writeback delay)"
+      ~columns:
+        [
+          ("buffer", Table.Right);
+          ("flash writes", Table.Right);
+          ("reduction", Table.Right);
+          ("mean write latency", Table.Right);
+        ]
+  in
+  List.iter
+    (fun kib ->
+      let manager =
+        {
+          Storage.Manager.default_config with
+          Storage.Manager.buffer =
+            {
+              Storage.Write_buffer.default_config with
+              Storage.Write_buffer.capacity_blocks = kib * 1024 / 512;
+            };
+        }
+      in
+      let machine =
+        Ssmc.Machine.create (Ssmc.Config.solid_state ~flash_mb:24 ~dram_mb:16 ~manager ())
+      in
+      Ssmc.Machine.preload machine trace.Trace.Synth.initial_files;
+      let result = Ssmc.Machine.run machine trace.Trace.Synth.records in
+      let stats = Option.get result.Ssmc.Machine.manager_stats in
+      Table.add_row table
+        [
+          Table.cell_bytes (kib * 1024);
+          Table.cell_bytes (512 * stats.Storage.Manager.blocks_flushed);
+          Table.cell_pct stats.Storage.Manager.write_reduction;
+          Printf.sprintf "%.0fus" (Stat.Summary.mean result.Ssmc.Machine.write_latency);
+        ])
+    [ 0; 256; 1024; 4096 ];
+  Table.print table;
+  Fmt.pr
+    "Because the DRAM is battery-backed, the buffered data is as stable as flash:@.\
+     nothing is lost unless both the primary and the lithium backup battery die.@."

@@ -1,0 +1,1 @@
+lib/core/card.ml: Device Engine Fmt Fs Hashtbl List Printf Sim Storage String Time Units

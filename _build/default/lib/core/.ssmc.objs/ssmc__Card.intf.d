@@ -1,0 +1,1 @@
+lib/core/card.mli: Device Format Fs Sim Storage

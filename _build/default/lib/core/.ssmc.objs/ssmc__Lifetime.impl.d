@@ -1,0 +1,1 @@
+lib/core/lifetime.ml: Device Float Sim Storage

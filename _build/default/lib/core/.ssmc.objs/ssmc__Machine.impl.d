@@ -1,0 +1,1 @@
+lib/core/machine.ml: Config Device Engine Fmt Fs Lifetime List Option Rng Sim Stat Storage Time Trace

@@ -1,0 +1,1 @@
+lib/core/machine.mli: Config Device Format Fs Sim Storage Trace

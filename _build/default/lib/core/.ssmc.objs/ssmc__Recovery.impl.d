@@ -1,0 +1,1 @@
+lib/core/recovery.ml: Device Fmt Sim Storage

@@ -1,0 +1,1 @@
+lib/core/recovery_box.ml: Char Fmt Hashtbl List Sim String

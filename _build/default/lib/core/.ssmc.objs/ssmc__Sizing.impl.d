@@ -1,0 +1,1 @@
+lib/core/sizing.ml: Config Device Float Fmt List Machine Option Printf Rng Sim Stat Storage Time Trace

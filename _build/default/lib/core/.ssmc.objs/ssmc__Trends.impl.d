@@ -1,0 +1,1 @@
+lib/core/trends.ml: Device Float

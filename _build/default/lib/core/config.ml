@@ -1,0 +1,76 @@
+open Sim
+
+type storage =
+  | Solid_state of {
+      flash_bytes : int;
+      nbanks : int;
+      flash_spec : Device.Specs.flash_spec;
+      endurance_override : int option;
+      manager : Storage.Manager.config;
+    }
+  | Conventional of {
+      disk_spec : Device.Specs.disk_spec;
+      spindown_timeout : Time.span option;
+      ffs : Fs.Ffs.config;
+    }
+
+type t = {
+  name : string;
+  dram_bytes : int;
+  battery_backed_dram : bool;
+  storage : storage;
+  battery_wh : float;
+  backup_wh : float;
+  seed : int;
+}
+
+let solid_state ?(name = "solid-state") ?(dram_mb = 4) ?(flash_mb = 20) ?(nbanks = 4)
+    ?(manager = Storage.Manager.default_config) ?(flash_spec = Device.Specs.intel_flash)
+    ?endurance_override ?(battery_wh = 10.0) ?(backup_wh = 0.5) ?(seed = 42) () =
+  {
+    name;
+    dram_bytes = dram_mb * Units.mib;
+    battery_backed_dram = true;
+    storage =
+      Solid_state
+        {
+          flash_bytes = flash_mb * Units.mib;
+          nbanks;
+          flash_spec;
+          endurance_override;
+          manager;
+        };
+    battery_wh;
+    backup_wh;
+    seed;
+  }
+
+let conventional ?(name = "conventional") ?(dram_mb = 4)
+    ?(disk_spec = Device.Specs.hp_kittyhawk) ?spindown_timeout
+    ?(ffs = Fs.Ffs.default_config) ?(battery_wh = 10.0) ?(seed = 42) () =
+  let spindown =
+    match spindown_timeout with Some _ as s -> s | None -> Some (Time.span_s 10.0)
+  in
+  {
+    name;
+    dram_bytes = dram_mb * Units.mib;
+    battery_backed_dram = true;
+    storage = Conventional { disk_spec; spindown_timeout = spindown; ffs };
+    battery_wh;
+    backup_wh = 0.5;
+    seed;
+  }
+
+let dollars t =
+  let dram =
+    Units.to_mib t.dram_bytes *. Device.Specs.(nec_dram.d_econ.dollars_per_mb)
+  in
+  let stable =
+    match t.storage with
+    | Solid_state { flash_bytes; flash_spec; _ } ->
+      Units.to_mib flash_bytes *. flash_spec.Device.Specs.f_econ.Device.Specs.dollars_per_mb
+    | Conventional { disk_spec; _ } ->
+      Units.to_mib disk_spec.Device.Specs.k_capacity_bytes
+      *. disk_spec.Device.Specs.k_econ.Device.Specs.dollars_per_mb
+  in
+  dram +. stable

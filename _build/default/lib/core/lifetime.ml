@@ -1,0 +1,48 @@
+type inputs = {
+  endurance : int;
+  total_sectors : int;
+  sector_bytes : int;
+  flash_write_bytes_per_day : float;
+  write_amplification : float;
+  wear_skew : float;
+}
+
+let years i =
+  if i.endurance <= 0 || i.total_sectors <= 0 || i.sector_bytes <= 0 then
+    invalid_arg "Lifetime.years: non-positive geometry";
+  if i.wear_skew < 1.0 then invalid_arg "Lifetime.years: skew < 1";
+  if i.flash_write_bytes_per_day <= 0.0 then infinity
+  else begin
+    (* Total sector-erases the device can absorb before its hottest sector
+       dies, then how many the workload performs per day. *)
+    let budget =
+      float_of_int i.endurance *. float_of_int i.total_sectors /. i.wear_skew
+    in
+    let erases_per_day =
+      i.flash_write_bytes_per_day *. i.write_amplification
+      /. float_of_int i.sector_bytes
+    in
+    budget /. erases_per_day /. 365.25
+  end
+
+let of_run ~flash ~stats ~evenness ~elapsed =
+  let days = Sim.Time.span_to_s elapsed /. 86_400.0 in
+  let sector_bytes = Device.Flash.sector_bytes flash in
+  let flushed_bytes = stats.Storage.Manager.blocks_flushed * sector_bytes in
+  let skew =
+    if evenness.Storage.Wear.mean_erases <= 0.0 then 1.0
+    else
+      Float.max 1.0
+        (float_of_int evenness.Storage.Wear.max_erases
+        /. evenness.Storage.Wear.mean_erases)
+  in
+  years
+    {
+      endurance = Device.Flash.endurance flash;
+      total_sectors = Device.Flash.nsectors flash;
+      sector_bytes;
+      flash_write_bytes_per_day =
+        (if days <= 0.0 then 0.0 else float_of_int flushed_bytes /. days);
+      write_amplification = stats.Storage.Manager.write_amplification;
+      wear_skew = skew;
+    }

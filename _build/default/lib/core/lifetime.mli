@@ -1,0 +1,35 @@
+(** Flash-lifetime estimation.
+
+    A flash device dies (for practical purposes) when its most-worn sectors
+    exhaust their erase budget.  Lifetime therefore depends on four things
+    the storage manager controls or observes: the raw write rate that
+    reaches flash, the cleaner's write amplification, the evenness of wear,
+    and the device's size and endurance.  This estimator converts measured
+    simulation statistics into calendar lifetime — the number the paper's
+    "prolong the life of flash memory" claims are about. *)
+
+type inputs = {
+  endurance : int;  (** Erase cycles per sector. *)
+  total_sectors : int;
+  sector_bytes : int;
+  flash_write_bytes_per_day : float;
+      (** Client bytes flushed to flash per day (after buffer absorption). *)
+  write_amplification : float;  (** >= 1; cleaner copies inflate writes. *)
+  wear_skew : float;
+      (** max erase count / mean erase count; 1.0 = perfectly even. *)
+}
+
+val years : inputs -> float
+(** Estimated years until the most-worn sector exceeds its endurance.
+    [infinity] when nothing is written.
+    @raise Invalid_argument on non-positive geometry or skew < 1. *)
+
+val of_run :
+  flash:Device.Flash.t ->
+  stats:Storage.Manager.stats ->
+  evenness:Storage.Wear.evenness ->
+  elapsed:Sim.Time.span ->
+  float
+(** Convenience: derive {!inputs} from a finished simulation run and
+    estimate.  Uses the run's flush rate, amplification, and observed wear
+    spread. *)

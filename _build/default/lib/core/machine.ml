@@ -1,0 +1,304 @@
+open Sim
+
+type fs_impl = Mem of Fs.Memfs.t | Disk_fs of Fs.Ffs.t
+
+type t = {
+  cfg : Config.t;
+  engine : Engine.t;
+  rng : Rng.t;
+  dram : Device.Dram.t;
+  flash : Device.Flash.t option;
+  disk : Device.Disk.t option;
+  manager : Storage.Manager.t option;
+  fs : fs_impl;
+  battery : Device.Battery.t;
+  mutable last_account : Time.t;
+  mutable accounted_j : float;  (** Energy already drained from the battery. *)
+  mutable errors : int;
+}
+
+let create (cfg : Config.t) =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:cfg.Config.seed in
+  let dram =
+    Device.Dram.create ~size_bytes:cfg.Config.dram_bytes
+      ~battery_backed:cfg.Config.battery_backed_dram ()
+  in
+  let battery =
+    Device.Battery.of_watt_hours ~backup_wh:cfg.Config.backup_wh cfg.Config.battery_wh
+  in
+  match cfg.Config.storage with
+  | Config.Solid_state { flash_bytes; nbanks; flash_spec; endurance_override; manager }
+    ->
+    let flash =
+      Device.Flash.create
+        (Device.Flash.config ~spec:flash_spec ~nbanks ?endurance_override
+           ~size_bytes:flash_bytes ())
+    in
+    let mgr = Storage.Manager.create manager ~engine ~flash ~dram in
+    let memfs = Fs.Memfs.create_fs ~manager:mgr () in
+    {
+      cfg;
+      engine;
+      rng;
+      dram;
+      flash = Some flash;
+      disk = None;
+      manager = Some mgr;
+      fs = Mem memfs;
+      battery;
+      last_account = Time.zero;
+      accounted_j = 0.0;
+      errors = 0;
+    }
+  | Config.Conventional { disk_spec; spindown_timeout; ffs } ->
+    let disk =
+      Device.Disk.create ~spec:disk_spec ?spindown_timeout ~rng:(Rng.split rng) ()
+    in
+    let fs = Fs.Ffs.create_fs ~config:ffs ~engine ~disk ~dram () in
+    {
+      cfg;
+      engine;
+      rng;
+      dram;
+      flash = None;
+      disk = Some disk;
+      manager = None;
+      fs = Disk_fs fs;
+      battery;
+      last_account = Time.zero;
+      accounted_j = 0.0;
+      errors = 0;
+    }
+
+let config t = t.cfg
+let engine t = t.engine
+let dram t = t.dram
+let battery t = t.battery
+let rng t = t.rng
+let manager t = t.manager
+let flash t = t.flash
+let disk t = t.disk
+let memfs t = match t.fs with Mem m -> Some m | Disk_fs _ -> None
+let ffs t = match t.fs with Disk_fs f -> Some f | Mem _ -> None
+
+(* --- FS dispatch ------------------------------------------------------------ *)
+
+let fs_create t path =
+  match t.fs with Mem m -> Fs.Memfs.create m path | Disk_fs f -> Fs.Ffs.create f path
+
+let fs_mkdir t path =
+  match t.fs with Mem m -> Fs.Memfs.mkdir m path | Disk_fs f -> Fs.Ffs.mkdir f path
+
+let fs_write t path ~offset ~bytes =
+  match t.fs with
+  | Mem m -> Fs.Memfs.write m path ~offset ~bytes
+  | Disk_fs f -> Fs.Ffs.write f path ~offset ~bytes
+
+let fs_read t path ~offset ~bytes =
+  match t.fs with
+  | Mem m -> Fs.Memfs.read m path ~offset ~bytes
+  | Disk_fs f -> Fs.Ffs.read f path ~offset ~bytes
+
+let fs_truncate t path ~size =
+  match t.fs with
+  | Mem m -> Fs.Memfs.truncate m path ~size
+  | Disk_fs f -> Fs.Ffs.truncate f path ~size
+
+let fs_unlink t path =
+  match t.fs with Mem m -> Fs.Memfs.unlink m path | Disk_fs f -> Fs.Ffs.unlink f path
+
+let fs_exists t path =
+  match t.fs with Mem m -> Fs.Memfs.exists m path | Disk_fs f -> Fs.Ffs.exists f path
+
+let fs_preload t path ~size =
+  match t.fs with
+  | Mem m -> Fs.Memfs.preload m path ~size
+  | Disk_fs f -> Fs.Ffs.preload f path ~size
+
+(* --- Power accounting ---------------------------------------------------------- *)
+
+let total_energy t =
+  let meters =
+    Device.Power.Meter.total_joules (Device.Dram.meter t.dram)
+    +. (match t.flash with
+       | Some f -> Device.Power.Meter.total_joules (Device.Flash.meter f)
+       | None -> 0.0)
+    +.
+    match t.disk with
+    | Some d -> Device.Power.Meter.total_joules (Device.Disk.meter d)
+    | None -> 0.0
+  in
+  meters
+
+let account t =
+  let now = Engine.now t.engine in
+  if Time.( < ) t.last_account now then begin
+    let dt = Time.diff now t.last_account in
+    Device.Dram.charge_idle t.dram dt;
+    (match t.flash with Some f -> Device.Flash.charge_idle f dt | None -> ());
+    (match t.disk with Some d -> Device.Disk.finish_accounting d ~now | None -> ());
+    t.last_account <- now
+  end;
+  let total = total_energy t in
+  let delta = total -. t.accounted_j in
+  if delta > 0.0 then begin
+    Device.Battery.drain t.battery ~joules:delta;
+    t.accounted_j <- total
+  end
+
+(* --- Preload -------------------------------------------------------------------- *)
+
+let settle_time t =
+  let flash_busy =
+    match t.flash with
+    | Some f ->
+      let busy = ref Time.zero in
+      for bank = 0 to Device.Flash.nbanks f - 1 do
+        busy := Time.max !busy (Device.Flash.bank_busy_until f ~bank)
+      done;
+      !busy
+    | None -> Time.zero
+  in
+  let disk_busy =
+    match t.disk with Some d -> Device.Disk.busy_until d | None -> Time.zero
+  in
+  Time.max flash_busy disk_busy
+
+let preload t files =
+  (match fs_mkdir t "/data" with
+  | Ok _ -> ()
+  | Error Fs.Fs_error.Eexist -> ()
+  | Error e -> Fmt.failwith "Machine.preload: mkdir /data: %a" Fs.Fs_error.pp e);
+  List.iter
+    (fun (id, size) ->
+      match fs_preload t (Fs.Vfs.path_of_file_id id) ~size with
+      | Ok () -> ()
+      | Error e ->
+        Fmt.failwith "Machine.preload: file %d (%d bytes): %a" id size Fs.Fs_error.pp e)
+    files;
+  (* Let the devices drain, then start the measured run from zero. *)
+  let settle = Time.add (settle_time t) (Time.span_s 1.0) in
+  Engine.run_until t.engine settle;
+  (match t.manager with Some m -> Storage.Manager.reset_traffic m | None -> ());
+  (match t.disk with Some d -> Device.Disk.reset_stats d | None -> ());
+  (match t.fs with
+  | Mem _ -> ()
+  | Disk_fs _ -> Device.Dram.reset_stats t.dram);
+  t.accounted_j <- 0.0;
+  t.last_account <- Engine.now t.engine;
+  t.errors <- 0
+
+(* --- Trace application ------------------------------------------------------------ *)
+
+let span_or_error t result =
+  match result with
+  | Ok span -> span
+  | Error _ ->
+    t.errors <- t.errors + 1;
+    Time.span_zero
+
+let apply t record =
+  let path = Fs.Vfs.path_of_file_id (Trace.Record.file record) in
+  match record.Trace.Record.op with
+  | Trace.Record.Create _ -> span_or_error t (fs_create t path)
+  | Trace.Record.Delete _ -> span_or_error t (fs_unlink t path)
+  | Trace.Record.Truncate { size; _ } -> span_or_error t (fs_truncate t path ~size)
+  | Trace.Record.Read { offset; bytes; _ } ->
+    span_or_error t (fs_read t path ~offset ~bytes)
+  | Trace.Record.Write { offset; bytes; _ } ->
+    let create_span =
+      if fs_exists t path then Time.span_zero else span_or_error t (fs_create t path)
+    in
+    Time.span_add create_span (span_or_error t (fs_write t path ~offset ~bytes))
+
+type result = {
+  ops_applied : int;
+  op_errors : int;
+  elapsed : Time.span;
+  busy : Time.span;
+  read_latency : Stat.Summary.t;
+  write_latency : Stat.Summary.t;
+  meta_latency : Stat.Summary.t;
+  read_hist_us : Stat.Histogram.t;
+  write_hist_us : Stat.Histogram.t;
+  energy_j : float;
+  battery_fraction_left : float;
+  manager_stats : Storage.Manager.stats option;
+  lifetime_years : float option;
+}
+
+let run ?(drain = Time.span_s 120.0) t records =
+  let started = Engine.now t.engine in
+  let offset = Time.diff started Time.zero in
+  let shifted =
+    List.map
+      (fun r -> { r with Trace.Record.at = Time.add r.Trace.Record.at offset })
+      records
+  in
+  let read_latency = Stat.Summary.create () in
+  let write_latency = Stat.Summary.create () in
+  let meta_latency = Stat.Summary.create () in
+  let read_hist_us = Stat.Histogram.create () in
+  let write_hist_us = Stat.Histogram.create () in
+  let busy = ref Time.span_zero in
+  let ops = ref 0 in
+  (* Periodic power accounting, as an OS housekeeping task would. *)
+  let last_at =
+    match List.rev shifted with [] -> started | r :: _ -> r.Trace.Record.at
+  in
+  Engine.schedule_every t.engine ~every:(Time.span_s 60.0)
+    ~until:(Time.add last_at drain) (fun _ -> account t);
+  Trace.Replay.run t.engine shifted ~f:(fun engine record ->
+      let span = apply t record in
+      incr ops;
+      busy := Time.span_add !busy span;
+      let us = Time.span_to_us span in
+      (match record.Trace.Record.op with
+      | Trace.Record.Read _ ->
+        Stat.Summary.observe read_latency us;
+        Stat.Histogram.observe read_hist_us us
+      | Trace.Record.Write _ ->
+        Stat.Summary.observe write_latency us;
+        Stat.Histogram.observe write_hist_us us
+      | Trace.Record.Create _ | Trace.Record.Delete _ | Trace.Record.Truncate _ ->
+        Stat.Summary.observe meta_latency us);
+      (* Closed loop: the (single-threaded) client does not issue its next
+         operation until this one completed. *)
+      Engine.run_until engine (Time.add (Engine.now engine) span));
+  Engine.run_until t.engine (Time.add last_at drain);
+  account t;
+  let elapsed = Time.diff (Engine.now t.engine) started in
+  let manager_stats = Option.map Storage.Manager.stats t.manager in
+  let lifetime_years =
+    match (t.manager, t.flash, manager_stats) with
+    | Some m, Some f, Some stats ->
+      Some
+        (Lifetime.of_run ~flash:f ~stats ~evenness:(Storage.Manager.wear_evenness m)
+           ~elapsed)
+    | _ -> None
+  in
+  {
+    ops_applied = !ops;
+    op_errors = t.errors;
+    elapsed;
+    busy = !busy;
+    read_latency;
+    write_latency;
+    meta_latency;
+    read_hist_us;
+    write_hist_us;
+    energy_j = total_energy t;
+    battery_fraction_left = Device.Battery.fraction_remaining t.battery;
+    manager_stats;
+    lifetime_years;
+  }
+
+let pp_result ppf r =
+  Fmt.pf ppf
+    "@[<v>ops=%d errors=%d elapsed=%a busy=%a@,read: %a@,write: %a@,meta: %a@,\
+     energy=%.1fJ battery=%.1f%%@]"
+    r.ops_applied r.op_errors Time.pp_span r.elapsed Time.pp_span r.busy
+    Stat.Summary.pp r.read_latency Stat.Summary.pp r.write_latency Stat.Summary.pp
+    r.meta_latency r.energy_j
+    (100.0 *. r.battery_fraction_left)

@@ -1,0 +1,73 @@
+(** A whole simulated mobile computer.
+
+    Assembles the devices, the physical storage manager, a file system, and
+    a battery according to a {!Config.t}, then replays file-system traces
+    against it while accounting time, energy, and battery drain.  This is
+    the object every end-to-end experiment manipulates. *)
+
+type t
+
+val create : Config.t -> t
+val config : t -> Config.t
+val engine : t -> Sim.Engine.t
+val dram : t -> Device.Dram.t
+val battery : t -> Device.Battery.t
+val rng : t -> Sim.Rng.t
+
+val manager : t -> Storage.Manager.t option
+(** The storage manager ([None] on a conventional machine). *)
+
+val flash : t -> Device.Flash.t option
+val disk : t -> Device.Disk.t option
+
+val memfs : t -> Fs.Memfs.t option
+val ffs : t -> Fs.Ffs.t option
+
+(** {1 Running workloads} *)
+
+val preload : t -> (int * int) list -> unit
+(** Install the workload's initial files ((id, size) pairs, under
+    ["/data"]) through the cold path, settle the devices, and zero every
+    traffic counter and meter: the measured run starts clean. *)
+
+val apply : t -> Trace.Record.t -> Sim.Time.span
+(** Apply one trace record through the file system at the engine's current
+    instant.  Writes to missing files create them first (traces elide the
+    create when it is implicit).  Failed operations (e.g. reads of deleted
+    files) are counted and charged nothing. *)
+
+type result = {
+  ops_applied : int;
+  op_errors : int;
+  elapsed : Sim.Time.span;  (** Wall-clock of the whole run. *)
+  busy : Sim.Time.span;  (** Sum of foreground operation latencies. *)
+  read_latency : Sim.Stat.Summary.t;  (** Per-op foreground latency, us. *)
+  write_latency : Sim.Stat.Summary.t;
+  meta_latency : Sim.Stat.Summary.t;  (** create/delete/truncate, us. *)
+  read_hist_us : Sim.Stat.Histogram.t;  (** For percentiles. *)
+  write_hist_us : Sim.Stat.Histogram.t;
+  energy_j : float;
+  battery_fraction_left : float;
+  manager_stats : Storage.Manager.stats option;
+  lifetime_years : float option;  (** Flash-wear extrapolation. *)
+}
+
+val run :
+  ?drain:Sim.Time.span ->
+  t ->
+  Trace.Record.t list ->
+  result
+(** Replay a trace (timestamps are shifted so the trace starts "now"),
+    then keep the engine running [drain] longer (default 120 s) so pending
+    flushes and cleaning settle, then do the final power accounting. *)
+
+val pp_result : Format.formatter -> result -> unit
+
+(** {1 Power accounting}
+
+    Accounting runs automatically every simulated minute during {!run};
+    call {!account} manually around hand-driven operations. *)
+
+val account : t -> unit
+(** Charge background power for the interval since the last accounting and
+    drain the battery by all energy consumed since then. *)

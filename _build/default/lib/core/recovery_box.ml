@@ -1,0 +1,106 @@
+(* Items carry a checksum over (key, bytes, seq).  Corruption flips the
+   payload without updating the checksum, which is exactly what recovery
+   detects. *)
+
+type item = {
+  key : string;
+  mutable bytes : int;
+  mutable seq : int;
+  mutable checksum : int;
+  mutable order : int;  (** Insertion order, for bounded-capacity eviction. *)
+}
+
+type t = {
+  capacity : int;
+  table : (string, item) Hashtbl.t;
+  mutable next_seq : int;
+  mutable next_order : int;
+}
+
+let create ?(capacity_items = 256) () =
+  if capacity_items <= 0 then invalid_arg "Recovery_box.create: capacity <= 0";
+  { capacity = capacity_items; table = Hashtbl.create 64; next_seq = 0; next_order = 0 }
+
+let capacity t = t.capacity
+let size t = Hashtbl.length t.table
+
+let checksum_of ~key ~bytes ~seq =
+  (* A small FNV-1a over the logical content. *)
+  let h = ref 0x3bf29ce484222325 in
+  let mix byte = h := (!h lxor byte) * 0x100000001b3 in
+  String.iter (fun c -> mix (Char.code c)) key;
+  mix (bytes land 0xff);
+  mix ((bytes lsr 8) land 0xff);
+  mix (seq land 0xff);
+  mix ((seq lsr 8) land 0xff);
+  !h
+
+let evict_oldest t =
+  let oldest =
+    Hashtbl.fold
+      (fun _ item acc ->
+        match acc with
+        | Some best when best.order <= item.order -> acc
+        | Some _ | None -> Some item)
+      t.table None
+  in
+  match oldest with Some item -> Hashtbl.remove t.table item.key | None -> ()
+
+let put t ~key ~bytes =
+  if bytes < 0 then invalid_arg "Recovery_box.put: negative size";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  match Hashtbl.find_opt t.table key with
+  | Some item ->
+    (* Atomic update: compute the new checksum against the new content and
+       install both together. *)
+    item.bytes <- bytes;
+    item.seq <- seq;
+    item.checksum <- checksum_of ~key ~bytes ~seq
+  | None ->
+    if size t >= t.capacity then evict_oldest t;
+    let order = t.next_order in
+    t.next_order <- order + 1;
+    Hashtbl.replace t.table key
+      { key; bytes; seq; checksum = checksum_of ~key ~bytes ~seq; order }
+
+let intact item =
+  item.checksum = checksum_of ~key:item.key ~bytes:item.bytes ~seq:item.seq
+
+let get t ~key =
+  match Hashtbl.find_opt t.table key with
+  | Some item when intact item -> Some item.bytes
+  | Some _ | None -> None
+
+let delete t ~key =
+  if Hashtbl.mem t.table key then begin
+    Hashtbl.remove t.table key;
+    true
+  end
+  else false
+
+let stored_bytes t = Hashtbl.fold (fun _ item acc -> acc + item.bytes) t.table 0
+
+let crash t ~rng ~corruption_rate =
+  if corruption_rate < 0.0 || corruption_rate > 1.0 then
+    invalid_arg "Recovery_box.crash: corruption_rate not a probability";
+  Hashtbl.iter
+    (fun _ item ->
+      if Sim.Rng.bernoulli rng ~p:corruption_rate then
+        (* A wild store: the payload changes under the checksum. *)
+        item.bytes <- item.bytes lxor (1 + Sim.Rng.int rng 1024))
+    t.table
+
+type recovery = { intact : int; corrupted : int; salvaged_bytes : int }
+
+let recover t =
+  let damaged =
+    Hashtbl.fold (fun key item acc -> if intact item then acc else key :: acc) t.table []
+  in
+  List.iter (Hashtbl.remove t.table) damaged;
+  let salvaged = stored_bytes t in
+  { intact = size t; corrupted = List.length damaged; salvaged_bytes = salvaged }
+
+let pp_recovery ppf r =
+  Fmt.pf ppf "intact=%d corrupted=%d salvaged=%a" r.intact r.corrupted Fmt.byte_size
+    r.salvaged_bytes

@@ -1,0 +1,58 @@
+(** A recovery box: crash-surviving state in battery-backed DRAM.
+
+    Section 3.1 notes that DRAM can safely hold file-system state "with
+    appropriate care to ensure that an untimely crash is unlikely to
+    corrupt data", citing Baker & Sullivan's recovery box (USENIX '92): a
+    small, strictly-disciplined region of battery-backed memory holding
+    the state a system needs to restart quickly — session tables, caches
+    of recently-used metadata, the write buffer's index.
+
+    The discipline is what makes it trustworthy after a crash: every item
+    is stored with a checksum and a sequence number, writes are performed
+    item-at-a-time (never leaving a half-updated structure), and recovery
+    verifies each item before believing it.  This module models that
+    discipline and lets experiments inject the failure it defends against:
+    memory corrupted by a wild store during the crash.
+
+    Space is bounded; inserting beyond capacity evicts the oldest items —
+    a recovery box caches recovery state, it is not a log. *)
+
+type t
+
+val create : ?capacity_items:int -> unit -> t
+(** Default capacity: 256 items.
+    @raise Invalid_argument if the capacity is not positive. *)
+
+val capacity : t -> int
+val size : t -> int
+
+val put : t -> key:string -> bytes:int -> unit
+(** Insert or update an item ([bytes] models its payload size).  Updates
+    are atomic: an interrupted update leaves the previous version. *)
+
+val get : t -> key:string -> int option
+(** The item's payload size, if present and intact. *)
+
+val delete : t -> key:string -> bool
+
+val stored_bytes : t -> int
+(** Total payload held (for sizing the battery-backed region). *)
+
+(** {1 Crashes and recovery} *)
+
+val crash : t -> rng:Sim.Rng.t -> corruption_rate:float -> unit
+(** Simulate an untimely crash: each item independently has its payload
+    corrupted with probability [corruption_rate] (a wild store during the
+    failure).  Checksums are what let recovery notice. *)
+
+type recovery = {
+  intact : int;  (** Items that passed their checksum. *)
+  corrupted : int;  (** Items detected as damaged and discarded. *)
+  salvaged_bytes : int;
+}
+
+val recover : t -> recovery
+(** Post-crash scan: verify every item, discard the damaged ones (they
+    are gone from subsequent {!get}s), and report the salvage. *)
+
+val pp_recovery : Format.formatter -> recovery -> unit

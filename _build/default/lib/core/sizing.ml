@@ -1,0 +1,126 @@
+open Sim
+
+type point = {
+  dram_fraction : float;
+  dram_mb : float;
+  flash_mb : float;
+  buffer_mb : float;
+  mean_write_us : float;
+  mean_read_us : float;
+  write_reduction : float;
+  energy_j : float;
+  lifetime_years : float;
+  permanent_capacity_mb : float;
+  out_of_space : bool;
+}
+
+let default_fractions = [ 0.05; 0.1; 0.15; 0.2; 0.3; 0.4; 0.5; 0.6 ]
+
+(* DRAM not spent on the OS and the FS working state backs the write
+   buffer; 1 MB is reserved for the kernel and metadata. *)
+let reserved_dram_mb = 1.0
+
+let point_of_run ~fraction ~dram_mb ~flash_mb ~buffer_mb ~(result : Machine.result) =
+  let stats = result.Machine.manager_stats in
+  let write_reduction =
+    match stats with Some s -> s.Storage.Manager.write_reduction | None -> 0.0
+  in
+  let live_mb =
+    match stats with
+    | Some s -> float_of_int (s.Storage.Manager.live_blocks * 512) /. 1048576.0
+    | None -> 0.0
+  in
+  {
+    dram_fraction = fraction;
+    dram_mb;
+    flash_mb;
+    buffer_mb;
+    mean_write_us = Stat.Summary.mean result.Machine.write_latency;
+    mean_read_us = Stat.Summary.mean result.Machine.read_latency;
+    write_reduction;
+    energy_j = result.Machine.energy_j;
+    lifetime_years = Option.value result.Machine.lifetime_years ~default:infinity;
+    permanent_capacity_mb = Float.max 0.0 (flash_mb *. 0.9 -. live_mb);
+    out_of_space = false;
+  }
+
+let sweep ?(budget_dollars = 1000.0) ?(fractions = default_fractions)
+    ?(duration = Time.span_s 1200.0) ?(seed = 7) ~profile () =
+  let dram_cost = Device.Specs.(nec_dram.d_econ.dollars_per_mb) in
+  let flash_cost = Device.Specs.(intel_flash.f_econ.dollars_per_mb) in
+  List.map
+    (fun fraction ->
+      let dram_mb = budget_dollars *. fraction /. dram_cost in
+      let flash_mb = budget_dollars *. (1.0 -. fraction) /. flash_cost in
+      let buffer_mb = Float.max 0.0625 (dram_mb -. reserved_dram_mb) in
+      let manager_cfg =
+        {
+          Storage.Manager.default_config with
+          Storage.Manager.buffer =
+            {
+              Storage.Write_buffer.default_config with
+              Storage.Write_buffer.capacity_blocks =
+                int_of_float (buffer_mb *. 1048576.0 /. 512.0);
+            };
+        }
+      in
+      let cfg =
+        Config.solid_state
+          ~name:(Printf.sprintf "split-%.0f%%" (100.0 *. fraction))
+          ~dram_mb:(max 1 (int_of_float (Float.round dram_mb)))
+          ~flash_mb:(max 1 (int_of_float (Float.round flash_mb)))
+          ~manager:manager_cfg ~seed ()
+      in
+      let machine = Machine.create cfg in
+      let trace =
+        Trace.Synth.generate profile ~rng:(Rng.create ~seed:(seed + 1)) ~duration
+      in
+      match
+        Machine.preload machine trace.Trace.Synth.initial_files;
+        Machine.run machine trace.Trace.Synth.records
+      with
+      | result -> point_of_run ~fraction ~dram_mb ~flash_mb ~buffer_mb ~result
+      | exception Storage.Manager.Out_of_space ->
+        {
+          dram_fraction = fraction;
+          dram_mb;
+          flash_mb;
+          buffer_mb;
+          mean_write_us = nan;
+          mean_read_us = nan;
+          write_reduction = 0.0;
+          energy_j = nan;
+          lifetime_years = 0.0;
+          permanent_capacity_mb = 0.0;
+          out_of_space = true;
+        })
+    fractions
+
+let knee points =
+  let usable = List.filter (fun p -> not p.out_of_space) points in
+  match usable with
+  | [] -> None
+  | _ ->
+    let best =
+      List.fold_left (fun acc p -> Float.min acc p.mean_write_us) infinity usable
+    in
+    usable
+    |> List.filter (fun p -> p.mean_write_us <= best *. 1.2)
+    |> List.sort (fun a b -> Float.compare a.dram_fraction b.dram_fraction)
+    |> function
+    | [] -> None
+    | p :: _ -> Some p
+
+let pp_point ppf p =
+  if p.out_of_space then
+    Fmt.pf ppf "%.0f%% DRAM (%.1fMB/%.1fMB): out of space"
+      (100.0 *. p.dram_fraction)
+      p.dram_mb p.flash_mb
+  else
+    Fmt.pf ppf
+      "%.0f%% DRAM (%.1fMB/%.1fMB buf=%.2fMB): write=%.1fus read=%.1fus red=%.0f%% \
+       life=%.1fy"
+      (100.0 *. p.dram_fraction)
+      p.dram_mb p.flash_mb p.buffer_mb p.mean_write_us p.mean_read_us
+      (100.0 *. p.write_reduction)
+      p.lifetime_years

@@ -1,0 +1,45 @@
+(** Apportioning storage between DRAM and flash (Section 4).
+
+    "At some point DRAM and flash memory are likely to attain costs and
+    densities comparable to each other ...  How should a system apportion
+    its storage capacity between the two technologies?"  The paper's
+    answer is workload-dependent: enough DRAM to hold the writable working
+    set, flash for everything long-lived.  This module runs that sweep: a
+    fixed storage budget split at different DRAM:flash ratios, the same
+    workload replayed on each split, and the performance / power /
+    endurance consequences tabulated. *)
+
+type point = {
+  dram_fraction : float;  (** Share of the budget spent on DRAM. *)
+  dram_mb : float;
+  flash_mb : float;
+  buffer_mb : float;  (** Write-buffer capacity the DRAM afforded. *)
+  mean_write_us : float;
+  mean_read_us : float;
+  write_reduction : float;  (** Flash write traffic avoided. *)
+  energy_j : float;
+  lifetime_years : float;
+  permanent_capacity_mb : float;
+      (** Flash space left for long-lived data after cleaning headroom. *)
+  out_of_space : bool;  (** The split could not hold the workload. *)
+}
+
+val sweep :
+  ?budget_dollars:float ->
+  ?fractions:float list ->
+  ?duration:Sim.Time.span ->
+  ?seed:int ->
+  profile:Trace.Synth.profile ->
+  unit ->
+  point list
+(** Run the workload over each DRAM budget fraction (default 0.1–0.6 in
+    steps, $1000 budget, 20 simulated minutes).  Points whose flash could
+    not hold the workload's live data are returned with [out_of_space]
+    set. *)
+
+val knee : point list -> point option
+(** The cheapest-DRAM point whose mean write latency is within 20 % of the
+    best achieved — the "enough DRAM to buffer the writable working set"
+    answer. *)
+
+val pp_point : Format.formatter -> point -> unit

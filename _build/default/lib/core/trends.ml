@@ -1,0 +1,80 @@
+type tech = Dram | Flash | Disk
+
+let tech_name = function Dram -> "DRAM" | Flash -> "flash" | Disk -> "disk"
+
+let anchor_year = float_of_int Device.Specs.anchor_year
+
+(* 1993 anchors from the device presets. *)
+let base_cost = function
+  | Dram -> Device.Specs.(nec_dram.d_econ.dollars_per_mb)
+  | Flash -> Device.Specs.(intel_flash.f_econ.dollars_per_mb)
+  | Disk -> Device.Specs.(hp_kittyhawk.k_econ.dollars_per_mb)
+
+let base_density = function
+  | Dram -> Device.Specs.(nec_dram.d_econ.mb_per_cubic_inch)
+  | Flash -> Device.Specs.(intel_flash.f_econ.mb_per_cubic_inch)
+  | Disk -> Device.Specs.(hp_kittyhawk.k_econ.mb_per_cubic_inch)
+
+(* Annual $/MB decline: the reciprocal of the MB/$ growth the paper quotes,
+   with flash ramping faster than mature DRAM. *)
+let default_flash_improvement = 0.45
+
+let cost_decline ~flash_improvement = function
+  | Dram -> 1.0 /. (1.0 +. Device.Specs.dram_improvement_per_year)
+  | Flash -> 1.0 /. (1.0 +. flash_improvement)
+  | Disk -> 1.0 /. (1.0 +. Device.Specs.disk_improvement_per_year)
+
+let density_growth = function
+  | Dram | Flash -> 1.0 +. Device.Specs.dram_improvement_per_year
+  | Disk -> 1.0 +. Device.Specs.disk_improvement_per_year
+
+(* The fixed cost of a small drive's mechanism, eroding 10 %/yr. *)
+let disk_floor_1993 = 140.0
+let disk_floor_decline = 0.90
+
+let years_since year = year -. anchor_year
+
+let raw_cost_per_mb ?(flash_improvement = default_flash_improvement) tech ~year =
+  base_cost tech *. Float.pow (cost_decline ~flash_improvement tech) (years_since year)
+
+let cost_per_mb ?flash_improvement tech ~year ~capacity_mb =
+  if capacity_mb <= 0.0 then invalid_arg "Trends.cost_per_mb: capacity <= 0";
+  let per_mb = raw_cost_per_mb ?flash_improvement tech ~year in
+  match tech with
+  | Dram | Flash -> per_mb
+  | Disk ->
+    let floor = disk_floor_1993 *. Float.pow disk_floor_decline (years_since year) in
+    Float.max per_mb (floor /. capacity_mb)
+
+let configuration_cost ?flash_improvement tech ~year ~capacity_mb =
+  cost_per_mb ?flash_improvement tech ~year ~capacity_mb *. capacity_mb
+
+let density_mb_per_in3 tech ~year =
+  base_density tech *. Float.pow (density_growth tech) (years_since year)
+
+(* Monthly scan for the first sign change. *)
+let search ~f =
+  let start = anchor_year and stop = 2030.0 in
+  let step = 1.0 /. 12.0 in
+  let rec go year =
+    if year > stop then None else if f year <= 0.0 then Some year else go (year +. step)
+  in
+  go start
+
+let cost_crossover ?flash_improvement ~cheaper ~pricier ~capacity_mb () =
+  search ~f:(fun year ->
+      cost_per_mb ?flash_improvement pricier ~year ~capacity_mb
+      -. cost_per_mb ?flash_improvement cheaper ~year ~capacity_mb)
+
+let density_crossover ~slower ~faster =
+  search ~f:(fun year -> density_mb_per_in3 slower ~year -. density_mb_per_in3 faster ~year)
+
+let capacity_affordable ?flash_improvement tech ~year ~budget =
+  if budget <= 0.0 then 0.0
+  else begin
+    match tech with
+    | Dram | Flash -> budget /. raw_cost_per_mb ?flash_improvement tech ~year
+    | Disk ->
+      let floor = disk_floor_1993 *. Float.pow disk_floor_decline (years_since year) in
+      if budget < floor then 0.0 else budget /. raw_cost_per_mb tech ~year
+  end

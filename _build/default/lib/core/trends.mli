@@ -1,0 +1,53 @@
+(** Technology-trend extrapolation (Section 2).
+
+    The paper's forecast rests on compound improvement rates: semiconductor
+    memory (DRAM and flash) gains roughly 40 % per year in both MB/$ and
+    MB/in³, magnetic disk roughly 25 % per year, so the curves must cross.
+    Two refinements the paper's sources imply are modeled explicitly:
+
+    - {e flash cost} was falling faster than DRAM's in the early 1990s as
+      the technology ramped ("manufacturers expect flash memory densities
+      to match and follow the increases in DRAM densities"); we use 45 %/yr
+      for flash MB/$.
+    - {e small disks have a price floor}: a drive cannot be cheaper than
+      its fixed mechanism (~$140 in 1993, eroding slowly), so for small
+      capacities the effective $/MB is [max (per_mb, floor / capacity)].
+      This floor is what makes "flash matches disk for 40 MB
+      configurations by 1996" (the paper's quoted estimate) while large
+      disks stay cheaper for years longer. *)
+
+type tech = Dram | Flash | Disk
+
+val tech_name : tech -> string
+
+val default_flash_improvement : float
+(** Flash MB/$ growth per year used when [flash_improvement] is omitted:
+    0.45, the memory-trend figure.  The paper's "by 1996" quote
+    (an Intel estimate) implies roughly 1.0 — flash halving in $/MB each
+    year through its ramp; pass that to reproduce the quote. *)
+
+val cost_per_mb :
+  ?flash_improvement:float -> tech -> year:float -> capacity_mb:float -> float
+(** Dollars per megabyte of a [capacity_mb]-sized configuration. *)
+
+val configuration_cost :
+  ?flash_improvement:float -> tech -> year:float -> capacity_mb:float -> float
+(** Total dollars for the configuration. *)
+
+val density_mb_per_in3 : tech -> year:float -> float
+
+val cost_crossover :
+  ?flash_improvement:float ->
+  cheaper:tech -> pricier:tech -> capacity_mb:float -> unit -> float option
+(** The year (fractional) at which [pricier]'s cost per MB falls to meet
+    [cheaper]'s for the given capacity, searched over 1993–2030; [None] if
+    they never cross in that window.  Note the argument order describes
+    the 1993 state. *)
+
+val density_crossover : slower:tech -> faster:tech -> float option
+(** The year [faster]'s volumetric density overtakes [slower]'s. *)
+
+val capacity_affordable :
+  ?flash_improvement:float -> tech -> year:float -> budget:float -> float
+(** Megabytes a budget buys (ignoring the granularity of real parts);
+    inverts the price floor for disks. *)

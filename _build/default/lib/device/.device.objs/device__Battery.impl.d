@@ -1,0 +1,1 @@
+lib/device/battery.ml: Float Sim Time

@@ -1,0 +1,1 @@
+lib/device/battery.mli: Sim

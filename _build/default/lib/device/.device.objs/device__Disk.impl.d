@@ -1,0 +1,1 @@
+lib/device/disk.ml: Power Rng Sim Specs Stat Time

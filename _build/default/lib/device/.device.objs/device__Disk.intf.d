@@ -1,0 +1,1 @@
+lib/device/disk.mli: Power Sim Specs

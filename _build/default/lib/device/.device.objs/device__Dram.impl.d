@@ -1,0 +1,1 @@
+lib/device/dram.ml: Power Sim Specs Stat Units

@@ -1,0 +1,1 @@
+lib/device/dram.mli: Power Sim Specs

@@ -1,0 +1,1 @@
+lib/device/flash.ml: Array Fmt Power Sim Specs Stat Time Units

@@ -1,0 +1,1 @@
+lib/device/flash.mli: Format Power Sim Specs

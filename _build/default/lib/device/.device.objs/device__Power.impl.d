@@ -1,0 +1,1 @@
+lib/device/power.ml: Sim Time

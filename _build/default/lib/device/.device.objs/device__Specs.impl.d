@@ -1,0 +1,1 @@
+lib/device/specs.ml: Float Sim Time Units

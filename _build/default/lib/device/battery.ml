@@ -1,0 +1,45 @@
+open Sim
+
+type t = {
+  capacity : float;
+  backup_capacity : float;
+  mutable primary : float;
+  mutable backup : float;
+  mutable unmet : float;
+}
+
+let create ?(backup_joules = 0.0) ~capacity_joules () =
+  if capacity_joules <= 0.0 then invalid_arg "Battery.create: capacity <= 0";
+  if backup_joules < 0.0 then invalid_arg "Battery.create: backup < 0";
+  {
+    capacity = capacity_joules;
+    backup_capacity = backup_joules;
+    primary = capacity_joules;
+    backup = backup_joules;
+    unmet = 0.0;
+  }
+
+let of_watt_hours ?(backup_wh = 0.0) wh =
+  create ~backup_joules:(backup_wh *. 3600.0) ~capacity_joules:(wh *. 3600.0) ()
+
+let drain t ~joules =
+  if joules < 0.0 then invalid_arg "Battery.drain: negative";
+  let from_primary = Float.min t.primary joules in
+  t.primary <- t.primary -. from_primary;
+  let rest = joules -. from_primary in
+  let from_backup = Float.min t.backup rest in
+  t.backup <- t.backup -. from_backup;
+  t.unmet <- t.unmet +. (rest -. from_backup)
+
+let primary_joules t = t.primary
+let backup_joules t = t.backup
+let exhausted t = t.primary <= 0.0 && t.backup <= 0.0
+let on_backup t = t.primary <= 0.0 && t.backup > 0.0
+let unmet_joules t = t.unmet
+let swap_primary t = t.primary <- t.capacity
+
+let holdup_time t ~draw_watts =
+  if draw_watts <= 0.0 then invalid_arg "Battery.holdup_time: draw <= 0";
+  Time.span_s ((t.primary +. t.backup) /. draw_watts)
+
+let fraction_remaining t = t.primary /. t.capacity

@@ -1,0 +1,42 @@
+(** Battery model.
+
+    Mobile computers in the paper carry a primary battery that discharges
+    gradually and a small lithium backup that preserves DRAM while the
+    primary is depleted or being swapped.  DRAM contents are lost only when
+    both are exhausted — the event that makes flash, not DRAM, the ultimate
+    repository for long-lived data. *)
+
+type t
+
+val create : ?backup_joules:float -> capacity_joules:float -> unit -> t
+(** A full primary battery and, optionally, a full lithium backup.
+    @raise Invalid_argument on non-positive capacities. *)
+
+val of_watt_hours : ?backup_wh:float -> float -> t
+(** Convenience: capacities in watt-hours (1 Wh = 3600 J). *)
+
+val drain : t -> joules:float -> unit
+(** Consume energy: from the primary while it lasts, then from the backup.
+    Draining an exhausted battery is recorded as unmet demand. *)
+
+val primary_joules : t -> float
+val backup_joules : t -> float
+
+val exhausted : t -> bool
+(** Both primary and backup are empty: DRAM contents are lost. *)
+
+val on_backup : t -> bool
+(** The primary is empty but the backup still holds. *)
+
+val unmet_joules : t -> float
+(** Demand that arrived after exhaustion. *)
+
+val swap_primary : t -> unit
+(** Replace the primary with a fresh one (the backup keeps DRAM alive
+    meanwhile). *)
+
+val holdup_time : t -> draw_watts:float -> Sim.Time.span
+(** How long the remaining charge sustains a constant draw. *)
+
+val fraction_remaining : t -> float
+(** Remaining primary charge as a fraction of a fresh battery. *)

@@ -1,0 +1,134 @@
+open Sim
+
+let sector = 512
+
+type t = {
+  spec : Specs.disk_spec;
+  spindown_timeout : Time.span option;
+  rng : Rng.t;
+  meter : Power.Meter.t;
+  mutable head_cyl : int;
+  mutable busy_until : Time.t;
+  mutable last_finish : Time.t;
+  mutable spinning : bool;
+  c_reads : Stat.Counter.t;
+  c_writes : Stat.Counter.t;
+  c_bytes : Stat.Counter.t;
+  c_spin_ups : Stat.Counter.t;
+}
+
+let create ?(spec = Specs.hp_kittyhawk) ?spindown_timeout ~rng () =
+  {
+    spec;
+    spindown_timeout;
+    rng;
+    meter = Power.Meter.create ~label:"disk";
+    head_cyl = 0;
+    busy_until = Time.zero;
+    last_finish = Time.zero;
+    spinning = true;
+    c_reads = Stat.Counter.create ();
+    c_writes = Stat.Counter.create ();
+    c_bytes = Stat.Counter.create ();
+    c_spin_ups = Stat.Counter.create ();
+  }
+
+let spec t = t.spec
+let capacity_bytes t = t.spec.Specs.k_capacity_bytes
+let sector_bytes _ = sector
+
+let rotation_period t =
+  Time.span_s (60.0 /. t.spec.Specs.k_rpm)
+
+let seek_time t ~from_cyl ~to_cyl =
+  let d = abs (to_cyl - from_cyl) in
+  if d = 0 then Time.span_zero
+  else begin
+    (* Affine-in-sqrt curve calibrated so a one-third-stroke seek costs the
+       spec's average seek time. *)
+    let s = t.spec in
+    let third = float_of_int s.Specs.k_cylinders /. 3.0 in
+    let single = Time.span_to_s s.Specs.k_single_track_seek in
+    let avg = Time.span_to_s s.Specs.k_avg_seek in
+    let slope = (avg -. single) /. sqrt third in
+    Time.span_s (single +. (slope *. sqrt (float_of_int d)))
+  end
+
+let cylinder_of_lba t lba =
+  let nsectors = capacity_bytes t / sector in
+  lba * t.spec.Specs.k_cylinders / nsectors
+
+type op = { start : Time.t; finish : Time.t }
+
+(* Charge spindle energy for the gap since the previous request, deciding
+   retroactively whether the disk spun down during it.  Returns the spin-up
+   penalty the new request must pay. *)
+let settle t ~now =
+  if Time.( < ) now t.last_finish then Time.span_zero
+  else begin
+    let gap = Time.diff now t.last_finish in
+    let s = t.spec in
+    match t.spindown_timeout with
+    | Some timeout when Time.span_to_ns gap > Time.span_to_ns timeout ->
+      Power.Meter.charge_background t.meter ~watts:s.Specs.k_spinning_w timeout;
+      let standby =
+        Time.span_ns (Time.span_to_ns gap - Time.span_to_ns timeout)
+      in
+      Power.Meter.charge_background t.meter ~watts:s.Specs.k_standby_w standby;
+      t.spinning <- false;
+      Power.Meter.charge_power t.meter ~watts:s.Specs.k_spin_up_w s.Specs.k_spin_up;
+      Stat.Counter.incr t.c_spin_ups;
+      t.spinning <- true;
+      s.Specs.k_spin_up
+    | Some _ | None ->
+      Power.Meter.charge_background t.meter ~watts:s.Specs.k_spinning_w gap;
+      Time.span_zero
+  end
+
+let access t ~now ~lba ~bytes ~kind =
+  if bytes < 0 then invalid_arg "Disk.access: negative size";
+  if lba < 0 || (lba * sector) + bytes > capacity_bytes t then
+    invalid_arg "Disk.access: address out of range";
+  let spin_up = settle t ~now in
+  let start = Time.max now t.busy_until in
+  let target = cylinder_of_lba t lba in
+  let seek = seek_time t ~from_cyl:t.head_cyl ~to_cyl:target in
+  let rot =
+    Time.span_ns (Rng.int t.rng (max 1 (Time.span_to_ns (rotation_period t))))
+  in
+  let xfer = Specs.access_time t.spec.Specs.k_transfer ~bytes in
+  let dur = Time.span_add (Time.span_add (Time.span_add spin_up seek) rot) xfer in
+  let finish = Time.add start dur in
+  t.head_cyl <- target;
+  t.busy_until <- finish;
+  t.last_finish <- finish;
+  Power.Meter.charge_power t.meter ~watts:1.0
+    (Time.span_add seek xfer);
+  (match kind with
+  | `Read -> Stat.Counter.incr t.c_reads
+  | `Write -> Stat.Counter.incr t.c_writes);
+  Stat.Counter.add t.c_bytes bytes;
+  { start; finish }
+
+let avg_access_estimate t ~bytes =
+  let half_rot = Time.span_scale (rotation_period t) 0.5 in
+  Time.span_add
+    (Time.span_add t.spec.Specs.k_avg_seek half_rot)
+    (Specs.access_time t.spec.Specs.k_transfer ~bytes)
+
+let busy_until t = t.busy_until
+let meter t = t.meter
+
+let finish_accounting t ~now = ignore (settle t ~now)
+
+let reads t = Stat.Counter.value t.c_reads
+let writes t = Stat.Counter.value t.c_writes
+let bytes_transferred t = Stat.Counter.value t.c_bytes
+let spin_ups t = Stat.Counter.value t.c_spin_ups
+
+let reset_stats t =
+  Stat.Counter.reset t.c_reads;
+  Stat.Counter.reset t.c_writes;
+  Stat.Counter.reset t.c_bytes;
+  Stat.Counter.reset t.c_spin_ups;
+  Power.Meter.reset t.meter

@@ -1,0 +1,57 @@
+(** Magnetic-disk device model — the baseline the paper argues against.
+
+    The model captures the mechanical costs a solid-state organization
+    eliminates: seek time (affine in the square root of cylinder distance),
+    rotational latency (uniform over a revolution), streaming transfer, and
+    spindle power with spin-down after an idle timeout and a spin-up penalty
+    on the next access. *)
+
+type t
+
+val create :
+  ?spec:Specs.disk_spec ->
+  ?spindown_timeout:Sim.Time.span ->
+  rng:Sim.Rng.t ->
+  unit ->
+  t
+(** [spec] defaults to {!Specs.hp_kittyhawk}.  When [spindown_timeout] is
+    given, the disk spins down after that much idle time and pays
+    [k_spin_up] on the next access (mobile-disk power management). *)
+
+val spec : t -> Specs.disk_spec
+val capacity_bytes : t -> int
+val sector_bytes : t -> int
+
+type op = { start : Sim.Time.t; finish : Sim.Time.t }
+
+val access : t -> now:Sim.Time.t -> lba:int -> bytes:int -> kind:[ `Read | `Write ] -> op
+(** One request: queueing behind the previous request, possible spin-up,
+    seek, rotation, transfer.
+    @raise Invalid_argument if the address range is outside the disk. *)
+
+val seek_time : t -> from_cyl:int -> to_cyl:int -> Sim.Time.span
+(** Exposed for tests: the seek-curve model. *)
+
+val rotation_period : t -> Sim.Time.span
+
+val busy_until : t -> Sim.Time.t
+(** When the last queued request completes. *)
+
+val avg_access_estimate : t -> bytes:int -> Sim.Time.span
+(** Average-seek + half-rotation + transfer: the textbook expectation,
+    useful as a cross-check against simulated behaviour. *)
+
+(** {1 Power and statistics} *)
+
+val meter : t -> Power.Meter.t
+
+val finish_accounting : t -> now:Sim.Time.t -> unit
+(** Charge spindle/standby energy for the interval between the last request
+    and [now].  Call once at the end of a run (intermediate requests account
+    their own gaps). *)
+
+val reads : t -> int
+val writes : t -> int
+val bytes_transferred : t -> int
+val spin_ups : t -> int
+val reset_stats : t -> unit

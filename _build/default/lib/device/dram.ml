@@ -1,0 +1,61 @@
+open Sim
+
+type t = {
+  spec : Specs.dram_spec;
+  size_bytes : int;
+  battery_backed : bool;
+  meter : Power.Meter.t;
+  reads : Stat.Counter.t;
+  writes : Stat.Counter.t;
+  bytes_read : Stat.Counter.t;
+  bytes_written : Stat.Counter.t;
+}
+
+let create ?(spec = Specs.nec_dram) ~size_bytes ~battery_backed () =
+  if size_bytes <= 0 then invalid_arg "Dram.create: size_bytes <= 0";
+  {
+    spec;
+    size_bytes;
+    battery_backed;
+    meter = Power.Meter.create ~label:"dram";
+    reads = Stat.Counter.create ();
+    writes = Stat.Counter.create ();
+    bytes_read = Stat.Counter.create ();
+    bytes_written = Stat.Counter.create ();
+  }
+
+let size_bytes t = t.size_bytes
+let battery_backed t = t.battery_backed
+let spec t = t.spec
+
+let active_watts t =
+  Power.watts_of_mw (t.spec.Specs.d_active_mw_per_mb *. Units.to_mib t.size_bytes)
+
+let refresh_watts t =
+  Power.watts_of_mw (t.spec.Specs.d_refresh_mw_per_mb *. Units.to_mib t.size_bytes)
+
+let access t cost ~bytes ops traffic =
+  let d = Specs.access_time cost ~bytes in
+  Power.Meter.charge_power t.meter ~watts:(active_watts t) d;
+  Stat.Counter.incr ops;
+  Stat.Counter.add traffic bytes;
+  d
+
+let read t ~bytes = access t t.spec.Specs.d_read ~bytes t.reads t.bytes_read
+let write t ~bytes = access t t.spec.Specs.d_write ~bytes t.writes t.bytes_written
+
+let charge_idle t d =
+  Power.Meter.charge_background t.meter ~watts:(refresh_watts t) d
+
+let meter t = t.meter
+let reads t = Stat.Counter.value t.reads
+let writes t = Stat.Counter.value t.writes
+let bytes_read t = Stat.Counter.value t.bytes_read
+let bytes_written t = Stat.Counter.value t.bytes_written
+
+let reset_stats t =
+  Stat.Counter.reset t.reads;
+  Stat.Counter.reset t.writes;
+  Stat.Counter.reset t.bytes_read;
+  Stat.Counter.reset t.bytes_written;
+  Power.Meter.reset t.meter

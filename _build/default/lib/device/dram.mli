@@ -1,0 +1,36 @@
+(** Battery-backed DRAM device model.
+
+    DRAM in the paper's storage organization is primary storage: uniform
+    random-access reads and writes at nanosecond latency, unlimited
+    endurance, contents preserved across power-off only while a battery
+    holds self-refresh.  The model charges per-access latency and energy and
+    counts traffic; space management lives in the storage manager. *)
+
+type t
+
+val create : ?spec:Specs.dram_spec -> size_bytes:int -> battery_backed:bool -> unit -> t
+(** [spec] defaults to {!Specs.nec_dram}.
+    @raise Invalid_argument if [size_bytes <= 0]. *)
+
+val size_bytes : t -> int
+val battery_backed : t -> bool
+val spec : t -> Specs.dram_spec
+
+val read : t -> bytes:int -> Sim.Time.span
+(** Latency of reading [bytes]; records traffic and energy. *)
+
+val write : t -> bytes:int -> Sim.Time.span
+
+val charge_idle : t -> Sim.Time.span -> unit
+(** Charge self-refresh draw for an interval during which the device held
+    data but serviced nothing. *)
+
+val meter : t -> Power.Meter.t
+
+(** {1 Traffic counters} *)
+
+val reads : t -> int
+val writes : t -> int
+val bytes_read : t -> int
+val bytes_written : t -> int
+val reset_stats : t -> unit

@@ -1,0 +1,193 @@
+open Sim
+
+type config = {
+  spec : Specs.flash_spec;
+  nbanks : int;
+  sectors_per_bank : int;
+  endurance_override : int option;
+}
+
+let config ?(spec = Specs.intel_flash) ?(nbanks = 1) ?endurance_override ~size_bytes () =
+  if size_bytes <= 0 then invalid_arg "Flash.config: size_bytes <= 0";
+  if nbanks <= 0 then invalid_arg "Flash.config: nbanks <= 0";
+  let sectors = Units.ceil_div size_bytes spec.Specs.f_sector_bytes in
+  let sectors_per_bank = Units.ceil_div sectors nbanks in
+  { spec; nbanks; sectors_per_bank; endurance_override }
+
+type sector_state = {
+  mutable erase_count : int;
+  mutable programmed : int;  (** Bytes programmed since the last erase. *)
+  mutable bad : bool;
+}
+
+type t = {
+  cfg : config;
+  endurance : int;
+  sectors : sector_state array;
+  bank_busy : Time.t array;
+  meter : Power.Meter.t;
+  c_reads : Stat.Counter.t;
+  c_programs : Stat.Counter.t;
+  c_erases : Stat.Counter.t;
+  c_bytes_read : Stat.Counter.t;
+  c_bytes_programmed : Stat.Counter.t;
+  mutable wait_ns : int;
+  mutable read_wait_ns : int;
+  read_wait_hist : Stat.Histogram.t;
+}
+
+let create cfg =
+  if cfg.nbanks <= 0 || cfg.sectors_per_bank <= 0 then
+    invalid_arg "Flash.create: empty geometry";
+  let n = cfg.nbanks * cfg.sectors_per_bank in
+  {
+    cfg;
+    endurance =
+      (match cfg.endurance_override with
+      | Some e ->
+        if e <= 0 then invalid_arg "Flash.create: endurance <= 0";
+        e
+      | None -> cfg.spec.Specs.f_endurance);
+    sectors = Array.init n (fun _ -> { erase_count = 0; programmed = 0; bad = false });
+    bank_busy = Array.make cfg.nbanks Time.zero;
+    meter = Power.Meter.create ~label:"flash";
+    c_reads = Stat.Counter.create ();
+    c_programs = Stat.Counter.create ();
+    c_erases = Stat.Counter.create ();
+    c_bytes_read = Stat.Counter.create ();
+    c_bytes_programmed = Stat.Counter.create ();
+    wait_ns = 0;
+    read_wait_ns = 0;
+    read_wait_hist = Stat.Histogram.create ();
+  }
+
+let nbanks t = t.cfg.nbanks
+let sectors_per_bank t = t.cfg.sectors_per_bank
+let nsectors t = Array.length t.sectors
+let sector_bytes t = t.cfg.spec.Specs.f_sector_bytes
+let size_bytes t = nsectors t * sector_bytes t
+let spec t = t.cfg.spec
+let endurance t = t.endurance
+
+let bank_of_sector t sector =
+  if sector < 0 || sector >= nsectors t then invalid_arg "Flash.bank_of_sector";
+  sector / t.cfg.sectors_per_bank
+
+type op = { start : Time.t; finish : Time.t }
+
+let waited ~now op = Time.diff op.start now
+let latency ~now op = Time.diff op.finish now
+
+type error = Bad_sector | Overwrite_without_erase
+
+let pp_error ppf = function
+  | Bad_sector -> Fmt.string ppf "bad sector (worn out)"
+  | Overwrite_without_erase -> Fmt.string ppf "overwrite without erase"
+
+let state t sector =
+  if sector < 0 || sector >= nsectors t then invalid_arg "Flash: sector out of range";
+  t.sectors.(sector)
+
+let active_watts t =
+  Power.watts_of_mw
+    (t.cfg.spec.Specs.f_active_mw_per_mb *. Units.to_mib (size_bytes t))
+
+(* Serialize the request behind its bank and account time and energy. *)
+let service t ~now ~sector ~is_read dur =
+  let bank = bank_of_sector t sector in
+  let start = Time.max now t.bank_busy.(bank) in
+  let finish = Time.add start dur in
+  t.bank_busy.(bank) <- finish;
+  let w = Time.span_to_ns (Time.diff start now) in
+  t.wait_ns <- t.wait_ns + w;
+  if is_read then begin
+    t.read_wait_ns <- t.read_wait_ns + w;
+    Stat.Histogram.observe t.read_wait_hist (float_of_int w /. 1e3)
+  end;
+  Power.Meter.charge_power t.meter ~watts:(active_watts t) dur;
+  { start; finish }
+
+let check_bytes t bytes =
+  if bytes < 0 || bytes > sector_bytes t then invalid_arg "Flash: bytes out of range"
+
+let read t ~now ~sector ~bytes =
+  check_bytes t bytes;
+  let s = state t sector in
+  if s.bad then Error Bad_sector
+  else begin
+    let dur = Specs.access_time t.cfg.spec.Specs.f_read ~bytes in
+    let op = service t ~now ~sector ~is_read:true dur in
+    Stat.Counter.incr t.c_reads;
+    Stat.Counter.add t.c_bytes_read bytes;
+    Ok op
+  end
+
+let program t ~now ~sector ~bytes =
+  check_bytes t bytes;
+  let s = state t sector in
+  if s.bad then Error Bad_sector
+  else if s.programmed + bytes > sector_bytes t then Error Overwrite_without_erase
+  else begin
+    let dur = Specs.access_time t.cfg.spec.Specs.f_write ~bytes in
+    let op = service t ~now ~sector ~is_read:false dur in
+    s.programmed <- s.programmed + bytes;
+    Stat.Counter.incr t.c_programs;
+    Stat.Counter.add t.c_bytes_programmed bytes;
+    Ok op
+  end
+
+let erase t ~now ~sector =
+  let s = state t sector in
+  if s.bad then Error Bad_sector
+  else begin
+    let op = service t ~now ~sector ~is_read:false t.cfg.spec.Specs.f_erase in
+    s.erase_count <- s.erase_count + 1;
+    s.programmed <- 0;
+    if s.erase_count >= t.endurance then s.bad <- true;
+    Stat.Counter.incr t.c_erases;
+    Ok op
+  end
+
+let bank_busy_until t ~bank =
+  if bank < 0 || bank >= nbanks t then invalid_arg "Flash.bank_busy_until";
+  t.bank_busy.(bank)
+
+let erase_count t ~sector = (state t sector).erase_count
+let is_bad t ~sector = (state t sector).bad
+let programmed_bytes t ~sector = (state t sector).programmed
+
+let bad_sectors t =
+  Array.fold_left (fun acc s -> if s.bad then acc + 1 else acc) 0 t.sectors
+
+let live_capacity_bytes t = (nsectors t - bad_sectors t) * sector_bytes t
+
+let wear_summary t =
+  let summary = Stat.Summary.create () in
+  Array.iter (fun s -> Stat.Summary.observe summary (float_of_int s.erase_count)) t.sectors;
+  summary
+
+let meter t = t.meter
+
+let idle_watts t =
+  Power.watts_of_mw (t.cfg.spec.Specs.f_idle_mw_per_mb *. Units.to_mib (size_bytes t))
+
+let charge_idle t d = Power.Meter.charge_background t.meter ~watts:(idle_watts t) d
+let reads t = Stat.Counter.value t.c_reads
+let programs t = Stat.Counter.value t.c_programs
+let erases t = Stat.Counter.value t.c_erases
+let bytes_read t = Stat.Counter.value t.c_bytes_read
+let bytes_programmed t = Stat.Counter.value t.c_bytes_programmed
+let total_wait t = Time.span_ns t.wait_ns
+let read_wait t = Time.span_ns t.read_wait_ns
+let read_wait_us t = t.read_wait_hist
+
+let reset_stats t =
+  Stat.Counter.reset t.c_reads;
+  Stat.Counter.reset t.c_programs;
+  Stat.Counter.reset t.c_erases;
+  Stat.Counter.reset t.c_bytes_read;
+  Stat.Counter.reset t.c_bytes_programmed;
+  t.wait_ns <- 0;
+  t.read_wait_ns <- 0;
+  Stat.Histogram.reset t.read_wait_hist;
+  Power.Meter.reset t.meter

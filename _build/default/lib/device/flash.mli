@@ -1,0 +1,120 @@
+(** Flash memory device model.
+
+    Flash provides direct-mapped, byte-granularity reads at near-DRAM speed,
+    byte programming two orders of magnitude slower, erasure only in whole
+    sectors, and a bounded number of erase cycles per sector, after which the
+    sector goes bad.  The device is divided into banks that operate
+    independently: while one bank is busy programming or erasing, reads to
+    the same bank stall but other banks remain readable — the property the
+    paper's Section 3.3 bank-partitioning argument relies on.
+
+    The model enforces the write discipline in hardware terms: programming a
+    sector can only consume bytes that have been erased and not yet
+    programmed.  Validity of *data* (live vs dead) is a software notion and
+    belongs to the storage manager, not here. *)
+
+type t
+
+type config = {
+  spec : Specs.flash_spec;
+  nbanks : int;
+  sectors_per_bank : int;
+  endurance_override : int option;
+      (** Lower the per-sector erase-cycle budget for accelerated lifetime
+          experiments; [None] uses the spec's endurance. *)
+}
+
+val config :
+  ?spec:Specs.flash_spec ->
+  ?nbanks:int ->
+  ?endurance_override:int ->
+  size_bytes:int ->
+  unit ->
+  config
+(** Convenience constructor: [size_bytes] is rounded up to a whole number of
+    sectors per bank.  [nbanks] defaults to 1.
+    @raise Invalid_argument if sizes are non-positive. *)
+
+val create : config -> t
+
+(** {1 Geometry} *)
+
+val nbanks : t -> int
+val nsectors : t -> int
+val sector_bytes : t -> int
+val size_bytes : t -> int
+val bank_of_sector : t -> int -> int
+val sectors_per_bank : t -> int
+val spec : t -> Specs.flash_spec
+val endurance : t -> int
+
+(** {1 Operations}
+
+    Operations take the current simulated instant and return when the device
+    completed the request.  A request to a busy bank waits for the bank. *)
+
+type op = {
+  start : Sim.Time.t;  (** When the bank began servicing the request. *)
+  finish : Sim.Time.t;  (** When the request completed. *)
+}
+
+val waited : now:Sim.Time.t -> op -> Sim.Time.span
+(** Queueing delay suffered before service began. *)
+
+val latency : now:Sim.Time.t -> op -> Sim.Time.span
+(** Total time from issue to completion. *)
+
+type error =
+  | Bad_sector  (** The sector wore out and is unusable. *)
+  | Overwrite_without_erase
+      (** Programming more bytes than the sector has erased capacity left. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val read : t -> now:Sim.Time.t -> sector:int -> bytes:int -> (op, error) result
+(** Read [bytes] from a sector.  Fails only on a bad sector.
+    @raise Invalid_argument if the sector is out of range or
+    [bytes] exceeds the sector size. *)
+
+val program : t -> now:Sim.Time.t -> sector:int -> bytes:int -> (op, error) result
+(** Program [bytes] of erased space in the sector. *)
+
+val erase : t -> now:Sim.Time.t -> sector:int -> (op, error) result
+(** Erase the sector, recycling its programmed space and consuming one
+    endurance cycle.  The erase that exhausts the endurance budget still
+    succeeds; the sector is bad afterwards. *)
+
+val bank_busy_until : t -> bank:int -> Sim.Time.t
+
+(** {1 Wear and health} *)
+
+val erase_count : t -> sector:int -> int
+val is_bad : t -> sector:int -> bool
+val programmed_bytes : t -> sector:int -> int
+val bad_sectors : t -> int
+val live_capacity_bytes : t -> int
+(** Capacity excluding bad sectors. *)
+
+val wear_summary : t -> Sim.Stat.Summary.t
+(** Erase counts across all sectors (fresh summary on each call). *)
+
+(** {1 Traffic and energy} *)
+
+val meter : t -> Power.Meter.t
+val charge_idle : t -> Sim.Time.span -> unit
+val reads : t -> int
+val programs : t -> int
+val erases : t -> int
+val bytes_read : t -> int
+val bytes_programmed : t -> int
+val total_wait : t -> Sim.Time.span
+(** Cumulative time requests spent queued behind busy banks. *)
+
+val read_wait : t -> Sim.Time.span
+(** The queued-behind-busy-bank time suffered by reads alone. *)
+
+val read_wait_us : t -> Sim.Stat.Histogram.t
+(** Distribution of per-read queueing delays, in microseconds. *)
+
+val reset_stats : t -> unit
+(** Clears traffic counters and energy; wear state is preserved. *)

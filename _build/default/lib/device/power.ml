@@ -1,0 +1,34 @@
+open Sim
+
+let watts_of_mw mw = mw /. 1000.0
+let joules ~watts d = watts *. Time.span_to_s d
+
+module Meter = struct
+  type t = {
+    label : string;
+    mutable active : float;
+    mutable background : float;
+  }
+
+  let create ~label = { label; active = 0.0; background = 0.0 }
+  let label t = t.label
+
+  let charge t ~joules =
+    if joules < 0.0 then invalid_arg "Power.Meter.charge: negative";
+    t.active <- t.active +. joules
+
+  let charge_power t ~watts d = charge t ~joules:(joules ~watts d)
+
+  let charge_background t ~watts d =
+    let j = joules ~watts d in
+    if j < 0.0 then invalid_arg "Power.Meter.charge_background: negative";
+    t.background <- t.background +. j
+
+  let active_joules t = t.active
+  let background_joules t = t.background
+  let total_joules t = t.active +. t.background
+
+  let reset t =
+    t.active <- 0.0;
+    t.background <- 0.0
+end

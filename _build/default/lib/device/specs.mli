@@ -1,0 +1,93 @@
+(** 1993 storage-product parameters.
+
+    These presets encode the numbers the paper's Section 2 quotes or implies
+    for the products it compares: NEC 3.3 V low-power DRAM, Intel
+    memory-mapped flash, SunDisk drive-replacement flash, the HP KittyHawk
+    1.3-inch disk, and the Fujitsu M2633 2.5-inch disk.  Experiments depend on
+    the *ratios* between these numbers, which are taken directly from the
+    paper: flash reads in the 100 ns/byte range, flash writes two orders of
+    magnitude slower, 512-byte erase sectors, 100,000 erase cycles, ~$50/MB
+    flash, a 10:1 DRAM:disk cost ratio, 15 vs 19 MB/in³ densities, and
+    milliwatt-range flash power against a watt-range spindle. *)
+
+type access_cost = {
+  fixed : Sim.Time.span;  (** Per-operation setup latency. *)
+  per_byte_ns : float;  (** Streaming cost per byte transferred. *)
+}
+
+val access_time : access_cost -> bytes:int -> Sim.Time.span
+(** [fixed + per_byte * bytes], rounded to whole nanoseconds. *)
+
+(** {1 Economics and form factor} *)
+
+type economics = {
+  dollars_per_mb : float;
+  mb_per_cubic_inch : float;
+}
+
+(** {1 DRAM} *)
+
+type dram_spec = {
+  d_read : access_cost;
+  d_write : access_cost;
+  d_active_mw_per_mb : float;  (** Draw while servicing an access. *)
+  d_refresh_mw_per_mb : float;  (** Self-refresh (standby) draw. *)
+  d_econ : economics;
+}
+
+val nec_dram : dram_spec
+(** NEC 3.3 V DRAM with low-power self-refresh (paper ref [7]). *)
+
+(** {1 Flash memory} *)
+
+type flash_spec = {
+  f_read : access_cost;
+  f_write : access_cost;  (** Programming; roughly 100x slower per byte. *)
+  f_erase : Sim.Time.span;  (** Per erase sector. *)
+  f_sector_bytes : int;  (** Minimum erase unit (512 B range in 1993). *)
+  f_endurance : int;  (** Guaranteed erase cycles per sector. *)
+  f_active_mw_per_mb : float;
+  f_idle_mw_per_mb : float;
+  f_econ : economics;
+}
+
+val intel_flash : flash_spec
+(** Intel memory-mapped flash: very fast reads, slow writes (paper ref [6]). *)
+
+val sundisk_flash : flash_spec
+(** SunDisk drive-replacement flash: balanced read/write through a
+    disk-style controller — slower reads than Intel, faster effective
+    writes (paper ref [13]). *)
+
+(** {1 Magnetic disk} *)
+
+type disk_spec = {
+  k_capacity_bytes : int;
+  k_cylinders : int;
+  k_single_track_seek : Sim.Time.span;
+  k_avg_seek : Sim.Time.span;  (** Average (one-third stroke) seek. *)
+  k_rpm : float;
+  k_transfer : access_cost;  (** Media transfer once positioned. *)
+  k_spin_up : Sim.Time.span;
+  k_spinning_w : float;  (** Spindle + electronics while rotating. *)
+  k_standby_w : float;  (** Spun down. *)
+  k_spin_up_w : float;  (** Peak draw during spin-up. *)
+  k_econ : economics;
+}
+
+val hp_kittyhawk : disk_spec
+(** HP KittyHawk C3013A 1.3-inch, 20 MB class (paper ref [5]). *)
+
+val fujitsu_m2633 : disk_spec
+(** Fujitsu M2633 2.5-inch, 45 MB class (paper ref [4]). *)
+
+(** {1 Trend anchors (Section 2)} *)
+
+val dram_improvement_per_year : float
+(** MB/$ and MB/in³ growth rate for semiconductor memory: 40 %/year. *)
+
+val disk_improvement_per_year : float
+(** The same rates for magnetic disk: 25 %/year. *)
+
+val anchor_year : int
+(** The year the preset numbers describe: 1993. *)

@@ -1,0 +1,1 @@
+lib/fs/buffer_cache.ml: Hashtbl List

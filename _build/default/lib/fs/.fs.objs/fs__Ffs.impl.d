@@ -1,0 +1,1 @@
+lib/fs/ffs.ml: Array Buffer_cache Device Engine Ffs_inode Fs_error Hashtbl List Option Path Printf Result Sim String Time Units

@@ -1,0 +1,1 @@
+lib/fs/ffs.mli: Buffer_cache Device Fs_error Sim Vfs

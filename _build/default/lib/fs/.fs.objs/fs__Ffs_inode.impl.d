@@ -1,0 +1,1 @@
+lib/fs/ffs_inode.ml:

@@ -1,0 +1,1 @@
+lib/fs/memfs.ml: Array Device Fs_error Hashtbl List Path Printf Result Sim Storage String Time Units

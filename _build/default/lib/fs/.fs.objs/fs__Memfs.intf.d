@@ -1,0 +1,1 @@
+lib/fs/memfs.mli: Fs_error Storage Vfs

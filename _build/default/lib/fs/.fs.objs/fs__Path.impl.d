@@ -1,0 +1,1 @@
+lib/fs/path.ml: Fs_error List String

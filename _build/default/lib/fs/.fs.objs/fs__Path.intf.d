@@ -1,0 +1,1 @@
+lib/fs/path.mli: Fs_error

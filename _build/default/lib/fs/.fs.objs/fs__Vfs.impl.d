@@ -1,0 +1,1 @@
+lib/fs/vfs.ml: Fs_error Printf Sim

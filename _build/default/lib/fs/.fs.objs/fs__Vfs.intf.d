@@ -1,0 +1,1 @@
+lib/fs/vfs.mli: Fs_error Sim

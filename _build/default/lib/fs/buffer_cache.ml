@@ -1,0 +1,136 @@
+(* Doubly-linked LRU list threaded through a hash table. *)
+
+type node = {
+  key : int;
+  mutable dirty : bool;
+  mutable prev : node option;  (* toward MRU *)
+  mutable next : node option;  (* toward LRU *)
+}
+
+type t = {
+  capacity : int;
+  table : (int, node) Hashtbl.t;
+  mutable mru : node option;
+  mutable lru : node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writebacks : int;
+}
+
+let create ~capacity_blocks =
+  if capacity_blocks < 0 then invalid_arg "Buffer_cache.create: negative capacity";
+  {
+    capacity = capacity_blocks;
+    table = Hashtbl.create (max 16 capacity_blocks);
+    mru = None;
+    lru = None;
+    hits = 0;
+    misses = 0;
+    writebacks = 0;
+  }
+
+let capacity t = t.capacity
+let size t = Hashtbl.length t.table
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.mru <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.lru <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.mru;
+  node.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some node | None -> t.lru <- Some node);
+  t.mru <- Some node
+
+type lookup = Hit | Miss
+
+let find t ~key =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+    t.hits <- t.hits + 1;
+    unlink t node;
+    push_front t node;
+    Hit
+  | None ->
+    t.misses <- t.misses + 1;
+    Miss
+
+let evict_one t =
+  match t.lru with
+  | None -> None
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table node.key;
+    if node.dirty then begin
+      t.writebacks <- t.writebacks + 1;
+      Some node.key
+    end
+    else None
+
+let insert t ~key ~dirty =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+    node.dirty <- node.dirty || dirty;
+    unlink t node;
+    push_front t node;
+    []
+  | None ->
+    if t.capacity = 0 then begin
+      if dirty then begin
+        t.writebacks <- t.writebacks + 1;
+        [ key ]
+      end
+      else []
+    end
+    else begin
+      let victims = ref [] in
+      while size t >= t.capacity do
+        match evict_one t with
+        | Some victim -> victims := victim :: !victims
+        | None -> ()
+      done;
+      let node = { key; dirty; prev = None; next = None } in
+      Hashtbl.replace t.table key node;
+      push_front t node;
+      List.rev !victims
+    end
+
+let mark_dirty t ~key =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+    node.dirty <- true;
+    true
+  | None -> false
+
+let is_dirty t ~key =
+  match Hashtbl.find_opt t.table key with Some node -> node.dirty | None -> false
+
+let contains t ~key = Hashtbl.mem t.table key
+
+let forget t ~key =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table key
+  | None -> ()
+
+let take_dirty t =
+  (* Oldest first: walk from the LRU end. *)
+  let rec collect acc = function
+    | None -> List.rev acc
+    | Some node ->
+      let acc = if node.dirty then node.key :: acc else acc in
+      node.dirty <- false;
+      collect acc node.prev
+  in
+  collect [] t.lru
+
+let hits t = t.hits
+let misses t = t.misses
+let writebacks t = t.writebacks

@@ -1,0 +1,48 @@
+(** LRU buffer cache for the disk file system.
+
+    The conventional organization the paper contrasts against keeps a cache
+    of disk blocks in DRAM: reads hit it or fault to disk; writes dirty it
+    and are written back later (the update daemon) or on demand (eviction,
+    sync).  The memory-resident file system needs none of this — which is
+    exactly the comparison experiment E3 draws.
+
+    This module is the pure replacement structure; device charging is the
+    caller's job. *)
+
+type t
+
+val create : capacity_blocks:int -> t
+(** @raise Invalid_argument if capacity is negative. *)
+
+val capacity : t -> int
+val size : t -> int
+
+type lookup = Hit | Miss
+
+val find : t -> key:int -> lookup
+(** Probe for a block; a hit refreshes its recency. *)
+
+val insert : t -> key:int -> dirty:bool -> int list
+(** Make the block resident (MRU, with the given dirty state — an
+    already-resident block keeps its dirty bit ORed).  Returns the dirty
+    victims evicted to make room, which the caller must write back.  With
+    zero capacity the block is not retained and, if dirty, is its own
+    victim. *)
+
+val mark_dirty : t -> key:int -> bool
+(** Returns false if the block is not resident. *)
+
+val is_dirty : t -> key:int -> bool
+val contains : t -> key:int -> bool
+
+val forget : t -> key:int -> unit
+(** Drop a block without writeback (its file was deleted). *)
+
+val take_dirty : t -> int list
+(** All dirty blocks, oldest first; their dirty bits are cleared (they
+    remain resident).  Used by sync and the update daemon. *)
+
+val hits : t -> int
+val misses : t -> int
+val writebacks : t -> int
+(** Dirty blocks returned by {!insert} evictions so far. *)

@@ -1,0 +1,28 @@
+let direct_count = 12
+
+let ptrs_per_block ~block_bytes =
+  if block_bytes < 8 then invalid_arg "Ffs_inode.ptrs_per_block";
+  block_bytes / 8
+
+type slot = Direct of int | Single of int | Double of int * int
+
+let classify ~ptrs i =
+  if i < 0 then invalid_arg "Ffs_inode.classify: negative index";
+  if i < direct_count then Some (Direct i)
+  else begin
+    let i = i - direct_count in
+    if i < ptrs then Some (Single i)
+    else begin
+      let i = i - ptrs in
+      if i < ptrs * ptrs then Some (Double (i / ptrs, i mod ptrs)) else None
+    end
+  end
+
+let max_blocks ~ptrs = direct_count + ptrs + (ptrs * ptrs)
+
+let indirect_depth ~ptrs i =
+  match classify ~ptrs i with
+  | Some (Direct _) -> 0
+  | Some (Single _) -> 1
+  | Some (Double _) -> 2
+  | None -> invalid_arg "Ffs_inode.indirect_depth: index out of range"

@@ -1,0 +1,33 @@
+(** FFS-style inode block-map arithmetic.
+
+    The conventional file system maps a file's logical block index through
+    twelve direct pointers, then a single-indirect block, then a
+    double-indirect block — the "multiple levels of indirect blocks" whose
+    complexity (and extra I/O) Section 3.1 notes a memory-resident file
+    system can eliminate.  This module is the pure index math, kept apart
+    from {!Ffs} so it can be tested exhaustively. *)
+
+val direct_count : int
+(** 12, as in the Berkeley fast file system. *)
+
+val ptrs_per_block : block_bytes:int -> int
+(** Pointer entries per indirect block (8-byte pointers). *)
+
+type slot =
+  | Direct of int  (** Index into the inode's direct array. *)
+  | Single of int  (** Entry within the single-indirect block. *)
+  | Double of int * int
+      (** (entry in the double-indirect block, entry within the level-one
+          block it points to). *)
+
+val classify : ptrs:int -> int -> slot option
+(** Where logical block [i] is mapped; [None] if the index exceeds what a
+    double-indirect scheme addresses.
+    @raise Invalid_argument on a negative index. *)
+
+val max_blocks : ptrs:int -> int
+(** Largest addressable file, in blocks. *)
+
+val indirect_depth : ptrs:int -> int -> int
+(** How many indirect-block accesses resolving index [i] costs (0, 1 or
+    2) — the metadata I/O a flat extent map avoids. *)

@@ -1,0 +1,13 @@
+type t = Enoent | Eexist | Enotdir | Eisdir | Enotempty | Enospc | Einval
+
+let to_string = function
+  | Enoent -> "ENOENT"
+  | Eexist -> "EEXIST"
+  | Enotdir -> "ENOTDIR"
+  | Eisdir -> "EISDIR"
+  | Enotempty -> "ENOTEMPTY"
+  | Enospc -> "ENOSPC"
+  | Einval -> "EINVAL"
+
+let pp ppf t = Fmt.string ppf (to_string t)
+let equal = ( = )

@@ -1,0 +1,14 @@
+(** File-system errors, shared by every implementation. *)
+
+type t =
+  | Enoent  (** No such file or directory. *)
+  | Eexist  (** Path already exists. *)
+  | Enotdir  (** A non-final path component is not a directory. *)
+  | Eisdir  (** Data operation on a directory. *)
+  | Enotempty  (** Removing a non-empty directory. *)
+  | Enospc  (** Device full. *)
+  | Einval  (** Malformed argument (bad path, negative offset...). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool

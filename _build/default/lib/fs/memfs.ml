@@ -1,0 +1,369 @@
+open Sim
+
+(* A growable array of optional block handles: the flat block map. *)
+module Blockmap = struct
+  type t = { mutable slots : Storage.Manager.block option array; mutable len : int }
+
+  let create () = { slots = [||]; len = 0 }
+  let length t = t.len
+
+  let get t i = if i < t.len then t.slots.(i) else None
+
+  let ensure t n =
+    if n > Array.length t.slots then begin
+      let cap = max 8 (max n (2 * Array.length t.slots)) in
+      let slots = Array.make cap None in
+      Array.blit t.slots 0 slots 0 t.len;
+      t.slots <- slots
+    end;
+    if n > t.len then t.len <- n
+
+  let set t i v =
+    ensure t (i + 1);
+    t.slots.(i) <- v
+
+  (* Shrink to [n] slots, returning the dropped live handles. *)
+  let crop t n =
+    let dropped = ref [] in
+    for i = t.len - 1 downto n do
+      (match t.slots.(i) with
+      | Some b -> dropped := b :: !dropped
+      | None -> ());
+      t.slots.(i) <- None
+    done;
+    if n < t.len then t.len <- n;
+    !dropped
+
+  let iter_live f t =
+    for i = 0 to t.len - 1 do
+      match t.slots.(i) with Some b -> f b | None -> ()
+    done
+end
+
+type node = File of file | Dir of (string, node) Hashtbl.t
+
+and file = { mutable size : int; map : Blockmap.t }
+
+type t = {
+  manager : Storage.Manager.t;
+  root : (string, node) Hashtbl.t;
+  mutable files : int;
+  mutable dirs : int;
+}
+
+let create_fs ~manager () =
+  { manager; root = Hashtbl.create 64; files = 0; dirs = 1 }
+
+let manager t = t.manager
+let name _ = "memfs"
+
+(* Metadata touches are ordinary DRAM accesses; 64 bytes approximates a
+   directory entry or inode record. *)
+let meta_read t = Device.Dram.read (Storage.Manager.dram t.manager) ~bytes:64
+let meta_write t = Device.Dram.write (Storage.Manager.dram t.manager) ~bytes:64
+
+let ( let* ) = Result.bind
+
+(* Walk to the directory table holding the last component; charges one
+   metadata read per component traversed. *)
+let rec walk_dir t table components ~charge =
+  match components with
+  | [] -> Ok table
+  | name :: rest -> begin
+    charge := Time.span_add !charge (meta_read t);
+    match Hashtbl.find_opt table name with
+    | Some (Dir sub) -> walk_dir t sub rest ~charge
+    | Some (File _) -> Error Fs_error.Enotdir
+    | None -> Error Fs_error.Enoent
+  end
+
+let resolve t path ~charge =
+  let* components = Path.parse path in
+  match Path.split_last components with
+  | None -> Ok (`Root t.root)
+  | Some (parent, name) ->
+    let* table = walk_dir t t.root parent ~charge in
+    charge := Time.span_add !charge (meta_read t);
+    Ok (`In (table, name, Hashtbl.find_opt table name))
+
+let lookup_file t path ~charge =
+  match resolve t path ~charge with
+  | Error e -> Error e
+  | Ok (`Root _) -> Error Fs_error.Eisdir
+  | Ok (`In (_, _, None)) -> Error Fs_error.Enoent
+  | Ok (`In (_, _, Some (Dir _))) -> Error Fs_error.Eisdir
+  | Ok (`In (_, _, Some (File f))) -> Ok f
+
+let mkdir t path =
+  let charge = ref Time.span_zero in
+  match resolve t path ~charge with
+  | Error e -> Error e
+  | Ok (`Root _) -> Error Fs_error.Eexist
+  | Ok (`In (_, _, Some _)) -> Error Fs_error.Eexist
+  | Ok (`In (table, fname, None)) ->
+    Hashtbl.replace table fname (Dir (Hashtbl.create 16));
+    t.dirs <- t.dirs + 1;
+    Ok (Time.span_add !charge (meta_write t))
+
+let create t path =
+  let charge = ref Time.span_zero in
+  match resolve t path ~charge with
+  | Error e -> Error e
+  | Ok (`Root _) -> Error Fs_error.Eexist
+  | Ok (`In (_, _, Some _)) -> Error Fs_error.Eexist
+  | Ok (`In (table, fname, None)) ->
+    Hashtbl.replace table fname (File { size = 0; map = Blockmap.create () });
+    t.files <- t.files + 1;
+    Ok (Time.span_add !charge (meta_write t))
+
+let block_bytes t = Storage.Manager.block_bytes t.manager
+
+let write t path ~offset ~bytes =
+  if offset < 0 || bytes < 0 then Error Fs_error.Einval
+  else begin
+    let charge = ref Time.span_zero in
+    let* f = lookup_file t path ~charge in
+    if bytes > 0 then begin
+      let bs = block_bytes t in
+      let first = offset / bs and last = (offset + bytes - 1) / bs in
+      (* Thread completion time through the blocks: each access issues when
+         its predecessor finished. *)
+      let start = Sim.Engine.now (Storage.Manager.engine t.manager) in
+      let cursor = ref (Time.add start !charge) in
+      for i = first to last do
+        let b =
+          match Blockmap.get f.map i with
+          | Some b -> b
+          | None ->
+            let b = Storage.Manager.alloc t.manager in
+            Blockmap.set f.map i (Some b);
+            b
+        in
+        cursor := Storage.Manager.write_block_at t.manager ~at:!cursor b
+      done;
+      charge := Time.diff !cursor start;
+      f.size <- max f.size (offset + bytes)
+    end;
+    charge := Time.span_add !charge (meta_write t);
+    Ok !charge
+  end
+
+let read t path ~offset ~bytes =
+  if offset < 0 || bytes < 0 then Error Fs_error.Einval
+  else begin
+    let charge = ref Time.span_zero in
+    let* f = lookup_file t path ~charge in
+    let bytes = max 0 (min bytes (f.size - offset)) in
+    if bytes > 0 then begin
+      let bs = block_bytes t in
+      let first = offset / bs and last = (offset + bytes - 1) / bs in
+      let start = Sim.Engine.now (Storage.Manager.engine t.manager) in
+      let cursor = ref (Time.add start !charge) in
+      for i = first to last do
+        (* How much of this block the range covers. *)
+        let lo = max offset (i * bs) and hi = min (offset + bytes) ((i + 1) * bs) in
+        let n = hi - lo in
+        (match Blockmap.get f.map i with
+        | Some b -> cursor := Storage.Manager.read_block_at ~bytes:n t.manager ~at:!cursor b
+        | None ->
+          cursor :=
+            Time.add !cursor (Device.Dram.read (Storage.Manager.dram t.manager) ~bytes:n))
+      done;
+      charge := Time.diff !cursor start
+    end;
+    Ok !charge
+  end
+
+let truncate t path ~size =
+  if size < 0 then Error Fs_error.Einval
+  else begin
+    let charge = ref Time.span_zero in
+    let* f = lookup_file t path ~charge in
+    let bs = block_bytes t in
+    let keep = Units.ceil_div size bs in
+    List.iter (Storage.Manager.free_block t.manager) (Blockmap.crop f.map keep);
+    f.size <- min f.size size;
+    charge := Time.span_add !charge (meta_write t);
+    Ok !charge
+  end
+
+(* Is [dst] inside the subtree rooted at [src]?  (Moving a directory into
+   itself would orphan the whole subtree.) *)
+let is_path_prefix ~src ~dst =
+  let rec go a b =
+    match (a, b) with
+    | [], _ -> true
+    | x :: a', y :: b' when String.equal x y -> go a' b'
+    | _ -> false
+  in
+  go src dst
+
+let rename t src_path dst_path =
+  let charge = ref Time.span_zero in
+  let* src = Path.parse src_path in
+  let* dst = Path.parse dst_path in
+  if is_path_prefix ~src ~dst then Error Fs_error.Einval
+  else begin
+    match resolve t src_path ~charge with
+    | Error e -> Error e
+    | Ok (`Root _) -> Error Fs_error.Einval
+    | Ok (`In (_, _, None)) -> Error Fs_error.Enoent
+    | Ok (`In (src_table, src_name, Some node)) -> begin
+      match resolve t dst_path ~charge with
+      | Error e -> Error e
+      | Ok (`Root _) -> Error Fs_error.Eexist
+      | Ok (`In (_, _, Some _)) -> Error Fs_error.Eexist
+      | Ok (`In (dst_table, dst_name, None)) ->
+        Hashtbl.remove src_table src_name;
+        Hashtbl.replace dst_table dst_name node;
+        Ok (Time.span_add !charge (meta_write t))
+    end
+  end
+
+let unlink t path =
+  let charge = ref Time.span_zero in
+  match resolve t path ~charge with
+  | Error e -> Error e
+  | Ok (`Root _) -> Error Fs_error.Eisdir
+  | Ok (`In (_, _, None)) -> Error Fs_error.Enoent
+  | Ok (`In (_, _, Some (Dir _))) -> Error Fs_error.Eisdir
+  | Ok (`In (table, fname, Some (File f))) ->
+    Blockmap.iter_live (Storage.Manager.free_block t.manager) f.map;
+    Hashtbl.remove table fname;
+    t.files <- t.files - 1;
+    Ok (Time.span_add !charge (meta_write t))
+
+let rmdir t path =
+  let charge = ref Time.span_zero in
+  match resolve t path ~charge with
+  | Error e -> Error e
+  | Ok (`Root _) -> Error Fs_error.Einval
+  | Ok (`In (_, _, None)) -> Error Fs_error.Enoent
+  | Ok (`In (_, _, Some (File _))) -> Error Fs_error.Enotdir
+  | Ok (`In (table, fname, Some (Dir sub))) ->
+    if Hashtbl.length sub > 0 then Error Fs_error.Enotempty
+    else begin
+      Hashtbl.remove table fname;
+      t.dirs <- t.dirs - 1;
+      Ok (Time.span_add !charge (meta_write t))
+    end
+
+let file_size t path =
+  let charge = ref Time.span_zero in
+  let* f = lookup_file t path ~charge in
+  Ok f.size
+
+let exists t path =
+  let charge = ref Time.span_zero in
+  match resolve t path ~charge with
+  | Ok (`Root _) -> true
+  | Ok (`In (_, _, Some _)) -> true
+  | Ok (`In (_, _, None)) | Error _ -> false
+
+let readdir t path =
+  let charge = ref Time.span_zero in
+  match resolve t path ~charge with
+  | Error e -> Error e
+  | Ok (`Root table) | Ok (`In (_, _, Some (Dir table))) ->
+    Ok (List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) table []))
+  | Ok (`In (_, _, Some (File _))) -> Error Fs_error.Enotdir
+  | Ok (`In (_, _, None)) -> Error Fs_error.Enoent
+
+let sync t = Storage.Manager.flush_all t.manager
+
+let preload t path ~size =
+  if size < 0 then Error Fs_error.Einval
+  else begin
+    let* _span = create t path in
+    let charge = ref Time.span_zero in
+    let* f = lookup_file t path ~charge in
+    let bs = block_bytes t in
+    for i = 0 to Units.ceil_div size bs - 1 do
+      let b = Storage.Manager.alloc t.manager in
+      Storage.Manager.load_cold t.manager b;
+      Blockmap.set f.map i (Some b)
+    done;
+    f.size <- size;
+    Ok ()
+  end
+
+let enumerate t =
+  let acc = ref [] in
+  let rec walk prefix node =
+    match node with
+    | File f ->
+      let blocks = ref [] in
+      Blockmap.iter_live (fun b -> blocks := b :: !blocks) f.map;
+      acc := (prefix, f.size, List.rev !blocks) :: !acc
+    | Dir table ->
+      Hashtbl.iter (fun name child -> walk (prefix ^ "/" ^ name) child) table
+  in
+  Hashtbl.iter (fun name child -> walk ("/" ^ name) child) t.root;
+  List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !acc
+
+let adopt t path ~size ~blocks =
+  List.iter
+    (fun b ->
+      if not (Storage.Manager.block_exists t.manager b) then
+        invalid_arg "Memfs.adopt: unknown block")
+    blocks;
+  let* _span = create t path in
+  let charge = ref Time.span_zero in
+  let* f = lookup_file t path ~charge in
+  List.iteri (fun i b -> Blockmap.set f.map i (Some b)) blocks;
+  f.size <- size;
+  Ok ()
+
+let rec node_metadata_bytes = function
+  | File f -> 64 + (8 * Blockmap.length f.map)
+  | Dir table -> Hashtbl.fold (fun _ n acc -> acc + 64 + node_metadata_bytes n) table 64
+
+let metadata_bytes t = node_metadata_bytes (Dir t.root)
+
+let file_blocks t path =
+  let charge = ref Time.span_zero in
+  let* f = lookup_file t path ~charge in
+  let acc = ref [] in
+  Blockmap.iter_live (fun b -> acc := b :: !acc) f.map;
+  Ok (List.rev !acc)
+
+let check t =
+  (* Collect every block reachable from the namespace, rejecting double
+     references. *)
+  let seen = Hashtbl.create 1024 in
+  let duplicate = ref None in
+  let rec walk path = function
+    | File f ->
+      Blockmap.iter_live
+        (fun b ->
+          if Hashtbl.mem seen b then duplicate := Some (path, b)
+          else Hashtbl.replace seen b ())
+        f.map
+    | Dir table -> Hashtbl.iter (fun name node -> walk (path ^ "/" ^ name) node) table
+  in
+  walk "" (Dir t.root);
+  match !duplicate with
+  | Some (path, b) -> Error (Printf.sprintf "block %d referenced twice (at %s)" b path)
+  | None ->
+    let stats = Storage.Manager.stats t.manager in
+    let managed =
+      stats.Storage.Manager.live_blocks + stats.Storage.Manager.dirty_blocks
+    in
+    if managed <> Hashtbl.length seen then
+      Error
+        (Printf.sprintf "manager holds %d blocks but the namespace reaches %d" managed
+           (Hashtbl.length seen))
+    else begin
+      (* Every reachable block must have a home: buffered or in flash. *)
+      let homeless =
+        Hashtbl.fold
+          (fun b () acc ->
+            match Storage.Manager.segment_of_block t.manager b with
+            | Some _ -> acc
+            | None -> if Storage.Manager.block_is_dirty t.manager b then acc else b :: acc)
+          seen []
+      in
+      match homeless with
+      | [] -> Ok ()
+      | b :: _ -> Error (Printf.sprintf "block %d has no flash home and is not dirty" b)
+    end

@@ -1,0 +1,50 @@
+(** The memory-resident file system (Section 3.1).
+
+    All metadata — directories, inodes, block maps — lives in battery-backed
+    DRAM and is reached by ordinary memory accesses: no buffer cache, no
+    clustering, no multi-level indirect blocks (a file's block map is a flat
+    extent array).  File data lives wherever the physical storage manager
+    put it: dirty and hot blocks in DRAM, long-lived data in flash, read in
+    place.  Writes supersede flash copies copy-on-write style: the affected
+    block's new contents go to the DRAM write buffer and reach flash only
+    if they survive the writeback delay.
+
+    Implements {!Vfs.S}. *)
+
+type t
+
+val create_fs : manager:Storage.Manager.t -> unit -> t
+(** A fresh, empty file system ("/" exists). *)
+
+val manager : t -> Storage.Manager.t
+
+val preload : t -> string -> size:int -> (unit, Fs_error.t) result
+(** Install a file of [size] bytes directly into flash through the
+    cold-data path — existing long-lived data present before the
+    simulation starts (programs, archives).  Untimed setup. *)
+
+val metadata_bytes : t -> int
+(** Approximate DRAM occupied by metadata (inodes + directory entries) —
+    the space the paper says is saved by not duplicating it in a cache. *)
+
+val file_blocks : t -> string -> (Storage.Manager.block list, Fs_error.t) result
+(** The storage-manager blocks backing a file, for experiments that need to
+    reason about placement. *)
+
+val enumerate : t -> (string * int * Storage.Manager.block list) list
+(** Every regular file: (path, size, backing blocks), sorted by path.
+    Used to checkpoint a namespace (removable cards) and by tools. *)
+
+val adopt : t -> string -> size:int -> blocks:Storage.Manager.block list ->
+  (unit, Fs_error.t) result
+(** Create a file over blocks that already hold its data (namespace
+    reconstruction after recovery).  The parent directory must exist.
+    @raise Invalid_argument if any block is unknown to the manager. *)
+
+val check : t -> (unit, string) result
+(** Consistency check (fsck): every block reachable from a file is alive
+    in the storage manager exactly once, and the manager holds no blocks
+    the namespace cannot reach — i.e. no leaks and no double use.  O(files
+    + blocks); used by the test suite after random operation sequences. *)
+
+include Vfs.S with type t := t

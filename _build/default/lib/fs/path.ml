@@ -1,0 +1,22 @@
+type t = string list
+
+let valid_name name =
+  name <> "" && name <> "." && name <> ".." && not (String.contains name '/')
+
+let parse s =
+  if String.length s = 0 || s.[0] <> '/' then Error Fs_error.Einval
+  else begin
+    let components =
+      String.split_on_char '/' s |> List.filter (fun c -> c <> "")
+    in
+    if List.for_all valid_name components then Ok components else Error Fs_error.Einval
+  end
+
+let to_string = function
+  | [] -> "/"
+  | components -> "/" ^ String.concat "/" components
+
+let split_last t =
+  match List.rev t with
+  | [] -> None
+  | last :: rev_parent -> Some (List.rev rev_parent, last)

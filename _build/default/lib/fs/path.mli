@@ -1,0 +1,18 @@
+(** Absolute slash-separated paths.
+
+    Paths are absolute ("/a/b/c"); components may not be empty, ".", "..",
+    or contain a slash.  "/" denotes the root directory. *)
+
+type t = string list
+(** Parsed components, root-first; [\[\]] is the root. *)
+
+val parse : string -> (t, Fs_error.t) result
+(** [Error Einval] on relative paths, empty components, "." or "..". *)
+
+val to_string : t -> string
+
+val split_last : t -> (t * string) option
+(** [(parent, basename)]; [None] for the root. *)
+
+val valid_name : string -> bool
+(** Is the string usable as a single component? *)

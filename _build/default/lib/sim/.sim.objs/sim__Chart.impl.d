@@ -1,0 +1,1 @@
+lib/sim/chart.ml: Buffer Float List Printf String

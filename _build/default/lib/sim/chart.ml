@@ -1,0 +1,24 @@
+let bars ?(width = 40) ~title ~unit series =
+  let clamped = List.map (fun (l, v) -> (l, Float.max 0.0 v)) series in
+  let peak = List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 clamped in
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 clamped
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("-- " ^ title ^ " --\n");
+  List.iter
+    (fun (label, v) ->
+      let n =
+        if peak <= 0.0 then 0
+        else int_of_float (Float.round (v /. peak *. float_of_int width))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s |%s%s %.4g%s\n" label_width label (String.make n '#')
+           (String.make (width - n) ' ')
+           v unit))
+    clamped;
+  Buffer.contents buf
+
+let print_bars ?width ~title ~unit series =
+  print_string (bars ?width ~title ~unit series);
+  print_newline ()

@@ -1,0 +1,18 @@
+(** ASCII charts for experiment reports.
+
+    A bar chart renders a labelled series as proportional bars — enough to
+    see a knee or a plateau in terminal output without plotting tools. *)
+
+val bars :
+  ?width:int ->
+  title:string ->
+  unit:string ->
+  (string * float) list ->
+  string
+(** [bars ~title ~unit series] renders each [(label, value)] as a bar
+    scaled to the maximum value ([width] characters, default 40), with the
+    numeric value and [unit] at the end.  Negative values are clamped to
+    zero.  Returns the rendered block, newline-terminated. *)
+
+val print_bars :
+  ?width:int -> title:string -> unit:string -> (string * float) list -> unit

@@ -1,0 +1,103 @@
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+  | Pareto of { shape : float; scale : float }
+  | Lognormal of { mu : float; sigma : float }
+  | Mixture of (float * t) list
+
+(* Box–Muller; one draw per call keeps samplers stateless. *)
+let standard_normal rng =
+  let u1 = 1.0 -. Rng.unit_float rng in
+  let u2 = Rng.unit_float rng in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let rec sample t rng =
+  match t with
+  | Constant v -> v
+  | Uniform { lo; hi } -> lo +. Rng.float rng (hi -. lo)
+  | Exponential { mean } -> -.mean *. log (1.0 -. Rng.unit_float rng)
+  | Pareto { shape; scale } ->
+    scale /. ((1.0 -. Rng.unit_float rng) ** (1.0 /. shape))
+  | Lognormal { mu; sigma } -> exp (mu +. (sigma *. standard_normal rng))
+  | Mixture parts ->
+    let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 parts in
+    let x = Rng.float rng total in
+    let rec pick acc = function
+      | [] -> invalid_arg "Distribution.sample: empty mixture"
+      | [ (_, d) ] -> sample d rng
+      | (w, d) :: rest -> if x < acc +. w then sample d rng else pick (acc +. w) rest
+    in
+    pick 0.0 parts
+
+let sample_int t rng =
+  let v = sample t rng in
+  if v <= 0.0 then 0 else int_of_float (Float.round v)
+
+let rec mean = function
+  | Constant v -> v
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.0
+  | Exponential { mean = m } -> m
+  | Pareto { shape; scale } ->
+    if shape <= 1.0 then infinity else shape *. scale /. (shape -. 1.0)
+  | Lognormal { mu; sigma } -> exp (mu +. (sigma *. sigma /. 2.0))
+  | Mixture parts ->
+    let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 parts in
+    List.fold_left (fun acc (w, d) -> acc +. (w /. total *. mean d)) 0.0 parts
+
+let lognormal_of_mean_p50 ~mean:m ~median =
+  if m <= 0.0 || median <= 0.0 || m < median then
+    invalid_arg "Distribution.lognormal_of_mean_p50";
+  (* median = exp mu, mean = exp (mu + sigma^2/2). *)
+  let mu = log median in
+  let sigma = sqrt (2.0 *. (log m -. mu)) in
+  Lognormal { mu; sigma }
+
+let rec pp ppf = function
+  | Constant v -> Fmt.pf ppf "const(%g)" v
+  | Uniform { lo; hi } -> Fmt.pf ppf "uniform[%g,%g)" lo hi
+  | Exponential { mean } -> Fmt.pf ppf "exp(mean=%g)" mean
+  | Pareto { shape; scale } -> Fmt.pf ppf "pareto(shape=%g,scale=%g)" shape scale
+  | Lognormal { mu; sigma } -> Fmt.pf ppf "lognormal(mu=%g,sigma=%g)" mu sigma
+  | Mixture parts ->
+    Fmt.pf ppf "mix(%a)"
+      (Fmt.list ~sep:Fmt.comma (fun ppf (w, d) -> Fmt.pf ppf "%g:%a" w pp d))
+      parts
+
+module Zipf = struct
+  type dist = t
+  type t = { n : int; cumulative : float array }
+
+  let create ~n ~s =
+    if n <= 0 then invalid_arg "Zipf.create: n <= 0";
+    if s < 0.0 then invalid_arg "Zipf.create: s < 0";
+    let cumulative = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    for rank = 0 to n - 1 do
+      acc := !acc +. (1.0 /. (float_of_int (rank + 1) ** s));
+      cumulative.(rank) <- !acc
+    done;
+    let total = !acc in
+    for rank = 0 to n - 1 do
+      cumulative.(rank) <- cumulative.(rank) /. total
+    done;
+    { n; cumulative }
+
+  let n t = t.n
+
+  let sample t rng =
+    let x = Rng.unit_float rng in
+    (* Binary search for the first cumulative weight >= x. *)
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if t.cumulative.(mid) < x then go (mid + 1) hi else go lo mid
+    in
+    go 0 (t.n - 1)
+
+  let probability t rank =
+    if rank < 0 || rank >= t.n then invalid_arg "Zipf.probability: rank";
+    if rank = 0 then t.cumulative.(0)
+    else t.cumulative.(rank) -. t.cumulative.(rank - 1)
+end

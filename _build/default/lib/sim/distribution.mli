@@ -1,0 +1,56 @@
+(** Probability distributions for workload synthesis.
+
+    A distribution is a pure description; sampling requires an explicit
+    {!Rng.t}.  The same description can therefore drive several independent
+    streams, and descriptions can be compared and printed. *)
+
+type t =
+  | Constant of float  (** Always the same value. *)
+  | Uniform of { lo : float; hi : float }  (** Uniform on [\[lo, hi)]. *)
+  | Exponential of { mean : float }
+  | Pareto of { shape : float; scale : float }
+      (** Heavy-tailed; [scale] is the minimum value, [shape] > 0. *)
+  | Lognormal of { mu : float; sigma : float }
+      (** [exp] of a normal with parameters [mu], [sigma] (of the log). *)
+  | Mixture of (float * t) list
+      (** Weighted mixture; weights need not sum to one (normalized). *)
+
+val sample : t -> Rng.t -> float
+(** Draw one value.  All draws are non-negative for the distributions used in
+    this repository provided their parameters are non-negative. *)
+
+val sample_int : t -> Rng.t -> int
+(** [sample] rounded to the nearest non-negative integer. *)
+
+val mean : t -> float
+(** Analytic mean.  For [Pareto] with [shape <= 1] the mean is infinite and
+    [infinity] is returned. *)
+
+val lognormal_of_mean_p50 : mean:float -> median:float -> t
+(** The lognormal with the given mean and median — a convenient way to
+    calibrate file-size distributions from published summary statistics.
+    @raise Invalid_argument if [mean < median] or either is non-positive. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Discrete popularity}
+
+    Zipf-distributed ranks model skewed file popularity (a few hot files take
+    most accesses). *)
+
+module Zipf : sig
+  type dist = t
+
+  type t
+  (** A Zipf sampler over ranks [0 .. n-1] with exponent [s], using a
+      precomputed cumulative table (O(log n) per draw). *)
+
+  val create : n:int -> s:float -> t
+  (** @raise Invalid_argument if [n <= 0] or [s < 0]. *)
+
+  val sample : t -> Rng.t -> int
+  val n : t -> int
+
+  val probability : t -> int -> float
+  (** [probability z rank] is the probability mass of [rank]. *)
+end

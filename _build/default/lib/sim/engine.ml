@@ -1,0 +1,58 @@
+type t = {
+  mutable clock : Time.t;
+  agenda : callback Event_queue.t;
+}
+
+and callback = t -> unit
+
+let create () = { clock = Time.zero; agenda = Event_queue.create () }
+let now t = t.clock
+
+let schedule t ~at f =
+  if Time.( < ) at t.clock then invalid_arg "Engine.schedule: instant in the past";
+  Event_queue.add t.agenda ~at f
+
+let schedule_after t ~after f = schedule t ~at:(Time.add t.clock after) f
+
+let schedule_every t ~every ?until f =
+  if Time.span_to_ns every = 0 then invalid_arg "Engine.schedule_every: zero period";
+  let rec fire engine =
+    let stop =
+      match until with None -> false | Some limit -> Time.( < ) limit engine.clock
+    in
+    if not stop then begin
+      f engine;
+      ignore (schedule_after engine ~after:every fire)
+    end
+  in
+  ignore (schedule_after t ~after:every fire)
+
+let cancel t handle = Event_queue.cancel t.agenda handle
+
+let step t =
+  match Event_queue.pop t.agenda with
+  | None -> false
+  | Some (at, f) ->
+    t.clock <- at;
+    f t;
+    true
+
+let run_until t limit =
+  let rec go () =
+    match Event_queue.peek_time t.agenda with
+    | Some at when Time.( <= ) at limit ->
+      ignore (step t);
+      go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  if Time.( < ) t.clock limit then t.clock <- limit
+
+let run t = while step t do () done
+
+let advance_to t at = if Time.( < ) t.clock at then begin
+    (* Deliver any events that should have fired before [at] first. *)
+    run_until t at
+  end
+
+let pending t = Event_queue.length t.agenda

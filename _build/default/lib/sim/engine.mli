@@ -1,0 +1,48 @@
+(** Discrete-event simulation engine.
+
+    The engine owns the simulated clock and an agenda of callbacks.  Running
+    the engine repeatedly pops the earliest event, advances the clock to its
+    timestamp, and invokes its callback; callbacks may schedule further
+    events.  Time never moves backwards. *)
+
+type t
+
+val create : unit -> t
+(** A fresh engine with the clock at {!Time.zero} and an empty agenda. *)
+
+val now : t -> Time.t
+(** The current simulated instant. *)
+
+val schedule : t -> at:Time.t -> (t -> unit) -> Event_queue.handle
+(** Schedule a callback at an absolute instant.
+    @raise Invalid_argument if [at] is in the past. *)
+
+val schedule_after : t -> after:Time.span -> (t -> unit) -> Event_queue.handle
+(** Schedule a callback relative to the current instant. *)
+
+val schedule_every :
+  t -> every:Time.span -> ?until:Time.t -> (t -> unit) -> unit
+(** Schedule a callback periodically, first firing one period from now and
+    stopping after [until] (or never, if unspecified).
+    @raise Invalid_argument if [every] is zero. *)
+
+val cancel : t -> Event_queue.handle -> unit
+
+val step : t -> bool
+(** Execute the earliest pending event.  Returns [false] if the agenda was
+    empty (and the clock did not move). *)
+
+val run_until : t -> Time.t -> unit
+(** Execute every event scheduled strictly before or at the given instant,
+    then advance the clock to exactly that instant. *)
+
+val run : t -> unit
+(** Execute events until the agenda drains. *)
+
+val advance_to : t -> Time.t -> unit
+(** Move the clock forward without running events — used by sequential
+    (trace-replay) drivers that interleave with the agenda by hand.  A no-op
+    if the instant is in the past. *)
+
+val pending : t -> int
+(** Number of events on the agenda. *)

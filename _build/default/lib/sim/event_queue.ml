@@ -1,0 +1,109 @@
+type 'a entry = {
+  at : Time.t;
+  seq : int;
+  payload : 'a;
+  mutable cancelled : bool;
+}
+
+type handle = H : 'a entry -> handle
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  (* [heap] slots >= [size] hold stale entries kept only to satisfy the
+     array type; they are never read. *)
+  mutable size : int;
+  mutable next_seq : int;
+  mutable live : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0; live = 0 }
+
+let entry_before a b =
+  let c = Time.compare a.at b.at in
+  if c <> 0 then c < 0 else a.seq < b.seq
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && entry_before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && entry_before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t entry =
+  let cap = Array.length t.heap in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let nheap = Array.make ncap entry in
+    Array.blit t.heap 0 nheap 0 t.size;
+    t.heap <- nheap
+  end
+
+let add t ~at payload =
+  let entry = { at; seq = t.next_seq; payload; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  t.live <- t.live + 1;
+  sift_up t (t.size - 1);
+  H entry
+
+let cancel t (H entry) =
+  if not entry.cancelled then begin
+    entry.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let remove_min t =
+  let entry = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    sift_down t 0
+  end;
+  entry
+
+(* Discard cancelled entries sitting at the root. *)
+let rec drop_cancelled t =
+  if t.size > 0 && t.heap.(0).cancelled then begin
+    ignore (remove_min t);
+    drop_cancelled t
+  end
+
+let pop t =
+  drop_cancelled t;
+  if t.size = 0 then None
+  else begin
+    let entry = remove_min t in
+    t.live <- t.live - 1;
+    Some (entry.at, entry.payload)
+  end
+
+let peek_time t =
+  drop_cancelled t;
+  if t.size = 0 then None else Some t.heap.(0).at
+
+let length t = t.live
+let is_empty t = length t = 0
+
+let clear t =
+  t.heap <- [||];
+  t.size <- 0;
+  t.live <- 0

@@ -1,0 +1,31 @@
+(** A priority queue of timestamped events.
+
+    Events with equal timestamps are delivered in insertion order (FIFO),
+    which keeps simulations deterministic.  Events can be cancelled in O(1)
+    (lazy deletion). *)
+
+type 'a t
+
+type handle
+(** Identifies a scheduled event for cancellation. *)
+
+val create : unit -> 'a t
+
+val add : 'a t -> at:Time.t -> 'a -> handle
+(** Schedule a payload at an instant. *)
+
+val cancel : 'a t -> handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val pop : 'a t -> (Time.t * 'a) option
+(** Remove and return the earliest live event, or [None] if empty. *)
+
+val peek_time : 'a t -> Time.t option
+(** The timestamp of the earliest live event. *)
+
+val length : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit

@@ -1,0 +1,131 @@
+module Counter = struct
+  type t = { mutable value : int }
+
+  let create () = { value = 0 }
+  let incr t = t.value <- t.value + 1
+  let add t n = t.value <- t.value + n
+  let value t = t.value
+  let reset t = t.value <- 0
+end
+
+module Summary = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+    mutable total : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity; total = 0.0 }
+
+  let observe t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x;
+    t.total <- t.total +. x
+
+  let count t = t.count
+  let mean t = if t.count = 0 then 0.0 else t.mean
+  let variance t = if t.count < 2 then 0.0 else t.m2 /. float_of_int (t.count - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.min
+  let max t = t.max
+  let total t = t.total
+
+  let reset t =
+    t.count <- 0;
+    t.mean <- 0.0;
+    t.m2 <- 0.0;
+    t.min <- infinity;
+    t.max <- neg_infinity;
+    t.total <- 0.0
+
+  let pp ppf t =
+    if t.count = 0 then Fmt.string ppf "(empty)"
+    else
+      Fmt.pf ppf "n=%d mean=%.3g sd=%.3g min=%.3g max=%.3g" t.count (mean t)
+        (stddev t) t.min t.max
+end
+
+module Histogram = struct
+  (* Buckets are geometric with ratio 2: bucket 0 holds [0, 1), bucket i>0
+     holds [2^(i-1), 2^i).  62 buckets cover the full positive int range. *)
+  let nbuckets = 64
+
+  type t = {
+    counts : int array;
+    mutable count : int;
+    mutable sum : float;
+  }
+
+  let create () = { counts = Array.make nbuckets 0; count = 0; sum = 0.0 }
+
+  let bucket_of x =
+    if x < 1.0 then 0
+    else begin
+      let i = 1 + int_of_float (Float.log2 x) in
+      Stdlib.min i (nbuckets - 1)
+    end
+
+  let bounds i =
+    if i = 0 then (0.0, 1.0) else (Float.pow 2.0 (float_of_int (i - 1)), Float.pow 2.0 (float_of_int i))
+
+  let observe t x =
+    let x = if x < 0.0 then 0.0 else x in
+    t.counts.(bucket_of x) <- t.counts.(bucket_of x) + 1;
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. x
+
+  let count t = t.count
+  let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+  let quantile t q =
+    if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile";
+    if t.count = 0 then 0.0
+    else begin
+      let target = int_of_float (Float.round (q *. float_of_int (t.count - 1))) in
+      let rec go i seen =
+        if i >= nbuckets then fst (bounds (nbuckets - 1))
+        else begin
+          let seen' = seen + t.counts.(i) in
+          if seen' > target then begin
+            let lo, hi = bounds i in
+            if i = 0 then hi /. 2.0 else sqrt (lo *. hi)
+          end
+          else go (i + 1) seen'
+        end
+      in
+      go 0 0
+    end
+
+  let buckets t =
+    let acc = ref [] in
+    for i = nbuckets - 1 downto 0 do
+      if t.counts.(i) > 0 then begin
+        let lo, hi = bounds i in
+        acc := (lo, hi, t.counts.(i)) :: !acc
+      end
+    done;
+    !acc
+
+  let merge a b =
+    let t = create () in
+    Array.blit a.counts 0 t.counts 0 nbuckets;
+    for i = 0 to nbuckets - 1 do
+      t.counts.(i) <- t.counts.(i) + b.counts.(i)
+    done;
+    t.count <- a.count + b.count;
+    t.sum <- a.sum +. b.sum;
+    t
+
+  let reset t =
+    Array.fill t.counts 0 nbuckets 0;
+    t.count <- 0;
+    t.sum <- 0.0
+end

@@ -1,0 +1,74 @@
+(** Statistics collection.
+
+    Simulation components record scalar observations (latencies, sizes,
+    counts) into these accumulators; experiment harnesses read them out as
+    summaries.  All accumulators are O(1) or O(buckets) in space regardless of
+    how many observations they absorb. *)
+
+(** {1 Counters} *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+(** {1 Scalar summaries}
+
+    Mean and variance by Welford's online algorithm, plus min/max. *)
+
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val observe : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance; 0 with fewer than two observations. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  (** [infinity] when empty. *)
+
+  val max : t -> float
+  (** [neg_infinity] when empty. *)
+
+  val total : t -> float
+  val reset : t -> unit
+  val pp : Format.formatter -> t -> unit
+end
+
+(** {1 Histograms}
+
+    Power-of-two bucketed histograms over non-negative values, supporting
+    approximate quantiles with bounded relative error. *)
+
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+  val observe : t -> float -> unit
+  (** Negative observations are clamped to zero. *)
+
+  val count : t -> int
+  val quantile : t -> float -> float
+  (** [quantile t q] for [q] in [\[0, 1\]]; 0 when empty.  The result is the
+      geometric midpoint of the bucket containing the [q]-th observation.
+      @raise Invalid_argument if [q] is outside [\[0, 1\]]. *)
+
+  val mean : t -> float
+  val buckets : t -> (float * float * int) list
+  (** [(lo, hi, count)] for each non-empty bucket, ascending. *)
+
+  val merge : t -> t -> t
+  (** A histogram holding the observations of both arguments. *)
+
+  val reset : t -> unit
+end

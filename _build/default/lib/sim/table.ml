@@ -1,0 +1,89 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  title : string;
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create ~title ~columns =
+  { title; headers = List.map fst columns; aligns = List.map snd columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: width mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let cell_f ?(decimals = 2) v =
+  if Float.is_integer v && Float.abs v < 1e15 && decimals <= 2 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.*f" decimals v
+
+let cell_i = string_of_int
+let cell_pct r = Printf.sprintf "%.1f%%" (100.0 *. r)
+
+let cell_span d =
+  let ns = Time.span_to_ns d in
+  if ns < 1_000 then Printf.sprintf "%dns" ns
+  else if ns < 1_000_000 then Printf.sprintf "%.2fus" (float_of_int ns /. 1e3)
+  else if ns < 1_000_000_000 then Printf.sprintf "%.2fms" (float_of_int ns /. 1e6)
+  else Printf.sprintf "%.3fs" (float_of_int ns /. 1e9)
+
+let cell_bytes n =
+  let f = float_of_int n in
+  if n < 1024 then Printf.sprintf "%dB" n
+  else if n < 1024 * 1024 then Printf.sprintf "%.1fKB" (f /. 1024.0)
+  else if n < 1024 * 1024 * 1024 then Printf.sprintf "%.1fMB" (f /. (1024.0 *. 1024.0))
+  else Printf.sprintf "%.2fGB" (f /. (1024.0 *. 1024.0 *. 1024.0))
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) cells
+  in
+  measure t.headers;
+  List.iter (function Cells c -> measure c | Rule -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let pad align width s =
+    let n = width - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let emit_cells cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        let align = List.nth t.aligns i in
+        Buffer.add_string buf (pad align widths.(i) c))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (2 * (ncols - 1))
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  emit_cells t.headers;
+  Buffer.add_string buf (String.make total_width '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (function
+      | Cells c -> emit_cells c
+      | Rule ->
+        Buffer.add_string buf (String.make total_width '-');
+        Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()

@@ -1,0 +1,35 @@
+(** Plain-text table rendering for experiment reports.
+
+    Every experiment in [bench/] and every example prints its results through
+    this module so output is uniform and machine-greppable. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> columns:(string * align) list -> t
+(** A table with a caption and column headers. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val add_rule : t -> unit
+(** A horizontal separator between row groups. *)
+
+val cell_f : ?decimals:int -> float -> string
+(** Render a float compactly ([decimals] defaults to 2). *)
+
+val cell_i : int -> string
+
+val cell_pct : float -> string
+(** Render a ratio in [\[0,1\]] as a percentage. *)
+
+val cell_span : Time.span -> string
+(** Render a duration with an adaptive unit. *)
+
+val cell_bytes : int -> string
+(** Render a byte count with an adaptive unit (B, KB, MB, GB). *)
+
+val render : t -> string
+val print : t -> unit
+(** [render] followed by [print_string], with a trailing newline. *)

@@ -1,0 +1,66 @@
+(** Simulated time.
+
+    All simulation components share a single notion of time: a non-negative
+    number of nanoseconds since the start of the simulation, represented as a
+    native [int].  On a 64-bit platform this covers roughly 146 years of
+    simulated time, far beyond any experiment in this repository. *)
+
+type t = private int
+(** A point in simulated time, in nanoseconds since simulation start. *)
+
+type span = private int
+(** A duration, in nanoseconds.  Spans are non-negative. *)
+
+val zero : t
+(** The simulation epoch. *)
+
+val of_ns : int -> t
+(** [of_ns n] is the instant [n] nanoseconds after the epoch.
+    @raise Invalid_argument if [n < 0]. *)
+
+val to_ns : t -> int
+(** Nanoseconds since the epoch. *)
+
+val span_ns : int -> span
+(** [span_ns n] is a duration of [n] nanoseconds.
+    @raise Invalid_argument if [n < 0]. *)
+
+val span_us : float -> span
+(** Duration in microseconds (rounded to whole nanoseconds). *)
+
+val span_ms : float -> span
+(** Duration in milliseconds. *)
+
+val span_s : float -> span
+(** Duration in seconds. *)
+
+val span_to_ns : span -> int
+val span_to_us : span -> float
+val span_to_ms : span -> float
+val span_to_s : span -> float
+
+val add : t -> span -> t
+(** [add t d] is the instant [d] after [t]. *)
+
+val diff : t -> t -> span
+(** [diff later earlier] is the duration between two instants.
+    @raise Invalid_argument if [later < earlier]. *)
+
+val span_add : span -> span -> span
+val span_scale : span -> float -> span
+(** [span_scale d k] is [d] scaled by the non-negative factor [k]. *)
+
+val span_zero : span
+val max_span : span -> span -> span
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val max : t -> t -> t
+val min : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering with an adaptive unit (ns, us, ms, s). *)
+
+val pp_span : Format.formatter -> span -> unit

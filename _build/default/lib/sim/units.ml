@@ -1,0 +1,14 @@
+let kib = 1024
+let mib = 1024 * kib
+let gib = 1024 * mib
+let of_kib n = n * kib
+let of_mib n = n * mib
+let to_mib n = float_of_int n /. float_of_int mib
+
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Units.ceil_div";
+  (a + b - 1) / b
+
+let round_up n ~multiple =
+  if multiple <= 0 then invalid_arg "Units.round_up";
+  ceil_div n multiple * multiple

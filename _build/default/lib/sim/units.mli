@@ -1,0 +1,24 @@
+(** Byte-size constants and helpers shared across the simulator. *)
+
+val kib : int
+(** 1024 bytes. *)
+
+val mib : int
+(** 1024 KiB. *)
+
+val gib : int
+(** 1024 MiB. *)
+
+val of_kib : int -> int
+val of_mib : int -> int
+
+val to_mib : int -> float
+(** Bytes as a fractional MiB count. *)
+
+val round_up : int -> multiple:int -> int
+(** The least multiple of [multiple] that is [>= n].
+    @raise Invalid_argument if [multiple <= 0]. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [a / b] rounded up.
+    @raise Invalid_argument if [b <= 0]. *)

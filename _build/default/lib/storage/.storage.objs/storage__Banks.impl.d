@@ -1,0 +1,1 @@
+lib/storage/banks.ml: Fmt Printf

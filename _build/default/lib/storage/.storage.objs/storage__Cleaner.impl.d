@@ -1,0 +1,1 @@
+lib/storage/cleaner.ml: Array Fmt Option Segment Sim Time

@@ -1,0 +1,1 @@
+lib/storage/cleaner.mli: Format Segment Sim

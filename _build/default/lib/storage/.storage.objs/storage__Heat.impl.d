@@ -1,0 +1,1 @@
+lib/storage/heat.ml: Float Hashtbl Sim Time

@@ -1,0 +1,1 @@
+lib/storage/heat.mli: Sim

@@ -1,0 +1,1 @@
+lib/storage/manager.ml: Array Banks Cleaner Device Engine Event_queue Fmt Fun Hashtbl Heat List Logs Option Printf Segment Sim Time Wear Write_buffer

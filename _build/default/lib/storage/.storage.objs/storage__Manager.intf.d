@@ -1,0 +1,1 @@
+lib/storage/manager.mli: Banks Cleaner Device Format Sim Wear Write_buffer

@@ -1,0 +1,1 @@
+lib/storage/segment.ml: Array Sim

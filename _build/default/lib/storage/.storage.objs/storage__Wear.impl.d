@@ -1,0 +1,1 @@
+lib/storage/wear.ml: Array Float Fmt Printf Segment Sim

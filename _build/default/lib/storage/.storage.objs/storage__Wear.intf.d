@@ -1,0 +1,1 @@
+lib/storage/wear.mli: Format Segment

@@ -1,0 +1,1 @@
+lib/storage/write_buffer.ml: Event_queue Hashtbl List Option Sim Time Units

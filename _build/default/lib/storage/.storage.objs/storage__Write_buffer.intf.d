@@ -1,0 +1,1 @@
+lib/storage/write_buffer.mli: Sim

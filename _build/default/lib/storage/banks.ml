@@ -1,0 +1,29 @@
+type policy = Unified | Partitioned of { write_banks : int }
+type purpose = Fresh_write | Clean_out | Cold_load
+
+let policy_name = function
+  | Unified -> "unified"
+  | Partitioned { write_banks } -> Printf.sprintf "partitioned(%d)" write_banks
+
+let pp_policy ppf p = Fmt.string ppf (policy_name p)
+
+let validate policy ~nbanks =
+  match policy with
+  | Unified -> Ok ()
+  | Partitioned { write_banks } ->
+    if write_banks < 1 then Error "write_banks must be >= 1"
+    else if write_banks >= nbanks then
+      Error
+        (Printf.sprintf "write_banks (%d) must leave a read-mostly bank (nbanks = %d)"
+           write_banks nbanks)
+    else Ok ()
+
+let allowed policy ~nbanks purpose ~bank =
+  if bank < 0 || bank >= nbanks then invalid_arg "Banks.allowed: bank out of range";
+  match policy with
+  | Unified -> true
+  | Partitioned { write_banks } -> begin
+    match purpose with
+    | Fresh_write -> bank < write_banks
+    | Clean_out | Cold_load -> bank >= write_banks
+  end

@@ -1,0 +1,30 @@
+open Sim
+
+type entry = { mutable value : float; mutable stamp : Time.t }
+
+type t = { half_life_ns : float; table : (int, entry) Hashtbl.t }
+
+let create ~half_life () =
+  let ns = Time.span_to_ns half_life in
+  if ns = 0 then invalid_arg "Heat.create: zero half_life";
+  { half_life_ns = float_of_int ns; table = Hashtbl.create 1024 }
+
+let decayed t e ~now =
+  let dt = float_of_int (Time.to_ns now - Time.to_ns e.stamp) in
+  if dt <= 0.0 then e.value else e.value *. Float.pow 2.0 (-.dt /. t.half_life_ns)
+
+let record_write t ~now ~block =
+  match Hashtbl.find_opt t.table block with
+  | Some e ->
+    e.value <- decayed t e ~now +. 1.0;
+    e.stamp <- now
+  | None -> Hashtbl.replace t.table block { value = 1.0; stamp = now }
+
+let heat t ~now ~block =
+  match Hashtbl.find_opt t.table block with
+  | Some e -> decayed t e ~now
+  | None -> 0.0
+
+let is_hot t ~now ~block ~threshold = heat t ~now ~block >= threshold
+let forget t ~block = Hashtbl.remove t.table block
+let tracked t = Hashtbl.length t.table

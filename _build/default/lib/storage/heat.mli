@@ -1,0 +1,25 @@
+(** Write-frequency classification for DRAM/flash migration.
+
+    The storage manager "keeps data that is frequently written in DRAM, and
+    data that is mostly read in flash memory" (Section 3.3).  To decide
+    which is which it tracks an exponentially-decayed write count per
+    block: each write adds one, and the accumulated value halves every
+    [half_life].  Blocks whose decayed count exceeds a threshold are hot —
+    the manager keeps them in DRAM past their writeback deadline. *)
+
+type t
+
+val create : half_life:Sim.Time.span -> unit -> t
+(** @raise Invalid_argument if [half_life] is zero. *)
+
+val record_write : t -> now:Sim.Time.t -> block:int -> unit
+
+val heat : t -> now:Sim.Time.t -> block:int -> float
+(** The decayed write count as of [now]; 0 for unknown blocks. *)
+
+val is_hot : t -> now:Sim.Time.t -> block:int -> threshold:float -> bool
+
+val forget : t -> block:int -> unit
+(** Drop tracking state (block freed). *)
+
+val tracked : t -> int

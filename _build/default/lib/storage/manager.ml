@@ -1,0 +1,756 @@
+open Sim
+
+let log_src = Logs.Src.create "ssmc.storage.manager" ~doc:"Physical storage manager"
+
+module Log = (val Logs.src_log log_src)
+
+exception Out_of_space
+
+type config = {
+  segment_sectors : int;
+  buffer : Write_buffer.config;
+  cleaner : Cleaner.policy;
+  wear : Wear.policy;
+  banking : Banks.policy;
+  low_water : int;
+  high_water : int;
+  hot_threshold : float option;
+  heat_half_life : Time.span;
+  max_flush_batch : int;
+  flush_spacing : Time.span;
+  flush_watermark : float option;
+}
+
+let default_config =
+  {
+    segment_sectors = 32;
+    buffer = Write_buffer.default_config;
+    cleaner = Cleaner.Cost_benefit;
+    wear = Wear.Dynamic;
+    banking = Banks.Unified;
+    low_water = 2;
+    high_water = 4;
+    hot_threshold = None;
+    heat_half_life = Time.span_s 60.0;
+    max_flush_batch = 16;
+    flush_spacing = Time.span_ms 100.0;
+    flush_watermark = None;
+  }
+
+type block = int
+
+type loc =
+  | Blank  (** Allocated, no data anywhere yet. *)
+  | Buffered  (** Dirty in the DRAM write buffer. *)
+  | Flashed of { seg : int; slot : int }
+
+type meta = { mutable loc : loc }
+
+type t = {
+  cfg : config;
+  engine : Engine.t;
+  flash : Device.Flash.t;
+  dram : Device.Dram.t;
+  segments : Segment.t array;
+  retired : bool array;
+  segs_per_bank : int;
+  buffer : Write_buffer.t;
+  heat : Heat.t;
+  meta : (block, meta) Hashtbl.t;
+  mutable next_block : block;
+  mutable open_fresh : int option;
+  mutable open_clean : int option;
+  mutable open_cold : int option;
+  mutable timer : (Event_queue.handle * Time.t) option;
+  mutable cleaning : bool;  (** Re-entrancy guard for the cleaner. *)
+  (* Sector headers, as the log-structured convention stores them on the
+     medium: which logical block a sector holds and its write version.
+     Conceptually part of flash (it survives power loss); kept here because
+     the device model does not store payloads. *)
+  durable : (int, int * int) Hashtbl.t;
+  mutable next_version : int;
+  (* Counters. *)
+  mutable c_writes : int;
+  mutable c_reads : int;
+  mutable c_flushed : int;
+  mutable c_cleaned : int;
+  mutable c_cold : int;
+  mutable c_hot_retained : int;
+  mutable c_cleanings : int;
+}
+
+let create cfg ~engine ~flash ~dram =
+  if cfg.segment_sectors <= 0 then invalid_arg "Manager.create: segment_sectors <= 0";
+  if cfg.segment_sectors > Device.Flash.sectors_per_bank flash then
+    invalid_arg "Manager.create: segment does not fit in a bank";
+  if cfg.low_water < 1 || cfg.high_water < cfg.low_water then
+    invalid_arg "Manager.create: watermarks must satisfy 1 <= low <= high";
+  (match Banks.validate cfg.banking ~nbanks:(Device.Flash.nbanks flash) with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Manager.create: " ^ msg));
+  let nbanks = Device.Flash.nbanks flash in
+  let segs_per_bank = Device.Flash.sectors_per_bank flash / cfg.segment_sectors in
+  if segs_per_bank < 1 then invalid_arg "Manager.create: bank smaller than a segment";
+  let nsegments = nbanks * segs_per_bank in
+  if nsegments < cfg.high_water + 1 then
+    invalid_arg "Manager.create: flash too small for the cleaning watermarks";
+  let segments =
+    Array.init nsegments (fun i ->
+        let bank = i / segs_per_bank in
+        let index_in_bank = i mod segs_per_bank in
+        let first_sector =
+          (bank * Device.Flash.sectors_per_bank flash)
+          + (index_in_bank * cfg.segment_sectors)
+        in
+        Segment.create ~id:i ~first_sector ~nslots:cfg.segment_sectors)
+  in
+  {
+    cfg;
+    engine;
+    flash;
+    dram;
+    segments;
+    retired = Array.make nsegments false;
+    segs_per_bank;
+    buffer = Write_buffer.create cfg.buffer;
+    heat = Heat.create ~half_life:cfg.heat_half_life ();
+    meta = Hashtbl.create 4096;
+    next_block = 0;
+    open_fresh = None;
+    open_clean = None;
+    open_cold = None;
+    timer = None;
+    cleaning = false;
+    durable = Hashtbl.create 4096;
+    next_version = 0;
+    c_writes = 0;
+    c_reads = 0;
+    c_flushed = 0;
+    c_cleaned = 0;
+    c_cold = 0;
+    c_hot_retained = 0;
+    c_cleanings = 0;
+  }
+
+let block_bytes t = Device.Flash.sector_bytes t.flash
+let nsegments t = Array.length t.segments
+let bank_of_segment t i = i / t.segs_per_bank
+let flash t = t.flash
+let dram t = t.dram
+let engine t = t.engine
+
+let capacity_blocks t =
+  let usable = ref 0 in
+  Array.iteri
+    (fun i seg -> if not t.retired.(i) then usable := !usable + Segment.nslots seg)
+    t.segments;
+  !usable
+
+let find_meta t b =
+  match Hashtbl.find_opt t.meta b with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Manager: unknown block %d" b)
+
+let erase_count_of_segment t seg =
+  (* Segments wear uniformly (whole-segment erases), so the first sector's
+     count stands for the segment. *)
+  Device.Flash.erase_count t.flash ~sector:(Segment.first_sector seg)
+
+let free_segment_count t =
+  let n = ref 0 in
+  Array.iteri
+    (fun i seg ->
+      if (not t.retired.(i)) && Segment.state seg = Segment.Free then incr n)
+    t.segments;
+  !n
+
+(* Kill a block's flash copy (data superseded or freed). *)
+let kill_flash_copy t m =
+  match m.loc with
+  | Flashed { seg; slot } ->
+    Segment.kill t.segments.(seg) ~slot;
+    m.loc <- Blank
+  | Blank | Buffered -> ()
+
+let or_device_failure = function
+  | Ok op -> op
+  | Error e -> Fmt.failwith "Manager: unexpected flash failure: %a" Device.Flash.pp_error e
+
+(* Written as part of every sector program (the 16-byte header). *)
+let record_header t ~sector ~block =
+  let version = t.next_version in
+  t.next_version <- version + 1;
+  Hashtbl.replace t.durable sector (block, version)
+
+(* --- Log appends, segment acquisition, cleaning -------------------------- *)
+
+let rec ensure_open t ~purpose ~cursor =
+  let slot_ref, set =
+    match purpose with
+    | Banks.Fresh_write -> (t.open_fresh, fun v -> t.open_fresh <- v)
+    | Banks.Clean_out -> (t.open_clean, fun v -> t.open_clean <- v)
+    | Banks.Cold_load -> (t.open_cold, fun v -> t.open_cold <- v)
+  in
+  match slot_ref with
+  | Some i when Segment.state t.segments.(i) = Segment.Open -> t.segments.(i)
+  | Some _ | None ->
+    let seg = acquire t ~purpose ~cursor in
+    set (Some (Segment.id seg));
+    seg
+
+and acquire t ~purpose ~cursor =
+  if not t.cleaning then maybe_clean t ~cursor;
+  let nbanks = Device.Flash.nbanks t.flash in
+  let pick ~restrict =
+    let eligible seg =
+      let i = Segment.id seg in
+      Segment.state seg = Segment.Free
+      && (not t.retired.(i))
+      && ((not restrict)
+         || Banks.allowed t.cfg.banking ~nbanks purpose ~bank:(bank_of_segment t i))
+    in
+    let candidates = Array.of_list (List.filter eligible (Array.to_list t.segments)) in
+    if Array.length candidates = 0 then None
+    else begin
+      (* Prefer the least-busy bank so queued writeback spreads across the
+         banks it is allowed to use; wear policy picks within that bank. *)
+      let bank_busy seg =
+        Device.Flash.bank_busy_until t.flash ~bank:(bank_of_segment t (Segment.id seg))
+      in
+      let best_busy =
+        Array.fold_left (fun acc seg -> Time.min acc (bank_busy seg))
+          (bank_busy candidates.(0)) candidates
+      in
+      let in_best =
+        Array.of_list
+          (List.filter
+             (fun seg -> Time.equal (bank_busy seg) best_busy)
+             (Array.to_list candidates))
+      in
+      let for_cold =
+        match purpose with
+        | Banks.Clean_out | Banks.Cold_load -> true
+        | Banks.Fresh_write -> false
+      in
+      Wear.pick_free ~for_cold t.cfg.wear ~erase_count:(erase_count_of_segment t) in_best
+    end
+  in
+  let choice =
+    match pick ~restrict:true with
+    | Some s -> Some s
+    | None ->
+      (* No free segment in the banks this purpose may use: try to recycle
+         one there before polluting the other banks' partition. *)
+      let in_allowed seg =
+        Banks.allowed t.cfg.banking ~nbanks purpose
+          ~bank:(bank_of_segment t (Segment.id seg))
+      in
+      if (not t.cleaning) && clean_one t ~cursor ~among:in_allowed then
+        pick ~restrict:true
+      else None
+  in
+  let choice =
+    match choice with Some s -> Some s | None -> pick ~restrict:false
+  in
+  match choice with
+  | Some seg ->
+    Segment.open_ seg;
+    Segment.touch seg ~at:(Engine.now t.engine);
+    seg
+  | None ->
+    if t.cleaning then begin
+      Log.err (fun m -> m "out of space (during cleaning)");
+      raise Out_of_space
+    end
+    else begin
+      (* One forced cleaning pass, then give up. *)
+      if not (clean_one t ~cursor) then begin
+        Log.err (fun m ->
+            m "out of space: %d live blocks, %d free segments"
+              (Array.fold_left (fun acc seg -> acc + Segment.live_count seg) 0 t.segments)
+              (free_segment_count t));
+        raise Out_of_space
+      end;
+      acquire t ~purpose ~cursor
+    end
+
+and maybe_clean t ~cursor =
+  while
+    free_segment_count t < t.cfg.low_water
+    && free_segment_count t < t.cfg.high_water
+    && clean_one t ~cursor
+  do
+    ()
+  done
+
+and clean_one ?(among = fun _ -> true) t ~cursor =
+  if t.cleaning then false
+  else begin
+    t.cleaning <- true;
+    Fun.protect ~finally:(fun () -> t.cleaning <- false) @@ fun () ->
+    let now = Engine.now t.engine in
+    (* Only Closed segments are ever selected (both selectors filter on
+       state), so retirement (and the caller's bank constraint) are the
+       only extra eligibility conditions. *)
+    let eligible seg = (not t.retired.(Segment.id seg)) && among seg in
+    let victim =
+      match
+        Wear.relocation_victim t.cfg.wear ~erase_count:(erase_count_of_segment t)
+          ~eligible t.segments
+      with
+      | Some v -> Some v
+      | None -> Cleaner.select t.cfg.cleaner ~now ~eligible t.segments
+    in
+    match victim with
+    | None ->
+      Log.debug (fun m -> m "cleaner: no eligible victim");
+      false
+    | Some victim ->
+      Log.debug (fun m ->
+          m "cleaning segment %d (live %d/%d, %d erases)" (Segment.id victim)
+            (Segment.live_count victim) (Segment.nslots victim)
+            (erase_count_of_segment t victim));
+      (* Don't clean a segment that frees nothing unless wear leveling
+         forced it (in which case it was returned by relocation_victim). *)
+      t.c_cleanings <- t.c_cleanings + 1;
+      let bytes = block_bytes t in
+      (* Copy out the survivors. *)
+      List.iter
+        (fun (slot, b) ->
+          let sector = Segment.sector_of_slot victim slot in
+          let read_op =
+            or_device_failure (Device.Flash.read t.flash ~now:!cursor ~sector ~bytes)
+          in
+          cursor := read_op.Device.Flash.finish;
+          let out = ensure_open t ~purpose:Banks.Clean_out ~cursor in
+          (match Segment.append out ~block:b with
+          | Some out_slot ->
+            let out_sector = Segment.sector_of_slot out out_slot in
+            let prog =
+              or_device_failure
+                (Device.Flash.program t.flash ~now:!cursor ~sector:out_sector ~bytes)
+            in
+            cursor := prog.Device.Flash.finish;
+            record_header t ~sector:out_sector ~block:b;
+            Segment.touch out ~at:now;
+            let m = find_meta t b in
+            m.loc <- Flashed { seg = Segment.id out; slot = out_slot };
+            Segment.kill victim ~slot
+          | None ->
+            (* ensure_open returned a full segment: impossible by construction. *)
+            assert false);
+          t.c_cleaned <- t.c_cleaned + 1)
+        (Segment.live_blocks victim);
+      (* Erase the sectors that were programmed since the last erase. *)
+      for slot = 0 to Segment.used_slots victim - 1 do
+        let sector = Segment.sector_of_slot victim slot in
+        Hashtbl.remove t.durable sector;
+        match Device.Flash.erase t.flash ~now:!cursor ~sector with
+        | Ok op -> cursor := op.Device.Flash.finish
+        | Error Device.Flash.Bad_sector -> ()
+        | Error e ->
+          Fmt.failwith "Manager: erase failed: %a" Device.Flash.pp_error e
+      done;
+      Segment.reset_to_free victim;
+      (* Retire the segment if wear-out claimed any of its sectors. *)
+      let worn = ref false in
+      for slot = 0 to Segment.nslots victim - 1 do
+        if Device.Flash.is_bad t.flash ~sector:(Segment.sector_of_slot victim slot)
+        then worn := true
+      done;
+      if !worn then begin
+        t.retired.(Segment.id victim) <- true;
+        Log.warn (fun m ->
+            m "segment %d retired (worn out); %d segments remain"
+              (Segment.id victim)
+              (Array.length t.segments
+              - Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 t.retired))
+      end;
+      true
+  end
+
+(* Program one client/cold block at the head of the log. *)
+let append_block t ~purpose ~cursor b =
+  let seg = ensure_open t ~purpose ~cursor in
+  match Segment.append seg ~block:b with
+  | None -> assert false (* ensure_open yields an Open (non-full) segment *)
+  | Some slot ->
+    let sector = Segment.sector_of_slot seg slot in
+    let prog =
+      or_device_failure
+        (Device.Flash.program t.flash ~now:!cursor ~sector ~bytes:(block_bytes t))
+    in
+    cursor := prog.Device.Flash.finish;
+    record_header t ~sector ~block:b;
+    Segment.touch seg ~at:(Engine.now t.engine);
+    let m = find_meta t b in
+    m.loc <- Flashed { seg = Segment.id seg; slot }
+
+(* --- Writeback timer ------------------------------------------------------ *)
+
+let rec arm_timer t =
+  match Write_buffer.next_deadline t.buffer with
+  | None -> ()
+  | Some deadline ->
+    let need_schedule =
+      match t.timer with
+      | Some (_, at) -> Time.( < ) deadline at
+      | None -> true
+    in
+    if need_schedule then begin
+      (match t.timer with Some (h, _) -> Engine.cancel t.engine h | None -> ());
+      let at = Time.max deadline (Engine.now t.engine) in
+      let handle = Engine.schedule t.engine ~at (fun _ -> timer_fired t) in
+      t.timer <- Some (handle, at)
+    end
+
+and over_watermark t =
+  match t.cfg.flush_watermark with
+  | None -> false
+  | Some w ->
+    Write_buffer.capacity t.buffer > 0
+    && float_of_int (Write_buffer.size t.buffer)
+       >= w *. float_of_int (Write_buffer.capacity t.buffer)
+
+and timer_fired t =
+  t.timer <- None;
+  let now = Engine.now t.engine in
+  let expired = Write_buffer.take_expired ~limit:t.cfg.max_flush_batch t.buffer ~now in
+  (* Capacity-threshold policy: above the watermark, flush ahead of the
+     deadlines, oldest first. *)
+  let expired =
+    if List.length expired >= t.cfg.max_flush_batch then expired
+    else begin
+      let extra = ref [] in
+      while
+        over_watermark t
+        && List.length expired + List.length !extra < t.cfg.max_flush_batch
+        &&
+        match Write_buffer.oldest t.buffer with
+        | Some b -> Write_buffer.take t.buffer ~block:b && (extra := b :: !extra; true)
+        | None -> false
+      do
+        ()
+      done;
+      expired @ List.rev !extra
+    end
+  in
+  let cursor = ref now in
+  List.iter
+    (fun b ->
+      let retain =
+        match t.cfg.hot_threshold with
+        | Some threshold when Heat.is_hot t.heat ~now ~block:b ~threshold ->
+          Write_buffer.readmit t.buffer ~now ~block:b
+        | Some _ | None -> false
+      in
+      if retain then t.c_hot_retained <- t.c_hot_retained + 1
+      else begin
+        (* Reading the buffered copy out of DRAM. *)
+        ignore (Device.Dram.read t.dram ~bytes:(block_bytes t));
+        append_block t ~purpose:Banks.Fresh_write ~cursor b;
+        t.c_flushed <- t.c_flushed + 1
+      end)
+    expired;
+  (* If a backlog remains, continue only after the device digested this
+     batch and a spacing gap — pacing bounds how much bank time queued
+     writeback can steal from foreground reads. *)
+  match Write_buffer.next_deadline t.buffer with
+  | Some d when Time.( <= ) d now || over_watermark t ->
+    ignore d;
+    let at = Time.max (Time.add now t.cfg.flush_spacing) !cursor in
+    let handle = Engine.schedule t.engine ~at (fun _ -> timer_fired t) in
+    t.timer <- Some (handle, at)
+  | Some _ | None -> arm_timer t
+
+(* --- Client operations ---------------------------------------------------- *)
+
+let alloc t =
+  let b = t.next_block in
+  t.next_block <- b + 1;
+  Hashtbl.replace t.meta b { loc = Blank };
+  b
+
+(* Flush one specific dirty block synchronously (eviction path). *)
+let flush_now t ~cursor b =
+  if Write_buffer.take t.buffer ~block:b then begin
+    ignore (Device.Dram.read t.dram ~bytes:(block_bytes t));
+    append_block t ~purpose:Banks.Fresh_write ~cursor b;
+    t.c_flushed <- t.c_flushed + 1
+  end
+
+let write_block_at t ~at b =
+  let m = find_meta t b in
+  t.c_writes <- t.c_writes + 1;
+  Heat.record_write t.heat ~now:at ~block:b;
+  kill_flash_copy t m;
+  let cursor = ref at in
+  let dram_latency = Device.Dram.write t.dram ~bytes:(block_bytes t) in
+  cursor := Time.add !cursor dram_latency;
+  if Write_buffer.capacity t.buffer = 0 then begin
+    (* Write-through: straight to flash; the client eats the program time. *)
+    append_block t ~purpose:Banks.Fresh_write ~cursor b;
+    t.c_flushed <- t.c_flushed + 1
+  end
+  else begin
+    let rec admit () =
+      match Write_buffer.write t.buffer ~now:at ~block:b with
+      | Write_buffer.Absorbed | Write_buffer.Admitted -> m.loc <- Buffered
+      | Write_buffer.Needs_eviction -> begin
+        match Write_buffer.oldest t.buffer with
+        | Some victim ->
+          flush_now t ~cursor victim;
+          admit ()
+        | None -> assert false (* full implies non-empty *)
+      end
+    in
+    admit ();
+    (if over_watermark t then begin
+       (* Pull the next flush forward to now. *)
+       let now_t = Engine.now t.engine in
+       let need =
+         match t.timer with Some (_, at) -> Time.( < ) now_t at | None -> true
+       in
+       if need then begin
+         (match t.timer with Some (h, _) -> Engine.cancel t.engine h | None -> ());
+         let handle = Engine.schedule t.engine ~at:now_t (fun _ -> timer_fired t) in
+         t.timer <- Some (handle, now_t)
+       end
+     end);
+    arm_timer t
+  end;
+  !cursor
+
+let write_block t b =
+  let now = Engine.now t.engine in
+  Time.diff (write_block_at t ~at:now b) now
+
+let read_block_at ?bytes t ~at b =
+  let m = find_meta t b in
+  let bytes = Option.value bytes ~default:(block_bytes t) in
+  t.c_reads <- t.c_reads + 1;
+  match m.loc with
+  | Blank | Buffered -> Time.add at (Device.Dram.read t.dram ~bytes)
+  | Flashed { seg; slot } ->
+    let sector = Segment.sector_of_slot t.segments.(seg) slot in
+    let op = or_device_failure (Device.Flash.read t.flash ~now:at ~sector ~bytes) in
+    op.Device.Flash.finish
+
+let read_block ?bytes t b =
+  let now = Engine.now t.engine in
+  Time.diff (read_block_at ?bytes t ~at:now b) now
+
+let free_block t b =
+  let m = find_meta t b in
+  (match m.loc with
+  | Buffered -> ignore (Write_buffer.remove t.buffer ~block:b)
+  | Flashed _ -> kill_flash_copy t m
+  | Blank -> ());
+  Heat.forget t.heat ~block:b;
+  Hashtbl.remove t.meta b
+
+let load_cold t b =
+  let m = find_meta t b in
+  (match m.loc with
+  | Blank -> ()
+  | Buffered | Flashed _ -> invalid_arg "Manager.load_cold: block already has data");
+  let cursor = ref (Engine.now t.engine) in
+  append_block t ~purpose:Banks.Cold_load ~cursor b;
+  t.c_cold <- t.c_cold + 1
+
+let flush_all t =
+  let now = Engine.now t.engine in
+  let cursor = ref now in
+  List.iter
+    (fun b ->
+      ignore (Device.Dram.read t.dram ~bytes:(block_bytes t));
+      append_block t ~purpose:Banks.Fresh_write ~cursor b;
+      t.c_flushed <- t.c_flushed + 1)
+    (Write_buffer.drain t.buffer);
+  Time.diff !cursor now
+
+(* --- Introspection -------------------------------------------------------- *)
+
+type stats = {
+  client_writes : int;
+  client_reads : int;
+  absorbed_writes : int;
+  cancelled_blocks : int;
+  blocks_flushed : int;
+  blocks_cleaned : int;
+  cold_loads : int;
+  hot_retained : int;
+  cleanings : int;
+  dirty_blocks : int;
+  free_segments : int;
+  retired_segments : int;
+  live_blocks : int;
+  write_reduction : float;
+  write_amplification : float;
+}
+
+let live_block_count t =
+  Array.fold_left (fun acc seg -> acc + Segment.live_count seg) 0 t.segments
+
+let stats t =
+  let retired = Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 t.retired in
+  {
+    client_writes = t.c_writes;
+    client_reads = t.c_reads;
+    absorbed_writes = Write_buffer.absorbed_writes t.buffer;
+    cancelled_blocks = Write_buffer.cancelled_blocks t.buffer;
+    blocks_flushed = t.c_flushed;
+    blocks_cleaned = t.c_cleaned;
+    cold_loads = t.c_cold;
+    hot_retained = t.c_hot_retained;
+    cleanings = t.c_cleanings;
+    dirty_blocks = Write_buffer.size t.buffer;
+    free_segments = free_segment_count t;
+    retired_segments = retired;
+    live_blocks = live_block_count t;
+    write_reduction =
+      (if t.c_writes = 0 then 0.0
+       else 1.0 -. (float_of_int t.c_flushed /. float_of_int t.c_writes));
+    write_amplification =
+      Cleaner.write_amplification
+        ~blocks_written:(t.c_flushed + t.c_cleaned)
+        ~blocks_flushed:t.c_flushed;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "writes=%d reads=%d absorbed=%d cancelled=%d flushed=%d cleaned=%d \
+     reduction=%.1f%% amplification=%.2f dirty=%d free_segs=%d live=%d"
+    s.client_writes s.client_reads s.absorbed_writes s.cancelled_blocks
+    s.blocks_flushed s.blocks_cleaned
+    (100.0 *. s.write_reduction)
+    s.write_amplification s.dirty_blocks s.free_segments s.live_blocks
+
+let wear_evenness t =
+  Wear.evenness ~erase_count:(erase_count_of_segment t) t.segments
+
+let segment_of_block t b =
+  match (find_meta t b).loc with
+  | Flashed { seg; _ } -> Some seg
+  | Blank | Buffered -> None
+
+let block_is_dirty t b =
+  match (find_meta t b).loc with Buffered -> true | Blank | Flashed _ -> false
+
+let block_exists t b = Hashtbl.mem t.meta b
+
+let known_blocks t =
+  List.sort compare (Hashtbl.fold (fun b _ acc -> b :: acc) t.meta [])
+
+let reset_traffic t =
+  t.c_writes <- 0;
+  t.c_reads <- 0;
+  t.c_flushed <- 0;
+  t.c_cleaned <- 0;
+  t.c_cold <- 0;
+  t.c_hot_retained <- 0;
+  t.c_cleanings <- 0;
+  Write_buffer.reset_counters t.buffer;
+  Device.Flash.reset_stats t.flash;
+  Device.Dram.reset_stats t.dram
+
+(* --- Crash recovery ---------------------------------------------------------- *)
+
+type remount_report = {
+  sectors_scanned : int;
+  live_recovered : int;
+  stale_discarded : int;
+  buffered_lost : int;
+}
+
+let pp_remount_report ppf r =
+  Fmt.pf ppf "scanned=%d recovered=%d stale=%d lost_from_buffer=%d" r.sectors_scanned
+    r.live_recovered r.stale_discarded r.buffered_lost
+
+let crash_and_remount t =
+  let buffered_lost = Write_buffer.size t.buffer in
+  let fresh = create t.cfg ~engine:t.engine ~flash:t.flash ~dram:t.dram in
+  Hashtbl.iter (fun k v -> Hashtbl.replace fresh.durable k v) t.durable;
+  fresh.next_version <- t.next_version;
+  (* Scan every readable sector's header, charging the device. *)
+  let now = Engine.now t.engine in
+  let cursor = ref now in
+  let scanned = ref 0 in
+  for sector = 0 to Device.Flash.nsectors t.flash - 1 do
+    match Device.Flash.read t.flash ~now:!cursor ~sector ~bytes:16 with
+    | Ok op ->
+      incr scanned;
+      cursor := op.Device.Flash.finish
+    | Error Device.Flash.Bad_sector -> ()
+    | Error e -> Fmt.failwith "remount: %a" Device.Flash.pp_error e
+  done;
+  (* Newest version of each block wins. *)
+  let winner = Hashtbl.create 1024 in
+  Hashtbl.iter
+    (fun sector (block, version) ->
+      match Hashtbl.find_opt winner block with
+      | Some (v, _) when v >= version -> ()
+      | Some _ | None -> Hashtbl.replace winner block (version, sector))
+    fresh.durable;
+  (* Rebuild segment occupancy: appends were sequential, so each segment's
+     programmed sectors are a prefix of its slots. *)
+  let stale = ref 0 in
+  let max_block = ref (-1) in
+  Array.iter
+    (fun seg ->
+      let nslots = Segment.nslots seg in
+      let occupied = ref 0 in
+      for slot = 0 to nslots - 1 do
+        if Hashtbl.mem fresh.durable (Segment.sector_of_slot seg slot) then incr occupied
+      done;
+      if !occupied > 0 then begin
+        Segment.open_ seg;
+        for slot = 0 to !occupied - 1 do
+          let sector = Segment.sector_of_slot seg slot in
+          match Hashtbl.find_opt fresh.durable sector with
+          | None ->
+            (* A hole would mean appends were not sequential. *)
+            assert false
+          | Some (block, version) ->
+            (match Segment.append seg ~block with
+            | Some s -> assert (s = slot)
+            | None -> assert false);
+            max_block := max !max_block block;
+            let winning =
+              match Hashtbl.find_opt winner block with
+              | Some (v, _) -> v = version
+              | None -> false
+            in
+            if winning then begin
+              Hashtbl.replace fresh.meta block
+                { loc = Flashed { seg = Segment.id seg; slot } }
+            end
+            else begin
+              incr stale;
+              Segment.kill seg ~slot
+            end
+        done;
+        if Segment.state seg = Segment.Open then Segment.close seg
+      end)
+    fresh.segments;
+  (* Mark wear-retired segments on the fresh manager too. *)
+  Array.iteri
+    (fun i seg ->
+      let worn = ref false in
+      for slot = 0 to Segment.nslots seg - 1 do
+        if Device.Flash.is_bad t.flash ~sector:(Segment.sector_of_slot seg slot) then
+          worn := true
+      done;
+      if !worn then fresh.retired.(i) <- true)
+    fresh.segments;
+  fresh.next_block <- !max_block + 1;
+  let report =
+    {
+      sectors_scanned = !scanned;
+      live_recovered = Hashtbl.length winner;
+      stale_discarded = !stale;
+      buffered_lost;
+    }
+  in
+  Log.info (fun m -> m "remount: %a" pp_remount_report report);
+  (fresh, Time.diff !cursor now, report)

@@ -1,0 +1,190 @@
+(** The physical storage manager (Section 3.3).
+
+    The manager owns the machine's DRAM write buffer and its flash device
+    and presents a flat store of fixed-size logical blocks (one block = one
+    flash sector's worth of data) to the file and virtual-memory systems.
+    It implements every responsibility the paper assigns it:
+
+    - buffering written data in battery-backed DRAM and flushing it to
+      flash only after a writeback delay, so data that dies young never
+      reaches flash;
+    - keeping frequently-written (hot) blocks in DRAM past their deadline
+      and read-mostly data in flash;
+    - log-structured allocation of flash space in segments, with garbage
+      collection by a pluggable victim-selection policy;
+    - wear leveling across erase sectors;
+    - partitioning flash banks between read-mostly and frequently-written
+      data;
+    - free-list maintenance for both flash segments and buffer space.
+
+    All operations happen at the owning engine's current instant; returned
+    spans are the stall observed by the caller.  Background flushes and
+    cleaning run as engine events and stall nobody directly — but they
+    occupy flash banks, which later operations (and concurrent reads) wait
+    for. *)
+
+exception Out_of_space
+(** Raised when live data exceeds what flash can hold even after cleaning. *)
+
+type config = {
+  segment_sectors : int;  (** Sectors (= blocks) per log segment. *)
+  buffer : Write_buffer.config;
+  cleaner : Cleaner.policy;
+  wear : Wear.policy;
+  banking : Banks.policy;
+  low_water : int;  (** Demand-clean when free segments drop below this. *)
+  high_water : int;  (** ... and clean until at least this many are free. *)
+  hot_threshold : float option;
+      (** Decayed-write-count above which a block is retained in DRAM at
+          its flush deadline; [None] disables migration. *)
+  heat_half_life : Sim.Time.span;
+  max_flush_batch : int;
+      (** Background flushes program at most this many blocks per timer
+          firing, so foreground reads are never stuck behind an unbounded
+          writeback burst; the remainder follows after [flush_spacing]. *)
+  flush_spacing : Sim.Time.span;
+  flush_watermark : float option;
+      (** Capacity-threshold flushing: when buffer occupancy reaches this
+          fraction, start flushing the oldest entries immediately instead
+          of waiting for their writeback deadline.  Trades absorption for
+          headroom (fewer synchronous evictions on bursts).  [None]
+          disables it (pure writeback-delay policy). *)
+}
+
+val default_config : config
+(** 32-sector segments, the {!Write_buffer.default_config} buffer,
+    cost-benefit cleaning, dynamic wear leveling, unified banks,
+    watermarks 2/4, migration off. *)
+
+type t
+
+type block = int
+(** A logical block handle. *)
+
+val create :
+  config -> engine:Sim.Engine.t -> flash:Device.Flash.t -> dram:Device.Dram.t -> t
+(** @raise Invalid_argument if the configuration is inconsistent with the
+    flash geometry (segments must fit within a bank; partitioning must be
+    valid; watermarks must satisfy [1 <= low_water <= high_water]). *)
+
+val block_bytes : t -> int
+val capacity_blocks : t -> int
+(** Data blocks flash can hold (excluding retired segments). *)
+
+val alloc : t -> block
+(** A fresh, empty logical block. *)
+
+val write_block : t -> block -> Sim.Time.span
+(** (Re)write a block.  Supersedes any flash copy immediately; the new data
+    enters the write buffer (or goes straight to flash when buffering is
+    off).  The returned span includes any synchronous eviction or cleaning
+    the write had to wait for.
+    @raise Invalid_argument on an unknown block.
+    @raise Out_of_space. *)
+
+val read_block : ?bytes:int -> t -> block -> Sim.Time.span
+(** Read ([bytes] defaults to the whole block) from wherever the block
+    lives: DRAM if buffered or never flushed, flash otherwise — including
+    any wait for a busy flash bank. *)
+
+(** {2 Cursor-threaded variants}
+
+    A client operation that touches several blocks in sequence (a
+    multi-block file read, a program load) must issue each access when the
+    previous one finished, not stack them all at the engine's current
+    instant — otherwise each access re-pays its predecessors' bank waits.
+    The [_at] variants take an explicit issue time and return the
+    completion time, for threading through a loop. *)
+
+val read_block_at : ?bytes:int -> t -> at:Sim.Time.t -> block -> Sim.Time.t
+(** @raise Invalid_argument if [at] is before the engine's clock would
+    allow scheduling semantics to hold (it never is in practice: pass the
+    previous completion). *)
+
+val write_block_at : t -> at:Sim.Time.t -> block -> Sim.Time.t
+
+val free_block : t -> block -> unit
+(** Discard a block: cancels its buffered copy (a flush avoided) and kills
+    its flash copy (space the cleaner will recycle). *)
+
+val load_cold : t -> block -> unit
+(** Place a block directly into flash through the cold-data path (the
+    read-mostly banks under partitioning), bypassing the buffer.  Used to
+    preload long-lived data — installed programs, existing files. *)
+
+val flush_all : t -> Sim.Time.span
+(** Synchronously flush every dirty block (sync / orderly shutdown). *)
+
+(** {1 Introspection} *)
+
+type stats = {
+  client_writes : int;  (** write_block calls. *)
+  client_reads : int;
+  absorbed_writes : int;  (** Writes that hit an already-dirty block. *)
+  cancelled_blocks : int;  (** Dirty blocks freed before flushing. *)
+  blocks_flushed : int;  (** Client blocks programmed into flash. *)
+  blocks_cleaned : int;  (** Live blocks copied by the cleaner. *)
+  cold_loads : int;
+  hot_retained : int;  (** Deadline flushes deferred because the block was hot. *)
+  cleanings : int;  (** Victim segments cleaned. *)
+  dirty_blocks : int;  (** Currently in the buffer. *)
+  free_segments : int;
+  retired_segments : int;
+  live_blocks : int;  (** Blocks with a live flash copy. *)
+  write_reduction : float;
+      (** 1 - flushed/writes: the Section 3.3 headline metric. *)
+  write_amplification : float;
+      (** (flushed + cleaned) / flushed. *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val wear_evenness : t -> Wear.evenness
+(** Erase-count spread across segments. *)
+
+val flash : t -> Device.Flash.t
+val dram : t -> Device.Dram.t
+val engine : t -> Sim.Engine.t
+val nsegments : t -> int
+val segment_of_block : t -> block -> int option
+(** The segment holding the block's flash copy, if flushed. *)
+
+val block_is_dirty : t -> block -> bool
+(** Is the block's current data in the DRAM write buffer? *)
+
+val block_exists : t -> block -> bool
+(** Does the manager know this handle (allocated and not freed)? *)
+
+val known_blocks : t -> block list
+(** Every live handle, ascending.  O(blocks); for recovery tools. *)
+
+val reset_traffic : t -> unit
+(** Zero the traffic counters and device statistics (after preloading). *)
+
+(** {1 Crash recovery}
+
+    Every programmed sector carries a small header naming the logical
+    block it holds and a monotonically increasing version (the
+    log-structured convention).  If the machine loses {e all} power — both
+    batteries — the DRAM-resident block map and the write buffer are gone,
+    but flash and its headers survive; a remount rebuilds the map by
+    scanning them.  Battery-backed DRAM exists precisely so this scan (and
+    the loss of buffered data) almost never happens. *)
+
+type remount_report = {
+  sectors_scanned : int;
+  live_recovered : int;  (** Blocks whose newest copy was found in flash. *)
+  stale_discarded : int;  (** Superseded copies encountered and killed. *)
+  buffered_lost : int;
+      (** Dirty blocks that existed only in the (now lost) write buffer. *)
+}
+
+val crash_and_remount : t -> t * Sim.Time.span * remount_report
+(** Simulate total power loss and recovery: a fresh manager over the same
+    flash device, its block map rebuilt by reading every sector's header.
+    Block handles for recovered blocks remain valid on the new manager.
+    The returned span is the scan time (the recovery-latency cost the
+    battery-backed organization avoids). *)
+
+val pp_remount_report : Format.formatter -> remount_report -> unit

@@ -1,0 +1,86 @@
+type policy = None_ | Dynamic | Static of { spread_threshold : int }
+
+let policy_name = function
+  | None_ -> "none"
+  | Dynamic -> "dynamic"
+  | Static { spread_threshold } -> Printf.sprintf "static(%d)" spread_threshold
+
+let pp_policy ppf p = Fmt.string ppf (policy_name p)
+
+let fold_free f acc segments =
+  Array.fold_left
+    (fun acc seg -> if Segment.state seg = Segment.Free then f acc seg else acc)
+    acc segments
+
+let pick_free ?(for_cold = false) policy ~erase_count segments =
+  let least_worn () =
+    fold_free
+      (fun best seg ->
+        match best with
+        | Some b when erase_count b <= erase_count seg -> best
+        | Some _ | None -> Some seg)
+      None segments
+  in
+  let most_worn () =
+    fold_free
+      (fun best seg ->
+        match best with
+        | Some b when erase_count b >= erase_count seg -> best
+        | Some _ | None -> Some seg)
+      None segments
+  in
+  match policy with
+  | None_ ->
+    fold_free (fun best seg -> match best with None -> Some seg | some -> some) None segments
+  | Dynamic -> least_worn ()
+  | Static _ -> if for_cold then most_worn () else least_worn ()
+
+type evenness = {
+  min_erases : int;
+  max_erases : int;
+  mean_erases : float;
+  stddev_erases : float;
+}
+
+let evenness ~erase_count segments =
+  let summary = Sim.Stat.Summary.create () in
+  Array.iter
+    (fun seg -> Sim.Stat.Summary.observe summary (float_of_int (erase_count seg)))
+    segments;
+  if Sim.Stat.Summary.count summary = 0 then
+    { min_erases = 0; max_erases = 0; mean_erases = 0.0; stddev_erases = 0.0 }
+  else
+    {
+      min_erases = int_of_float (Sim.Stat.Summary.min summary);
+      max_erases = int_of_float (Sim.Stat.Summary.max summary);
+      mean_erases = Sim.Stat.Summary.mean summary;
+      stddev_erases = Sim.Stat.Summary.stddev summary;
+    }
+
+let relocation_victim policy ~erase_count ~eligible segments =
+  match policy with
+  | None_ | Dynamic -> None
+  | Static { spread_threshold } ->
+    (* Trigger on max - mean rather than max - min: a single segment that
+       happens never to erase (an outlier minimum) must not keep forced
+       relocation running forever. *)
+    let e = evenness ~erase_count segments in
+    if float_of_int e.max_erases -. e.mean_erases <= float_of_int spread_threshold
+    then None
+    else
+      Array.fold_left
+        (fun best seg ->
+          if Segment.state seg <> Segment.Closed || not (eligible seg) then best
+          else
+            match best with
+            | Some b when erase_count b <= erase_count seg -> best
+            | Some _ | None -> Some seg)
+        None segments
+
+let lifetime_writes ~endurance ~total_sectors ~max_erases ~total_erases =
+  if max_erases = 0 then infinity
+  else begin
+    let mean = float_of_int total_erases /. float_of_int total_sectors in
+    let skew = float_of_int max_erases /. Float.max mean 1e-9 in
+    float_of_int endurance *. float_of_int total_sectors /. skew
+  end

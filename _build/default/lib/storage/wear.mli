@@ -1,0 +1,68 @@
+(** Wear-leveling policies.
+
+    Flash sectors endure a bounded number of erase cycles, so the storage
+    manager must "evenly balance the write load throughout flash memory"
+    (Section 3.3).  Three policies, in increasing strength:
+
+    - {e None}: take any free segment (first fit).  Hot segments cycle
+      through erases while segments holding cold data never wear at all.
+    - {e Dynamic}: open the free segment with the lowest erase count.
+      Levels wear among segments that circulate, but cold data still pins
+      fresh segments out of circulation.
+    - {e Static}: dynamic allocation, plus forced relocation — when the
+      spread between the most- and least-worn segments exceeds a threshold,
+      the manager cleans the least-worn {e cold} segment even though it is
+      fully live, putting its under-used sectors back into rotation.
+
+    The evenness of the resulting wear directly multiplies device lifetime:
+    the device dies when its hottest sectors die. *)
+
+type policy =
+  | None_
+  | Dynamic
+  | Static of { spread_threshold : int }
+      (** Force cold-data relocation when
+          [max erase - mean erase > spread_threshold]. *)
+
+val pp_policy : Format.formatter -> policy -> unit
+val policy_name : policy -> string
+
+val pick_free :
+  ?for_cold:bool ->
+  policy -> erase_count:(Segment.t -> int) -> Segment.t array -> Segment.t option
+(** Choose which Free segment to open next.  With [for_cold] (data the
+    cleaner judged long-lived), [Static] picks the {e most}-worn free
+    segment — parking cold data on tired sectors and releasing fresh ones
+    into circulation, the essence of static wear leveling.  Hot
+    (default) allocation picks the least-worn segment under [Dynamic] and
+    [Static], and first-fit under [None_]. *)
+
+val relocation_victim :
+  policy ->
+  erase_count:(Segment.t -> int) ->
+  eligible:(Segment.t -> bool) ->
+  Segment.t array ->
+  Segment.t option
+(** Under [Static], the Closed segment that should be forcibly relocated —
+    the least-worn one — when the wear spread exceeds the threshold.
+    [None] for other policies or when the spread is within bounds.  The
+    spread is computed over {e all} segments' erase counts. *)
+
+(** {1 Wear metrics} *)
+
+type evenness = {
+  min_erases : int;
+  max_erases : int;
+  mean_erases : float;
+  stddev_erases : float;
+}
+
+val evenness : erase_count:(Segment.t -> int) -> Segment.t array -> evenness
+
+val lifetime_writes :
+  endurance:int -> total_sectors:int -> max_erases:int -> total_erases:int -> float
+(** Estimated total sector-erases the device can sustain before its first
+    sector dies, extrapolating the observed wear skew: with perfectly even
+    wear this is [endurance * total_sectors]; skew divides it by
+    [max_erases / mean_erases].  Returns [infinity] when nothing was erased
+    yet. *)

@@ -1,0 +1,1 @@
+lib/trace/calibration.ml: Fmt Hashtbl List Record Sim Stats Synth Time

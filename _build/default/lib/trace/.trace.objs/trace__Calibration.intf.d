@@ -1,0 +1,1 @@
+lib/trace/calibration.mli: Format Synth

@@ -1,0 +1,1 @@
+lib/trace/format_io.ml: In_channel List Out_channel Printf Record Result Sim String Time

@@ -1,0 +1,1 @@
+lib/trace/format_io.mli: Record

@@ -1,0 +1,1 @@
+lib/trace/replay.ml: Engine List Record Sim Time

@@ -1,0 +1,1 @@
+lib/trace/stats.ml: Fmt Hashtbl List Record Sim Time Units

@@ -1,0 +1,1 @@
+lib/trace/synth.ml: Distribution Event_queue Float Hashtbl List Printf Record Result Rng Sim Time

@@ -1,0 +1,1 @@
+lib/trace/workloads.ml: Distribution List Sim Synth

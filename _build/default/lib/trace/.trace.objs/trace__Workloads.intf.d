@@ -1,0 +1,1 @@
+lib/trace/workloads.mli: Synth

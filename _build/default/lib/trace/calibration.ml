@@ -1,0 +1,94 @@
+open Sim
+
+type report = {
+  ops : int;
+  read_write_byte_ratio : float;
+  mean_io_bytes : float;
+  new_file_share_of_writes : float;
+  dead_within_30s : float;
+  dead_within_5s : float;
+  short_lived_file_fraction : float;
+  write_rate_bytes_per_s : float;
+}
+
+let analyze t =
+  let records = t.Synth.records in
+  let summary = Stats.summarize records in
+  let fresh = Synth.first_fresh_file t in
+  let new_file_bytes = ref 0 in
+  let created = Hashtbl.create 256 in
+  let deleted = ref 0 in
+  List.iter
+    (fun r ->
+      (match r.Record.op with
+      | Record.Create { file } when file >= fresh -> Hashtbl.replace created file ()
+      | Record.Delete { file } when Hashtbl.mem created file -> incr deleted
+      | Record.Write { file; bytes; _ } when file >= fresh ->
+        new_file_bytes := !new_file_bytes + bytes
+      | Record.Create _ | Record.Delete _ | Record.Write _ | Record.Read _
+      | Record.Truncate _ ->
+        ()))
+    records;
+  let data_ops = summary.Stats.reads + summary.Stats.writes in
+  let death window =
+    (Stats.write_death records ~window:(Time.span_s window)).Stats.dead_fraction
+  in
+  {
+    ops = summary.Stats.ops;
+    read_write_byte_ratio =
+      (if summary.Stats.bytes_written = 0 then infinity
+       else float_of_int summary.Stats.bytes_read /. float_of_int summary.Stats.bytes_written);
+    mean_io_bytes =
+      (if data_ops = 0 then 0.0
+       else
+         float_of_int (summary.Stats.bytes_read + summary.Stats.bytes_written)
+         /. float_of_int data_ops);
+    new_file_share_of_writes =
+      (if summary.Stats.bytes_written = 0 then 0.0
+       else float_of_int !new_file_bytes /. float_of_int summary.Stats.bytes_written);
+    dead_within_30s = death 30.0;
+    dead_within_5s = death 5.0;
+    short_lived_file_fraction =
+      (if Hashtbl.length created = 0 then 0.0
+       else float_of_int !deleted /. float_of_int (Hashtbl.length created));
+    write_rate_bytes_per_s = Stats.write_rate_bytes_per_s summary;
+  }
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<v>ops: %d@,read/write byte ratio: %.2f@,mean io: %.0fB@,new-file share of \
+     writes: %.0f%%@,dead within 5s/30s: %.0f%%/%.0f%%@,short-lived created files: \
+     %.0f%%@,write rate: %.1fKB/s@]"
+    r.ops r.read_write_byte_ratio r.mean_io_bytes
+    (100.0 *. r.new_file_share_of_writes)
+    (100.0 *. r.dead_within_5s)
+    (100.0 *. r.dead_within_30s)
+    (100.0 *. r.short_lived_file_fraction)
+    (r.write_rate_bytes_per_s /. 1024.0)
+
+type range = { lo : float; hi : float; what : string }
+
+let sprite_targets =
+  [
+    { lo = 0.35; hi = 0.65; what = "written bytes dead within 30s" };
+    { lo = 1.0; hi = 4.0; what = "read/write byte ratio" };
+    { lo = 0.40; hi = 0.90; what = "written bytes going to new files" };
+    { lo = 0.50; hi = 0.90; what = "created files that are short-lived" };
+  ]
+
+let measured report range =
+  match range.what with
+  | "written bytes dead within 30s" -> report.dead_within_30s
+  | "read/write byte ratio" -> report.read_write_byte_ratio
+  | "written bytes going to new files" -> report.new_file_share_of_writes
+  | "created files that are short-lived" -> report.short_lived_file_fraction
+  | _ -> nan
+
+let evaluate report =
+  List.map
+    (fun range ->
+      let v = measured report range in
+      (range, v, v >= range.lo && v <= range.hi))
+    sprite_targets
+
+let conforms report = List.for_all (fun (_, _, ok) -> ok) (evaluate report)

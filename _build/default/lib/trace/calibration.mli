@@ -1,0 +1,48 @@
+(** Workload-calibration report.
+
+    The paper's storage-manager argument stands on measured Unix workload
+    properties from the BSD trace study (Ousterhout et al., SOSP-10) and
+    the Sprite study (Baker et al., SOSP-13).  This module condenses a
+    trace into the handful of statistics those papers report, and states
+    the target ranges our Sprite-calibrated profile must stay inside —
+    the test suite pins {!Workloads.engineering} against them, so the E6
+    experiment cannot silently drift off its premise. *)
+
+type report = {
+  ops : int;
+  read_write_byte_ratio : float;  (** Bytes read / bytes written. *)
+  mean_io_bytes : float;  (** Mean transfer size per data operation. *)
+  new_file_share_of_writes : float;
+      (** Written bytes going to files created within the trace. *)
+  dead_within_30s : float;  (** Write-death fraction at the Sprite window. *)
+  dead_within_5s : float;
+  short_lived_file_fraction : float;
+      (** Files created and deleted within the trace. *)
+  write_rate_bytes_per_s : float;
+}
+
+val analyze : Synth.t -> report
+(** Condense a generated workload. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+(** {1 Published targets}
+
+    Ranges, not points: the original studies measured different machines
+    over different weeks and themselves report ranges. *)
+
+type range = { lo : float; hi : float; what : string }
+
+val sprite_targets : range list
+(** The properties E6 depends on:
+    - bytes die young: 35–65 % of written bytes dead within 30 s (Baker
+      report ~50 % for the mix of overwrites and deletes they saw);
+    - reads outnumber writes by bytes, ratio 1.0–4.0 (BSD study: ~2–3);
+    - most new bytes go to newly created files, 40–90 %;
+    - a large share of created files are short-lived, 50–90 %. *)
+
+val evaluate : report -> (range * float * bool) list
+(** Each target range with the measured value and whether it is inside. *)
+
+val conforms : report -> bool
+(** All targets hold. *)

@@ -1,0 +1,113 @@
+open Sim
+
+let to_line r =
+  let ns = Time.to_ns r.Record.at in
+  match r.Record.op with
+  | Record.Create { file } -> Printf.sprintf "%d create %d" ns file
+  | Record.Write { file; offset; bytes } ->
+    Printf.sprintf "%d write %d %d %d" ns file offset bytes
+  | Record.Read { file; offset; bytes } ->
+    Printf.sprintf "%d read %d %d %d" ns file offset bytes
+  | Record.Truncate { file; size } -> Printf.sprintf "%d trunc %d %d" ns file size
+  | Record.Delete { file } -> Printf.sprintf "%d delete %d" ns file
+
+let of_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else begin
+    let fields = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+    let int s =
+      match int_of_string_opt s with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "not an integer: %S" s)
+    in
+    let ( let* ) = Result.bind in
+    let make at op = Ok (Some { Record.at = Time.of_ns at; op }) in
+    match fields with
+    | [ at; "create"; file ] ->
+      let* at = int at in
+      let* file = int file in
+      make at (Record.Create { file })
+    | [ at; "write"; file; offset; bytes ] ->
+      let* at = int at in
+      let* file = int file in
+      let* offset = int offset in
+      let* bytes = int bytes in
+      make at (Record.Write { file; offset; bytes })
+    | [ at; "read"; file; offset; bytes ] ->
+      let* at = int at in
+      let* file = int file in
+      let* offset = int offset in
+      let* bytes = int bytes in
+      make at (Record.Read { file; offset; bytes })
+    | [ at; "trunc"; file; size ] ->
+      let* at = int at in
+      let* file = int file in
+      let* size = int size in
+      make at (Record.Truncate { file; size })
+    | [ at; "delete"; file ] ->
+      let* at = int at in
+      let* file = int file in
+      make at (Record.Delete { file })
+    | _ -> Error (Printf.sprintf "unrecognized record: %S" line)
+  end
+
+let write_channel oc records =
+  List.iter
+    (fun r ->
+      output_string oc (to_line r);
+      output_char oc '\n')
+    records
+
+let read_channel ic =
+  let rec go lineno acc =
+    match In_channel.input_line ic with
+    | None -> Ok (List.rev acc)
+    | Some line -> begin
+      match of_line line with
+      | Ok None -> go (lineno + 1) acc
+      | Ok (Some r) -> go (lineno + 1) (r :: acc)
+      | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+    end
+  in
+  go 1 []
+
+let init_directive file size = Printf.sprintf "#init %d %d" file size
+
+let parse_init line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "#init"; file; size ] -> begin
+    match (int_of_string_opt file, int_of_string_opt size) with
+    | Some file, Some size -> Some (file, size)
+    | _ -> None
+  end
+  | _ -> None
+
+let write_file ?(initial_files = []) path records =
+  Out_channel.with_open_text path (fun oc ->
+      List.iter
+        (fun (file, size) ->
+          output_string oc (init_directive file size);
+          output_char oc '\n')
+        initial_files;
+      write_channel oc records)
+
+let read_file path = In_channel.with_open_text path read_channel
+
+let read_file_with_init path =
+  In_channel.with_open_text path (fun ic ->
+      let rec go lineno inits acc =
+        match In_channel.input_line ic with
+        | None -> Ok (List.rev inits, List.rev acc)
+        | Some line -> begin
+          match parse_init line with
+          | Some init -> go (lineno + 1) (init :: inits) acc
+          | None -> begin
+            match of_line line with
+            | Ok None -> go (lineno + 1) inits acc
+            | Ok (Some r) -> go (lineno + 1) inits (r :: acc)
+            | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+          end
+        end
+      in
+      go 1 [] [])

@@ -1,0 +1,43 @@
+(** Text serialization of traces.
+
+    One record per line:
+    {v
+    <ns> create <file>
+    <ns> write <file> <offset> <bytes>
+    <ns> read <file> <offset> <bytes>
+    <ns> trunc <file> <size>
+    <ns> delete <file>
+    v}
+    Lines starting with ['#'] and blank lines are ignored on input.
+
+    A trace may carry its preload set as directives that are comments to
+    the record parser but recognized by {!parse_init}:
+    {v
+    #init <file> <size>
+    v} *)
+
+val to_line : Record.t -> string
+
+val of_line : string -> (Record.t option, string) result
+(** [Ok None] for comments and blank lines; [Error msg] on malformed
+    input. *)
+
+val write_channel : out_channel -> Record.t list -> unit
+
+val read_channel : in_channel -> (Record.t list, string) result
+(** Reads to end of channel.  The error message includes the line number. *)
+
+val init_directive : Record.file_id -> int -> string
+(** ["#init <file> <size>"] — a file assumed present before the trace. *)
+
+val parse_init : string -> (Record.file_id * int) option
+(** Recognize an init directive (and nothing else). *)
+
+val write_file : ?initial_files:(Record.file_id * int) list -> string -> Record.t list -> unit
+(** Writes init directives first, then the records. *)
+
+val read_file : string -> (Record.t list, string) result
+
+val read_file_with_init :
+  string -> ((Record.file_id * int) list * Record.t list, string) result
+(** Like {!read_file}, also collecting the init directives. *)

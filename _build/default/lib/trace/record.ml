@@ -1,0 +1,38 @@
+type file_id = int
+
+type op =
+  | Create of { file : file_id }
+  | Write of { file : file_id; offset : int; bytes : int }
+  | Read of { file : file_id; offset : int; bytes : int }
+  | Truncate of { file : file_id; size : int }
+  | Delete of { file : file_id }
+
+type t = { at : Sim.Time.t; op : op }
+
+let file t =
+  match t.op with
+  | Create { file }
+  | Write { file; _ }
+  | Read { file; _ }
+  | Truncate { file; _ }
+  | Delete { file } ->
+    file
+
+let bytes_written t = match t.op with Write { bytes; _ } -> bytes | _ -> 0
+let bytes_read t = match t.op with Read { bytes; _ } -> bytes | _ -> 0
+
+let is_data_op t =
+  match t.op with
+  | Read _ | Write _ -> true
+  | Create _ | Truncate _ | Delete _ -> false
+
+let compare_by_time a b = Sim.Time.compare a.at b.at
+
+let pp_op ppf = function
+  | Create { file } -> Fmt.pf ppf "create f%d" file
+  | Write { file; offset; bytes } -> Fmt.pf ppf "write f%d @%d +%d" file offset bytes
+  | Read { file; offset; bytes } -> Fmt.pf ppf "read f%d @%d +%d" file offset bytes
+  | Truncate { file; size } -> Fmt.pf ppf "truncate f%d ->%d" file size
+  | Delete { file } -> Fmt.pf ppf "delete f%d" file
+
+let pp ppf t = Fmt.pf ppf "[%a] %a" Sim.Time.pp t.at pp_op t.op

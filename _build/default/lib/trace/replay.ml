@@ -1,0 +1,13 @@
+open Sim
+
+let run engine records ~f =
+  List.iter
+    (fun r ->
+      let at = r.Record.at in
+      if Time.( < ) (Engine.now engine) at then Engine.run_until engine at;
+      f engine r)
+    records
+
+let run_all engine records ~f ~drain_until =
+  run engine records ~f;
+  Engine.run_until engine drain_until

@@ -1,0 +1,24 @@
+(** Trace replay.
+
+    Drives a time-ordered trace through a consumer while keeping a
+    simulation engine's clock in step, so that background activity scheduled
+    on the engine (writeback timers, cleaners, battery accounting)
+    interleaves with foreground operations at the right instants. *)
+
+val run :
+  Sim.Engine.t -> Record.t list -> f:(Sim.Engine.t -> Record.t -> unit) -> unit
+(** For each record in order: run every engine event due before the record's
+    timestamp, advance the clock to it, and apply [f].  Records stamped in
+    the past (before the current clock) are applied at the current clock
+    time — a foreground operation cannot begin before its predecessor's
+    bookkeeping completed. *)
+
+val run_all :
+  Sim.Engine.t ->
+  Record.t list ->
+  f:(Sim.Engine.t -> Record.t -> unit) ->
+  drain_until:Sim.Time.t ->
+  unit
+(** [run] followed by running the engine's agenda up to [drain_until] —
+    letting pending flushes and cleaners finish after the last foreground
+    operation. *)

@@ -1,0 +1,130 @@
+open Sim
+
+type summary = {
+  ops : int;
+  creates : int;
+  reads : int;
+  writes : int;
+  truncates : int;
+  deletes : int;
+  bytes_read : int;
+  bytes_written : int;
+  distinct_files : int;
+  duration : Time.span;
+}
+
+let summarize records =
+  let files = Hashtbl.create 256 in
+  let creates = ref 0
+  and reads = ref 0
+  and writes = ref 0
+  and truncates = ref 0
+  and deletes = ref 0
+  and bytes_read = ref 0
+  and bytes_written = ref 0
+  and ops = ref 0
+  and last = ref Time.zero in
+  List.iter
+    (fun r ->
+      incr ops;
+      Hashtbl.replace files (Record.file r) ();
+      last := Time.max !last r.Record.at;
+      match r.Record.op with
+      | Record.Create _ -> incr creates
+      | Record.Read { bytes; _ } ->
+        incr reads;
+        bytes_read := !bytes_read + bytes
+      | Record.Write { bytes; _ } ->
+        incr writes;
+        bytes_written := !bytes_written + bytes
+      | Record.Truncate _ -> incr truncates
+      | Record.Delete _ -> incr deletes)
+    records;
+  {
+    ops = !ops;
+    creates = !creates;
+    reads = !reads;
+    writes = !writes;
+    truncates = !truncates;
+    deletes = !deletes;
+    bytes_read = !bytes_read;
+    bytes_written = !bytes_written;
+    distinct_files = Hashtbl.length files;
+    duration = Time.diff !last Time.zero;
+  }
+
+let write_rate_bytes_per_s s =
+  let secs = Time.span_to_s s.duration in
+  if secs <= 0.0 then 0.0 else float_of_int s.bytes_written /. secs
+
+type death = { written_bytes : int; dead_bytes : int; dead_fraction : float }
+
+let block = 512
+
+let write_death records ~window =
+  let window_ns = Time.span_to_ns window in
+  (* file -> (block index -> birth time of the data currently there) *)
+  let births : (int, (int, Time.t) Hashtbl.t) Hashtbl.t = Hashtbl.create 256 in
+  let written = ref 0 and dead = ref 0 in
+  let file_births file =
+    match Hashtbl.find_opt births file with
+    | Some h -> h
+    | None ->
+      let h = Hashtbl.create 16 in
+      Hashtbl.replace births file h;
+      h
+  in
+  let kill ~at birth =
+    if Time.to_ns at - Time.to_ns birth <= window_ns then dead := !dead + block
+  in
+  let kill_block ~at h b =
+    match Hashtbl.find_opt h b with
+    | Some birth ->
+      kill ~at birth;
+      Hashtbl.remove h b
+    | None -> ()
+  in
+  List.iter
+    (fun r ->
+      let at = r.Record.at in
+      match r.Record.op with
+      | Record.Write { file; offset; bytes } ->
+        written := !written + bytes;
+        let h = file_births file in
+        let first = offset / block and last = (offset + bytes - 1) / block in
+        for b = first to last do
+          kill_block ~at h b;
+          Hashtbl.replace h b at
+        done
+      | Record.Truncate { file; size } ->
+        let h = file_births file in
+        let keep = Units.ceil_div size block in
+        let victims =
+          Hashtbl.fold (fun b _ acc -> if b >= keep then b :: acc else acc) h []
+        in
+        List.iter (kill_block ~at h) victims
+      | Record.Delete { file } -> begin
+        match Hashtbl.find_opt births file with
+        | Some h ->
+          Hashtbl.iter (fun _ birth -> kill ~at birth) h;
+          Hashtbl.remove births file
+        | None -> ()
+      end
+      | Record.Create _ | Record.Read _ -> ())
+    records;
+  let written_bytes = !written in
+  let dead_bytes = min !dead written_bytes in
+  {
+    written_bytes;
+    dead_bytes;
+    dead_fraction =
+      (if written_bytes = 0 then 0.0
+       else float_of_int dead_bytes /. float_of_int written_bytes);
+  }
+
+let pp_summary ppf s =
+  Fmt.pf ppf
+    "ops=%d creates=%d reads=%d writes=%d truncs=%d deletes=%d read=%a written=%a \
+     files=%d span=%a"
+    s.ops s.creates s.reads s.writes s.truncates s.deletes Fmt.byte_size s.bytes_read
+    Fmt.byte_size s.bytes_written s.distinct_files Time.pp_span s.duration

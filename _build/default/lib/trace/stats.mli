@@ -1,0 +1,39 @@
+(** Trace analysis.
+
+    Computes from a trace the summary statistics the paper's argument
+    depends on — in particular the *write-death profile*: what fraction of
+    written bytes is overwritten, truncated away, or deleted within a time
+    window.  That fraction is the theoretical ceiling on the write traffic a
+    battery-backed DRAM buffer with that writeback delay can absorb
+    (Section 3.3, citing Baker et al.). *)
+
+type summary = {
+  ops : int;
+  creates : int;
+  reads : int;
+  writes : int;
+  truncates : int;
+  deletes : int;
+  bytes_read : int;
+  bytes_written : int;
+  distinct_files : int;
+  duration : Sim.Time.span;  (** Last record timestamp. *)
+}
+
+val summarize : Record.t list -> summary
+
+val write_rate_bytes_per_s : summary -> float
+
+type death = {
+  written_bytes : int;  (** Total bytes of write payload. *)
+  dead_bytes : int;
+      (** Bytes whose data was superseded (overwritten / truncated /
+          deleted) within the window of their write. *)
+  dead_fraction : float;
+}
+
+val write_death : Record.t list -> window:Sim.Time.span -> death
+(** Block-granularity (512 B) write-death analysis.  Bytes still live at the
+    end of the trace are counted as surviving. *)
+
+val pp_summary : Format.formatter -> summary -> unit

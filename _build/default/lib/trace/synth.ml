@@ -1,0 +1,217 @@
+open Sim
+
+type profile = {
+  name : string;
+  ops_per_second : float;
+  read_fraction : float;
+  full_read_fraction : float;
+  io_bytes : Distribution.t;
+  new_file_fraction : float;
+  new_file_bytes : Distribution.t;
+  short_lived_fraction : float;
+  short_lifetime_s : Distribution.t;
+  whole_file_rewrite_fraction : float;
+  overwrite_bias : float;
+  population : int;
+  file_bytes : Distribution.t;
+  zipf_s : float;
+}
+
+let validate p =
+  let prob name v =
+    if v < 0.0 || v > 1.0 then Error (Printf.sprintf "%s must be in [0,1], got %g" name v)
+    else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let* () = prob "read_fraction" p.read_fraction in
+  let* () = prob "full_read_fraction" p.full_read_fraction in
+  let* () = prob "new_file_fraction" p.new_file_fraction in
+  let* () = prob "short_lived_fraction" p.short_lived_fraction in
+  let* () = prob "whole_file_rewrite_fraction" p.whole_file_rewrite_fraction in
+  let* () = prob "overwrite_bias" p.overwrite_bias in
+  let* () =
+    if p.new_file_fraction +. p.whole_file_rewrite_fraction > 1.0 then
+      Error "new_file_fraction + whole_file_rewrite_fraction > 1"
+    else Ok ()
+  in
+  let* () = if p.population <= 0 then Error "population must be positive" else Ok () in
+  if p.ops_per_second <= 0.0 then Error "ops_per_second must be positive" else Ok ()
+
+type t = {
+  profile : profile;
+  initial_files : (Record.file_id * int) list;
+  records : Record.t list;
+}
+
+let block = 512
+
+let align offset = offset - (offset mod block)
+
+(* Mutable generation state. *)
+type state = {
+  rng : Rng.t;
+  zipf : Distribution.Zipf.t;
+  sizes : (int, int) Hashtbl.t;  (* live file -> size *)
+  last_write : (int, int) Hashtbl.t;  (* file -> offset of previous update *)
+  deletions : int Event_queue.t;  (* scheduled deaths of short-lived files *)
+  mutable next_id : int;
+  mutable acc : Record.t list;  (* reversed *)
+}
+
+let emit st ~at op = st.acc <- { Record.at; op } :: st.acc
+
+(* Sizes are clamped: 1993 mobile files are small, and unbounded lognormal
+   tails would let one freak multi-megabyte file dominate every mean. *)
+let max_file_bytes = 256 * 1024
+let max_io_bytes = 64 * 1024
+
+let sample_bytes ?(cap = max_file_bytes) dist rng ~min_bytes =
+  min cap (max min_bytes (Distribution.sample_int dist rng))
+
+(* Emit Create + sequential whole-file writes; returns the file id. *)
+let create_and_write st ~at ~size ~io_dist =
+  let file = st.next_id in
+  st.next_id <- st.next_id + 1;
+  Hashtbl.replace st.sizes file size;
+  emit st ~at (Record.Create { file });
+  let rec chunks offset =
+    if offset < size then begin
+      let n = min (size - offset) (sample_bytes ~cap:max_io_bytes io_dist st.rng ~min_bytes:block) in
+      emit st ~at (Record.Write { file; offset; bytes = n });
+      chunks (offset + n)
+    end
+  in
+  chunks 0;
+  file
+
+let flush_deletions st ~upto =
+  let rec go () =
+    match Event_queue.peek_time st.deletions with
+    | Some at when Time.( <= ) at upto -> begin
+      match Event_queue.pop st.deletions with
+      | Some (at, file) ->
+        if Hashtbl.mem st.sizes file then begin
+          Hashtbl.remove st.sizes file;
+          Hashtbl.remove st.last_write file;
+          emit st ~at (Record.Delete { file })
+        end;
+        go ()
+      | None -> ()
+    end
+    | Some _ | None -> ()
+  in
+  go ()
+
+let pick_population_file st = Distribution.Zipf.sample st.zipf st.rng
+
+let do_read p st ~at =
+  let file = pick_population_file st in
+  match Hashtbl.find_opt st.sizes file with
+  | None -> ()  (* population files are never deleted; defensive *)
+  | Some size when size >= block ->
+    if Rng.bernoulli st.rng ~p:p.full_read_fraction then begin
+      (* The dominant BSD pattern: read the whole file sequentially. *)
+      let rec chunks offset =
+        if offset < size then begin
+          let n =
+            min (size - offset)
+              (sample_bytes ~cap:max_io_bytes p.io_bytes st.rng ~min_bytes:block)
+          in
+          emit st ~at (Record.Read { file; offset; bytes = n });
+          chunks (offset + n)
+        end
+      in
+      chunks 0
+    end
+    else begin
+      let bytes =
+        min size (sample_bytes ~cap:max_io_bytes p.io_bytes st.rng ~min_bytes:block)
+      in
+      let offset = align (Rng.int st.rng (max 1 (size - bytes + 1))) in
+      emit st ~at (Record.Read { file; offset; bytes })
+    end
+  | Some _ -> ()
+
+let do_new_file p st ~at =
+  let size = sample_bytes p.new_file_bytes st.rng ~min_bytes:block in
+  let file = create_and_write st ~at ~size ~io_dist:p.io_bytes in
+  if Rng.bernoulli st.rng ~p:p.short_lived_fraction then begin
+    let life = Time.span_s (Float.max 0.1 (Distribution.sample p.short_lifetime_s st.rng)) in
+    ignore (Event_queue.add st.deletions ~at:(Time.add at life) file)
+  end
+
+let do_whole_file_rewrite p st ~at =
+  let file = pick_population_file st in
+  match Hashtbl.find_opt st.sizes file with
+  | None -> ()
+  | Some old_size ->
+    emit st ~at (Record.Truncate { file; size = 0 });
+    let size = max block (min (2 * old_size) (max block old_size)) in
+    Hashtbl.replace st.sizes file size;
+    let rec chunks offset =
+      if offset < size then begin
+        let n = min (size - offset) (sample_bytes ~cap:max_io_bytes p.io_bytes st.rng ~min_bytes:block) in
+        emit st ~at (Record.Write { file; offset; bytes = n });
+        chunks (offset + n)
+      end
+    in
+    chunks 0
+
+let do_update p st ~at =
+  let file = pick_population_file st in
+  match Hashtbl.find_opt st.sizes file with
+  | None -> ()
+  | Some size ->
+    let bytes = min (max block size) (sample_bytes ~cap:max_io_bytes p.io_bytes st.rng ~min_bytes:block) in
+    let offset =
+      match Hashtbl.find_opt st.last_write file with
+      | Some prev when Rng.bernoulli st.rng ~p:p.overwrite_bias -> prev
+      | Some _ | None -> align (Rng.int st.rng (max 1 size))
+    in
+    Hashtbl.replace st.last_write file offset;
+    if offset + bytes > size then Hashtbl.replace st.sizes file (offset + bytes);
+    emit st ~at (Record.Write { file; offset; bytes })
+
+let generate p ~rng ~duration =
+  (match validate p with Ok () -> () | Error msg -> invalid_arg ("Synth.generate: " ^ msg));
+  let st =
+    {
+      rng;
+      zipf = Distribution.Zipf.create ~n:p.population ~s:p.zipf_s;
+      sizes = Hashtbl.create 1024;
+      last_write = Hashtbl.create 1024;
+      deletions = Event_queue.create ();
+      next_id = p.population;
+      acc = [];
+    }
+  in
+  let initial_files =
+    List.init p.population (fun file ->
+        let size = sample_bytes p.file_bytes rng ~min_bytes:block in
+        Hashtbl.replace st.sizes file size;
+        (file, size))
+  in
+  let interarrival = Distribution.Exponential { mean = 1.0 /. p.ops_per_second } in
+  let stop = Time.add Time.zero duration in
+  let rec step now =
+    let gap = Time.span_s (Float.max 1e-6 (Distribution.sample interarrival rng)) in
+    let at = Time.add now gap in
+    if Time.( < ) stop at then flush_deletions st ~upto:stop
+    else begin
+      flush_deletions st ~upto:at;
+      let x = Rng.unit_float rng in
+      if x < p.read_fraction then do_read p st ~at
+      else begin
+        let y = Rng.unit_float rng in
+        if y < p.new_file_fraction then do_new_file p st ~at
+        else if y < p.new_file_fraction +. p.whole_file_rewrite_fraction then
+          do_whole_file_rewrite p st ~at
+        else do_update p st ~at
+      end;
+      step at
+    end
+  in
+  step Time.zero;
+  { profile = p; initial_files; records = List.rev st.acc }
+
+let first_fresh_file t = t.profile.population

@@ -1,0 +1,58 @@
+(** Synthetic file-system workload generator.
+
+    The paper's Section 3.3 argument rests on measured Unix workload
+    properties published in the BSD trace study (Ousterhout et al., SOSP-10)
+    and the Sprite study (Baker et al., SOSP-13): most files are small; a
+    large share of written bytes goes to short-lived files or is overwritten
+    within tens of seconds; reads outnumber writes; file popularity is
+    heavily skewed.  This generator reproduces those summary statistics from
+    a parameterized profile, so experiments can sweep them.
+
+    The generator is deterministic given a profile, an {!Sim.Rng.t}, and a
+    duration. *)
+
+type profile = {
+  name : string;
+  ops_per_second : float;  (** Mean arrival rate of operations. *)
+  read_fraction : float;  (** Among data operations. *)
+  full_read_fraction : float;
+      (** Among reads: the share that scans the whole file sequentially —
+          the dominant access pattern the BSD study measured. *)
+  io_bytes : Sim.Distribution.t;  (** Transfer size per read/write. *)
+  new_file_fraction : float;
+      (** Among write events: the share that creates a fresh file and writes
+          it in full (temporaries, spool files, saved documents). *)
+  new_file_bytes : Sim.Distribution.t;
+  short_lived_fraction : float;
+      (** Among fresh files: the share deleted again after a short life —
+          the Sprite "most new bytes die young" property. *)
+  short_lifetime_s : Sim.Distribution.t;  (** Lifetime of those files, seconds. *)
+  whole_file_rewrite_fraction : float;
+      (** Among write events: truncate-and-rewrite of an existing file (the
+          editor save pattern); kills all the file's previous bytes. *)
+  overwrite_bias : float;
+      (** Among in-place updates: probability of hitting the same region as
+          the previous update to that file (log append, counter update)
+          rather than a uniformly random block. *)
+  population : int;  (** Long-lived files present at time zero. *)
+  file_bytes : Sim.Distribution.t;  (** Their initial sizes. *)
+  zipf_s : float;  (** Popularity skew across the population. *)
+}
+
+val validate : profile -> (unit, string) result
+(** Check that fractions are probabilities and counts are positive. *)
+
+type t = {
+  profile : profile;
+  initial_files : (Record.file_id * int) list;
+      (** Files (id, size) assumed present — installed programs and old data.
+          Loading them is setup, not traced traffic. *)
+  records : Record.t list;  (** Time-ordered operations. *)
+}
+
+val generate : profile -> rng:Sim.Rng.t -> duration:Sim.Time.span -> t
+(** Generate a trace covering [duration] of simulated time.
+    @raise Invalid_argument if [validate] fails. *)
+
+val first_fresh_file : t -> Record.file_id
+(** File ids at or above this value were created during the trace. *)

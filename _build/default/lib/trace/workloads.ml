@@ -1,0 +1,78 @@
+open Sim
+
+let lognormal = Distribution.lognormal_of_mean_p50
+
+let engineering =
+  {
+    Synth.name = "engineering";
+    ops_per_second = 6.0;
+    read_fraction = 0.55;
+    full_read_fraction = 0.6;
+    io_bytes = lognormal ~mean:4096.0 ~median:2048.0;
+    new_file_fraction = 0.30;
+    new_file_bytes = lognormal ~mean:16_384.0 ~median:6_144.0;
+    short_lived_fraction = 0.65;
+    short_lifetime_s = Exponential { mean = 12.0 };
+    whole_file_rewrite_fraction = 0.10;
+    overwrite_bias = 0.5;
+    population = 500;
+    file_bytes = lognormal ~mean:24_576.0 ~median:8_192.0;
+    zipf_s = 0.9;
+  }
+
+let pim =
+  {
+    Synth.name = "pim";
+    ops_per_second = 2.0;
+    read_fraction = 0.70;
+    full_read_fraction = 0.6;
+    io_bytes = lognormal ~mean:1024.0 ~median:768.0;
+    new_file_fraction = 0.25;
+    new_file_bytes = lognormal ~mean:2048.0 ~median:1024.0;
+    short_lived_fraction = 0.50;
+    short_lifetime_s = Exponential { mean = 45.0 };
+    whole_file_rewrite_fraction = 0.25;
+    overwrite_bias = 0.8;
+    population = 200;
+    file_bytes = lognormal ~mean:4096.0 ~median:2048.0;
+    zipf_s = 1.1;
+  }
+
+let compile =
+  {
+    Synth.name = "compile";
+    ops_per_second = 15.0;
+    read_fraction = 0.50;
+    full_read_fraction = 0.7;
+    io_bytes = lognormal ~mean:8192.0 ~median:4096.0;
+    new_file_fraction = 0.60;
+    new_file_bytes = lognormal ~mean:12_288.0 ~median:8_192.0;
+    short_lived_fraction = 0.90;
+    short_lifetime_s = Exponential { mean = 8.0 };
+    whole_file_rewrite_fraction = 0.05;
+    overwrite_bias = 0.3;
+    population = 300;
+    file_bytes = lognormal ~mean:16_384.0 ~median:8_192.0;
+    zipf_s = 0.8;
+  }
+
+let database =
+  {
+    Synth.name = "database";
+    ops_per_second = 10.0;
+    read_fraction = 0.40;
+    full_read_fraction = 0.05;
+    io_bytes = lognormal ~mean:2048.0 ~median:1024.0;
+    new_file_fraction = 0.02;
+    new_file_bytes = lognormal ~mean:8192.0 ~median:4096.0;
+    short_lived_fraction = 0.50;
+    short_lifetime_s = Exponential { mean = 20.0 };
+    whole_file_rewrite_fraction = 0.02;
+    overwrite_bias = 0.3;
+    population = 50;
+    file_bytes = lognormal ~mean:524_288.0 ~median:262_144.0;
+    zipf_s = 0.7;
+  }
+
+let all = [ engineering; pim; compile; database ]
+let find name = List.find_opt (fun p -> p.Synth.name = name) all

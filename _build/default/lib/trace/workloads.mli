@@ -1,0 +1,28 @@
+(** Named workload profiles.
+
+    Four mobile-computer workloads motivated by the paper's introduction:
+    a general engineering mix calibrated to the Sprite/BSD measurements, a
+    personal-information-manager (palmtop) day, a program-development burst,
+    and a record-update (database-style) load.  Each is a {!Synth.profile};
+    experiments reference them by name. *)
+
+val engineering : Synth.profile
+(** Sprite-like general workstation use: reads dominate, lots of small
+    short-lived files, ~half of written bytes dead within ~30 s. *)
+
+val pim : Synth.profile
+(** Personal information manager on a palmtop: low rate, tiny files, heavy
+    rewrite of a small working set. *)
+
+val compile : Synth.profile
+(** Edit-compile-run cycles: a churn of short-lived object files over a
+    read-mostly source population. *)
+
+val database : Synth.profile
+(** Random in-place record updates within a few large files. *)
+
+val all : Synth.profile list
+(** Every named profile, for sweeps. *)
+
+val find : string -> Synth.profile option
+(** Look a profile up by [name]. *)

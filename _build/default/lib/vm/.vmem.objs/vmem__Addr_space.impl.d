@@ -1,0 +1,1 @@
+lib/vm/addr_space.ml: Fmt List Page_table Sim

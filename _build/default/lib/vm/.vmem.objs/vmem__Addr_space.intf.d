@@ -1,0 +1,1 @@
+lib/vm/addr_space.mli: Format Page_table

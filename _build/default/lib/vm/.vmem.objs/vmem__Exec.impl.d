@@ -1,0 +1,1 @@
+lib/vm/exec.ml: Addr_space Array Device Page_table Rng Sim Storage Time Units Vm

@@ -1,0 +1,1 @@
+lib/vm/exec.mli: Addr_space Device Sim Storage Vm

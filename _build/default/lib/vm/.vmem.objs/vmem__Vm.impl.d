@@ -1,0 +1,1 @@
+lib/vm/vm.ml: Addr_space Array Device Engine Fmt Fun Hashtbl List Option Page_table Sim Storage Time

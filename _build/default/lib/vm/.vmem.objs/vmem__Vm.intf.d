@@ -1,0 +1,1 @@
+lib/vm/vm.mli: Addr_space Device Format Page_table Sim Storage

@@ -1,0 +1,57 @@
+type kind = Text | Data | Stack | Heap | Mapped_file
+
+let pp_kind ppf k =
+  Fmt.string ppf
+    (match k with
+    | Text -> "text"
+    | Data -> "data"
+    | Stack -> "stack"
+    | Heap -> "heap"
+    | Mapped_file -> "mapped-file")
+
+type region = { kind : kind; base : int; pages : int }
+
+type t = {
+  page_bytes : int;
+  table : Page_table.t;
+  mutable next_base : int;
+  mutable regions : region list;  (* reversed *)
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ~page_bytes =
+  if not (is_power_of_two page_bytes) then
+    invalid_arg "Addr_space.create: page size must be a positive power of two";
+  {
+    page_bytes;
+    table = Page_table.create ();
+    (* Leave page zero unmapped forever. *)
+    next_base = page_bytes;
+    regions = [];
+  }
+
+let page_bytes t = t.page_bytes
+let page_table t = t.table
+
+let add_region t ~kind ~bytes =
+  if bytes < 0 then invalid_arg "Addr_space.add_region: negative size";
+  let pages = max 1 (Sim.Units.ceil_div bytes t.page_bytes) in
+  let region = { kind; base = t.next_base; pages } in
+  t.next_base <- t.next_base + (pages * t.page_bytes);
+  t.regions <- region :: t.regions;
+  region
+
+let regions t = List.rev t.regions
+
+let region_of_addr t addr =
+  List.find_opt
+    (fun r -> addr >= r.base && addr < r.base + (r.pages * t.page_bytes))
+    t.regions
+
+let vpn_of_addr t addr = addr / t.page_bytes
+let addr_of_vpn t vpn = vpn * t.page_bytes
+
+let page_of_region region ~page_bytes i =
+  if i < 0 || i >= region.pages then invalid_arg "Addr_space.page_of_region";
+  (region.base / page_bytes) + i

@@ -1,0 +1,39 @@
+(** A process address space: a page table plus a region registry.
+
+    Regions carve up the flat 64-bit space: program text, data, stack, and
+    mapped files.  Virtual addresses are allocated by a simple bump
+    allocator — with 64 bits there is never a reason to reuse them, one of
+    the simplifications the single-level store buys. *)
+
+type kind = Text | Data | Stack | Heap | Mapped_file
+
+val pp_kind : Format.formatter -> kind -> unit
+
+type region = {
+  kind : kind;
+  base : int;  (** First virtual address (page-aligned). *)
+  pages : int;
+}
+
+type t
+
+val create : page_bytes:int -> t
+(** @raise Invalid_argument unless [page_bytes] is a positive power of
+    two. *)
+
+val page_bytes : t -> int
+val page_table : t -> Page_table.t
+
+val add_region : t -> kind:kind -> bytes:int -> region
+(** Reserve virtual space for [bytes] (rounded up to whole pages); no
+    pages are mapped yet. *)
+
+val regions : t -> region list
+(** In allocation order. *)
+
+val region_of_addr : t -> int -> region option
+val vpn_of_addr : t -> int -> int
+val addr_of_vpn : t -> int -> int
+val page_of_region : region -> page_bytes:int -> int -> int
+(** The vpn of the [i]-th page of a region.
+    @raise Invalid_argument if out of bounds. *)

@@ -1,0 +1,54 @@
+(** Program execution: execute-in-place vs load-and-run (Section 3.2).
+
+    "Programs residing in flash memory can be executed in place ...  There
+    is no need to load their code segment into primary storage before
+    execution, again saving both the storage needed for duplicate copies
+    and the time needed to perform the copies."  (The HP OmniBook shipped
+    bundled software exactly this way.)
+
+    This module models a program as a text segment installed in flash plus
+    an anonymous data segment, and charges device-model costs for the three
+    launch strategies the paper contrasts:
+
+    - {e Execute_in_place}: map the flash-resident text; instruction
+      fetches read flash directly.
+    - {e Copy_to_dram}: read the whole text out of flash and place it in
+      anonymous DRAM pages; fetches then run at DRAM speed.
+    - {e Load_from_disk}: the conventional machine — read the text from
+      the disk image, place it in DRAM. *)
+
+type program = {
+  prog_name : string;
+  text_bytes : int;
+  data_bytes : int;  (** Initial data + bss the program touches. *)
+}
+
+val install_text : Storage.Manager.t -> program -> Storage.Manager.block array
+(** Put the program's text into flash via the cold-data path, as bundled
+    software shipped in a memory card would be. *)
+
+type strategy =
+  | Execute_in_place
+  | Copy_to_dram
+  | Load_from_disk of Device.Disk.t
+
+val strategy_name : strategy -> string
+
+type launched = {
+  space : Addr_space.t;
+  text : Addr_space.region;
+  data : Addr_space.region;
+  launch_latency : Sim.Time.span;
+  text_dram_bytes : int;  (** DRAM duplicated to hold text (0 under XIP). *)
+}
+
+val launch :
+  Vm.t -> program -> text_blocks:Storage.Manager.block array -> strategy -> launched
+(** Build an address space and get the program runnable.
+    @raise Invalid_argument if [text_blocks] does not cover the text. *)
+
+val run :
+  Vm.t -> launched -> rng:Sim.Rng.t -> fetches:int -> Sim.Time.span
+(** Execute [fetches] instruction-cache-line fetches over the text with
+    0.9-sequential locality, plus a data access every few fetches; returns
+    total simulated time. *)

@@ -1,0 +1,68 @@
+type prot = { read : bool; write : bool; exec : bool }
+
+let prot_r = { read = true; write = false; exec = false }
+let prot_rw = { read = true; write = true; exec = false }
+let prot_rx = { read = true; write = false; exec = true }
+let prot_rwx = { read = true; write = true; exec = true }
+
+let pp_prot ppf p =
+  Fmt.pf ppf "%c%c%c"
+    (if p.read then 'r' else '-')
+    (if p.write then 'w' else '-')
+    (if p.exec then 'x' else '-')
+
+type backing =
+  | Dram_frame of int
+  | Flash_blocks of Storage.Manager.block array
+  | Swapped of int
+  | Untouched
+
+type pte = {
+  mutable backing : backing;
+  mutable prot : prot;
+  mutable cow : bool;
+  mutable referenced : bool;
+}
+
+type t = (int, pte) Hashtbl.t
+
+let create () = Hashtbl.create 256
+
+let map t ~vpn ~prot ~cow backing =
+  if Hashtbl.mem t vpn then invalid_arg "Page_table.map: already mapped";
+  Hashtbl.replace t vpn { backing; prot; cow; referenced = false }
+
+let unmap t ~vpn =
+  let pte = Hashtbl.find_opt t vpn in
+  Hashtbl.remove t vpn;
+  pte
+
+let find t ~vpn = Hashtbl.find_opt t vpn
+
+let protect t ~vpn prot =
+  match Hashtbl.find_opt t vpn with
+  | Some pte ->
+    pte.prot <- prot;
+    true
+  | None -> false
+
+type fault = Not_mapped | Protection
+
+let translate t ~vpn ~access =
+  match Hashtbl.find_opt t vpn with
+  | None -> Error Not_mapped
+  | Some pte ->
+    let allowed =
+      match access with
+      | `Read -> pte.prot.read
+      | `Write -> pte.prot.write
+      | `Exec -> pte.prot.exec
+    in
+    if not allowed then Error Protection
+    else begin
+      pte.referenced <- true;
+      Ok pte
+    end
+
+let mapped_pages t = Hashtbl.length t
+let iter t f = Hashtbl.iter f t

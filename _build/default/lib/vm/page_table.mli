@@ -1,0 +1,55 @@
+(** Page tables for a single-level 64-bit address space.
+
+    With DRAM and flash both byte-addressable, the paper's machine runs
+    everything out of one flat address space; virtual memory exists
+    "primarily to provide protection across multiple address spaces, rather
+    than to expand capacity" (Section 3.2).  A page-table entry therefore
+    names either DRAM frames or flash-resident storage-manager blocks as its
+    backing — mapping flash directly is what makes execute-in-place and
+    map-in-place files possible.
+
+    The table is sparse (hashed on virtual page number) and pure
+    bookkeeping; fault semantics live in {!Vm}. *)
+
+type prot = { read : bool; write : bool; exec : bool }
+
+val prot_r : prot
+val prot_rw : prot
+val prot_rx : prot
+val prot_rwx : prot
+val pp_prot : Format.formatter -> prot -> unit
+
+type backing =
+  | Dram_frame of int  (** A physical DRAM frame number. *)
+  | Flash_blocks of Storage.Manager.block array
+      (** Storage-manager blocks mapped in place (XIP / mapped file). *)
+  | Swapped of int  (** Evicted to a swap slot. *)
+  | Untouched  (** Valid mapping, no storage yet (zero-fill on demand). *)
+
+type pte = {
+  mutable backing : backing;
+  mutable prot : prot;
+  mutable cow : bool;  (** Copy to DRAM on first write. *)
+  mutable referenced : bool;  (** For clock replacement. *)
+}
+
+type t
+
+val create : unit -> t
+val map : t -> vpn:int -> prot:prot -> cow:bool -> backing -> unit
+(** @raise Invalid_argument if the page is already mapped. *)
+
+val unmap : t -> vpn:int -> pte option
+(** Remove and return the entry, if any. *)
+
+val find : t -> vpn:int -> pte option
+val protect : t -> vpn:int -> prot -> bool
+(** False if unmapped. *)
+
+type fault = Not_mapped | Protection
+
+val translate : t -> vpn:int -> access:[ `Read | `Write | `Exec ] -> (pte, fault) result
+(** Check protection and return the entry, setting its referenced bit. *)
+
+val mapped_pages : t -> int
+val iter : t -> (int -> pte -> unit) -> unit

@@ -1,0 +1,445 @@
+open Sim
+
+exception Out_of_memory
+
+type swap_target = Swap_disk of Device.Disk.t | Swap_flash | No_swap
+
+type config = { page_bytes : int; dram_frames : int; swap : swap_target }
+
+let default_config = { page_bytes = 4096; dram_frames = 1024; swap = No_swap }
+
+type t = {
+  cfg : config;
+  engine : Engine.t;
+  manager : Storage.Manager.t;
+  (* A frame may be shared by several PTEs after clone_space (fork):
+     copy-on-write resolves the sharing at the first write. *)
+  frames : Page_table.pte list array;  (* frame -> sharing anon ptes *)
+  mutable free_frames : int list;
+  mutable hand : int;
+  swap_slots : (int, Storage.Manager.block array) Hashtbl.t;  (* Swap_flash *)
+  swap_sharers : (int, Page_table.pte list) Hashtbl.t;  (* slot -> ptes *)
+  mutable next_swap_slot : int;
+  mutable c_faults : int;
+  mutable c_zero_fills : int;
+  mutable c_cow_writes : int;
+  mutable c_swap_ins : int;
+  mutable c_swap_outs : int;
+}
+
+let create cfg ~engine ~manager =
+  if cfg.page_bytes <= 0 || cfg.page_bytes mod Storage.Manager.block_bytes manager <> 0
+  then invalid_arg "Vm.create: page size must be a multiple of the block size";
+  if cfg.dram_frames <= 0 then invalid_arg "Vm.create: dram_frames <= 0";
+  {
+    cfg;
+    engine;
+    manager;
+    frames = Array.make cfg.dram_frames [];
+    free_frames = List.init cfg.dram_frames Fun.id;
+    hand = 0;
+    swap_slots = Hashtbl.create 64;
+    swap_sharers = Hashtbl.create 64;
+    next_swap_slot = 0;
+    c_faults = 0;
+    c_zero_fills = 0;
+    c_cow_writes = 0;
+    c_swap_ins = 0;
+    c_swap_outs = 0;
+  }
+
+let config t = t.cfg
+let manager t = t.manager
+let new_space t = Addr_space.create ~page_bytes:t.cfg.page_bytes
+let dram t = Storage.Manager.dram t.manager
+let blocks_per_page t = t.cfg.page_bytes / Storage.Manager.block_bytes t.manager
+
+(* Page-table updates are ordinary DRAM writes of one entry. *)
+let pte_update_span t = Device.Dram.write (dram t) ~bytes:8
+
+(* --- Swap ------------------------------------------------------------------- *)
+
+let sectors_per_page t = t.cfg.page_bytes / 512
+
+let swap_out_page t ~cursor =
+  t.c_swap_outs <- t.c_swap_outs + 1;
+  let slot = t.next_swap_slot in
+  t.next_swap_slot <- slot + 1;
+  (match t.cfg.swap with
+  | No_swap -> raise Out_of_memory
+  | Swap_disk disk ->
+    let capacity_slots = Device.Disk.capacity_bytes disk / t.cfg.page_bytes in
+    let lba = slot mod capacity_slots * sectors_per_page t in
+    let op =
+      Device.Disk.access disk ~now:!cursor ~lba ~bytes:t.cfg.page_bytes ~kind:`Write
+    in
+    cursor := op.Device.Disk.finish
+  | Swap_flash ->
+    let blocks =
+      Array.init (blocks_per_page t) (fun _ -> Storage.Manager.alloc t.manager)
+    in
+    Array.iter
+      (fun b -> cursor := Time.add !cursor (Storage.Manager.write_block t.manager b))
+      blocks;
+    Hashtbl.replace t.swap_slots slot blocks);
+  slot
+
+let swap_in_page t ~cursor slot =
+  t.c_swap_ins <- t.c_swap_ins + 1;
+  match t.cfg.swap with
+  | No_swap -> assert false (* nothing can be swapped out without a target *)
+  | Swap_disk disk ->
+    let capacity_slots = Device.Disk.capacity_bytes disk / t.cfg.page_bytes in
+    let lba = slot mod capacity_slots * sectors_per_page t in
+    let op =
+      Device.Disk.access disk ~now:!cursor ~lba ~bytes:t.cfg.page_bytes ~kind:`Read
+    in
+    cursor := op.Device.Disk.finish
+  | Swap_flash -> begin
+    match Hashtbl.find_opt t.swap_slots slot with
+    | None -> invalid_arg "Vm: unknown swap slot"
+    | Some blocks ->
+      Array.iter
+        (fun b ->
+          cursor := Time.add !cursor (Storage.Manager.read_block t.manager b);
+          Storage.Manager.free_block t.manager b)
+        blocks;
+      Hashtbl.remove t.swap_slots slot
+  end
+
+(* --- Frame pool -------------------------------------------------------------- *)
+
+let rec alloc_frame t ~cursor =
+  match t.free_frames with
+  | frame :: rest ->
+    t.free_frames <- rest;
+    frame
+  | [] ->
+    (* Clock replacement over the anonymous frames; a frame is referenced
+       if any of its sharers touched it since the last sweep. *)
+    let n = Array.length t.frames in
+    let victim = ref None in
+    let scanned = ref 0 in
+    while !victim = None && !scanned < 2 * n do
+      (match t.frames.(t.hand) with
+      | [] -> (* free but not on the list: shouldn't happen *) ()
+      | sharers ->
+        if List.exists (fun pte -> pte.Page_table.referenced) sharers then
+          List.iter (fun pte -> pte.Page_table.referenced <- false) sharers
+        else victim := Some t.hand);
+      if !victim = None then t.hand <- (t.hand + 1) mod n;
+      incr scanned
+    done;
+    (match !victim with
+    | None -> raise Out_of_memory
+    | Some frame -> begin
+      match t.frames.(frame) with
+      | [] -> assert false
+      | sharers ->
+        (* One swap write covers every sharer. *)
+        let slot = swap_out_page t ~cursor in
+        List.iter
+          (fun pte ->
+            pte.Page_table.backing <- Page_table.Swapped slot;
+            cursor := Time.add !cursor (pte_update_span t))
+          sharers;
+        Hashtbl.replace t.swap_sharers slot sharers;
+        t.frames.(frame) <- [];
+        t.free_frames <- frame :: t.free_frames
+    end);
+    alloc_frame t ~cursor
+
+let attach_frame ?(sharers = []) t ~cursor pte =
+  let frame = alloc_frame t ~cursor in
+  let all = pte :: List.filter (fun p -> p != pte) sharers in
+  t.frames.(frame) <- all;
+  List.iter
+    (fun p ->
+      p.Page_table.backing <- Page_table.Dram_frame frame;
+      cursor := Time.add !cursor (pte_update_span t))
+    all;
+  frame
+
+let release_backing t pte =
+  match pte.Page_table.backing with
+  | Page_table.Dram_frame frame -> begin
+    match List.filter (fun p -> p != pte) t.frames.(frame) with
+    | [] ->
+      t.frames.(frame) <- [];
+      t.free_frames <- frame :: t.free_frames
+    | rest -> t.frames.(frame) <- rest
+  end
+  | Page_table.Swapped slot -> begin
+    let rest =
+      List.filter (fun p -> p != pte)
+        (Option.value (Hashtbl.find_opt t.swap_sharers slot) ~default:[ pte ])
+    in
+    if rest = [] then begin
+      Hashtbl.remove t.swap_sharers slot;
+      match Hashtbl.find_opt t.swap_slots slot with
+      | Some blocks ->
+        Array.iter (Storage.Manager.free_block t.manager) blocks;
+        Hashtbl.remove t.swap_slots slot
+      | None -> ()
+    end
+    else Hashtbl.replace t.swap_sharers slot rest
+  end
+  | Page_table.Flash_blocks _ | Page_table.Untouched -> ()
+
+(* --- Mapping ------------------------------------------------------------------ *)
+
+let map_file t space ~kind ~prot ~cow ~blocks ~bytes =
+  let bs = Storage.Manager.block_bytes t.manager in
+  if Array.length blocks * bs < bytes then
+    invalid_arg "Vm.map_file: not enough blocks for the mapping";
+  let region = Addr_space.add_region space ~kind ~bytes in
+  let table = Addr_space.page_table space in
+  let per_page = blocks_per_page t in
+  let span = ref Time.span_zero in
+  for i = 0 to region.Addr_space.pages - 1 do
+    let vpn = Addr_space.page_of_region region ~page_bytes:t.cfg.page_bytes i in
+    let lo = i * per_page in
+    let hi = min (Array.length blocks) (lo + per_page) in
+    let page_blocks = Array.sub blocks lo (max 0 (hi - lo)) in
+    Page_table.map table ~vpn ~prot ~cow (Page_table.Flash_blocks page_blocks);
+    span := Time.span_add !span (pte_update_span t)
+  done;
+  (region, !span)
+
+let map_anon t space ~kind ~prot ~bytes =
+  let region = Addr_space.add_region space ~kind ~bytes in
+  let table = Addr_space.page_table space in
+  let span = ref Time.span_zero in
+  for i = 0 to region.Addr_space.pages - 1 do
+    let vpn = Addr_space.page_of_region region ~page_bytes:t.cfg.page_bytes i in
+    Page_table.map table ~vpn ~prot ~cow:false Page_table.Untouched;
+    span := Time.span_add !span (pte_update_span t)
+  done;
+  (region, !span)
+
+let unmap_region t space region =
+  let table = Addr_space.page_table space in
+  for i = 0 to region.Addr_space.pages - 1 do
+    let vpn = Addr_space.page_of_region region ~page_bytes:t.cfg.page_bytes i in
+    match Page_table.unmap table ~vpn with
+    | Some pte -> release_backing t pte
+    | None -> ()
+  done
+
+(* --- Access -------------------------------------------------------------------- *)
+
+type fault = Page_table.fault = Not_mapped | Protection
+
+let block_of_addr t blocks addr =
+  let bs = Storage.Manager.block_bytes t.manager in
+  let index = addr mod t.cfg.page_bytes / bs in
+  if index < Array.length blocks then Some blocks.(index) else None
+
+(* Apply [f] to every mapped block the access covers (an access can span
+   several storage blocks within the page), threading the time cursor.
+   Bytes falling past the mapping's blocks are zero pages: DRAM-speed. *)
+let over_covered_blocks t blocks ~addr ~bytes ~cursor ~f =
+  let bs = Storage.Manager.block_bytes t.manager in
+  let first = addr mod t.cfg.page_bytes / bs in
+  let rec go index remaining =
+    if remaining > 0 then begin
+      let n = min bs remaining in
+      if index < Array.length blocks then cursor := f ~at:!cursor ~bytes:n blocks.(index)
+      else cursor := Time.add !cursor (Device.Dram.read (dram t) ~bytes:n);
+      go (index + 1) (remaining - n)
+    end
+  in
+  go first bytes
+
+let touch t space ~addr ~access ?(bytes = 64) () =
+  let table = Addr_space.page_table space in
+  let vpn = Addr_space.vpn_of_addr space addr in
+  let now = Engine.now t.engine in
+  let cursor = ref now in
+  let serve pte =
+    match pte.Page_table.backing with
+    | Page_table.Dram_frame _ ->
+      let span =
+        match access with
+        | `Read | `Exec -> Device.Dram.read (dram t) ~bytes
+        | `Write -> Device.Dram.write (dram t) ~bytes
+      in
+      cursor := Time.add !cursor span;
+      Ok ()
+    | Page_table.Flash_blocks blocks ->
+      (match access with
+      | `Read | `Exec ->
+        over_covered_blocks t blocks ~addr ~bytes ~cursor ~f:(fun ~at ~bytes b ->
+            Storage.Manager.read_block_at ~bytes t.manager ~at b)
+      | `Write ->
+        (* Copy-on-write: the affected blocks go to the DRAM write buffer;
+           flash is updated only if they survive there. *)
+        over_covered_blocks t blocks ~addr ~bytes ~cursor ~f:(fun ~at ~bytes b ->
+            ignore bytes;
+            t.c_cow_writes <- t.c_cow_writes + 1;
+            Storage.Manager.write_block_at t.manager ~at b));
+      Ok ()
+    | Page_table.Untouched ->
+      t.c_faults <- t.c_faults + 1;
+      t.c_zero_fills <- t.c_zero_fills + 1;
+      ignore (attach_frame t ~cursor pte);
+      (* Zero-filling writes the whole frame. *)
+      cursor := Time.add !cursor (Device.Dram.write (dram t) ~bytes:t.cfg.page_bytes);
+      Error `Retry
+    | Page_table.Swapped slot ->
+      t.c_faults <- t.c_faults + 1;
+      let sharers =
+        Option.value (Hashtbl.find_opt t.swap_sharers slot) ~default:[ pte ]
+      in
+      Hashtbl.remove t.swap_sharers slot;
+      swap_in_page t ~cursor slot;
+      ignore (attach_frame ~sharers t ~cursor pte);
+      cursor := Time.add !cursor (Device.Dram.write (dram t) ~bytes:t.cfg.page_bytes);
+      Error `Retry
+  in
+  let rec go attempts =
+    if attempts > 3 then assert false (* fill/swap-in converges in one retry *)
+    else begin
+      match Page_table.translate table ~vpn ~access with
+      | Error Page_table.Protection -> begin
+        (* A write to a COW mapping is legal; everything else is a fault. *)
+        match (access, Page_table.find table ~vpn) with
+        | `Write, Some pte when pte.Page_table.cow -> begin
+          match serve_cow pte with
+          | Ok () -> Ok (Time.diff !cursor now)
+          | Error `Retry -> go (attempts + 1)
+        end
+        | _ -> Error Protection
+      end
+      | Error Page_table.Not_mapped -> Error Not_mapped
+      | Ok pte -> begin
+        match serve pte with
+        | Ok () -> Ok (Time.diff !cursor now)
+        | Error `Retry -> go (attempts + 1)
+      end
+    end
+  and serve_cow pte =
+    match pte.Page_table.backing with
+    | Page_table.Flash_blocks blocks -> begin
+      match block_of_addr t blocks addr with
+      | Some _ ->
+        over_covered_blocks t blocks ~addr ~bytes ~cursor ~f:(fun ~at ~bytes b ->
+            ignore bytes;
+            t.c_cow_writes <- t.c_cow_writes + 1;
+            Storage.Manager.write_block_at t.manager ~at b);
+        Ok ()
+      | None ->
+        cursor := Time.add !cursor (Device.Dram.write (dram t) ~bytes);
+        Ok ()
+    end
+    | Page_table.Dram_frame frame -> begin
+      (* A forked anonymous page: copy it privately on the first write —
+         or simply reclaim write permission if we are the last sharer. *)
+      match t.frames.(frame) with
+      | [ _ ] | [] ->
+        pte.Page_table.prot <- { pte.Page_table.prot with Page_table.write = true };
+        pte.Page_table.cow <- false;
+        cursor := Time.add !cursor (Device.Dram.write (dram t) ~bytes);
+        Ok ()
+      | sharers ->
+        t.c_cow_writes <- t.c_cow_writes + 1;
+        t.frames.(frame) <- List.filter (fun p -> p != pte) sharers;
+        (* Read the shared page, place the private copy. *)
+        cursor := Time.add !cursor (Device.Dram.read (dram t) ~bytes:t.cfg.page_bytes);
+        ignore (attach_frame t ~cursor pte);
+        cursor := Time.add !cursor (Device.Dram.write (dram t) ~bytes:t.cfg.page_bytes);
+        pte.Page_table.prot <- { pte.Page_table.prot with Page_table.write = true };
+        pte.Page_table.cow <- false;
+        cursor := Time.add !cursor (Device.Dram.write (dram t) ~bytes);
+        Ok ()
+    end
+    | Page_table.Swapped _ ->
+      (* Bring the shared page in first, then resolve the write. *)
+      (match serve pte with Ok () -> () | Error `Retry -> ());
+      Error `Retry
+    | Page_table.Untouched ->
+      (* Nothing shared yet: fill privately and allow the write. *)
+      pte.Page_table.prot <- { pte.Page_table.prot with Page_table.write = true };
+      pte.Page_table.cow <- false;
+      (match serve pte with Ok () -> Ok () | Error `Retry -> Error `Retry)
+  in
+  go 0
+
+(* --- Fork ------------------------------------------------------------------------- *)
+
+let clone_space t space =
+  let child = Addr_space.create ~page_bytes:t.cfg.page_bytes in
+  (* Regions replicate in order, so virtual addresses coincide. *)
+  List.iter
+    (fun r ->
+      ignore
+        (Addr_space.add_region child ~kind:r.Addr_space.kind
+           ~bytes:(r.Addr_space.pages * t.cfg.page_bytes)))
+    (Addr_space.regions space);
+  let parent_table = Addr_space.page_table space in
+  let child_table = Addr_space.page_table child in
+  let span = ref Time.span_zero in
+  Page_table.iter parent_table (fun vpn pte ->
+      span := Time.span_add !span (pte_update_span t);
+      match pte.Page_table.backing with
+      | Page_table.Flash_blocks blocks ->
+        (* Mapped files stay shared (both sides read in place; COW writes
+           already go through the storage manager). *)
+        Page_table.map child_table ~vpn ~prot:pte.Page_table.prot
+          ~cow:pte.Page_table.cow (Page_table.Flash_blocks blocks)
+      | Page_table.Untouched ->
+        Page_table.map child_table ~vpn ~prot:pte.Page_table.prot
+          ~cow:pte.Page_table.cow Page_table.Untouched
+      | Page_table.Dram_frame frame ->
+        let cow = pte.Page_table.cow || pte.Page_table.prot.Page_table.write in
+        if pte.Page_table.prot.Page_table.write then
+          pte.Page_table.prot <-
+            { pte.Page_table.prot with Page_table.write = false };
+        pte.Page_table.cow <- cow;
+        Page_table.map child_table ~vpn ~prot:pte.Page_table.prot ~cow
+          (Page_table.Dram_frame frame);
+        (match Page_table.find child_table ~vpn with
+        | Some cpte -> t.frames.(frame) <- cpte :: t.frames.(frame)
+        | None -> assert false)
+      | Page_table.Swapped slot ->
+        let cow = pte.Page_table.cow || pte.Page_table.prot.Page_table.write in
+        if pte.Page_table.prot.Page_table.write then
+          pte.Page_table.prot <-
+            { pte.Page_table.prot with Page_table.write = false };
+        pte.Page_table.cow <- cow;
+        Page_table.map child_table ~vpn ~prot:pte.Page_table.prot ~cow
+          (Page_table.Swapped slot);
+        (match Page_table.find child_table ~vpn with
+        | Some cpte ->
+          Hashtbl.replace t.swap_sharers slot
+            (cpte :: Option.value (Hashtbl.find_opt t.swap_sharers slot) ~default:[ pte ])
+        | None -> assert false));
+  (child, !span)
+
+(* --- Statistics ------------------------------------------------------------------ *)
+
+type stats = {
+  faults : int;
+  zero_fills : int;
+  cow_writes : int;
+  swap_ins : int;
+  swap_outs : int;
+  frames_in_use : int;
+}
+
+let stats t =
+  let in_use =
+    Array.fold_left (fun acc f -> if f = [] then acc else acc + 1) 0 t.frames
+  in
+  {
+    faults = t.c_faults;
+    zero_fills = t.c_zero_fills;
+    cow_writes = t.c_cow_writes;
+    swap_ins = t.c_swap_ins;
+    swap_outs = t.c_swap_outs;
+    frames_in_use = in_use;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf "faults=%d zero_fills=%d cow_writes=%d swap_in=%d swap_out=%d frames=%d"
+    s.faults s.zero_fills s.cow_writes s.swap_ins s.swap_outs s.frames_in_use

@@ -1,0 +1,105 @@
+(** The virtual-memory system (Section 3.2).
+
+    In the paper's organization, virtual memory exists mainly for protection
+    — DRAM is plentiful relative to the working set, and flash is directly
+    addressable.  This module provides:
+
+    - address spaces whose pages map DRAM frames {e or} flash-resident
+      storage-manager blocks in place (mapped files, execute-in-place);
+    - copy-on-write from flash: writing a mapped flash page sends the
+      affected block through the storage manager's DRAM write buffer,
+      deferring the erase/write penalty exactly as Section 3.1 describes;
+    - zero-fill-on-demand anonymous memory backed by a bounded pool of DRAM
+      frames with clock replacement;
+    - an optional swap target (disk, or flash through the storage manager)
+      for the conventional demand-paging baseline. *)
+
+exception Out_of_memory
+(** Anonymous memory exceeded the frame pool and there is no swap target. *)
+
+type swap_target =
+  | Swap_disk of Device.Disk.t  (** Conventional paging to disk. *)
+  | Swap_flash  (** Page to flash through the storage manager. *)
+  | No_swap  (** Running out of frames raises {!Out_of_memory}. *)
+
+type config = {
+  page_bytes : int;
+  dram_frames : int;  (** Anonymous-memory frame pool. *)
+  swap : swap_target;
+}
+
+val default_config : config
+(** 4 KB pages, 1024 frames (4 MB), no swap. *)
+
+type t
+
+val create : config -> engine:Sim.Engine.t -> manager:Storage.Manager.t -> t
+val new_space : t -> Addr_space.t
+val config : t -> config
+val manager : t -> Storage.Manager.t
+
+val map_file :
+  t ->
+  Addr_space.t ->
+  kind:Addr_space.kind ->
+  prot:Page_table.prot ->
+  cow:bool ->
+  blocks:Storage.Manager.block array ->
+  bytes:int ->
+  Addr_space.region * Sim.Time.span
+(** Map storage-manager blocks into the address space in place — no copy
+    into DRAM.  The span is the page-table setup cost.  With [cow] set,
+    writes are permitted and routed block-by-block through the storage
+    manager's write buffer.
+    @raise Invalid_argument if [blocks] cannot cover [bytes]. *)
+
+val map_anon :
+  t ->
+  Addr_space.t ->
+  kind:Addr_space.kind ->
+  prot:Page_table.prot ->
+  bytes:int ->
+  Addr_space.region * Sim.Time.span
+(** Zero-fill-on-demand anonymous memory. *)
+
+val unmap_region : t -> Addr_space.t -> Addr_space.region -> unit
+(** Release the region's frames and swap slots (mapped file blocks are the
+    file system's to free). *)
+
+val clone_space : t -> Addr_space.t -> Addr_space.t * Sim.Time.span
+(** Fork: a new address space with identical regions and mappings.
+    Flash-backed pages (text, mapped files) are shared in place; resident
+    and swapped anonymous pages share their frame or slot copy-on-write —
+    both sides lose write permission and the first write to a shared page
+    copies it privately.  The span is the page-table duplication cost.
+    Protection is per-space: revoking rights in one space never affects
+    the other — the isolation Section 3.2 says virtual memory is for. *)
+
+type fault = Page_table.fault = Not_mapped | Protection
+
+val touch :
+  t ->
+  Addr_space.t ->
+  addr:int ->
+  access:[ `Read | `Write | `Exec ] ->
+  ?bytes:int ->
+  unit ->
+  (Sim.Time.span, fault) result
+(** One memory access of [bytes] (default 64 — a cache line) at [addr],
+    faulting in / copying / swapping as needed.  The span is everything the
+    access waited for.
+    @raise Out_of_memory per {!swap_target}. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  faults : int;  (** All page faults (fills, COWs, swap-ins). *)
+  zero_fills : int;
+  cow_writes : int;  (** Writes routed to the write buffer by COW. *)
+  swap_ins : int;
+  swap_outs : int;
+  frames_in_use : int;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

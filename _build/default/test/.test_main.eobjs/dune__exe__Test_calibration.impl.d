@@ -1,0 +1,1 @@
+test/test_calibration.ml: Alcotest List Printf Rng Sim Time Trace

@@ -1,0 +1,1 @@
+test/test_card.ml: Alcotest Device Engine Fs Rng Sim Ssmc Storage Time Units Vmem

@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Device Float QCheck QCheck_alcotest Rng Sim Time Units

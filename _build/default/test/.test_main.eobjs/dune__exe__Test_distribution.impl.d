@@ -1,0 +1,1 @@
+test/test_distribution.ml: Alcotest Array Distribution Float List Printf QCheck QCheck_alcotest Rng Sim

@@ -1,0 +1,1 @@
+test/test_event_queue.ml: Alcotest Event_queue List Option QCheck QCheck_alcotest Sim Time

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Device Engine Float Printf Rng Sim Storage Time Units Vmem

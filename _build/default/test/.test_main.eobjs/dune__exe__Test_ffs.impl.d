@@ -1,0 +1,1 @@
+test/test_ffs.ml: Alcotest Device Engine Fs Gen Hashtbl List Printf QCheck QCheck_alcotest Result Rng Sim Time Units

@@ -1,0 +1,1 @@
+test/test_flash.ml: Alcotest Array Device Fun Gen List QCheck QCheck_alcotest Sim Time

@@ -1,0 +1,1 @@
+test/test_fs_base.ml: Alcotest Fs Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_heat.ml: Alcotest QCheck QCheck_alcotest Sim Storage Time

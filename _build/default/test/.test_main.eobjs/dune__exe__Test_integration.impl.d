@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Device Engine Filename Fs Fun List Option Result Rng Sim Ssmc Storage Sys Time Trace Units

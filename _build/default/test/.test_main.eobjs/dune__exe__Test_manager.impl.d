@@ -1,0 +1,1 @@
+test/test_manager.ml: Alcotest Array Device Engine Fs Gen List Option Printf QCheck QCheck_alcotest Rng Sim Storage Time Units

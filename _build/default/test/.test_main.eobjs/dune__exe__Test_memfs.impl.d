@@ -1,0 +1,1 @@
+test/test_memfs.ml: Alcotest Device Engine Fs Gen Hashtbl List Printf QCheck QCheck_alcotest Result Sim Storage Time Units

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Device Engine Fmt Fs Option Rng Sim Ssmc Stat Storage String Time Trace Units Vmem

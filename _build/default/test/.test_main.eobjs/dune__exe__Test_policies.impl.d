@@ -1,0 +1,1 @@
+test/test_policies.ml: Alcotest Array List Option Result Sim Storage Time

@@ -1,0 +1,1 @@
+test/test_recovery_box.ml: Alcotest Printf QCheck QCheck_alcotest Rng Sim Ssmc

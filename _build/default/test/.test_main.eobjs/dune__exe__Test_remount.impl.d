@@ -1,0 +1,1 @@
+test/test_remount.ml: Alcotest Array Device Engine Printf Sim Storage Time Units

@@ -1,0 +1,1 @@
+test/test_segment.ml: Alcotest List QCheck QCheck_alcotest Sim Storage Time

@@ -1,0 +1,1 @@
+test/test_ssmc.ml: Alcotest Device Engine List Printf Rng Sim Ssmc Stat Storage Time Trace Units

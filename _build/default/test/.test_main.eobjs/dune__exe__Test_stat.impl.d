@@ -1,0 +1,1 @@
+test/test_stat.ml: Alcotest Float Gen List QCheck QCheck_alcotest Sim Stat

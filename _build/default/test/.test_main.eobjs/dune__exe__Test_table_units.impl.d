@@ -1,0 +1,1 @@
+test/test_table_units.ml: Alcotest List Sim String Table Time Units

@@ -1,0 +1,1 @@
+test/test_time.ml: Alcotest Fmt QCheck QCheck_alcotest Sim Time

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Engine Filename Fun Hashtbl List Printf Rng Sim Sys Time Trace

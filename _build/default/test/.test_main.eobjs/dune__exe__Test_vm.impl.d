@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Device Engine List Result Rng Sim Storage Time Units Vmem

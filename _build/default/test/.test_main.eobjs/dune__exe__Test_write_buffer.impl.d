@@ -1,0 +1,1 @@
+test/test_write_buffer.ml: Alcotest List QCheck QCheck_alcotest Sim Storage Time

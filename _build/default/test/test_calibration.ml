@@ -1,0 +1,63 @@
+open Sim
+
+let analyze ?(profile = Trace.Workloads.engineering) ?(seed = 77) ?(secs = 1200.0) () =
+  Trace.Calibration.analyze
+    (Trace.Synth.generate profile ~rng:(Rng.create ~seed) ~duration:(Time.span_s secs))
+
+let test_engineering_conforms_to_sprite () =
+  let report = analyze () in
+  List.iter
+    (fun (range, v, ok) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %.2f in [%.2f, %.2f]" range.Trace.Calibration.what v
+           range.Trace.Calibration.lo range.Trace.Calibration.hi)
+        true ok)
+    (Trace.Calibration.evaluate report);
+  Alcotest.(check bool) "conforms" true (Trace.Calibration.conforms report)
+
+let test_conformance_is_seed_stable () =
+  List.iter
+    (fun seed ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d conforms" seed)
+        true
+        (Trace.Calibration.conforms (analyze ~seed ())))
+    [ 1; 2; 3 ]
+
+let test_death_monotone_in_window () =
+  let r = analyze () in
+  Alcotest.(check bool) "5s death <= 30s death" true
+    (r.Trace.Calibration.dead_within_5s <= r.Trace.Calibration.dead_within_30s)
+
+let test_report_fields_sane () =
+  let r = analyze ~secs:300.0 () in
+  Alcotest.(check bool) "ops positive" true (r.Trace.Calibration.ops > 0);
+  Alcotest.(check bool) "mean io positive" true (r.Trace.Calibration.mean_io_bytes > 0.0);
+  Alcotest.(check bool) "write rate positive" true
+    (r.Trace.Calibration.write_rate_bytes_per_s > 0.0);
+  Alcotest.(check bool) "fractions are probabilities" true
+    (List.for_all
+       (fun v -> v >= 0.0 && v <= 1.0)
+       [
+         r.Trace.Calibration.dead_within_5s;
+         r.Trace.Calibration.dead_within_30s;
+         r.Trace.Calibration.new_file_share_of_writes;
+         r.Trace.Calibration.short_lived_file_fraction;
+       ])
+
+let test_database_profile_differs () =
+  (* The record-update workload must look nothing like the Sprite mix:
+     its writes overwhelmingly hit existing files. *)
+  let r = analyze ~profile:Trace.Workloads.database () in
+  Alcotest.(check bool) "few new-file bytes" true
+    (r.Trace.Calibration.new_file_share_of_writes < 0.35)
+
+let suite =
+  [
+    Alcotest.test_case "engineering matches Sprite targets" `Slow
+      test_engineering_conforms_to_sprite;
+    Alcotest.test_case "seed stability" `Slow test_conformance_is_seed_stable;
+    Alcotest.test_case "death monotone in window" `Slow test_death_monotone_in_window;
+    Alcotest.test_case "report fields sane" `Quick test_report_fields_sane;
+    Alcotest.test_case "database profile differs" `Slow test_database_profile_differs;
+  ]

@@ -1,0 +1,114 @@
+open Sim
+
+let span = Alcotest.testable Time.pp_span (fun a b -> Time.span_to_ns a = Time.span_to_ns b)
+
+(* --- Specs ------------------------------------------------------------------ *)
+
+let test_access_time () =
+  let cost = { Device.Specs.fixed = Time.span_ns 100; per_byte_ns = 10.0 } in
+  Alcotest.check span "fixed only" (Time.span_ns 100) (Device.Specs.access_time cost ~bytes:0);
+  Alcotest.check span "with transfer" (Time.span_ns 1_120)
+    (Device.Specs.access_time cost ~bytes:102);
+  Alcotest.check_raises "negative size"
+    (Invalid_argument "Specs.access_time: negative size") (fun () ->
+      ignore (Device.Specs.access_time cost ~bytes:(-1)))
+
+let test_paper_ratios () =
+  (* Section 2: flash writes are two orders of magnitude slower than reads. *)
+  let f = Device.Specs.intel_flash in
+  let read = Device.Specs.access_time f.Device.Specs.f_read ~bytes:512 in
+  let write = Device.Specs.access_time f.Device.Specs.f_write ~bytes:512 in
+  let ratio = Time.span_to_us write /. Time.span_to_us read in
+  Alcotest.(check bool) "write/read ratio ~100x" true (ratio > 50.0 && ratio < 200.0);
+  (* DRAM is ten times the cost of disk per megabyte. *)
+  let dram_cost = Device.Specs.(nec_dram.d_econ.dollars_per_mb) in
+  let disk_cost = Device.Specs.(hp_kittyhawk.k_econ.dollars_per_mb) in
+  Alcotest.(check bool) "10:1 cost ratio" true
+    (dram_cost /. disk_cost > 8.0 && dram_cost /. disk_cost < 12.0);
+  (* Densities: DRAM 15 vs KittyHawk 19 MB/in^3, flash within 20% of disk. *)
+  Alcotest.(check bool) "flash density within 20% of KittyHawk" true
+    (Device.Specs.(intel_flash.f_econ.mb_per_cubic_inch)
+     /. Device.Specs.(hp_kittyhawk.k_econ.mb_per_cubic_inch)
+    > 0.79);
+  Alcotest.(check int) "512B erase sectors" 512 Device.Specs.(intel_flash.f_sector_bytes);
+  Alcotest.(check int) "100k cycles" 100_000 Device.Specs.(intel_flash.f_endurance)
+
+(* --- Power ------------------------------------------------------------------- *)
+
+let test_meter () =
+  let m = Device.Power.Meter.create ~label:"test" in
+  Device.Power.Meter.charge m ~joules:2.0;
+  Device.Power.Meter.charge_power m ~watts:5.0 (Time.span_s 2.0);
+  Alcotest.(check (float 1e-9)) "active" 12.0 (Device.Power.Meter.active_joules m);
+  Device.Power.Meter.charge_background m ~watts:1.0 (Time.span_s 3.0);
+  Alcotest.(check (float 1e-9)) "background" 3.0 (Device.Power.Meter.background_joules m);
+  Alcotest.(check (float 1e-9)) "total" 15.0 (Device.Power.Meter.total_joules m);
+  Alcotest.check_raises "negative charge"
+    (Invalid_argument "Power.Meter.charge: negative") (fun () ->
+      Device.Power.Meter.charge m ~joules:(-1.0));
+  Device.Power.Meter.reset m;
+  Alcotest.(check (float 0.0)) "reset" 0.0 (Device.Power.Meter.total_joules m)
+
+(* --- Battery ------------------------------------------------------------------ *)
+
+let test_battery_drain_order () =
+  let b = Device.Battery.create ~backup_joules:10.0 ~capacity_joules:100.0 () in
+  Device.Battery.drain b ~joules:60.0;
+  Alcotest.(check (float 1e-9)) "primary drained first" 40.0
+    (Device.Battery.primary_joules b);
+  Alcotest.(check (float 1e-9)) "backup untouched" 10.0 (Device.Battery.backup_joules b);
+  Device.Battery.drain b ~joules:45.0;
+  Alcotest.(check (float 1e-9)) "primary empty" 0.0 (Device.Battery.primary_joules b);
+  Alcotest.(check (float 1e-9)) "backup partially used" 5.0
+    (Device.Battery.backup_joules b);
+  Alcotest.(check bool) "on backup" true (Device.Battery.on_backup b);
+  Device.Battery.drain b ~joules:10.0;
+  Alcotest.(check bool) "exhausted" true (Device.Battery.exhausted b);
+  Alcotest.(check (float 1e-9)) "unmet recorded" 5.0 (Device.Battery.unmet_joules b)
+
+let test_battery_swap () =
+  let b = Device.Battery.create ~backup_joules:10.0 ~capacity_joules:100.0 () in
+  Device.Battery.drain b ~joules:100.0;
+  Alcotest.(check bool) "on backup during swap" true (Device.Battery.on_backup b);
+  Device.Battery.swap_primary b;
+  Alcotest.(check (float 1e-9)) "fresh primary" 100.0 (Device.Battery.primary_joules b);
+  Alcotest.(check bool) "off backup" false (Device.Battery.on_backup b)
+
+let test_battery_holdup () =
+  let b = Device.Battery.of_watt_hours 1.0 in
+  (* 1 Wh = 3600 J at 1 W = 3600 s. *)
+  Alcotest.check span "holdup" (Time.span_s 3600.0)
+    (Device.Battery.holdup_time b ~draw_watts:1.0);
+  Alcotest.(check (float 1e-9)) "fraction" 1.0 (Device.Battery.fraction_remaining b)
+
+(* --- DRAM --------------------------------------------------------------------- *)
+
+let test_dram () =
+  let d = Device.Dram.create ~size_bytes:Units.mib ~battery_backed:true () in
+  let r = Device.Dram.read d ~bytes:512 in
+  (* 100ns fixed + 10ns/B * 512B *)
+  Alcotest.check span "read latency" (Time.span_ns 5_220) r;
+  ignore (Device.Dram.write d ~bytes:1024);
+  Alcotest.(check int) "reads" 1 (Device.Dram.reads d);
+  Alcotest.(check int) "writes" 1 (Device.Dram.writes d);
+  Alcotest.(check int) "bytes read" 512 (Device.Dram.bytes_read d);
+  Alcotest.(check int) "bytes written" 1024 (Device.Dram.bytes_written d);
+  Alcotest.(check bool) "battery backed" true (Device.Dram.battery_backed d);
+  Alcotest.(check bool) "energy charged" true
+    (Device.Power.Meter.active_joules (Device.Dram.meter d) > 0.0);
+  Device.Dram.charge_idle d (Time.span_s 1.0);
+  Alcotest.(check bool) "idle charged" true
+    (Device.Power.Meter.background_joules (Device.Dram.meter d) > 0.0);
+  Device.Dram.reset_stats d;
+  Alcotest.(check int) "reset" 0 (Device.Dram.reads d)
+
+let suite =
+  [
+    Alcotest.test_case "access_time" `Quick test_access_time;
+    Alcotest.test_case "paper's Section 2 ratios" `Quick test_paper_ratios;
+    Alcotest.test_case "power meter" `Quick test_meter;
+    Alcotest.test_case "battery drain order" `Quick test_battery_drain_order;
+    Alcotest.test_case "battery swap" `Quick test_battery_swap;
+    Alcotest.test_case "battery holdup" `Quick test_battery_holdup;
+    Alcotest.test_case "dram device" `Quick test_dram;
+  ]

@@ -1,0 +1,114 @@
+open Sim
+
+let make ?spindown () =
+  Device.Disk.create ?spindown_timeout:spindown ~rng:(Rng.create ~seed:99) ()
+
+let test_geometry () =
+  let d = make () in
+  Alcotest.(check int) "capacity" (20 * Units.mib) (Device.Disk.capacity_bytes d);
+  Alcotest.(check int) "sector" 512 (Device.Disk.sector_bytes d)
+
+let test_seek_curve () =
+  let d = make () in
+  let s0 = Device.Disk.seek_time d ~from_cyl:10 ~to_cyl:10 in
+  Alcotest.(check int) "zero-distance seek free" 0 (Time.span_to_ns s0);
+  let near = Device.Disk.seek_time d ~from_cyl:0 ~to_cyl:1 in
+  let far = Device.Disk.seek_time d ~from_cyl:0 ~to_cyl:1000 in
+  Alcotest.(check bool) "monotone in distance" true
+    (Time.span_to_ns near < Time.span_to_ns far);
+  (* One-third stroke costs the spec's average seek. *)
+  let third = Device.Disk.seek_time d ~from_cyl:0 ~to_cyl:(1024 / 3) in
+  let avg = Device.Specs.(hp_kittyhawk.k_avg_seek) in
+  Alcotest.(check bool) "third-stroke = avg seek (within 5%)" true
+    (Float.abs (Time.span_to_ms third -. Time.span_to_ms avg) < 0.05 *. Time.span_to_ms avg);
+  Alcotest.(check bool) "symmetric" true
+    (Time.span_to_ns (Device.Disk.seek_time d ~from_cyl:100 ~to_cyl:300)
+    = Time.span_to_ns (Device.Disk.seek_time d ~from_cyl:300 ~to_cyl:100))
+
+let test_access_latency_scale () =
+  let d = make () in
+  let op = Device.Disk.access d ~now:Time.zero ~lba:1000 ~bytes:4096 ~kind:`Read in
+  let lat = Time.diff op.Device.Disk.finish Time.zero in
+  (* Mechanical: must be on the order of milliseconds. *)
+  Alcotest.(check bool) "ms-scale" true (Time.span_to_ms lat > 1.0 && Time.span_to_ms lat < 100.0);
+  Alcotest.(check int) "read counted" 1 (Device.Disk.reads d);
+  Alcotest.(check int) "bytes" 4096 (Device.Disk.bytes_transferred d)
+
+let test_requests_serialize () =
+  let d = make () in
+  let op1 = Device.Disk.access d ~now:Time.zero ~lba:0 ~bytes:512 ~kind:`Write in
+  let op2 = Device.Disk.access d ~now:Time.zero ~lba:30_000 ~bytes:512 ~kind:`Read in
+  Alcotest.(check bool) "second starts after first" true
+    Time.(op1.Device.Disk.finish <= op2.Device.Disk.start);
+  Alcotest.(check bool) "busy_until tracks" true
+    (Time.equal (Device.Disk.busy_until d) op2.Device.Disk.finish)
+
+let test_out_of_range () =
+  let d = make () in
+  Alcotest.check_raises "beyond capacity"
+    (Invalid_argument "Disk.access: address out of range") (fun () ->
+      ignore
+        (Device.Disk.access d ~now:Time.zero
+           ~lba:(20 * Units.mib / 512)
+           ~bytes:512 ~kind:`Read))
+
+let test_spin_down_and_up () =
+  let d = make ~spindown:(Time.span_s 5.0) () in
+  let op1 = Device.Disk.access d ~now:Time.zero ~lba:0 ~bytes:512 ~kind:`Read in
+  (* Come back long after the spin-down timeout. *)
+  let later = Time.add op1.Device.Disk.finish (Time.span_s 60.0) in
+  let op2 = Device.Disk.access d ~now:later ~lba:0 ~bytes:512 ~kind:`Read in
+  Alcotest.(check int) "one spin-up" 1 (Device.Disk.spin_ups d);
+  let lat2 = Time.diff op2.Device.Disk.finish later in
+  Alcotest.(check bool) "spin-up penalty paid" true (Time.span_to_s lat2 >= 1.0);
+  (* A quick follow-up does not spin up again. *)
+  let op3 =
+    Device.Disk.access d ~now:op2.Device.Disk.finish ~lba:100 ~bytes:512 ~kind:`Read
+  in
+  ignore op3;
+  Alcotest.(check int) "still one spin-up" 1 (Device.Disk.spin_ups d)
+
+let test_energy_spinning_vs_standby () =
+  (* With a spindown timeout, a long idle gap costs far less energy. *)
+  let with_timeout = make ~spindown:(Time.span_s 2.0) () in
+  let without = make () in
+  let use d =
+    let op = Device.Disk.access d ~now:Time.zero ~lba:0 ~bytes:512 ~kind:`Read in
+    let later = Time.add op.Device.Disk.finish (Time.span_s 600.0) in
+    Device.Disk.finish_accounting d ~now:later;
+    Device.Power.Meter.total_joules (Device.Disk.meter d)
+  in
+  let e_timeout = use with_timeout and e_always = use without in
+  Alcotest.(check bool) "spindown saves energy" true (e_timeout < e_always /. 5.0)
+
+let test_avg_estimate () =
+  let d = make () in
+  let est = Device.Disk.avg_access_estimate d ~bytes:4096 in
+  (* avg seek 18ms + half rotation 5.6ms + transfer ~4.1ms *)
+  Alcotest.(check bool) "estimate plausible" true
+    (Time.span_to_ms est > 20.0 && Time.span_to_ms est < 40.0)
+
+let prop_access_within_disk =
+  QCheck.Test.make ~name:"disk: any valid access completes after it starts" ~count:200
+    QCheck.(pair (int_bound 40_000) (int_bound 8))
+    (fun (lba, blocks) ->
+      let d = make () in
+      let bytes = blocks * 512 in
+      if (lba * 512) + bytes <= Device.Disk.capacity_bytes d then begin
+        let op = Device.Disk.access d ~now:Time.zero ~lba ~bytes ~kind:`Read in
+        Time.(op.Device.Disk.start <= op.Device.Disk.finish)
+      end
+      else true)
+
+let suite =
+  [
+    Alcotest.test_case "geometry" `Quick test_geometry;
+    Alcotest.test_case "seek curve" `Quick test_seek_curve;
+    Alcotest.test_case "access latency scale" `Quick test_access_latency_scale;
+    Alcotest.test_case "requests serialize" `Quick test_requests_serialize;
+    Alcotest.test_case "out of range" `Quick test_out_of_range;
+    Alcotest.test_case "spin down and up" `Quick test_spin_down_and_up;
+    Alcotest.test_case "spindown energy" `Quick test_energy_spinning_vs_standby;
+    Alcotest.test_case "average estimate" `Quick test_avg_estimate;
+    QCheck_alcotest.to_alcotest prop_access_within_disk;
+  ]

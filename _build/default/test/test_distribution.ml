@@ -1,0 +1,136 @@
+open Sim
+
+let sample_mean dist ~seed ~n =
+  let rng = Rng.create ~seed in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Distribution.sample dist rng
+  done;
+  !total /. float_of_int n
+
+let within name ~expected ~tolerance actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |%g - %g| <= %g" name actual expected tolerance)
+    true
+    (Float.abs (actual -. expected) <= tolerance)
+
+let test_constant () =
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 10 do
+    Alcotest.(check (float 0.0)) "constant" 4.2 (Distribution.sample (Constant 4.2) rng)
+  done
+
+let test_uniform () =
+  let dist = Distribution.Uniform { lo = 2.0; hi = 6.0 } in
+  let rng = Rng.create ~seed:2 in
+  for _ = 1 to 1000 do
+    let v = Distribution.sample dist rng in
+    Alcotest.(check bool) "in range" true (v >= 2.0 && v < 6.0)
+  done;
+  within "uniform mean" ~expected:4.0 ~tolerance:0.1 (sample_mean dist ~seed:3 ~n:20_000)
+
+let test_exponential () =
+  let dist = Distribution.Exponential { mean = 5.0 } in
+  within "exp mean" ~expected:5.0 ~tolerance:0.2 (sample_mean dist ~seed:4 ~n:50_000);
+  Alcotest.(check (float 1e-9)) "analytic mean" 5.0 (Distribution.mean dist)
+
+let test_pareto () =
+  let dist = Distribution.Pareto { shape = 3.0; scale = 2.0 } in
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "above scale" true (Distribution.sample dist rng >= 2.0)
+  done;
+  Alcotest.(check (float 1e-9)) "analytic mean" 3.0 (Distribution.mean dist);
+  Alcotest.(check (float 0.0)) "infinite mean for shape<=1" infinity
+    (Distribution.mean (Pareto { shape = 1.0; scale = 2.0 }))
+
+let test_lognormal_calibration () =
+  let dist = Distribution.lognormal_of_mean_p50 ~mean:4096.0 ~median:2048.0 in
+  Alcotest.(check (float 1.0)) "analytic mean matches" 4096.0 (Distribution.mean dist);
+  within "sampled mean" ~expected:4096.0 ~tolerance:250.0
+    (sample_mean dist ~seed:6 ~n:100_000);
+  Alcotest.check_raises "mean < median rejected"
+    (Invalid_argument "Distribution.lognormal_of_mean_p50") (fun () ->
+      ignore (Distribution.lognormal_of_mean_p50 ~mean:1.0 ~median:2.0))
+
+let test_mixture () =
+  let dist =
+    Distribution.Mixture [ (1.0, Constant 10.0); (3.0, Constant 20.0) ]
+  in
+  Alcotest.(check (float 1e-9)) "mixture mean" 17.5 (Distribution.mean dist);
+  within "sampled mixture mean" ~expected:17.5 ~tolerance:0.2
+    (sample_mean dist ~seed:7 ~n:20_000)
+
+let test_sample_int () =
+  let rng = Rng.create ~seed:8 in
+  Alcotest.(check int) "round" 4 (Distribution.sample_int (Constant 4.4) rng);
+  Alcotest.(check int) "negative clamps to zero" 0
+    (Distribution.sample_int (Constant (-3.0)) rng)
+
+let test_zipf_probabilities () =
+  let z = Distribution.Zipf.create ~n:100 ~s:1.0 in
+  let total = ref 0.0 in
+  for rank = 0 to 99 do
+    let p = Distribution.Zipf.probability z rank in
+    Alcotest.(check bool) "non-negative" true (p >= 0.0);
+    total := !total +. p
+  done;
+  Alcotest.(check (float 1e-9)) "mass sums to 1" 1.0 !total;
+  Alcotest.(check bool) "rank 0 most popular" true
+    (Distribution.Zipf.probability z 0 > Distribution.Zipf.probability z 50)
+
+let test_zipf_sampling_skew () =
+  let z = Distribution.Zipf.create ~n:50 ~s:1.2 in
+  let rng = Rng.create ~seed:9 in
+  let counts = Array.make 50 0 in
+  for _ = 1 to 20_000 do
+    let r = Distribution.Zipf.sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  Alcotest.(check bool) "rank 0 dominates rank 10" true (counts.(0) > counts.(10));
+  Alcotest.(check bool) "rank 0 dominates rank 49" true (counts.(0) > 3 * counts.(49))
+
+let test_zipf_errors () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Zipf.create: n <= 0") (fun () ->
+      ignore (Distribution.Zipf.create ~n:0 ~s:1.0));
+  let z = Distribution.Zipf.create ~n:3 ~s:1.0 in
+  Alcotest.check_raises "rank range" (Invalid_argument "Zipf.probability: rank")
+    (fun () -> ignore (Distribution.Zipf.probability z 3))
+
+let prop_zipf_in_range =
+  QCheck.Test.make ~name:"zipf: sample within [0,n)" ~count:500
+    QCheck.(pair small_int (int_range 1 200))
+    (fun (seed, n) ->
+      let z = Distribution.Zipf.create ~n ~s:0.9 in
+      let rng = Rng.create ~seed in
+      let r = Distribution.Zipf.sample z rng in
+      r >= 0 && r < n)
+
+let prop_samples_non_negative =
+  QCheck.Test.make ~name:"distributions used for sizes are non-negative" ~count:500
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create ~seed in
+      List.for_all
+        (fun d -> Distribution.sample d rng >= 0.0)
+        [
+          Distribution.Exponential { mean = 3.0 };
+          Distribution.Uniform { lo = 0.0; hi = 5.0 };
+          Distribution.Pareto { shape = 2.0; scale = 1.0 };
+          Distribution.Lognormal { mu = 1.0; sigma = 0.8 };
+        ])
+
+let suite =
+  [
+    Alcotest.test_case "constant" `Quick test_constant;
+    Alcotest.test_case "uniform" `Quick test_uniform;
+    Alcotest.test_case "exponential" `Quick test_exponential;
+    Alcotest.test_case "pareto" `Quick test_pareto;
+    Alcotest.test_case "lognormal calibration" `Quick test_lognormal_calibration;
+    Alcotest.test_case "mixture" `Quick test_mixture;
+    Alcotest.test_case "sample_int" `Quick test_sample_int;
+    Alcotest.test_case "zipf probabilities" `Quick test_zipf_probabilities;
+    Alcotest.test_case "zipf sampling skew" `Quick test_zipf_sampling_skew;
+    Alcotest.test_case "zipf errors" `Quick test_zipf_errors;
+    QCheck_alcotest.to_alcotest prop_zipf_in_range;
+    QCheck_alcotest.to_alcotest prop_samples_non_negative;
+  ]

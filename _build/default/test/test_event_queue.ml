@@ -1,0 +1,110 @@
+open Sim
+
+let t ns = Time.of_ns ns
+
+let test_empty () =
+  let q : int Event_queue.t = Event_queue.create () in
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q);
+  Alcotest.(check int) "length 0" 0 (Event_queue.length q);
+  Alcotest.(check bool) "pop none" true (Event_queue.pop q = None);
+  Alcotest.(check bool) "peek none" true (Event_queue.peek_time q = None)
+
+let test_ordering () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.add q ~at:(t 30) "c");
+  ignore (Event_queue.add q ~at:(t 10) "a");
+  ignore (Event_queue.add q ~at:(t 20) "b");
+  let pop () = Option.get (Event_queue.pop q) in
+  let at1, v1 = pop () in
+  Alcotest.(check int) "first time" 10 (Time.to_ns at1);
+  Alcotest.(check string) "first value" "a" v1;
+  Alcotest.(check string) "second" "b" (snd (pop ()));
+  Alcotest.(check string) "third" "c" (snd (pop ()));
+  Alcotest.(check bool) "drained" true (Event_queue.is_empty q)
+
+let test_fifo_for_equal_times () =
+  let q = Event_queue.create () in
+  List.iter (fun v -> ignore (Event_queue.add q ~at:(t 5) v)) [ "x"; "y"; "z" ];
+  let order = List.init 3 (fun _ -> snd (Option.get (Event_queue.pop q))) in
+  Alcotest.(check (list string)) "insertion order preserved" [ "x"; "y"; "z" ] order
+
+let test_cancel () =
+  let q = Event_queue.create () in
+  let h1 = Event_queue.add q ~at:(t 1) "a" in
+  ignore (Event_queue.add q ~at:(t 2) "b");
+  Event_queue.cancel q h1;
+  Alcotest.(check int) "live after cancel" 1 (Event_queue.length q);
+  Alcotest.(check string) "cancelled entry skipped" "b" (snd (Option.get (Event_queue.pop q)));
+  (* Cancelling twice or after firing is a no-op. *)
+  Event_queue.cancel q h1;
+  Alcotest.(check int) "still consistent" 0 (Event_queue.length q)
+
+let test_cancel_head_updates_peek () =
+  let q = Event_queue.create () in
+  let h = Event_queue.add q ~at:(t 1) "head" in
+  ignore (Event_queue.add q ~at:(t 9) "tail");
+  Event_queue.cancel q h;
+  Alcotest.(check int) "peek skips cancelled head" 9
+    (Time.to_ns (Option.get (Event_queue.peek_time q)))
+
+let test_clear () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.add q ~at:(t 1) 1);
+  ignore (Event_queue.add q ~at:(t 2) 2);
+  Event_queue.clear q;
+  Alcotest.(check bool) "cleared" true (Event_queue.is_empty q)
+
+let test_interleaved_add_pop () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.add q ~at:(t 10) 10);
+  ignore (Event_queue.add q ~at:(t 5) 5);
+  Alcotest.(check int) "min first" 5 (snd (Option.get (Event_queue.pop q)));
+  ignore (Event_queue.add q ~at:(t 1) 1);
+  Alcotest.(check int) "new min" 1 (snd (Option.get (Event_queue.pop q)));
+  Alcotest.(check int) "remaining" 10 (snd (Option.get (Event_queue.pop q)))
+
+let prop_pop_sorted =
+  QCheck.Test.make ~name:"event_queue: pops are time-sorted" ~count:300
+    QCheck.(list (int_bound 100_000))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iteri (fun i at -> ignore (Event_queue.add q ~at:(t at) i)) times;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | Some (at, _) -> drain (Time.to_ns at :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      popped = List.sort compare times)
+
+let prop_cancel_removes =
+  QCheck.Test.make ~name:"event_queue: cancelled events never pop" ~count:200
+    QCheck.(list (pair (int_bound 1000) bool))
+    (fun entries ->
+      let q = Event_queue.create () in
+      let kept = ref [] in
+      List.iteri
+        (fun i (at, keep) ->
+          let h = Event_queue.add q ~at:(t at) i in
+          if keep then kept := i :: !kept else Event_queue.cancel q h)
+        entries;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | Some (_, v) -> drain (v :: acc)
+        | None -> acc
+      in
+      let popped = drain [] in
+      List.sort compare popped = List.sort compare !kept)
+
+let suite =
+  [
+    Alcotest.test_case "empty queue" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "FIFO for equal times" `Quick test_fifo_for_equal_times;
+    Alcotest.test_case "cancel" `Quick test_cancel;
+    Alcotest.test_case "cancel head" `Quick test_cancel_head_updates_peek;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "interleaved add/pop" `Quick test_interleaved_add_pop;
+    QCheck_alcotest.to_alcotest prop_pop_sorted;
+    QCheck_alcotest.to_alcotest prop_cancel_removes;
+  ]

@@ -1,0 +1,108 @@
+open Sim
+
+let settle engine manager =
+  let flash = Storage.Manager.flash manager in
+  let busy = ref (Engine.now engine) in
+  for bank = 0 to Device.Flash.nbanks flash - 1 do
+    busy := Time.max !busy (Device.Flash.bank_busy_until flash ~bank)
+  done;
+  Engine.run_until engine (Time.add !busy (Time.span_s 1.0))
+
+let make () =
+  let engine = Engine.create () in
+  let flash =
+    Device.Flash.create (Device.Flash.config ~nbanks:2 ~size_bytes:(2 * Units.mib) ())
+  in
+  let dram = Device.Dram.create ~size_bytes:(4 * Units.mib) ~battery_backed:true () in
+  let manager =
+    Storage.Manager.create
+      { Storage.Manager.default_config with Storage.Manager.segment_sectors = 8 }
+      ~engine ~flash ~dram
+  in
+  let vm =
+    Vmem.Vm.create
+      { Vmem.Vm.page_bytes = 4096; dram_frames = 256; swap = Vmem.Vm.No_swap }
+      ~engine ~manager
+  in
+  (engine, manager, vm)
+
+let install engine manager prog =
+  let blocks = Vmem.Exec.install_text manager prog in
+  settle engine manager;
+  blocks
+
+let program = { Vmem.Exec.prog_name = "editor"; text_bytes = 128 * 1024; data_bytes = 32 * 1024 }
+
+let test_install_text () =
+  let _engine, manager, _vm = make () in
+  let blocks = Vmem.Exec.install_text manager program in
+  Alcotest.(check int) "blocks cover text" 256 (Array.length blocks);
+  Array.iter
+    (fun b ->
+      Alcotest.(check bool) "in flash" true
+        (Storage.Manager.segment_of_block manager b <> None))
+    blocks
+
+let test_xip_launch_is_instant () =
+  let engine, manager, vm = make () in
+  let blocks = install engine manager program in
+  let l = Vmem.Exec.launch vm program ~text_blocks:blocks Vmem.Exec.Execute_in_place in
+  Alcotest.(check int) "no DRAM duplicated" 0 l.Vmem.Exec.text_dram_bytes;
+  Alcotest.(check bool) "launch under a millisecond" true
+    (Time.span_to_ms l.Vmem.Exec.launch_latency < 1.0)
+
+let test_copy_launch_pays_for_the_copy () =
+  let engine, manager, vm = make () in
+  let blocks = install engine manager program in
+  let xip = Vmem.Exec.launch vm program ~text_blocks:blocks Vmem.Exec.Execute_in_place in
+  let copy = Vmem.Exec.launch vm program ~text_blocks:blocks Vmem.Exec.Copy_to_dram in
+  Alcotest.(check int) "text duplicated in DRAM" (128 * 1024)
+    copy.Vmem.Exec.text_dram_bytes;
+  let ratio =
+    Time.span_to_us copy.Vmem.Exec.launch_latency
+    /. Float.max 1.0 (Time.span_to_us xip.Vmem.Exec.launch_latency)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "copy launch %.0fx slower than XIP" ratio)
+    true (ratio > 10.0)
+
+let test_disk_launch_slowest () =
+  let engine, manager, vm = make () in
+  let blocks = install engine manager program in
+  let disk = Device.Disk.create ~rng:(Rng.create ~seed:4) () in
+  let copy = Vmem.Exec.launch vm program ~text_blocks:blocks Vmem.Exec.Copy_to_dram in
+  let from_disk =
+    Vmem.Exec.launch vm program ~text_blocks:blocks (Vmem.Exec.Load_from_disk disk)
+  in
+  Alcotest.(check bool) "disk slower than flash copy" true
+    (Time.span_to_ms from_disk.Vmem.Exec.launch_latency
+    > Time.span_to_ms copy.Vmem.Exec.launch_latency)
+
+let test_run_executes () =
+  let engine, manager, vm = make () in
+  let blocks = install engine manager program in
+  let xip = Vmem.Exec.launch vm program ~text_blocks:blocks Vmem.Exec.Execute_in_place in
+  let copy = Vmem.Exec.launch vm program ~text_blocks:blocks Vmem.Exec.Copy_to_dram in
+  let t_xip = Vmem.Exec.run vm xip ~rng:(Rng.create ~seed:1) ~fetches:2_000 in
+  let t_copy = Vmem.Exec.run vm copy ~rng:(Rng.create ~seed:1) ~fetches:2_000 in
+  Alcotest.(check bool) "both make progress" true
+    (Time.span_to_us t_xip > 0.0 && Time.span_to_us t_copy > 0.0);
+  (* Steady-state fetches from flash are slower per access than DRAM. *)
+  Alcotest.(check bool) "flash fetches cost more" true
+    (Time.span_to_us t_xip > Time.span_to_us t_copy)
+
+let test_strategy_names () =
+  Alcotest.(check string) "xip" "execute-in-place"
+    (Vmem.Exec.strategy_name Vmem.Exec.Execute_in_place);
+  Alcotest.(check string) "copy" "copy-to-dram"
+    (Vmem.Exec.strategy_name Vmem.Exec.Copy_to_dram)
+
+let suite =
+  [
+    Alcotest.test_case "install text" `Quick test_install_text;
+    Alcotest.test_case "XIP launch instant" `Quick test_xip_launch_is_instant;
+    Alcotest.test_case "copy pays for copy" `Quick test_copy_launch_pays_for_the_copy;
+    Alcotest.test_case "disk launch slowest" `Quick test_disk_launch_slowest;
+    Alcotest.test_case "run executes" `Quick test_run_executes;
+    Alcotest.test_case "strategy names" `Quick test_strategy_names;
+  ]

@@ -1,0 +1,149 @@
+open Sim
+
+let make ?(nbanks = 2) ?(endurance = 5) ?(size_kib = 64) () =
+  Device.Flash.create
+    (Device.Flash.config ~nbanks ~endurance_override:endurance
+       ~size_bytes:(size_kib * 1024) ())
+
+let ok = function
+  | Ok op -> op
+  | Error e -> Alcotest.failf "unexpected flash error: %a" Device.Flash.pp_error e
+
+let t0 = Time.zero
+
+let test_geometry () =
+  let f = make () in
+  Alcotest.(check int) "sectors" 128 (Device.Flash.nsectors f);
+  Alcotest.(check int) "banks" 2 (Device.Flash.nbanks f);
+  Alcotest.(check int) "sectors per bank" 64 (Device.Flash.sectors_per_bank f);
+  Alcotest.(check int) "sector bytes" 512 (Device.Flash.sector_bytes f);
+  Alcotest.(check int) "bank of sector 0" 0 (Device.Flash.bank_of_sector f 0);
+  Alcotest.(check int) "bank of sector 64" 1 (Device.Flash.bank_of_sector f 64);
+  Alcotest.check_raises "sector out of range" (Invalid_argument "Flash.bank_of_sector")
+    (fun () -> ignore (Device.Flash.bank_of_sector f 128))
+
+let test_program_requires_erased_space () =
+  let f = make () in
+  ignore (ok (Device.Flash.program f ~now:t0 ~sector:0 ~bytes:512));
+  (match Device.Flash.program f ~now:t0 ~sector:0 ~bytes:1 with
+  | Error Device.Flash.Overwrite_without_erase -> ()
+  | Ok _ -> Alcotest.fail "overwrite allowed"
+  | Error e -> Alcotest.failf "wrong error: %a" Device.Flash.pp_error e);
+  (* Partial programming of remaining erased bytes is fine. *)
+  let f2 = make () in
+  ignore (ok (Device.Flash.program f2 ~now:t0 ~sector:0 ~bytes:200));
+  ignore (ok (Device.Flash.program f2 ~now:t0 ~sector:0 ~bytes:312));
+  Alcotest.(check int) "fully programmed" 512 (Device.Flash.programmed_bytes f2 ~sector:0)
+
+let test_erase_recycles () =
+  let f = make () in
+  ignore (ok (Device.Flash.program f ~now:t0 ~sector:3 ~bytes:512));
+  ignore (ok (Device.Flash.erase f ~now:t0 ~sector:3));
+  Alcotest.(check int) "programmed reset" 0 (Device.Flash.programmed_bytes f ~sector:3);
+  Alcotest.(check int) "erase counted" 1 (Device.Flash.erase_count f ~sector:3);
+  ignore (ok (Device.Flash.program f ~now:t0 ~sector:3 ~bytes:512))
+
+let test_wear_out () =
+  let f = make ~endurance:3 () in
+  for _ = 1 to 3 do
+    ignore (ok (Device.Flash.erase f ~now:t0 ~sector:0))
+  done;
+  Alcotest.(check bool) "bad after endurance erases" true (Device.Flash.is_bad f ~sector:0);
+  (match Device.Flash.erase f ~now:t0 ~sector:0 with
+  | Error Device.Flash.Bad_sector -> ()
+  | _ -> Alcotest.fail "erase of bad sector should fail");
+  (match Device.Flash.read f ~now:t0 ~sector:0 ~bytes:1 with
+  | Error Device.Flash.Bad_sector -> ()
+  | _ -> Alcotest.fail "read of bad sector should fail");
+  Alcotest.(check int) "bad count" 1 (Device.Flash.bad_sectors f);
+  Alcotest.(check int) "capacity shrinks" ((128 - 1) * 512)
+    (Device.Flash.live_capacity_bytes f)
+
+let test_timing_matches_spec () =
+  let f = make () in
+  let now = Time.of_ns 1_000 in
+  let op = ok (Device.Flash.read f ~now ~sector:0 ~bytes:512) in
+  (* 250ns fixed + 100ns/B * 512 = 51.45us *)
+  Alcotest.(check int) "read latency" 51_450
+    (Time.span_to_ns (Device.Flash.latency ~now op));
+  let op2 = ok (Device.Flash.program f ~now:(Time.of_ns 200_000) ~sector:1 ~bytes:512) in
+  (* 4us + 10us/B*512 = 5.124ms *)
+  Alcotest.(check int) "program latency" 5_124_000
+    (Time.span_to_ns
+       (Device.Flash.latency ~now:(Time.of_ns 200_000) op2))
+
+let test_bank_contention () =
+  let f = make () in
+  (* A program occupies bank 0; a read to bank 0 waits, bank 1 does not. *)
+  let prog = ok (Device.Flash.program f ~now:t0 ~sector:0 ~bytes:512) in
+  let read_same = ok (Device.Flash.read f ~now:t0 ~sector:1 ~bytes:512) in
+  Alcotest.(check bool) "same-bank read waited" true
+    (Time.span_to_ns (Device.Flash.waited ~now:t0 read_same) > 0);
+  Alcotest.(check bool) "read starts after program" true
+    Time.(prog.Device.Flash.finish <= read_same.Device.Flash.start);
+  let read_other = ok (Device.Flash.read f ~now:t0 ~sector:64 ~bytes:512) in
+  Alcotest.(check int) "other bank no wait" 0
+    (Time.span_to_ns (Device.Flash.waited ~now:t0 read_other));
+  Alcotest.(check bool) "wait accounted" true
+    (Time.span_to_ns (Device.Flash.read_wait f) > 0)
+
+let test_traffic_counters () =
+  let f = make () in
+  ignore (ok (Device.Flash.read f ~now:t0 ~sector:0 ~bytes:100));
+  ignore (ok (Device.Flash.program f ~now:t0 ~sector:0 ~bytes:200));
+  ignore (ok (Device.Flash.erase f ~now:t0 ~sector:0));
+  Alcotest.(check int) "reads" 1 (Device.Flash.reads f);
+  Alcotest.(check int) "programs" 1 (Device.Flash.programs f);
+  Alcotest.(check int) "erases" 1 (Device.Flash.erases f);
+  Alcotest.(check int) "bytes read" 100 (Device.Flash.bytes_read f);
+  Alcotest.(check int) "bytes programmed" 200 (Device.Flash.bytes_programmed f);
+  Device.Flash.reset_stats f;
+  Alcotest.(check int) "stats reset" 0 (Device.Flash.reads f);
+  Alcotest.(check int) "wear preserved" 1 (Device.Flash.erase_count f ~sector:0)
+
+let test_bytes_bounds () =
+  let f = make () in
+  Alcotest.check_raises "oversized read" (Invalid_argument "Flash: bytes out of range")
+    (fun () -> ignore (Device.Flash.read f ~now:t0 ~sector:0 ~bytes:513))
+
+(* Random interleavings never violate the page state machine. *)
+let prop_state_machine =
+  QCheck.Test.make ~name:"flash: programmed bytes never exceed sector size" ~count:100
+    QCheck.(pair small_int (list_of_size (Gen.int_range 1 100) (pair (int_bound 7) (int_bound 600))))
+    (fun (seed, ops) ->
+      ignore seed;
+      let f = make ~endurance:1000 ~size_kib:4 () in
+      List.iter
+        (fun (sector, bytes) ->
+          let bytes = min bytes 512 in
+          match Device.Flash.program f ~now:t0 ~sector ~bytes with
+          | Ok _ | Error Device.Flash.Overwrite_without_erase -> ()
+          | Error Device.Flash.Bad_sector -> ())
+        ops;
+      List.for_all
+        (fun sector -> Device.Flash.programmed_bytes f ~sector <= 512)
+        [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+
+let prop_erase_counts_monotone =
+  QCheck.Test.make ~name:"flash: erase counts only grow" ~count:50
+    QCheck.(list_of_size (Gen.int_range 1 30) (int_bound 7))
+    (fun sectors ->
+      let f = make ~endurance:1_000 ~size_kib:4 () in
+      let before = Array.init 8 (fun s -> Device.Flash.erase_count f ~sector:s) in
+      List.iter (fun s -> ignore (Device.Flash.erase f ~now:t0 ~sector:s)) sectors;
+      Array.for_all Fun.id
+        (Array.init 8 (fun s -> Device.Flash.erase_count f ~sector:s >= before.(s))))
+
+let suite =
+  [
+    Alcotest.test_case "geometry" `Quick test_geometry;
+    Alcotest.test_case "erase-before-write" `Quick test_program_requires_erased_space;
+    Alcotest.test_case "erase recycles" `Quick test_erase_recycles;
+    Alcotest.test_case "wear out" `Quick test_wear_out;
+    Alcotest.test_case "timing" `Quick test_timing_matches_spec;
+    Alcotest.test_case "bank contention" `Quick test_bank_contention;
+    Alcotest.test_case "traffic counters" `Quick test_traffic_counters;
+    Alcotest.test_case "bounds" `Quick test_bytes_bounds;
+    QCheck_alcotest.to_alcotest prop_state_machine;
+    QCheck_alcotest.to_alcotest prop_erase_counts_monotone;
+  ]

@@ -1,0 +1,180 @@
+(* Path parsing, errors, and the buffer cache / inode math underpinning Ffs. *)
+
+let err = Alcotest.testable Fs.Fs_error.pp Fs.Fs_error.equal
+
+(* --- Path -------------------------------------------------------------------- *)
+
+let test_path_parse () =
+  Alcotest.(check (result (list string) err)) "root" (Ok []) (Fs.Path.parse "/");
+  Alcotest.(check (result (list string) err)) "simple" (Ok [ "a"; "b" ])
+    (Fs.Path.parse "/a/b");
+  Alcotest.(check (result (list string) err)) "double slash collapses"
+    (Ok [ "a"; "b" ]) (Fs.Path.parse "/a//b");
+  Alcotest.(check (result (list string) err)) "trailing slash ok" (Ok [ "a" ])
+    (Fs.Path.parse "/a/");
+  List.iter
+    (fun bad ->
+      Alcotest.(check (result (list string) err))
+        bad
+        (Error Fs.Fs_error.Einval)
+        (Fs.Path.parse bad))
+    [ ""; "relative"; "a/b"; "/a/../b"; "/./a" ]
+
+let test_path_print_split () =
+  Alcotest.(check string) "root prints" "/" (Fs.Path.to_string []);
+  Alcotest.(check string) "nested" "/x/y" (Fs.Path.to_string [ "x"; "y" ]);
+  Alcotest.(check bool) "split root" true (Fs.Path.split_last [] = None);
+  (match Fs.Path.split_last [ "a"; "b"; "c" ] with
+  | Some (parent, leaf) ->
+    Alcotest.(check (list string)) "parent" [ "a"; "b" ] parent;
+    Alcotest.(check string) "leaf" "c" leaf
+  | None -> Alcotest.fail "split failed");
+  Alcotest.(check bool) "valid name" true (Fs.Path.valid_name "file.txt");
+  Alcotest.(check bool) "dot invalid" false (Fs.Path.valid_name ".");
+  Alcotest.(check bool) "slash invalid" false (Fs.Path.valid_name "a/b")
+
+let test_error_strings () =
+  Alcotest.(check string) "enoent" "ENOENT" (Fs.Fs_error.to_string Fs.Fs_error.Enoent);
+  Alcotest.(check string) "enospc" "ENOSPC" (Fs.Fs_error.to_string Fs.Fs_error.Enospc)
+
+let prop_path_roundtrip =
+  QCheck.Test.make ~name:"path: parse/print roundtrip" ~count:300
+    QCheck.(list_of_size (Gen.int_range 0 5) (string_gen_of_size (Gen.int_range 1 8) Gen.printable))
+    (fun components ->
+      let components = List.filter Fs.Path.valid_name components in
+      let s = Fs.Path.to_string components in
+      match Fs.Path.parse s with
+      | Ok parsed -> parsed = components
+      | Error _ -> false)
+
+(* --- Buffer cache --------------------------------------------------------------- *)
+
+let test_cache_basic_lru () =
+  let c = Fs.Buffer_cache.create ~capacity_blocks:2 in
+  Alcotest.(check bool) "miss first" true (Fs.Buffer_cache.find c ~key:1 = Fs.Buffer_cache.Miss);
+  ignore (Fs.Buffer_cache.insert c ~key:1 ~dirty:false);
+  ignore (Fs.Buffer_cache.insert c ~key:2 ~dirty:false);
+  Alcotest.(check bool) "hit" true (Fs.Buffer_cache.find c ~key:1 = Fs.Buffer_cache.Hit);
+  (* 2 is now LRU; inserting 3 evicts it. *)
+  ignore (Fs.Buffer_cache.insert c ~key:3 ~dirty:false);
+  Alcotest.(check bool) "lru evicted" false (Fs.Buffer_cache.contains c ~key:2);
+  Alcotest.(check bool) "recent kept" true (Fs.Buffer_cache.contains c ~key:1);
+  Alcotest.(check int) "hits" 1 (Fs.Buffer_cache.hits c);
+  Alcotest.(check int) "misses" 1 (Fs.Buffer_cache.misses c)
+
+let test_cache_dirty_writeback () =
+  let c = Fs.Buffer_cache.create ~capacity_blocks:2 in
+  ignore (Fs.Buffer_cache.insert c ~key:1 ~dirty:true);
+  ignore (Fs.Buffer_cache.insert c ~key:2 ~dirty:false);
+  let victims = Fs.Buffer_cache.insert c ~key:3 ~dirty:false in
+  Alcotest.(check (list int)) "dirty victim returned" [ 1 ] victims;
+  Alcotest.(check int) "writeback counted" 1 (Fs.Buffer_cache.writebacks c);
+  (* Clean evictions return nothing. *)
+  let victims2 = Fs.Buffer_cache.insert c ~key:4 ~dirty:false in
+  Alcotest.(check (list int)) "clean eviction silent" [] victims2
+
+let test_cache_mark_dirty_and_take () =
+  let c = Fs.Buffer_cache.create ~capacity_blocks:4 in
+  ignore (Fs.Buffer_cache.insert c ~key:1 ~dirty:false);
+  ignore (Fs.Buffer_cache.insert c ~key:2 ~dirty:true);
+  Alcotest.(check bool) "mark resident" true (Fs.Buffer_cache.mark_dirty c ~key:1);
+  Alcotest.(check bool) "mark absent" false (Fs.Buffer_cache.mark_dirty c ~key:9);
+  let dirty = Fs.Buffer_cache.take_dirty c in
+  Alcotest.(check (list int)) "oldest first" [ 1; 2 ] (List.sort compare dirty);
+  Alcotest.(check bool) "bits cleared" false (Fs.Buffer_cache.is_dirty c ~key:1);
+  Alcotest.(check bool) "still resident" true (Fs.Buffer_cache.contains c ~key:1)
+
+let test_cache_forget () =
+  let c = Fs.Buffer_cache.create ~capacity_blocks:2 in
+  ignore (Fs.Buffer_cache.insert c ~key:1 ~dirty:true);
+  Fs.Buffer_cache.forget c ~key:1;
+  Alcotest.(check bool) "gone" false (Fs.Buffer_cache.contains c ~key:1);
+  (* Forgotten dirty block never writes back. *)
+  ignore (Fs.Buffer_cache.insert c ~key:2 ~dirty:false);
+  ignore (Fs.Buffer_cache.insert c ~key:3 ~dirty:false);
+  let victims = Fs.Buffer_cache.insert c ~key:4 ~dirty:false in
+  Alcotest.(check (list int)) "no stale writeback" [] victims
+
+let test_cache_zero_capacity () =
+  let c = Fs.Buffer_cache.create ~capacity_blocks:0 in
+  let victims = Fs.Buffer_cache.insert c ~key:1 ~dirty:true in
+  Alcotest.(check (list int)) "dirty passes through" [ 1 ] victims;
+  Alcotest.(check bool) "not retained" false (Fs.Buffer_cache.contains c ~key:1)
+
+let test_cache_reinsert_keeps_dirty () =
+  let c = Fs.Buffer_cache.create ~capacity_blocks:2 in
+  ignore (Fs.Buffer_cache.insert c ~key:1 ~dirty:true);
+  ignore (Fs.Buffer_cache.insert c ~key:1 ~dirty:false);
+  Alcotest.(check bool) "dirty bit sticky" true (Fs.Buffer_cache.is_dirty c ~key:1)
+
+let prop_cache_never_exceeds_capacity =
+  QCheck.Test.make ~name:"cache: size <= capacity" ~count:300
+    QCheck.(pair (int_range 1 8) (list (pair (int_bound 30) bool)))
+    (fun (cap, ops) ->
+      let c = Fs.Buffer_cache.create ~capacity_blocks:cap in
+      List.iter (fun (key, dirty) -> ignore (Fs.Buffer_cache.insert c ~key ~dirty)) ops;
+      Fs.Buffer_cache.size c <= cap)
+
+(* --- Ffs inode math --------------------------------------------------------------- *)
+
+let ptrs = Fs.Ffs_inode.ptrs_per_block ~block_bytes:4096 (* 512 *)
+
+let test_classify_boundaries () =
+  let open Fs.Ffs_inode in
+  Alcotest.(check bool) "first direct" true (classify ~ptrs 0 = Some (Direct 0));
+  Alcotest.(check bool) "last direct" true (classify ~ptrs 11 = Some (Direct 11));
+  Alcotest.(check bool) "first single" true (classify ~ptrs 12 = Some (Single 0));
+  Alcotest.(check bool) "last single" true
+    (classify ~ptrs (12 + ptrs - 1) = Some (Single (ptrs - 1)));
+  Alcotest.(check bool) "first double" true
+    (classify ~ptrs (12 + ptrs) = Some (Double (0, 0)));
+  Alcotest.(check bool) "double split" true
+    (classify ~ptrs (12 + ptrs + ptrs + 3) = Some (Double (1, 3)));
+  Alcotest.(check bool) "beyond max" true
+    (classify ~ptrs (max_blocks ~ptrs) = None);
+  Alcotest.check_raises "negative" (Invalid_argument "Ffs_inode.classify: negative index")
+    (fun () -> ignore (classify ~ptrs (-1)))
+
+let test_depths () =
+  let open Fs.Ffs_inode in
+  Alcotest.(check int) "direct depth" 0 (indirect_depth ~ptrs 5);
+  Alcotest.(check int) "single depth" 1 (indirect_depth ~ptrs 100);
+  Alcotest.(check int) "double depth" 2 (indirect_depth ~ptrs (12 + ptrs + 5))
+
+let test_max_blocks () =
+  Alcotest.(check int) "max blocks" (12 + 512 + (512 * 512))
+    (Fs.Ffs_inode.max_blocks ~ptrs:512);
+  (* That is over a gigabyte of 4KB blocks: plenty for 1993. *)
+  Alcotest.(check bool) "addresses > 1GB" true
+    (Fs.Ffs_inode.max_blocks ~ptrs:512 * 4096 > 1 lsl 30)
+
+let prop_classify_total_and_ordered =
+  QCheck.Test.make ~name:"ffs_inode: classification covers indexes in order" ~count:500
+    (QCheck.int_bound (12 + 512 + (512 * 512) - 1))
+    (fun i ->
+      match Fs.Ffs_inode.classify ~ptrs:512 i with
+      | Some (Fs.Ffs_inode.Direct d) -> i < 12 && d = i
+      | Some (Fs.Ffs_inode.Single j) -> i >= 12 && i < 12 + 512 && j = i - 12
+      | Some (Fs.Ffs_inode.Double (j, k)) ->
+        let r = i - 12 - 512 in
+        j = r / 512 && k = r mod 512
+      | None -> false)
+
+let suite =
+  [
+    Alcotest.test_case "path parse" `Quick test_path_parse;
+    Alcotest.test_case "path print/split" `Quick test_path_print_split;
+    Alcotest.test_case "error strings" `Quick test_error_strings;
+    QCheck_alcotest.to_alcotest prop_path_roundtrip;
+    Alcotest.test_case "cache LRU" `Quick test_cache_basic_lru;
+    Alcotest.test_case "cache dirty writeback" `Quick test_cache_dirty_writeback;
+    Alcotest.test_case "cache mark/take dirty" `Quick test_cache_mark_dirty_and_take;
+    Alcotest.test_case "cache forget" `Quick test_cache_forget;
+    Alcotest.test_case "cache zero capacity" `Quick test_cache_zero_capacity;
+    Alcotest.test_case "cache sticky dirty" `Quick test_cache_reinsert_keeps_dirty;
+    QCheck_alcotest.to_alcotest prop_cache_never_exceeds_capacity;
+    Alcotest.test_case "inode classify boundaries" `Quick test_classify_boundaries;
+    Alcotest.test_case "inode depths" `Quick test_depths;
+    Alcotest.test_case "inode max blocks" `Quick test_max_blocks;
+    QCheck_alcotest.to_alcotest prop_classify_total_and_ordered;
+  ]

@@ -1,0 +1,74 @@
+open Sim
+
+let sec n = Time.of_ns (int_of_float (n *. 1e9))
+
+let test_unknown_block_cold () =
+  let h = Storage.Heat.create ~half_life:(Time.span_s 10.0) () in
+  Alcotest.(check (float 0.0)) "unknown" 0.0 (Storage.Heat.heat h ~now:(sec 5.0) ~block:1)
+
+let test_accumulation () =
+  let h = Storage.Heat.create ~half_life:(Time.span_s 10.0) () in
+  Storage.Heat.record_write h ~now:(sec 0.0) ~block:1;
+  Storage.Heat.record_write h ~now:(sec 0.0) ~block:1;
+  Alcotest.(check (float 1e-9)) "two instant writes" 2.0
+    (Storage.Heat.heat h ~now:(sec 0.0) ~block:1)
+
+let test_decay_halves () =
+  let h = Storage.Heat.create ~half_life:(Time.span_s 10.0) () in
+  Storage.Heat.record_write h ~now:(sec 0.0) ~block:1;
+  Alcotest.(check (float 1e-6)) "one half-life" 0.5
+    (Storage.Heat.heat h ~now:(sec 10.0) ~block:1);
+  Alcotest.(check (float 1e-6)) "two half-lives" 0.25
+    (Storage.Heat.heat h ~now:(sec 20.0) ~block:1)
+
+let test_decay_then_accumulate () =
+  let h = Storage.Heat.create ~half_life:(Time.span_s 10.0) () in
+  Storage.Heat.record_write h ~now:(sec 0.0) ~block:1;
+  Storage.Heat.record_write h ~now:(sec 10.0) ~block:1;
+  (* 1 decayed to 0.5, plus the new write. *)
+  Alcotest.(check (float 1e-6)) "decayed + fresh" 1.5
+    (Storage.Heat.heat h ~now:(sec 10.0) ~block:1)
+
+let test_is_hot () =
+  let h = Storage.Heat.create ~half_life:(Time.span_s 10.0) () in
+  for _ = 1 to 5 do
+    Storage.Heat.record_write h ~now:(sec 0.0) ~block:1
+  done;
+  Alcotest.(check bool) "hot now" true
+    (Storage.Heat.is_hot h ~now:(sec 0.0) ~block:1 ~threshold:3.0);
+  Alcotest.(check bool) "cools off" false
+    (Storage.Heat.is_hot h ~now:(sec 60.0) ~block:1 ~threshold:3.0)
+
+let test_forget () =
+  let h = Storage.Heat.create ~half_life:(Time.span_s 10.0) () in
+  Storage.Heat.record_write h ~now:(sec 0.0) ~block:1;
+  Alcotest.(check int) "tracked" 1 (Storage.Heat.tracked h);
+  Storage.Heat.forget h ~block:1;
+  Alcotest.(check int) "forgotten" 0 (Storage.Heat.tracked h);
+  Alcotest.(check (float 0.0)) "cold after forget" 0.0
+    (Storage.Heat.heat h ~now:(sec 1.0) ~block:1)
+
+let test_zero_half_life_rejected () =
+  Alcotest.check_raises "zero half-life" (Invalid_argument "Heat.create: zero half_life")
+    (fun () -> ignore (Storage.Heat.create ~half_life:Time.span_zero ()))
+
+let prop_heat_decreasing_without_writes =
+  QCheck.Test.make ~name:"heat: monotone decay without writes" ~count:200
+    QCheck.(pair (float_range 0.1 100.0) (float_range 0.1 100.0))
+    (fun (t1, dt) ->
+      let h = Storage.Heat.create ~half_life:(Time.span_s 5.0) () in
+      Storage.Heat.record_write h ~now:(sec 0.0) ~block:1;
+      Storage.Heat.heat h ~now:(sec t1) ~block:1
+      >= Storage.Heat.heat h ~now:(sec (t1 +. dt)) ~block:1)
+
+let suite =
+  [
+    Alcotest.test_case "unknown cold" `Quick test_unknown_block_cold;
+    Alcotest.test_case "accumulation" `Quick test_accumulation;
+    Alcotest.test_case "decay halves" `Quick test_decay_halves;
+    Alcotest.test_case "decay then accumulate" `Quick test_decay_then_accumulate;
+    Alcotest.test_case "is_hot" `Quick test_is_hot;
+    Alcotest.test_case "forget" `Quick test_forget;
+    Alcotest.test_case "zero half-life" `Quick test_zero_half_life_rejected;
+    QCheck_alcotest.to_alcotest prop_heat_decreasing_without_writes;
+  ]

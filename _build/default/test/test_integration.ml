@@ -1,0 +1,226 @@
+(* Cross-module integration tests: whole machines under failure and load,
+   determinism end-to-end, and logical equivalence of the two file
+   systems. *)
+open Sim
+
+let small_profile =
+  { Trace.Workloads.engineering with Trace.Synth.population = 40; ops_per_second = 4.0 }
+
+let gen seed secs =
+  Trace.Synth.generate small_profile ~rng:(Rng.create ~seed) ~duration:(Time.span_s secs)
+
+(* --- Determinism ------------------------------------------------------------- *)
+
+let run_once seed =
+  let trace = gen seed 90.0 in
+  let machine = Ssmc.Machine.create (Ssmc.Config.solid_state ~seed ()) in
+  Ssmc.Machine.preload machine trace.Trace.Synth.initial_files;
+  Ssmc.Machine.run machine trace.Trace.Synth.records
+
+let test_whole_machine_determinism () =
+  let a = run_once 21 and b = run_once 21 in
+  Alcotest.(check int) "same op count" a.Ssmc.Machine.ops_applied b.Ssmc.Machine.ops_applied;
+  Alcotest.(check (float 0.0)) "identical busy time"
+    (Time.span_to_us a.Ssmc.Machine.busy)
+    (Time.span_to_us b.Ssmc.Machine.busy);
+  Alcotest.(check (float 0.0)) "identical energy" a.Ssmc.Machine.energy_j
+    b.Ssmc.Machine.energy_j;
+  let sa = Option.get a.Ssmc.Machine.manager_stats in
+  let sb = Option.get b.Ssmc.Machine.manager_stats in
+  Alcotest.(check int) "identical flush count" sa.Storage.Manager.blocks_flushed
+    sb.Storage.Manager.blocks_flushed
+
+(* --- Trace file round trip through a machine ----------------------------------- *)
+
+let test_trace_file_roundtrip_same_result () =
+  let trace = gen 22 60.0 in
+  let path = Filename.temp_file "ssmc" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.Format_io.write_file path trace.Trace.Synth.records;
+      let records =
+        match Trace.Format_io.read_file path with
+        | Ok r -> r
+        | Error e -> Alcotest.fail e
+      in
+      let run records =
+        let machine = Ssmc.Machine.create (Ssmc.Config.solid_state ~seed:22 ()) in
+        Ssmc.Machine.preload machine trace.Trace.Synth.initial_files;
+        Ssmc.Machine.run machine records
+      in
+      let direct = run trace.Trace.Synth.records in
+      let via_file = run records in
+      Alcotest.(check int) "ops" direct.Ssmc.Machine.ops_applied
+        via_file.Ssmc.Machine.ops_applied;
+      Alcotest.(check (float 0.0)) "busy identical"
+        (Time.span_to_us direct.Ssmc.Machine.busy)
+        (Time.span_to_us via_file.Ssmc.Machine.busy))
+
+(* --- Battery exhaustion mid-run -------------------------------------------------- *)
+
+let test_battery_exhaustion_mid_run () =
+  let trace = gen 23 600.0 in
+  (* A hopeless battery: the accounting must drain it to zero and keep
+     counting unmet demand rather than crash. *)
+  let machine =
+    Ssmc.Machine.create
+      (Ssmc.Config.solid_state ~battery_wh:0.0005 ~backup_wh:0.0001 ~seed:23 ())
+  in
+  Ssmc.Machine.preload machine trace.Trace.Synth.initial_files;
+  let result = Ssmc.Machine.run machine trace.Trace.Synth.records in
+  let battery = Ssmc.Machine.battery machine in
+  Alcotest.(check bool) "battery exhausted" true (Device.Battery.exhausted battery);
+  Alcotest.(check bool) "unmet demand recorded" true
+    (Device.Battery.unmet_joules battery > 0.0);
+  (* The run itself still completes (the simulator models, it doesn't die). *)
+  Alcotest.(check int) "all ops applied" (List.length trace.Trace.Synth.records)
+    result.Ssmc.Machine.ops_applied;
+  (* And the failure analysis says DRAM contents are gone. *)
+  let manager = Option.get (Ssmc.Machine.manager machine) in
+  let outcome =
+    Ssmc.Recovery.power_failure ~manager ~battery ~dram_battery_backed:true
+  in
+  Alcotest.(check bool) "nothing protects DRAM" true
+    (outcome.Ssmc.Recovery.survived_by = `Nothing)
+
+(* --- Flash wear-out mid-run ------------------------------------------------------- *)
+
+let test_flash_wearout_mid_run () =
+  (* Tiny endurance: segments retire during the run; the machine keeps
+     going until space genuinely runs out (if ever). *)
+  let trace = gen 24 900.0 in
+  let machine =
+    Ssmc.Machine.create
+      (Ssmc.Config.solid_state ~flash_mb:4 ~endurance_override:60 ~seed:24 ())
+  in
+  Ssmc.Machine.preload machine trace.Trace.Synth.initial_files;
+  (match Ssmc.Machine.run machine trace.Trace.Synth.records with
+  | _result -> ()
+  | exception Storage.Manager.Out_of_space -> () (* acceptable: the device died *));
+  let flash = Option.get (Ssmc.Machine.flash machine) in
+  let manager = Option.get (Ssmc.Machine.manager machine) in
+  let stats = Storage.Manager.stats manager in
+  (* Wear happened; whether sectors died depends on the workload, but the
+     accounting must be consistent either way. *)
+  Alcotest.(check bool) "erases happened" true (Device.Flash.erases flash > 0);
+  Alcotest.(check bool) "capacity accounting consistent" true
+    (Storage.Manager.capacity_blocks manager
+    = (Storage.Manager.nsegments manager - stats.Storage.Manager.retired_segments) * 32)
+
+(* --- memfs / ffs logical equivalence ---------------------------------------------- *)
+
+let apply_all (type fs) (module F : Fs.Vfs.S with type t = fs) (fs : fs) ops =
+  List.iter
+    (fun op ->
+      let ignore_result = function Ok _ | Error _ -> () in
+      match op with
+      | `Mkdir p -> ignore_result (F.mkdir fs p)
+      | `Create p -> ignore_result (F.create fs p)
+      | `Write (p, off, n) -> ignore_result (F.write fs p ~offset:off ~bytes:n)
+      | `Truncate (p, n) -> ignore_result (F.truncate fs p ~size:n)
+      | `Rename (a, b) -> ignore_result (F.rename fs a b)
+      | `Unlink p -> ignore_result (F.unlink fs p))
+    ops
+
+let observe (type fs) (module F : Fs.Vfs.S with type t = fs) (fs : fs) paths =
+  List.map
+    (fun p ->
+      ( p,
+        F.exists fs p,
+        (match F.file_size fs p with Ok n -> n | Error _ -> -1),
+        match F.readdir fs p with Ok l -> l | Error _ -> [] ))
+    paths
+
+let test_fs_equivalence () =
+  let engine_m = Engine.create () in
+  let flash = Device.Flash.create (Device.Flash.config ~nbanks:2 ~size_bytes:(2 * Units.mib) ()) in
+  let dram_m = Device.Dram.create ~size_bytes:Units.mib ~battery_backed:true () in
+  let manager = Storage.Manager.create Storage.Manager.default_config ~engine:engine_m ~flash ~dram:dram_m in
+  let memfs = Fs.Memfs.create_fs ~manager () in
+  let engine_f = Engine.create () in
+  let disk = Device.Disk.create ~rng:(Rng.create ~seed:9) () in
+  let dram_f = Device.Dram.create ~size_bytes:Units.mib ~battery_backed:true () in
+  let ffs = Fs.Ffs.create_fs ~engine:engine_f ~disk ~dram:dram_f () in
+  let ops =
+    [
+      `Mkdir "/a";
+      `Mkdir "/a/b";
+      `Create "/a/b/one";
+      `Write ("/a/b/one", 0, 5000);
+      `Create "/two";
+      `Write ("/two", 8192, 100);
+      `Truncate ("/a/b/one", 1000);
+      `Rename ("/a/b/one", "/a/renamed");
+      `Rename ("/a", "/z");  (* moving a directory moves the subtree *)
+      `Create "/z/b/back";
+      `Unlink "/two";
+      `Unlink "/nonexistent";  (* both must reject identically *)
+      `Rename ("/z", "/z/b/cycle");  (* both must reject: into own subtree *)
+    ]
+  in
+  apply_all (module Fs.Memfs) memfs ops;
+  apply_all (module Fs.Ffs) ffs ops;
+  let paths =
+    [ "/"; "/a"; "/z"; "/z/b"; "/z/renamed"; "/z/b/back"; "/two"; "/a/b/one" ]
+  in
+  (match Fs.Memfs.check memfs with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "memfs fsck: %s" msg);
+  (match Fs.Ffs.check ffs with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "ffs fsck: %s" msg);
+  let om = observe (module Fs.Memfs) memfs paths in
+  let off = observe (module Fs.Ffs) ffs paths in
+  List.iter2
+    (fun (p, e1, s1, d1) (_, e2, s2, d2) ->
+      Alcotest.(check bool) (p ^ " existence agrees") e1 e2;
+      Alcotest.(check int) (p ^ " size agrees") s1 s2;
+      Alcotest.(check (list string)) (p ^ " listing agrees") d1 d2)
+    om off
+
+(* --- Rename semantics (per FS) --------------------------------------------------- *)
+
+let test_rename_memfs () =
+  let engine = Engine.create () in
+  let flash = Device.Flash.create (Device.Flash.config ~size_bytes:(512 * 1024) ()) in
+  let dram = Device.Dram.create ~size_bytes:Units.mib ~battery_backed:true () in
+  let manager = Storage.Manager.create Storage.Manager.default_config ~engine ~flash ~dram in
+  let fs = Fs.Memfs.create_fs ~manager () in
+  let ok = function Ok v -> v | Error e -> Alcotest.failf "%a" Fs.Fs_error.pp e in
+  ignore (ok (Fs.Memfs.create fs "/f"));
+  ignore (ok (Fs.Memfs.write fs "/f" ~offset:0 ~bytes:1234));
+  ignore (ok (Fs.Memfs.rename fs "/f" "/g"));
+  Alcotest.(check bool) "source gone" false (Fs.Memfs.exists fs "/f");
+  Alcotest.(check int) "data follows" 1234 (ok (Fs.Memfs.file_size fs "/g"));
+  Alcotest.(check bool) "dst exists rejected" true
+    (match
+       Fs.Memfs.create fs "/h" |> Result.get_ok |> ignore;
+       Fs.Memfs.rename fs "/g" "/h"
+     with
+    | Error Fs.Fs_error.Eexist -> true
+    | _ -> false);
+  Alcotest.(check bool) "missing source" true
+    (Fs.Memfs.rename fs "/nope" "/x" = Error Fs.Fs_error.Enoent)
+
+let test_rename_ffs_costs_io () =
+  let engine = Engine.create () in
+  let disk = Device.Disk.create ~rng:(Rng.create ~seed:10) () in
+  let dram = Device.Dram.create ~size_bytes:Units.mib ~battery_backed:true () in
+  let fs = Fs.Ffs.create_fs ~engine ~disk ~dram () in
+  let ok = function Ok v -> v | Error e -> Alcotest.failf "%a" Fs.Fs_error.pp e in
+  ignore (ok (Fs.Ffs.create fs "/f"));
+  let span = ok (Fs.Ffs.rename fs "/f" "/g") in
+  Alcotest.(check bool) "synchronous metadata writes" true (Time.span_to_ms span > 1.0);
+  Alcotest.(check bool) "renamed" true (Fs.Ffs.exists fs "/g")
+
+let suite =
+  [
+    Alcotest.test_case "whole-machine determinism" `Slow test_whole_machine_determinism;
+    Alcotest.test_case "trace file roundtrip" `Quick test_trace_file_roundtrip_same_result;
+    Alcotest.test_case "battery exhaustion mid-run" `Slow test_battery_exhaustion_mid_run;
+    Alcotest.test_case "flash wear-out mid-run" `Slow test_flash_wearout_mid_run;
+    Alcotest.test_case "memfs/ffs equivalence" `Quick test_fs_equivalence;
+    Alcotest.test_case "rename (memfs)" `Quick test_rename_memfs;
+    Alcotest.test_case "rename (ffs) costs io" `Quick test_rename_ffs_costs_io;
+  ]

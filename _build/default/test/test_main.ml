@@ -1,0 +1,32 @@
+let () =
+  Alcotest.run "ssmc"
+    [
+      ("time", Test_time.suite);
+      ("rng", Test_rng.suite);
+      ("distribution", Test_distribution.suite);
+      ("event_queue", Test_event_queue.suite);
+      ("engine", Test_engine.suite);
+      ("stat", Test_stat.suite);
+      ("table_units", Test_table_units.suite);
+      ("device", Test_device.suite);
+      ("flash", Test_flash.suite);
+      ("disk", Test_disk.suite);
+      ("trace", Test_trace.suite);
+      ("segment", Test_segment.suite);
+      ("policies", Test_policies.suite);
+      ("write_buffer", Test_write_buffer.suite);
+      ("heat", Test_heat.suite);
+      ("manager", Test_manager.suite);
+      ("fs_base", Test_fs_base.suite);
+      ("memfs", Test_memfs.suite);
+      ("ffs", Test_ffs.suite);
+      ("vm", Test_vm.suite);
+      ("exec", Test_exec.suite);
+      ("ssmc", Test_ssmc.suite);
+      ("recovery_box", Test_recovery_box.suite);
+      ("calibration", Test_calibration.suite);
+      ("integration", Test_integration.suite);
+      ("remount", Test_remount.suite);
+      ("card", Test_card.suite);
+      ("misc", Test_misc.suite);
+    ]

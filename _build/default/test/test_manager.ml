@@ -1,0 +1,400 @@
+open Sim
+
+(* A small machine: 256KB flash, 2 banks, 8-sector segments. *)
+let make ?(flash_kib = 256) ?(nbanks = 2) ?(buffer_blocks = 16) ?(delay = 30.0)
+    ?(cleaner = Storage.Cleaner.Cost_benefit) ?(wear = Storage.Wear.Dynamic)
+    ?(banking = Storage.Banks.Unified) ?(endurance = 1_000) ?hot_threshold () =
+  let engine = Engine.create () in
+  let flash =
+    Device.Flash.create
+      (Device.Flash.config ~nbanks ~endurance_override:endurance
+         ~size_bytes:(flash_kib * 1024) ())
+  in
+  let dram = Device.Dram.create ~size_bytes:Units.mib ~battery_backed:true () in
+  let cfg =
+    {
+      Storage.Manager.default_config with
+      Storage.Manager.segment_sectors = 8;
+      buffer =
+        {
+          Storage.Write_buffer.capacity_blocks = buffer_blocks;
+          writeback_delay = Time.span_s delay;
+          refresh_on_rewrite = true;
+        };
+      cleaner;
+      wear;
+      banking;
+      hot_threshold;
+    }
+  in
+  (engine, Storage.Manager.create cfg ~engine ~flash ~dram, flash)
+
+let advance engine span = Engine.run_until engine (Time.add (Engine.now engine) span)
+
+let test_create_validation () =
+  let engine = Engine.create () in
+  let flash = Device.Flash.create (Device.Flash.config ~nbanks:2 ~size_bytes:(64 * 1024) ()) in
+  let dram = Device.Dram.create ~size_bytes:Units.mib ~battery_backed:true () in
+  let bad cfg msg =
+    Alcotest.check_raises msg (Invalid_argument ("Manager.create: " ^ msg)) (fun () ->
+        ignore (Storage.Manager.create cfg ~engine ~flash ~dram))
+  in
+  bad
+    { Storage.Manager.default_config with Storage.Manager.segment_sectors = 100 }
+    "segment does not fit in a bank";
+  bad
+    { Storage.Manager.default_config with Storage.Manager.low_water = 0 }
+    "watermarks must satisfy 1 <= low <= high"
+
+let test_write_read_free_cycle () =
+  let _engine, m, _ = make () in
+  let b = Storage.Manager.alloc m in
+  let wspan = Storage.Manager.write_block m b in
+  Alcotest.(check bool) "buffered write is DRAM-fast" true (Time.span_to_us wspan < 100.0);
+  let rspan = Storage.Manager.read_block m b in
+  Alcotest.(check bool) "read of dirty block is DRAM-fast" true
+    (Time.span_to_us rspan < 100.0);
+  let stats = Storage.Manager.stats m in
+  Alcotest.(check int) "one client write" 1 stats.Storage.Manager.client_writes;
+  Alcotest.(check int) "dirty" 1 stats.Storage.Manager.dirty_blocks;
+  Storage.Manager.free_block m b;
+  let stats = Storage.Manager.stats m in
+  Alcotest.(check int) "cancelled" 1 stats.Storage.Manager.cancelled_blocks;
+  Alcotest.check_raises "freed block unusable"
+    (Invalid_argument (Printf.sprintf "Manager: unknown block %d" b)) (fun () ->
+      ignore (Storage.Manager.read_block m b))
+
+let test_flush_on_deadline () =
+  let engine, m, flash = make ~delay:5.0 () in
+  let b = Storage.Manager.alloc m in
+  ignore (Storage.Manager.write_block m b);
+  Alcotest.(check int) "nothing programmed yet" 0 (Device.Flash.programs flash);
+  advance engine (Time.span_s 10.0);
+  Alcotest.(check int) "flushed after deadline" 1 (Device.Flash.programs flash);
+  Alcotest.(check bool) "block now in flash" true
+    (Storage.Manager.segment_of_block m b <> None);
+  (* Reading it now touches flash. *)
+  let rspan = Storage.Manager.read_block m b in
+  Alcotest.(check bool) "flash-speed read" true (Time.span_to_us rspan > 10.0)
+
+let test_absorption () =
+  let engine, m, flash = make ~delay:5.0 () in
+  let b = Storage.Manager.alloc m in
+  for _ = 1 to 10 do
+    ignore (Storage.Manager.write_block m b)
+  done;
+  advance engine (Time.span_s 60.0);
+  (* Ten writes, one program. *)
+  Alcotest.(check int) "one program for ten writes" 1 (Device.Flash.programs flash);
+  let stats = Storage.Manager.stats m in
+  Alcotest.(check int) "absorbed" 9 stats.Storage.Manager.absorbed_writes;
+  Alcotest.(check (float 1e-9)) "reduction 90%" 0.9 stats.Storage.Manager.write_reduction
+
+let test_cancellation_avoids_flash () =
+  let engine, m, flash = make ~delay:5.0 () in
+  let b = Storage.Manager.alloc m in
+  ignore (Storage.Manager.write_block m b);
+  Storage.Manager.free_block m b;
+  advance engine (Time.span_s 60.0);
+  Alcotest.(check int) "never reached flash" 0 (Device.Flash.programs flash)
+
+let test_write_through_mode () =
+  let _engine, m, flash = make ~buffer_blocks:0 () in
+  let b = Storage.Manager.alloc m in
+  let span = Storage.Manager.write_block m b in
+  Alcotest.(check int) "programmed immediately" 1 (Device.Flash.programs flash);
+  Alcotest.(check bool) "client pays flash latency" true (Time.span_to_ms span > 1.0)
+
+let test_overwrite_supersedes_flash_copy () =
+  let engine, m, _ = make ~delay:1.0 () in
+  let b = Storage.Manager.alloc m in
+  ignore (Storage.Manager.write_block m b);
+  advance engine (Time.span_s 5.0);
+  let seg1 = Option.get (Storage.Manager.segment_of_block m b) in
+  ignore (Storage.Manager.write_block m b);
+  Alcotest.(check bool) "flash copy superseded" true
+    (Storage.Manager.segment_of_block m b = None);
+  advance engine (Time.span_s 5.0);
+  let seg2 = Option.get (Storage.Manager.segment_of_block m b) in
+  ignore (seg1, seg2);
+  let stats = Storage.Manager.stats m in
+  Alcotest.(check int) "two programs" 2 stats.Storage.Manager.blocks_flushed
+
+let test_cleaning_triggers_and_preserves () =
+  (* Fill flash with live+dead data until cleaning must run. *)
+  let engine, m, flash = make ~flash_kib:64 ~delay:0.5 ~buffer_blocks:4 () in
+  (* 64KB = 128 sectors = 16 segments of 8. Write 100 blocks, rewrite them
+     to create garbage, forcing cleaning. *)
+  let blocks = Array.init 60 (fun _ -> Storage.Manager.alloc m) in
+  Array.iter (fun b -> ignore (Storage.Manager.write_block m b)) blocks;
+  advance engine (Time.span_s 5.0);
+  Array.iter (fun b -> ignore (Storage.Manager.write_block m b)) blocks;
+  advance engine (Time.span_s 5.0);
+  Array.iter (fun b -> ignore (Storage.Manager.write_block m b)) blocks;
+  advance engine (Time.span_s 5.0);
+  let stats = Storage.Manager.stats m in
+  Alcotest.(check bool) "cleaning ran" true (stats.Storage.Manager.cleanings > 0);
+  Alcotest.(check bool) "erases happened" true (Device.Flash.erases flash > 0);
+  (* Every block still lives exactly once. *)
+  Alcotest.(check int) "all live" 60 stats.Storage.Manager.live_blocks;
+  Array.iter
+    (fun b ->
+      Alcotest.(check bool) "block still mapped" true
+        (Storage.Manager.segment_of_block m b <> None))
+    blocks
+
+let test_out_of_space () =
+  let _engine, m, _ = make ~flash_kib:32 ~buffer_blocks:0 () in
+  (* 32KB = 64 sectors; write-through fills them with live data. *)
+  Alcotest.check_raises "out of space" Storage.Manager.Out_of_space (fun () ->
+      for _ = 1 to 70 do
+        let b = Storage.Manager.alloc m in
+        ignore (Storage.Manager.write_block m b)
+      done)
+
+let test_load_cold_placement_partitioned () =
+  let _engine, m, _ =
+    make ~nbanks:2 ~banking:(Storage.Banks.Partitioned { write_banks = 1 }) ()
+  in
+  (* Cold loads land in the read-mostly banks (bank >= 1). *)
+  for _ = 1 to 20 do
+    let b = Storage.Manager.alloc m in
+    Storage.Manager.load_cold m b;
+    let seg = Option.get (Storage.Manager.segment_of_block m b) in
+    let segs_per_bank = Storage.Manager.nsegments m / 2 in
+    Alcotest.(check bool) "cold in read bank" true (seg >= segs_per_bank)
+  done;
+  (* Fresh writes land in the write bank. *)
+  let b = Storage.Manager.alloc m in
+  ignore (Storage.Manager.write_block m b);
+  ignore (Storage.Manager.flush_all m);
+  let seg = Option.get (Storage.Manager.segment_of_block m b) in
+  Alcotest.(check bool) "fresh in write bank" true
+    (seg < Storage.Manager.nsegments m / 2)
+
+let test_flush_all () =
+  let _engine, m, flash = make () in
+  let blocks = List.init 5 (fun _ -> Storage.Manager.alloc m) in
+  List.iter (fun b -> ignore (Storage.Manager.write_block m b)) blocks;
+  let span = Storage.Manager.flush_all m in
+  Alcotest.(check int) "all programmed" 5 (Device.Flash.programs flash);
+  Alcotest.(check bool) "took flash time" true (Time.span_to_ms span > 5.0);
+  Alcotest.(check int) "buffer empty" 0
+    (Storage.Manager.stats m).Storage.Manager.dirty_blocks
+
+let test_hot_block_retention () =
+  let engine, m, flash = make ~delay:2.0 ~hot_threshold:3.0 () in
+  let hot = Storage.Manager.alloc m in
+  let cold = Storage.Manager.alloc m in
+  ignore (Storage.Manager.write_block m cold);
+  (* Keep the hot block hot across several deadlines. *)
+  for _ = 1 to 10 do
+    ignore (Storage.Manager.write_block m hot);
+    advance engine (Time.span_s 1.0)
+  done;
+  advance engine (Time.span_s 4.0);
+  let stats = Storage.Manager.stats m in
+  Alcotest.(check bool) "hot retained at least once" true
+    (stats.Storage.Manager.hot_retained > 0);
+  Alcotest.(check int) "cold flushed" 1
+    (Device.Flash.programs flash - stats.Storage.Manager.blocks_cleaned
+    |> min (Device.Flash.programs flash));
+  ignore cold
+
+let test_wear_leveling_reduces_spread () =
+  (* Hammer a hot set; static leveling should keep the erase spread below
+     the none policy's. *)
+  let run wear =
+    let engine, m, _ =
+      make ~flash_kib:32 ~buffer_blocks:4 ~delay:0.2 ~wear ~endurance:100_000 ()
+    in
+    (* 8 cold blocks pinning segments + hot rewrites *)
+    let cold = Array.init 24 (fun _ -> Storage.Manager.alloc m) in
+    Array.iter (fun b -> Storage.Manager.load_cold m b) cold;
+    let hot = Array.init 8 (fun _ -> Storage.Manager.alloc m) in
+    for _ = 1 to 300 do
+      Array.iter (fun b -> ignore (Storage.Manager.write_block m b)) hot;
+      advance engine (Time.span_s 1.0)
+    done;
+    let e = Storage.Manager.wear_evenness m in
+    e.Storage.Wear.max_erases - e.Storage.Wear.min_erases
+  in
+  let spread_none = run Storage.Wear.None_ in
+  let spread_static = run (Storage.Wear.Static { spread_threshold = 4 }) in
+  Alcotest.(check bool)
+    (Printf.sprintf "static spread (%d) < none spread (%d)" spread_static spread_none)
+    true (spread_static < spread_none)
+
+let test_watermark_flush () =
+  (* A long deadline but a 50% occupancy watermark: crossing it starts
+     background flushing well before any deadline expires. *)
+  let engine = Engine.create () in
+  let flash =
+    Device.Flash.create (Device.Flash.config ~nbanks:2 ~size_bytes:(256 * 1024) ())
+  in
+  let dram = Device.Dram.create ~size_bytes:Units.mib ~battery_backed:true () in
+  let cfg =
+    {
+      Storage.Manager.default_config with
+      Storage.Manager.segment_sectors = 8;
+      flush_watermark = Some 0.5;
+      buffer =
+        {
+          Storage.Write_buffer.capacity_blocks = 16;
+          writeback_delay = Time.span_s 1000.0;
+          refresh_on_rewrite = true;
+        };
+    }
+  in
+  let m = Storage.Manager.create cfg ~engine ~flash ~dram in
+  for _ = 1 to 12 do
+    let b = Storage.Manager.alloc m in
+    ignore (Storage.Manager.write_block m b)
+  done;
+  advance engine (Time.span_s 5.0);
+  let stats = Storage.Manager.stats m in
+  Alcotest.(check bool) "flushed ahead of deadlines" true
+    (stats.Storage.Manager.blocks_flushed > 0);
+  Alcotest.(check bool) "occupancy brought under the watermark" true
+    (stats.Storage.Manager.dirty_blocks <= 8);
+  (* Without the watermark, nothing would have flushed yet. *)
+  let engine2 = Engine.create () in
+  let flash2 =
+    Device.Flash.create (Device.Flash.config ~nbanks:2 ~size_bytes:(256 * 1024) ())
+  in
+  let dram2 = Device.Dram.create ~size_bytes:Units.mib ~battery_backed:true () in
+  let m2 =
+    Storage.Manager.create
+      { cfg with Storage.Manager.flush_watermark = None }
+      ~engine:engine2 ~flash:flash2 ~dram:dram2
+  in
+  for _ = 1 to 12 do
+    let b = Storage.Manager.alloc m2 in
+    ignore (Storage.Manager.write_block m2 b)
+  done;
+  advance engine2 (Time.span_s 5.0);
+  Alcotest.(check int) "control: all still buffered" 12
+    (Storage.Manager.stats m2).Storage.Manager.dirty_blocks
+
+let test_reset_traffic () =
+  let engine, m, flash = make ~delay:0.5 () in
+  let b = Storage.Manager.alloc m in
+  ignore (Storage.Manager.write_block m b);
+  advance engine (Time.span_s 2.0);
+  Storage.Manager.reset_traffic m;
+  let stats = Storage.Manager.stats m in
+  Alcotest.(check int) "writes reset" 0 stats.Storage.Manager.client_writes;
+  Alcotest.(check int) "flush reset" 0 stats.Storage.Manager.blocks_flushed;
+  Alcotest.(check int) "device reset" 0 (Device.Flash.programs flash);
+  (* Placement survives the reset. *)
+  Alcotest.(check bool) "mapping intact" true (Storage.Manager.segment_of_block m b <> None)
+
+(* Device programs must exactly account for the manager's flush, clean and
+   cold-load traffic: nothing programs flash except through those paths. *)
+let prop_program_accounting =
+  QCheck.Test.make ~name:"manager: device programs = flushed + cleaned + cold" ~count:40
+    QCheck.(list_of_size (Gen.int_range 10 100) (pair (int_bound 19) (int_bound 4)))
+    (fun ops ->
+      let engine, m, flash = make ~flash_kib:64 ~buffer_blocks:8 ~delay:1.0 () in
+      let blocks = Array.init 20 (fun _ -> Storage.Manager.alloc m) in
+      List.iter
+        (fun (i, action) ->
+          match action with
+          | 0 | 1 -> ignore (Storage.Manager.write_block m blocks.(i))
+          | 2 -> ignore (Storage.Manager.read_block m blocks.(i))
+          | 3 -> advance engine (Time.span_s 2.0)
+          | _ ->
+            (* Cold loads need a block with no data yet: use a fresh one. *)
+            Storage.Manager.load_cold m (Storage.Manager.alloc m))
+        ops;
+      ignore (Storage.Manager.flush_all m);
+      let stats = Storage.Manager.stats m in
+      Device.Flash.programs flash
+      = stats.Storage.Manager.blocks_flushed + stats.Storage.Manager.blocks_cleaned
+        + stats.Storage.Manager.cold_loads
+      && Device.Flash.bytes_programmed flash = 512 * Device.Flash.programs flash)
+
+(* The file system is consistent at *every* instant, not just at rest:
+   stop the clock mid-flush, mid-cleaning, and check. *)
+let test_consistency_mid_flight () =
+  let engine = Engine.create () in
+  let flash =
+    Device.Flash.create (Device.Flash.config ~nbanks:2 ~size_bytes:(128 * 1024) ())
+  in
+  let dram = Device.Dram.create ~size_bytes:Units.mib ~battery_backed:true () in
+  let cfg =
+    {
+      Storage.Manager.default_config with
+      Storage.Manager.segment_sectors = 8;
+      buffer =
+        {
+          Storage.Write_buffer.capacity_blocks = 16;
+          writeback_delay = Time.span_s 1.0;
+          refresh_on_rewrite = false;
+        };
+    }
+  in
+  let m = Storage.Manager.create cfg ~engine ~flash ~dram in
+  let fs = Fs.Memfs.create_fs ~manager:m () in
+  let rng = Rng.create ~seed:41 in
+  for round = 1 to 60 do
+    let path = Printf.sprintf "/f%d" (Rng.int rng 8) in
+    (match Fs.Memfs.write fs path ~offset:0 ~bytes:(512 * (1 + Rng.int rng 6)) with
+    | Ok _ -> ()
+    | Error Fs.Fs_error.Enoent ->
+      ignore (Fs.Memfs.create fs path);
+      ignore (Fs.Memfs.write fs path ~offset:0 ~bytes:512)
+    | Error e -> Alcotest.failf "write: %a" Fs.Fs_error.pp e);
+    if Rng.bernoulli rng ~p:0.2 then ignore (Fs.Memfs.unlink fs path);
+    (* Advance by an odd sub-second step so we land between flush events. *)
+    advance engine (Time.span_ms (50.0 +. float_of_int (Rng.int rng 900)));
+    match Fs.Memfs.check fs with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "round %d: fsck: %s" round msg
+  done
+
+let prop_no_data_loss_random_ops =
+  QCheck.Test.make ~name:"manager: random ops never lose a live block" ~count:30
+    QCheck.(list_of_size (Gen.int_range 10 120) (pair (int_bound 19) (int_bound 3)))
+    (fun ops ->
+      let engine, m, _ = make ~flash_kib:64 ~buffer_blocks:8 ~delay:1.0 () in
+      let blocks = Array.init 20 (fun _ -> Storage.Manager.alloc m) in
+      let live = Array.make 20 false in
+      List.iter
+        (fun (i, action) ->
+          match action with
+          | 0 | 1 ->
+            ignore (Storage.Manager.write_block m blocks.(i));
+            live.(i) <- true
+          | 2 ->
+            if live.(i) then ignore (Storage.Manager.read_block m blocks.(i))
+          | _ -> advance engine (Time.span_s 2.0))
+        ops;
+      ignore (Storage.Manager.flush_all m);
+      (* Every written block has exactly one live flash home. *)
+      Array.for_all2
+        (fun b is_live ->
+          if is_live then Storage.Manager.segment_of_block m b <> None else true)
+        blocks live)
+
+let suite =
+  [
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+    Alcotest.test_case "write/read/free cycle" `Quick test_write_read_free_cycle;
+    Alcotest.test_case "flush on deadline" `Quick test_flush_on_deadline;
+    Alcotest.test_case "absorption" `Quick test_absorption;
+    Alcotest.test_case "cancellation" `Quick test_cancellation_avoids_flash;
+    Alcotest.test_case "write-through" `Quick test_write_through_mode;
+    Alcotest.test_case "overwrite supersedes" `Quick test_overwrite_supersedes_flash_copy;
+    Alcotest.test_case "cleaning preserves data" `Quick test_cleaning_triggers_and_preserves;
+    Alcotest.test_case "out of space" `Quick test_out_of_space;
+    Alcotest.test_case "partitioned placement" `Quick test_load_cold_placement_partitioned;
+    Alcotest.test_case "flush_all" `Quick test_flush_all;
+    Alcotest.test_case "hot retention" `Quick test_hot_block_retention;
+    Alcotest.test_case "wear leveling spread" `Slow test_wear_leveling_reduces_spread;
+    Alcotest.test_case "watermark flush" `Quick test_watermark_flush;
+    Alcotest.test_case "consistency mid-flight" `Quick test_consistency_mid_flight;
+    Alcotest.test_case "reset traffic" `Quick test_reset_traffic;
+    QCheck_alcotest.to_alcotest prop_program_accounting;
+    QCheck_alcotest.to_alcotest prop_no_data_loss_random_ops;
+  ]

@@ -1,0 +1,87 @@
+open Sim
+
+let test_put_get () =
+  let box = Ssmc.Recovery_box.create () in
+  Ssmc.Recovery_box.put box ~key:"session" ~bytes:128;
+  Ssmc.Recovery_box.put box ~key:"arp-cache" ~bytes:512;
+  Alcotest.(check (option int)) "get" (Some 128) (Ssmc.Recovery_box.get box ~key:"session");
+  Alcotest.(check (option int)) "missing" None (Ssmc.Recovery_box.get box ~key:"nope");
+  Alcotest.(check int) "size" 2 (Ssmc.Recovery_box.size box);
+  Alcotest.(check int) "stored bytes" 640 (Ssmc.Recovery_box.stored_bytes box)
+
+let test_update_and_delete () =
+  let box = Ssmc.Recovery_box.create () in
+  Ssmc.Recovery_box.put box ~key:"k" ~bytes:10;
+  Ssmc.Recovery_box.put box ~key:"k" ~bytes:20;
+  Alcotest.(check (option int)) "updated" (Some 20) (Ssmc.Recovery_box.get box ~key:"k");
+  Alcotest.(check int) "still one item" 1 (Ssmc.Recovery_box.size box);
+  Alcotest.(check bool) "delete" true (Ssmc.Recovery_box.delete box ~key:"k");
+  Alcotest.(check bool) "double delete" false (Ssmc.Recovery_box.delete box ~key:"k")
+
+let test_bounded_capacity () =
+  let box = Ssmc.Recovery_box.create ~capacity_items:4 () in
+  for i = 1 to 6 do
+    Ssmc.Recovery_box.put box ~key:(Printf.sprintf "k%d" i) ~bytes:i
+  done;
+  Alcotest.(check int) "capped" 4 (Ssmc.Recovery_box.size box);
+  (* The oldest entries were evicted. *)
+  Alcotest.(check (option int)) "k1 evicted" None (Ssmc.Recovery_box.get box ~key:"k1");
+  Alcotest.(check (option int)) "k6 kept" (Some 6) (Ssmc.Recovery_box.get box ~key:"k6")
+
+let test_clean_crash_recovers_everything () =
+  let box = Ssmc.Recovery_box.create () in
+  for i = 1 to 50 do
+    Ssmc.Recovery_box.put box ~key:(Printf.sprintf "k%d" i) ~bytes:100
+  done;
+  Ssmc.Recovery_box.crash box ~rng:(Rng.create ~seed:1) ~corruption_rate:0.0;
+  let r = Ssmc.Recovery_box.recover box in
+  Alcotest.(check int) "all intact" 50 r.Ssmc.Recovery_box.intact;
+  Alcotest.(check int) "none corrupted" 0 r.Ssmc.Recovery_box.corrupted;
+  Alcotest.(check int) "all bytes salvaged" 5000 r.Ssmc.Recovery_box.salvaged_bytes
+
+let test_corruption_detected_and_discarded () =
+  let box = Ssmc.Recovery_box.create ~capacity_items:512 () in
+  for i = 1 to 200 do
+    Ssmc.Recovery_box.put box ~key:(Printf.sprintf "k%d" i) ~bytes:64
+  done;
+  Ssmc.Recovery_box.crash box ~rng:(Rng.create ~seed:2) ~corruption_rate:0.25;
+  let r = Ssmc.Recovery_box.recover box in
+  Alcotest.(check int) "accounting adds up" 200
+    (r.Ssmc.Recovery_box.intact + r.Ssmc.Recovery_box.corrupted);
+  Alcotest.(check bool) "some corruption detected" true (r.Ssmc.Recovery_box.corrupted > 20);
+  Alcotest.(check bool) "most items survive" true (r.Ssmc.Recovery_box.intact > 100);
+  (* Damaged items are unreadable afterwards; intact ones still read. *)
+  Alcotest.(check int) "table matches report" r.Ssmc.Recovery_box.intact
+    (Ssmc.Recovery_box.size box)
+
+let test_get_never_returns_corrupt () =
+  let box = Ssmc.Recovery_box.create () in
+  Ssmc.Recovery_box.put box ~key:"k" ~bytes:42;
+  Ssmc.Recovery_box.crash box ~rng:(Rng.create ~seed:3) ~corruption_rate:1.0;
+  (* Even before recover runs, a checksum-failing item is not served. *)
+  Alcotest.(check (option int)) "corrupt never served" None
+    (Ssmc.Recovery_box.get box ~key:"k")
+
+let prop_recovery_partition =
+  QCheck.Test.make ~name:"recovery_box: intact + corrupted = total" ~count:100
+    QCheck.(pair small_int (float_range 0.0 1.0))
+    (fun (seed, rate) ->
+      let box = Ssmc.Recovery_box.create ~capacity_items:128 () in
+      for i = 1 to 64 do
+        Ssmc.Recovery_box.put box ~key:(string_of_int i) ~bytes:i
+      done;
+      Ssmc.Recovery_box.crash box ~rng:(Rng.create ~seed) ~corruption_rate:rate;
+      let r = Ssmc.Recovery_box.recover box in
+      r.Ssmc.Recovery_box.intact + r.Ssmc.Recovery_box.corrupted = 64
+      && Ssmc.Recovery_box.size box = r.Ssmc.Recovery_box.intact)
+
+let suite =
+  [
+    Alcotest.test_case "put/get" `Quick test_put_get;
+    Alcotest.test_case "update & delete" `Quick test_update_and_delete;
+    Alcotest.test_case "bounded capacity" `Quick test_bounded_capacity;
+    Alcotest.test_case "clean crash" `Quick test_clean_crash_recovers_everything;
+    Alcotest.test_case "corruption detected" `Quick test_corruption_detected_and_discarded;
+    Alcotest.test_case "corrupt never served" `Quick test_get_never_returns_corrupt;
+    QCheck_alcotest.to_alcotest prop_recovery_partition;
+  ]

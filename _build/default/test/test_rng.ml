@@ -1,0 +1,113 @@
+open Sim
+
+let test_determinism () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Rng.bits64 a) (Rng.bits64 b)) then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_copy () =
+  let a = Rng.create ~seed:3 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_split_independence () =
+  let a = Rng.create ~seed:5 in
+  let b = Rng.split a in
+  (* The two streams should not be identical over a window. *)
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Int64.equal (Rng.bits64 a) (Rng.bits64 b) then incr same
+  done;
+  Alcotest.(check bool) "split streams diverge" true (!same < 5)
+
+let test_int_bounds_errors () =
+  let rng = Rng.create ~seed:11 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound <= 0") (fun () ->
+      ignore (Rng.int rng 0));
+  Alcotest.check_raises "bad range" (Invalid_argument "Rng.int_in: hi < lo") (fun () ->
+      ignore (Rng.int_in rng ~lo:3 ~hi:2));
+  Alcotest.check_raises "empty choose" (Invalid_argument "Rng.choose: empty array")
+    (fun () -> ignore (Rng.choose rng [||]))
+
+let test_uniformity_rough () =
+  let rng = Rng.create ~seed:13 in
+  let buckets = Array.make 10 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d within 15%%" i)
+        true
+        (abs (c - (n / 10)) < n * 15 / 100))
+    buckets
+
+let test_bernoulli_extremes () =
+  let rng = Rng.create ~seed:17 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Rng.bernoulli rng ~p:0.0)
+  done;
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1 always" true (Rng.bernoulli rng ~p:1.0)
+  done
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"rng: int bound respected" ~count:1000
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_int_in_range =
+  QCheck.Test.make ~name:"rng: int_in inclusive range" ~count:1000
+    QCheck.(triple small_int (int_range (-1000) 1000) (int_range 0 1000))
+    (fun (seed, lo, extent) ->
+      let rng = Rng.create ~seed in
+      let hi = lo + extent in
+      let v = Rng.int_in rng ~lo ~hi in
+      v >= lo && v <= hi)
+
+let prop_unit_float_range =
+  QCheck.Test.make ~name:"rng: unit_float in [0,1)" ~count:1000 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let v = Rng.unit_float rng in
+      v >= 0.0 && v < 1.0)
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"rng: shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let rng = Rng.create ~seed in
+      let a = Array.of_list l in
+      Rng.shuffle rng a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy" `Quick test_copy;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "bound errors" `Quick test_int_bounds_errors;
+    Alcotest.test_case "rough uniformity" `Quick test_uniformity_rough;
+    Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+    QCheck_alcotest.to_alcotest prop_int_in_bounds;
+    QCheck_alcotest.to_alcotest prop_int_in_range;
+    QCheck_alcotest.to_alcotest prop_unit_float_range;
+    QCheck_alcotest.to_alcotest prop_shuffle_permutation;
+  ]

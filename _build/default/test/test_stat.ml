@@ -1,0 +1,132 @@
+open Sim
+
+let test_counter () =
+  let c = Stat.Counter.create () in
+  Alcotest.(check int) "initial" 0 (Stat.Counter.value c);
+  Stat.Counter.incr c;
+  Stat.Counter.add c 5;
+  Alcotest.(check int) "accumulated" 6 (Stat.Counter.value c);
+  Stat.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Stat.Counter.value c)
+
+let test_summary_empty () =
+  let s = Stat.Summary.create () in
+  Alcotest.(check int) "count" 0 (Stat.Summary.count s);
+  Alcotest.(check (float 0.0)) "mean" 0.0 (Stat.Summary.mean s);
+  Alcotest.(check (float 0.0)) "variance" 0.0 (Stat.Summary.variance s);
+  Alcotest.(check (float 0.0)) "min" infinity (Stat.Summary.min s);
+  Alcotest.(check (float 0.0)) "max" neg_infinity (Stat.Summary.max s)
+
+let test_summary_known_values () =
+  let s = Stat.Summary.create () in
+  List.iter (Stat.Summary.observe s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check int) "count" 8 (Stat.Summary.count s);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stat.Summary.mean s);
+  (* Sample variance of this classic data set is 32/7. *)
+  Alcotest.(check (float 1e-9)) "variance" (32.0 /. 7.0) (Stat.Summary.variance s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Stat.Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Stat.Summary.max s);
+  Alcotest.(check (float 1e-9)) "total" 40.0 (Stat.Summary.total s)
+
+let test_summary_single () =
+  let s = Stat.Summary.create () in
+  Stat.Summary.observe s 3.0;
+  Alcotest.(check (float 0.0)) "variance of single" 0.0 (Stat.Summary.variance s)
+
+let test_histogram_empty () =
+  let h = Stat.Histogram.create () in
+  Alcotest.(check int) "count" 0 (Stat.Histogram.count h);
+  Alcotest.(check (float 0.0)) "quantile of empty" 0.0 (Stat.Histogram.quantile h 0.5);
+  Alcotest.(check (float 0.0)) "mean of empty" 0.0 (Stat.Histogram.mean h)
+
+let test_histogram_buckets () =
+  let h = Stat.Histogram.create () in
+  List.iter (Stat.Histogram.observe h) [ 0.5; 1.5; 3.0; 3.9; 100.0 ];
+  Alcotest.(check int) "count" 5 (Stat.Histogram.count h);
+  let buckets = Stat.Histogram.buckets h in
+  Alcotest.(check bool) "ascending, non-empty" true (List.length buckets >= 3);
+  let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 buckets in
+  Alcotest.(check int) "mass conserved" 5 total;
+  List.iter
+    (fun (lo, hi, _) -> Alcotest.(check bool) "lo < hi" true (lo < hi))
+    buckets
+
+let test_histogram_quantiles () =
+  let h = Stat.Histogram.create () in
+  for _ = 1 to 90 do
+    Stat.Histogram.observe h 10.0
+  done;
+  for _ = 1 to 10 do
+    Stat.Histogram.observe h 10_000.0
+  done;
+  let p50 = Stat.Histogram.quantile h 0.5 in
+  let p99 = Stat.Histogram.quantile h 0.99 in
+  Alcotest.(check bool) "p50 near 10 (bucket-approximate)" true (p50 >= 8.0 && p50 <= 16.0);
+  Alcotest.(check bool) "p99 near 10000" true (p99 >= 8192.0 && p99 <= 16384.0);
+  Alcotest.check_raises "bad quantile" (Invalid_argument "Histogram.quantile")
+    (fun () -> ignore (Stat.Histogram.quantile h 1.5))
+
+let test_histogram_negative_clamped () =
+  let h = Stat.Histogram.create () in
+  Stat.Histogram.observe h (-5.0);
+  Alcotest.(check int) "counted" 1 (Stat.Histogram.count h);
+  Alcotest.(check (float 0.0)) "mean clamped" 0.0 (Stat.Histogram.mean h)
+
+let test_histogram_merge () =
+  let a = Stat.Histogram.create () and b = Stat.Histogram.create () in
+  List.iter (Stat.Histogram.observe a) [ 1.0; 2.0 ];
+  List.iter (Stat.Histogram.observe b) [ 4.0; 8.0 ];
+  let m = Stat.Histogram.merge a b in
+  Alcotest.(check int) "merged count" 4 (Stat.Histogram.count m);
+  Alcotest.(check (float 1e-9)) "merged mean" 3.75 (Stat.Histogram.mean m);
+  (* Merge does not mutate the inputs. *)
+  Alcotest.(check int) "a unchanged" 2 (Stat.Histogram.count a)
+
+let prop_welford_matches_naive =
+  QCheck.Test.make ~name:"summary: Welford matches naive mean/variance" ~count:200
+    QCheck.(list_of_size (Gen.int_range 2 50) (float_range (-1000.0) 1000.0))
+    (fun values ->
+      let s = Stat.Summary.create () in
+      List.iter (Stat.Summary.observe s) values;
+      let n = float_of_int (List.length values) in
+      let mean = List.fold_left ( +. ) 0.0 values /. n in
+      let var =
+        List.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.0)) 0.0 values /. (n -. 1.0)
+      in
+      Float.abs (Stat.Summary.mean s -. mean) < 1e-6 *. (1.0 +. Float.abs mean)
+      && Float.abs (Stat.Summary.variance s -. var) < 1e-6 *. (1.0 +. var))
+
+let prop_histogram_mass =
+  QCheck.Test.make ~name:"histogram: bucket mass equals count" ~count:200
+    QCheck.(list (float_range 0.0 1e9))
+    (fun values ->
+      let h = Stat.Histogram.create () in
+      List.iter (Stat.Histogram.observe h) values;
+      let mass =
+        List.fold_left (fun acc (_, _, c) -> acc + c) 0 (Stat.Histogram.buckets h)
+      in
+      mass = List.length values)
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"histogram: quantiles are monotone" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 100) (float_range 0.0 1e6))
+    (fun values ->
+      let h = Stat.Histogram.create () in
+      List.iter (Stat.Histogram.observe h) values;
+      Stat.Histogram.quantile h 0.25 <= Stat.Histogram.quantile h 0.75)
+
+let suite =
+  [
+    Alcotest.test_case "counter" `Quick test_counter;
+    Alcotest.test_case "summary empty" `Quick test_summary_empty;
+    Alcotest.test_case "summary known values" `Quick test_summary_known_values;
+    Alcotest.test_case "summary single" `Quick test_summary_single;
+    Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+    Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+    Alcotest.test_case "histogram clamps negatives" `Quick test_histogram_negative_clamped;
+    Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+    QCheck_alcotest.to_alcotest prop_welford_matches_naive;
+    QCheck_alcotest.to_alcotest prop_histogram_mass;
+    QCheck_alcotest.to_alcotest prop_quantile_monotone;
+  ]

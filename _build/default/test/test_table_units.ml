@@ -1,0 +1,63 @@
+open Sim
+
+let test_units () =
+  Alcotest.(check int) "kib" 1024 Units.kib;
+  Alcotest.(check int) "mib" (1024 * 1024) Units.mib;
+  Alcotest.(check int) "of_mib" (3 * 1024 * 1024) (Units.of_mib 3);
+  Alcotest.(check (float 1e-9)) "to_mib" 1.5 (Units.to_mib (Units.mib + (Units.mib / 2)));
+  Alcotest.(check int) "ceil_div exact" 4 (Units.ceil_div 8 2);
+  Alcotest.(check int) "ceil_div up" 5 (Units.ceil_div 9 2);
+  Alcotest.(check int) "round_up" 12 (Units.round_up 10 ~multiple:4);
+  Alcotest.(check int) "round_up exact" 12 (Units.round_up 12 ~multiple:4);
+  Alcotest.check_raises "bad multiple" (Invalid_argument "Units.round_up") (fun () ->
+      ignore (Units.round_up 1 ~multiple:0))
+
+let test_table_rendering () =
+  let t =
+    Table.create ~title:"demo" ~columns:[ ("name", Table.Left); ("value", Table.Right) ]
+  in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_rule t;
+  Table.add_row t [ "b"; "22" ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "has title" true
+    (String.length rendered >= 10 && String.sub rendered 0 10 = "== demo ==");
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check bool) "several lines" true (List.length lines >= 5);
+  (* Right-aligned numbers end at the same column. *)
+  Alcotest.check_raises "width mismatch" (Invalid_argument "Table.add_row: width mismatch")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let test_cells () =
+  Alcotest.(check string) "int" "42" (Table.cell_i 42);
+  Alcotest.(check string) "float integral" "3" (Table.cell_f 3.0);
+  Alcotest.(check string) "float fractional" "3.14" (Table.cell_f 3.14159);
+  Alcotest.(check string) "pct" "42.0%" (Table.cell_pct 0.42);
+  Alcotest.(check string) "span us" "5.00us" (Table.cell_span (Time.span_us 5.0));
+  Alcotest.(check string) "span s" "2.000s" (Table.cell_span (Time.span_s 2.0));
+  Alcotest.(check string) "bytes" "512B" (Table.cell_bytes 512);
+  Alcotest.(check string) "kb" "2.0KB" (Table.cell_bytes 2048);
+  Alcotest.(check string) "mb" "1.0MB" (Table.cell_bytes Units.mib)
+
+let test_chart_bars () =
+  let rendered =
+    Sim.Chart.bars ~width:10 ~title:"demo" ~unit:"%" [ ("a", 100.0); ("bb", 50.0); ("c", 0.0) ]
+  in
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check bool) "title present" true (List.exists (fun l -> l = "-- demo --") lines);
+  Alcotest.(check bool) "full bar for max" true
+    (List.exists (fun l -> l = "a  |########## 100%") lines);
+  Alcotest.(check bool) "half bar" true
+    (List.exists
+       (fun l -> String.length l > 0 && l.[0] = 'b' && String.length (String.trim l) > 0)
+       lines);
+  (* Negative values are clamped, not crashed. *)
+  ignore (Sim.Chart.bars ~title:"neg" ~unit:"" [ ("x", -5.0) ])
+
+let suite =
+  [
+    Alcotest.test_case "units helpers" `Quick test_units;
+    Alcotest.test_case "table rendering" `Quick test_table_rendering;
+    Alcotest.test_case "cell formatting" `Quick test_cells;
+    Alcotest.test_case "chart bars" `Quick test_chart_bars;
+  ]

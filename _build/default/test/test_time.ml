@@ -1,0 +1,73 @@
+open Sim
+
+let check_int = Alcotest.(check int)
+
+let test_construction () =
+  check_int "epoch is zero" 0 (Time.to_ns Time.zero);
+  check_int "of_ns roundtrip" 123 (Time.to_ns (Time.of_ns 123));
+  Alcotest.check_raises "negative instant" (Invalid_argument "Time.of_ns: negative")
+    (fun () -> ignore (Time.of_ns (-1)));
+  Alcotest.check_raises "negative span" (Invalid_argument "Time.span_ns: negative")
+    (fun () -> ignore (Time.span_ns (-5)))
+
+let test_unit_conversions () =
+  check_int "us" 1_500 (Time.span_to_ns (Time.span_us 1.5));
+  check_int "ms" 2_000_000 (Time.span_to_ns (Time.span_ms 2.0));
+  check_int "s" 3_000_000_000 (Time.span_to_ns (Time.span_s 3.0));
+  Alcotest.(check (float 1e-9)) "back to s" 3.0 (Time.span_to_s (Time.span_s 3.0));
+  Alcotest.(check (float 1e-9)) "back to ms" 2.0 (Time.span_to_ms (Time.span_ms 2.0));
+  Alcotest.(check (float 1e-9)) "back to us" 1.0 (Time.span_to_us (Time.span_us 1.0))
+
+let test_arithmetic () =
+  let t = Time.add Time.zero (Time.span_ns 100) in
+  check_int "add" 100 (Time.to_ns t);
+  let later = Time.add t (Time.span_ns 50) in
+  check_int "diff" 50 (Time.span_to_ns (Time.diff later t));
+  Alcotest.check_raises "diff underflow" (Invalid_argument "Time.diff: later < earlier")
+    (fun () -> ignore (Time.diff t later));
+  check_int "span_add" 30 (Time.span_to_ns (Time.span_add (Time.span_ns 10) (Time.span_ns 20)));
+  check_int "span_scale" 25 (Time.span_to_ns (Time.span_scale (Time.span_ns 10) 2.5));
+  check_int "max_span" 20 (Time.span_to_ns (Time.max_span (Time.span_ns 10) (Time.span_ns 20)))
+
+let test_comparisons () =
+  let a = Time.of_ns 1 and b = Time.of_ns 2 in
+  Alcotest.(check bool) "lt" true Time.(a < b);
+  Alcotest.(check bool) "le refl" true Time.(a <= a);
+  Alcotest.(check bool) "not lt" false Time.(b < a);
+  check_int "max" 2 (Time.to_ns (Time.max a b));
+  check_int "min" 1 (Time.to_ns (Time.min a b));
+  Alcotest.(check bool) "equal" true (Time.equal a (Time.of_ns 1));
+  check_int "compare sign" (-1) (Time.compare a b)
+
+let test_pp () =
+  let s v = Fmt.str "%a" Time.pp (Time.of_ns v) in
+  Alcotest.(check string) "ns" "500ns" (s 500);
+  Alcotest.(check string) "us" "1.50us" (s 1_500);
+  Alcotest.(check string) "ms" "2.50ms" (s 2_500_000);
+  Alcotest.(check string) "s" "1.200s" (s 1_200_000_000)
+
+let prop_add_diff_roundtrip =
+  QCheck.Test.make ~name:"time: (t + d) - t = d" ~count:500
+    QCheck.(pair (int_bound 1_000_000_000) (int_bound 1_000_000_000))
+    (fun (base, d) ->
+      let t = Time.of_ns base in
+      let span = Time.span_ns d in
+      Time.span_to_ns (Time.diff (Time.add t span) t) = d)
+
+let prop_scale_monotone =
+  QCheck.Test.make ~name:"time: scaling by k >= 1 does not shrink" ~count:200
+    QCheck.(pair (int_bound 1_000_000) (float_range 1.0 10.0))
+    (fun (d, k) ->
+      let span = Time.span_ns d in
+      Time.span_to_ns (Time.span_scale span k) >= d)
+
+let suite =
+  [
+    Alcotest.test_case "construction" `Quick test_construction;
+    Alcotest.test_case "unit conversions" `Quick test_unit_conversions;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+    QCheck_alcotest.to_alcotest prop_add_diff_roundtrip;
+    QCheck_alcotest.to_alcotest prop_scale_monotone;
+  ]

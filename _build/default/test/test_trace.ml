@@ -1,0 +1,289 @@
+open Sim
+
+let record at op = { Trace.Record.at = Time.of_ns at; op }
+
+let w file offset bytes = Trace.Record.Write { file; offset; bytes }
+let r file offset bytes = Trace.Record.Read { file; offset; bytes }
+
+(* --- Record helpers ------------------------------------------------------- *)
+
+let test_record_accessors () =
+  let rec1 = record 5 (w 3 0 100) in
+  Alcotest.(check int) "file" 3 (Trace.Record.file rec1);
+  Alcotest.(check int) "bytes written" 100 (Trace.Record.bytes_written rec1);
+  Alcotest.(check int) "bytes read" 0 (Trace.Record.bytes_read rec1);
+  Alcotest.(check bool) "data op" true (Trace.Record.is_data_op rec1);
+  let rec2 = record 9 (Trace.Record.Delete { file = 7 }) in
+  Alcotest.(check int) "delete file" 7 (Trace.Record.file rec2);
+  Alcotest.(check bool) "not data op" false (Trace.Record.is_data_op rec2);
+  Alcotest.(check bool) "time order" true (Trace.Record.compare_by_time rec1 rec2 < 0)
+
+(* --- Text format ------------------------------------------------------------ *)
+
+let all_op_shapes =
+  [
+    record 1 (Trace.Record.Create { file = 1 });
+    record 2 (w 1 0 512);
+    record 3 (r 1 512 1024);
+    record 4 (Trace.Record.Truncate { file = 1; size = 100 });
+    record 5 (Trace.Record.Delete { file = 1 });
+  ]
+
+let test_format_roundtrip () =
+  List.iter
+    (fun rec_ ->
+      let line = Trace.Format_io.to_line rec_ in
+      match Trace.Format_io.of_line line with
+      | Ok (Some back) ->
+        Alcotest.(check string) "roundtrip" line (Trace.Format_io.to_line back)
+      | Ok None -> Alcotest.fail "round-tripped to nothing"
+      | Error e -> Alcotest.fail e)
+    all_op_shapes
+
+let test_format_comments_and_errors () =
+  Alcotest.(check bool) "comment skipped" true (Trace.Format_io.of_line "# hi" = Ok None);
+  Alcotest.(check bool) "blank skipped" true (Trace.Format_io.of_line "   " = Ok None);
+  (match Trace.Format_io.of_line "1 frobnicate 2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  match Trace.Format_io.of_line "xyz write 1 2 3" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad integer accepted"
+
+let test_format_file_io () =
+  let path = Filename.temp_file "trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.Format_io.write_file path all_op_shapes;
+      match Trace.Format_io.read_file path with
+      | Ok records ->
+        Alcotest.(check int) "count" (List.length all_op_shapes) (List.length records);
+        List.iter2
+          (fun a b ->
+            Alcotest.(check string) "same" (Trace.Format_io.to_line a)
+              (Trace.Format_io.to_line b))
+          all_op_shapes records
+      | Error e -> Alcotest.fail e)
+
+let test_init_directives () =
+  Alcotest.(check string) "render" "#init 7 1234" (Trace.Format_io.init_directive 7 1234);
+  Alcotest.(check (option (pair int int))) "parse" (Some (7, 1234))
+    (Trace.Format_io.parse_init "#init 7 1234");
+  Alcotest.(check (option (pair int int))) "plain comment is not init" None
+    (Trace.Format_io.parse_init "# hello");
+  Alcotest.(check (option (pair int int))) "malformed" None
+    (Trace.Format_io.parse_init "#init x y");
+  (* A file written with directives round-trips both parts, and plain
+     read_file still sees only the records. *)
+  let path = Filename.temp_file "trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.Format_io.write_file ~initial_files:[ (0, 100); (1, 200) ] path all_op_shapes;
+      (match Trace.Format_io.read_file_with_init path with
+      | Ok (inits, records) ->
+        Alcotest.(check (list (pair int int))) "inits" [ (0, 100); (1, 200) ] inits;
+        Alcotest.(check int) "records" (List.length all_op_shapes) (List.length records)
+      | Error e -> Alcotest.fail e);
+      match Trace.Format_io.read_file path with
+      | Ok records ->
+        Alcotest.(check int) "directives are comments to read_file"
+          (List.length all_op_shapes) (List.length records)
+      | Error e -> Alcotest.fail e)
+
+(* --- Synthetic generator ------------------------------------------------------ *)
+
+let generate ?(profile = Trace.Workloads.engineering) ?(seed = 3) ?(secs = 120.0) () =
+  Trace.Synth.generate profile ~rng:(Rng.create ~seed) ~duration:(Time.span_s secs)
+
+let test_synth_time_ordered () =
+  let t = generate () in
+  let rec check_sorted = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "non-decreasing" true
+        (Trace.Record.compare_by_time a b <= 0);
+      check_sorted rest
+    | [ _ ] | [] -> ()
+  in
+  check_sorted t.Trace.Synth.records
+
+let test_synth_determinism () =
+  let a = generate ~seed:5 () and b = generate ~seed:5 () in
+  Alcotest.(check int) "same record count"
+    (List.length a.Trace.Synth.records)
+    (List.length b.Trace.Synth.records);
+  List.iter2
+    (fun x y ->
+      Alcotest.(check string) "identical records" (Trace.Format_io.to_line x)
+        (Trace.Format_io.to_line y))
+    a.Trace.Synth.records b.Trace.Synth.records
+
+let test_synth_ops_well_formed () =
+  let t = generate () in
+  let live = Hashtbl.create 64 in
+  List.iter (fun (id, _) -> Hashtbl.replace live id ()) t.Trace.Synth.initial_files;
+  List.iter
+    (fun rec_ ->
+      match rec_.Trace.Record.op with
+      | Trace.Record.Create { file } ->
+        Alcotest.(check bool) "create of fresh id" false (Hashtbl.mem live file);
+        Hashtbl.replace live file ()
+      | Trace.Record.Delete { file } ->
+        Alcotest.(check bool) "delete of live file" true (Hashtbl.mem live file);
+        Hashtbl.remove live file
+      | Trace.Record.Write { file; offset; bytes } ->
+        Alcotest.(check bool) "write to live file" true (Hashtbl.mem live file);
+        Alcotest.(check bool) "sane range" true (offset >= 0 && bytes > 0)
+      | Trace.Record.Read { file; offset; bytes } ->
+        Alcotest.(check bool) "read of live file" true (Hashtbl.mem live file);
+        Alcotest.(check bool) "sane range" true (offset >= 0 && bytes > 0)
+      | Trace.Record.Truncate { file; size } ->
+        Alcotest.(check bool) "truncate of live file" true (Hashtbl.mem live file);
+        Alcotest.(check bool) "non-negative size" true (size >= 0))
+    t.Trace.Synth.records
+
+let test_synth_fresh_ids () =
+  let t = generate () in
+  let first = Trace.Synth.first_fresh_file t in
+  Alcotest.(check int) "population boundary"
+    t.Trace.Synth.profile.Trace.Synth.population first;
+  List.iter
+    (fun rec_ ->
+      match rec_.Trace.Record.op with
+      | Trace.Record.Create { file } ->
+        Alcotest.(check bool) "created ids above population" true (file >= first)
+      | _ -> ())
+    t.Trace.Synth.records
+
+let test_validate_profiles () =
+  List.iter
+    (fun p ->
+      match Trace.Synth.validate p with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "profile %s invalid: %s" p.Trace.Synth.name e)
+    Trace.Workloads.all;
+  let bad = { Trace.Workloads.engineering with Trace.Synth.read_fraction = 1.5 } in
+  match Trace.Synth.validate bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "bad profile accepted"
+
+let test_workload_lookup () =
+  Alcotest.(check bool) "find engineering" true (Trace.Workloads.find "engineering" <> None);
+  Alcotest.(check bool) "find nothing" true (Trace.Workloads.find "nope" = None);
+  Alcotest.(check int) "four profiles" 4 (List.length Trace.Workloads.all)
+
+(* --- Stats --------------------------------------------------------------------- *)
+
+let test_summarize () =
+  let records =
+    [
+      record 0 (Trace.Record.Create { file = 1 });
+      record 10 (w 1 0 1000);
+      record 20 (r 1 0 500);
+      record 30 (Trace.Record.Delete { file = 1 });
+    ]
+  in
+  let s = Trace.Stats.summarize records in
+  Alcotest.(check int) "ops" 4 s.Trace.Stats.ops;
+  Alcotest.(check int) "writes" 1 s.Trace.Stats.writes;
+  Alcotest.(check int) "bytes written" 1000 s.Trace.Stats.bytes_written;
+  Alcotest.(check int) "bytes read" 500 s.Trace.Stats.bytes_read;
+  Alcotest.(check int) "files" 1 s.Trace.Stats.distinct_files;
+  Alcotest.(check int) "duration" 30 (Time.span_to_ns s.Trace.Stats.duration)
+
+let sec n = Time.of_ns (n * 1_000_000_000)
+
+let test_write_death_by_delete () =
+  (* 512B written, file deleted 5s later: dead within a 30s window. *)
+  let records =
+    [
+      { Trace.Record.at = sec 0; op = w 1 0 512 };
+      { Trace.Record.at = sec 5; op = Trace.Record.Delete { file = 1 } };
+    ]
+  in
+  let d = Trace.Stats.write_death records ~window:(Time.span_s 30.0) in
+  Alcotest.(check int) "written" 512 d.Trace.Stats.written_bytes;
+  Alcotest.(check int) "dead" 512 d.Trace.Stats.dead_bytes;
+  Alcotest.(check (float 1e-9)) "fraction" 1.0 d.Trace.Stats.dead_fraction
+
+let test_write_death_by_overwrite () =
+  let records =
+    [
+      { Trace.Record.at = sec 0; op = w 1 0 512 };
+      { Trace.Record.at = sec 10; op = w 1 0 512 };  (* kills the first *)
+      { Trace.Record.at = sec 50; op = w 1 0 512 };  (* second dies outside window *)
+    ]
+  in
+  let d = Trace.Stats.write_death records ~window:(Time.span_s 30.0) in
+  Alcotest.(check int) "written" 1536 d.Trace.Stats.written_bytes;
+  Alcotest.(check int) "only the first death counts" 512 d.Trace.Stats.dead_bytes
+
+let test_write_death_by_truncate () =
+  let records =
+    [
+      { Trace.Record.at = sec 0; op = w 1 0 1024 };
+      { Trace.Record.at = sec 1; op = Trace.Record.Truncate { file = 1; size = 512 } };
+    ]
+  in
+  let d = Trace.Stats.write_death records ~window:(Time.span_s 30.0) in
+  Alcotest.(check int) "tail died" 512 d.Trace.Stats.dead_bytes
+
+let test_write_death_survivors () =
+  let records = [ { Trace.Record.at = sec 0; op = w 1 0 2048 } ] in
+  let d = Trace.Stats.write_death records ~window:(Time.span_s 30.0) in
+  Alcotest.(check int) "nothing died" 0 d.Trace.Stats.dead_bytes;
+  Alcotest.(check (float 1e-9)) "fraction 0" 0.0 d.Trace.Stats.dead_fraction
+
+let test_engineering_death_fraction_matches_baker () =
+  (* The Sprite-calibrated workload should have roughly half its written
+     bytes dead within 30s — the premise of the paper's 40-50% claim. *)
+  let t = generate ~secs:900.0 () in
+  let d = Trace.Stats.write_death t.Trace.Synth.records ~window:(Time.span_s 30.0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "death fraction %.2f in [0.35, 0.70]" d.Trace.Stats.dead_fraction)
+    true
+    (d.Trace.Stats.dead_fraction >= 0.35 && d.Trace.Stats.dead_fraction <= 0.70)
+
+(* --- Replay ---------------------------------------------------------------------- *)
+
+let test_replay_advances_clock () =
+  let engine = Engine.create () in
+  let records = [ record 100 (w 1 0 512); record 300 (r 1 0 512) ] in
+  let seen = ref [] in
+  Trace.Replay.run engine records ~f:(fun e rec_ ->
+      seen := (Time.to_ns (Engine.now e), Trace.Record.file rec_) :: !seen);
+  Alcotest.(check (list (pair int int)))
+    "applied at the record instants"
+    [ (100, 1); (300, 1) ]
+    (List.rev !seen)
+
+let test_replay_runs_due_events () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  ignore (Engine.schedule engine ~at:(Time.of_ns 50) (fun _ -> fired := true));
+  Trace.Replay.run engine [ record 100 (w 1 0 1) ] ~f:(fun _ _ -> ());
+  Alcotest.(check bool) "event before record fired" true !fired
+
+let suite =
+  [
+    Alcotest.test_case "record accessors" `Quick test_record_accessors;
+    Alcotest.test_case "format roundtrip" `Quick test_format_roundtrip;
+    Alcotest.test_case "format comments/errors" `Quick test_format_comments_and_errors;
+    Alcotest.test_case "format file io" `Quick test_format_file_io;
+    Alcotest.test_case "init directives" `Quick test_init_directives;
+    Alcotest.test_case "synth time-ordered" `Quick test_synth_time_ordered;
+    Alcotest.test_case "synth deterministic" `Quick test_synth_determinism;
+    Alcotest.test_case "synth well-formed" `Quick test_synth_ops_well_formed;
+    Alcotest.test_case "synth fresh ids" `Quick test_synth_fresh_ids;
+    Alcotest.test_case "profiles validate" `Quick test_validate_profiles;
+    Alcotest.test_case "workload lookup" `Quick test_workload_lookup;
+    Alcotest.test_case "summarize" `Quick test_summarize;
+    Alcotest.test_case "death by delete" `Quick test_write_death_by_delete;
+    Alcotest.test_case "death by overwrite" `Quick test_write_death_by_overwrite;
+    Alcotest.test_case "death by truncate" `Quick test_write_death_by_truncate;
+    Alcotest.test_case "survivors" `Quick test_write_death_survivors;
+    Alcotest.test_case "Baker death fraction" `Slow test_engineering_death_fraction_matches_baker;
+    Alcotest.test_case "replay clock" `Quick test_replay_advances_clock;
+    Alcotest.test_case "replay due events" `Quick test_replay_runs_due_events;
+  ]

@@ -1,0 +1,383 @@
+open Sim
+
+let make_manager ?(flash_kib = 512) () =
+  let engine = Engine.create () in
+  let flash =
+    Device.Flash.create (Device.Flash.config ~nbanks:2 ~size_bytes:(flash_kib * 1024) ())
+  in
+  let dram = Device.Dram.create ~size_bytes:(4 * Units.mib) ~battery_backed:true () in
+  let manager =
+    Storage.Manager.create
+      { Storage.Manager.default_config with Storage.Manager.segment_sectors = 8 }
+      ~engine ~flash ~dram
+  in
+  (engine, manager)
+
+let make_vm ?(frames = 8) ?(swap = Vmem.Vm.No_swap) () =
+  let engine, manager = make_manager () in
+  let vm =
+    Vmem.Vm.create { Vmem.Vm.page_bytes = 4096; dram_frames = frames; swap } ~engine
+      ~manager
+  in
+  (engine, manager, vm)
+
+(* --- Page table ---------------------------------------------------------------- *)
+
+let test_page_table_map_translate () =
+  let pt = Vmem.Page_table.create () in
+  Vmem.Page_table.map pt ~vpn:5 ~prot:Vmem.Page_table.prot_rw ~cow:false
+    (Vmem.Page_table.Dram_frame 3);
+  (match Vmem.Page_table.translate pt ~vpn:5 ~access:`Read with
+  | Ok pte ->
+    Alcotest.(check bool) "referenced set" true pte.Vmem.Page_table.referenced
+  | Error _ -> Alcotest.fail "translate failed");
+  Alcotest.(check bool) "write allowed" true
+    (Result.is_ok (Vmem.Page_table.translate pt ~vpn:5 ~access:`Write));
+  Alcotest.(check bool) "exec denied" true
+    (Vmem.Page_table.translate pt ~vpn:5 ~access:`Exec = Error Vmem.Page_table.Protection);
+  Alcotest.(check bool) "unmapped" true
+    (Vmem.Page_table.translate pt ~vpn:6 ~access:`Read = Error Vmem.Page_table.Not_mapped);
+  Alcotest.check_raises "double map" (Invalid_argument "Page_table.map: already mapped")
+    (fun () ->
+      Vmem.Page_table.map pt ~vpn:5 ~prot:Vmem.Page_table.prot_r ~cow:false
+        Vmem.Page_table.Untouched)
+
+let test_page_table_protect_unmap () =
+  let pt = Vmem.Page_table.create () in
+  Vmem.Page_table.map pt ~vpn:1 ~prot:Vmem.Page_table.prot_r ~cow:false
+    Vmem.Page_table.Untouched;
+  Alcotest.(check bool) "protect" true (Vmem.Page_table.protect pt ~vpn:1 Vmem.Page_table.prot_rw);
+  Alcotest.(check bool) "write now ok" true
+    (Result.is_ok (Vmem.Page_table.translate pt ~vpn:1 ~access:`Write));
+  Alcotest.(check bool) "unmap returns pte" true (Vmem.Page_table.unmap pt ~vpn:1 <> None);
+  Alcotest.(check bool) "gone" true (Vmem.Page_table.unmap pt ~vpn:1 = None);
+  Alcotest.(check int) "empty" 0 (Vmem.Page_table.mapped_pages pt)
+
+(* --- Address space ---------------------------------------------------------------- *)
+
+let test_addr_space_regions () =
+  let space = Vmem.Addr_space.create ~page_bytes:4096 in
+  let text = Vmem.Addr_space.add_region space ~kind:Vmem.Addr_space.Text ~bytes:10_000 in
+  let data = Vmem.Addr_space.add_region space ~kind:Vmem.Addr_space.Data ~bytes:1 in
+  Alcotest.(check int) "text pages" 3 text.Vmem.Addr_space.pages;
+  Alcotest.(check int) "data pages" 1 data.Vmem.Addr_space.pages;
+  Alcotest.(check bool) "no overlap" true
+    (data.Vmem.Addr_space.base >= text.Vmem.Addr_space.base + (3 * 4096));
+  Alcotest.(check bool) "page zero never used" true (text.Vmem.Addr_space.base >= 4096);
+  (match Vmem.Addr_space.region_of_addr space (text.Vmem.Addr_space.base + 100) with
+  | Some r -> Alcotest.(check bool) "lookup" true (r.Vmem.Addr_space.kind = Vmem.Addr_space.Text)
+  | None -> Alcotest.fail "region lookup failed");
+  Alcotest.check_raises "page bound" (Invalid_argument "Addr_space.page_of_region")
+    (fun () -> ignore (Vmem.Addr_space.page_of_region text ~page_bytes:4096 3))
+
+let test_addr_space_bad_page_size () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Addr_space.create: page size must be a positive power of two")
+    (fun () -> ignore (Vmem.Addr_space.create ~page_bytes:3000))
+
+(* --- VM faults ----------------------------------------------------------------------- *)
+
+let ok = function
+  | Ok span -> span
+  | Error _ -> Alcotest.fail "unexpected fault"
+
+(* Cold preloads leave the flash banks busy; let them settle so measured
+   accesses start from an idle device. *)
+let settle engine manager =
+  let flash = Storage.Manager.flash manager in
+  let busy = ref (Engine.now engine) in
+  for bank = 0 to Device.Flash.nbanks flash - 1 do
+    busy := Time.max !busy (Device.Flash.bank_busy_until flash ~bank)
+  done;
+  Engine.run_until engine (Time.add !busy (Time.span_s 1.0))
+
+let test_anon_zero_fill () =
+  let _e, _m, vm = make_vm () in
+  let space = Vmem.Vm.new_space vm in
+  let region, _ =
+    Vmem.Vm.map_anon vm space ~kind:Vmem.Addr_space.Heap ~prot:Vmem.Page_table.prot_rw
+      ~bytes:8192
+  in
+  let span = ok (Vmem.Vm.touch vm space ~addr:region.Vmem.Addr_space.base ~access:`Write ()) in
+  Alcotest.(check bool) "zero-fill fault charged" true (Time.span_to_us span > 1.0);
+  let stats = Vmem.Vm.stats vm in
+  Alcotest.(check int) "one fault" 1 stats.Vmem.Vm.faults;
+  Alcotest.(check int) "one zero fill" 1 stats.Vmem.Vm.zero_fills;
+  Alcotest.(check int) "one frame" 1 stats.Vmem.Vm.frames_in_use;
+  (* Second touch: no fault, DRAM speed. *)
+  let span2 = ok (Vmem.Vm.touch vm space ~addr:region.Vmem.Addr_space.base ~access:`Read ()) in
+  Alcotest.(check bool) "resident access fast" true (Time.span_to_us span2 < 5.0);
+  Alcotest.(check int) "still one fault" 1 (Vmem.Vm.stats vm).Vmem.Vm.faults
+
+let test_unmapped_fault () =
+  let _e, _m, vm = make_vm () in
+  let space = Vmem.Vm.new_space vm in
+  Alcotest.(check bool) "not mapped" true
+    (Vmem.Vm.touch vm space ~addr:123_456_789 ~access:`Read () = Error Vmem.Vm.Not_mapped)
+
+let test_file_mapping_reads_in_place () =
+  let e, manager, vm = make_vm () in
+  let space = Vmem.Vm.new_space vm in
+  (* Install 8KB of cold file data. *)
+  let blocks =
+    Array.init 16 (fun _ ->
+        let b = Storage.Manager.alloc manager in
+        Storage.Manager.load_cold manager b;
+        b)
+  in
+  settle e manager;
+  let region, _ =
+    Vmem.Vm.map_file vm space ~kind:Vmem.Addr_space.Mapped_file
+      ~prot:Vmem.Page_table.prot_r ~cow:false ~blocks ~bytes:8192
+  in
+  let span = ok (Vmem.Vm.touch vm space ~addr:region.Vmem.Addr_space.base ~access:`Read ()) in
+  (* A 64-byte cache-line read out of flash: ~6.6us, no DRAM copy. *)
+  Alcotest.(check bool) "flash-speed in-place read" true
+    (Time.span_to_us span > 2.0 && Time.span_to_us span < 100.0);
+  Alcotest.(check int) "no frames consumed" 0 (Vmem.Vm.stats vm).Vmem.Vm.frames_in_use;
+  (* Read-only mapping rejects writes. *)
+  Alcotest.(check bool) "write denied" true
+    (Vmem.Vm.touch vm space ~addr:region.Vmem.Addr_space.base ~access:`Write ()
+    = Error Vmem.Vm.Protection)
+
+let test_cow_write_goes_to_buffer () =
+  let e, manager, vm = make_vm () in
+  let space = Vmem.Vm.new_space vm in
+  let blocks =
+    Array.init 8 (fun _ ->
+        let b = Storage.Manager.alloc manager in
+        Storage.Manager.load_cold manager b;
+        b)
+  in
+  settle e manager;
+  let region, _ =
+    Vmem.Vm.map_file vm space ~kind:Vmem.Addr_space.Mapped_file
+      ~prot:Vmem.Page_table.prot_r ~cow:true ~blocks ~bytes:4096
+  in
+  let before = (Storage.Manager.stats manager).Storage.Manager.dirty_blocks in
+  let span = ok (Vmem.Vm.touch vm space ~addr:(region.Vmem.Addr_space.base + 600) ~access:`Write ()) in
+  Alcotest.(check bool) "COW write is DRAM-fast" true (Time.span_to_us span < 100.0);
+  let stats = Storage.Manager.stats manager in
+  Alcotest.(check int) "block entered the write buffer" (before + 1)
+    stats.Storage.Manager.dirty_blocks;
+  Alcotest.(check int) "cow recorded" 1 (Vmem.Vm.stats vm).Vmem.Vm.cow_writes;
+  (* The touched block's flash copy is superseded; others remain. *)
+  Alcotest.(check bool) "superseded" true
+    (Storage.Manager.segment_of_block manager blocks.(1) = None);
+  Alcotest.(check bool) "others intact" true
+    (Storage.Manager.segment_of_block manager blocks.(0) <> None)
+
+let test_swap_to_flash () =
+  let _e, manager, vm = make_vm ~frames:2 ~swap:Vmem.Vm.Swap_flash () in
+  let space = Vmem.Vm.new_space vm in
+  let region, _ =
+    Vmem.Vm.map_anon vm space ~kind:Vmem.Addr_space.Heap ~prot:Vmem.Page_table.prot_rw
+      ~bytes:(4 * 4096)
+  in
+  (* Touch four pages with only two frames: two must swap out. *)
+  for i = 0 to 3 do
+    ignore (ok (Vmem.Vm.touch vm space ~addr:(region.Vmem.Addr_space.base + (i * 4096)) ~access:`Write ()))
+  done;
+  let stats = Vmem.Vm.stats vm in
+  Alcotest.(check bool) "swapped out" true (stats.Vmem.Vm.swap_outs >= 2);
+  Alcotest.(check int) "frames capped" 2 stats.Vmem.Vm.frames_in_use;
+  (* Touch the first page again: swap-in. *)
+  ignore (ok (Vmem.Vm.touch vm space ~addr:region.Vmem.Addr_space.base ~access:`Read ()));
+  Alcotest.(check bool) "swapped in" true ((Vmem.Vm.stats vm).Vmem.Vm.swap_ins >= 1);
+  ignore manager
+
+let test_swap_to_disk () =
+  let engine, manager = make_manager () in
+  let disk = Device.Disk.create ~rng:(Rng.create ~seed:3) () in
+  let vm =
+    Vmem.Vm.create
+      { Vmem.Vm.page_bytes = 4096; dram_frames = 1; swap = Vmem.Vm.Swap_disk disk }
+      ~engine ~manager
+  in
+  let space = Vmem.Vm.new_space vm in
+  let region, _ =
+    Vmem.Vm.map_anon vm space ~kind:Vmem.Addr_space.Heap ~prot:Vmem.Page_table.prot_rw
+      ~bytes:(2 * 4096)
+  in
+  ignore (ok (Vmem.Vm.touch vm space ~addr:region.Vmem.Addr_space.base ~access:`Write ()));
+  let span =
+    ok (Vmem.Vm.touch vm space ~addr:(region.Vmem.Addr_space.base + 4096) ~access:`Write ())
+  in
+  (* The second touch evicts to disk: mechanical latency. *)
+  Alcotest.(check bool) "paging costs milliseconds" true (Time.span_to_ms span > 1.0);
+  Alcotest.(check int) "disk wrote" 1 (Device.Disk.writes disk)
+
+let test_no_swap_out_of_memory () =
+  let _e, _m, vm = make_vm ~frames:1 ~swap:Vmem.Vm.No_swap () in
+  let space = Vmem.Vm.new_space vm in
+  let region, _ =
+    Vmem.Vm.map_anon vm space ~kind:Vmem.Addr_space.Heap ~prot:Vmem.Page_table.prot_rw
+      ~bytes:(2 * 4096)
+  in
+  ignore (ok (Vmem.Vm.touch vm space ~addr:region.Vmem.Addr_space.base ~access:`Write ()));
+  Alcotest.check_raises "out of memory" Vmem.Vm.Out_of_memory (fun () ->
+      ignore
+        (Vmem.Vm.touch vm space ~addr:(region.Vmem.Addr_space.base + 4096) ~access:`Write ()))
+
+let test_unmap_releases_frames () =
+  let _e, _m, vm = make_vm ~frames:4 () in
+  let space = Vmem.Vm.new_space vm in
+  let region, _ =
+    Vmem.Vm.map_anon vm space ~kind:Vmem.Addr_space.Heap ~prot:Vmem.Page_table.prot_rw
+      ~bytes:(3 * 4096)
+  in
+  for i = 0 to 2 do
+    ignore (ok (Vmem.Vm.touch vm space ~addr:(region.Vmem.Addr_space.base + (i * 4096)) ~access:`Write ()))
+  done;
+  Alcotest.(check int) "frames used" 3 (Vmem.Vm.stats vm).Vmem.Vm.frames_in_use;
+  Vmem.Vm.unmap_region vm space region;
+  Alcotest.(check int) "frames released" 0 (Vmem.Vm.stats vm).Vmem.Vm.frames_in_use;
+  Alcotest.(check bool) "address invalid now" true
+    (Vmem.Vm.touch vm space ~addr:region.Vmem.Addr_space.base ~access:`Read ()
+    = Error Vmem.Vm.Not_mapped)
+
+let test_shared_text_across_spaces () =
+  (* Two processes map the same flash-resident text: one physical copy,
+     zero DRAM frames — the single-level store's sharing win. *)
+  let e, manager, vm = make_vm () in
+  let blocks =
+    Array.init 16 (fun _ ->
+        let b = Storage.Manager.alloc manager in
+        Storage.Manager.load_cold manager b;
+        b)
+  in
+  settle e manager;
+  let launch () =
+    let space = Vmem.Vm.new_space vm in
+    let region, _ =
+      Vmem.Vm.map_file vm space ~kind:Vmem.Addr_space.Text ~prot:Vmem.Page_table.prot_rx
+        ~cow:false ~blocks ~bytes:8192
+    in
+    (space, region)
+  in
+  let s1, r1 = launch () in
+  let s2, r2 = launch () in
+  ignore (ok (Vmem.Vm.touch vm s1 ~addr:r1.Vmem.Addr_space.base ~access:`Exec ()));
+  ignore (ok (Vmem.Vm.touch vm s2 ~addr:r2.Vmem.Addr_space.base ~access:`Exec ()));
+  Alcotest.(check int) "no frames for either process" 0
+    (Vmem.Vm.stats vm).Vmem.Vm.frames_in_use;
+  (* Each space has its own protection: revoking exec in one does not
+     affect the other. *)
+  let vpn1 = Vmem.Addr_space.vpn_of_addr s1 r1.Vmem.Addr_space.base in
+  ignore (Vmem.Page_table.protect (Vmem.Addr_space.page_table s1) ~vpn:vpn1
+            Vmem.Page_table.prot_r);
+  Alcotest.(check bool) "space 1 exec revoked" true
+    (Vmem.Vm.touch vm s1 ~addr:r1.Vmem.Addr_space.base ~access:`Exec ()
+    = Error Vmem.Vm.Protection);
+  Alcotest.(check bool) "space 2 unaffected" true
+    (Result.is_ok (Vmem.Vm.touch vm s2 ~addr:r2.Vmem.Addr_space.base ~access:`Exec ()))
+
+(* --- Fork: clone_space with copy-on-write anonymous memory ----------------- *)
+
+let test_clone_shares_then_copies () =
+  let _e, _m, vm = make_vm ~frames:8 () in
+  let parent = Vmem.Vm.new_space vm in
+  let region, _ =
+    Vmem.Vm.map_anon vm parent ~kind:Vmem.Addr_space.Heap ~prot:Vmem.Page_table.prot_rw
+      ~bytes:4096
+  in
+  let addr = region.Vmem.Addr_space.base in
+  ignore (ok (Vmem.Vm.touch vm parent ~addr ~access:`Write ()));
+  Alcotest.(check int) "one frame before fork" 1 (Vmem.Vm.stats vm).Vmem.Vm.frames_in_use;
+  let child, span = Vmem.Vm.clone_space vm parent in
+  Alcotest.(check bool) "fork is cheap" true (Time.span_to_us span < 50.0);
+  (* Reads share the single frame. *)
+  ignore (ok (Vmem.Vm.touch vm parent ~addr ~access:`Read ()));
+  ignore (ok (Vmem.Vm.touch vm child ~addr ~access:`Read ()));
+  Alcotest.(check int) "still one frame" 1 (Vmem.Vm.stats vm).Vmem.Vm.frames_in_use;
+  (* The child's first write copies the page. *)
+  let cow_before = (Vmem.Vm.stats vm).Vmem.Vm.cow_writes in
+  ignore (ok (Vmem.Vm.touch vm child ~addr ~access:`Write ()));
+  Alcotest.(check int) "cow write counted" (cow_before + 1)
+    (Vmem.Vm.stats vm).Vmem.Vm.cow_writes;
+  Alcotest.(check int) "two frames after the copy" 2
+    (Vmem.Vm.stats vm).Vmem.Vm.frames_in_use;
+  (* Both sides are independently writable afterwards. *)
+  ignore (ok (Vmem.Vm.touch vm parent ~addr ~access:`Write ()));
+  ignore (ok (Vmem.Vm.touch vm child ~addr ~access:`Write ()));
+  Alcotest.(check int) "no further copies" (cow_before + 1)
+    (Vmem.Vm.stats vm).Vmem.Vm.cow_writes
+
+let test_clone_last_sharer_skips_copy () =
+  let _e, _m, vm = make_vm ~frames:8 () in
+  let parent = Vmem.Vm.new_space vm in
+  let region, _ =
+    Vmem.Vm.map_anon vm parent ~kind:Vmem.Addr_space.Heap ~prot:Vmem.Page_table.prot_rw
+      ~bytes:4096
+  in
+  let addr = region.Vmem.Addr_space.base in
+  ignore (ok (Vmem.Vm.touch vm parent ~addr ~access:`Write ()));
+  let child, _ = Vmem.Vm.clone_space vm parent in
+  (* The child exits before writing: its mappings are released. *)
+  List.iter (Vmem.Vm.unmap_region vm child) (Vmem.Addr_space.regions child);
+  let cow_before = (Vmem.Vm.stats vm).Vmem.Vm.cow_writes in
+  ignore (ok (Vmem.Vm.touch vm parent ~addr ~access:`Write ()));
+  Alcotest.(check int) "write permission reclaimed without a copy" cow_before
+    (Vmem.Vm.stats vm).Vmem.Vm.cow_writes;
+  Alcotest.(check int) "one frame" 1 (Vmem.Vm.stats vm).Vmem.Vm.frames_in_use
+
+let test_clone_shares_xip_text () =
+  let e, manager, vm = make_vm () in
+  let blocks =
+    Array.init 8 (fun _ ->
+        let b = Storage.Manager.alloc manager in
+        Storage.Manager.load_cold manager b;
+        b)
+  in
+  settle e manager;
+  let parent = Vmem.Vm.new_space vm in
+  let region, _ =
+    Vmem.Vm.map_file vm parent ~kind:Vmem.Addr_space.Text ~prot:Vmem.Page_table.prot_rx
+      ~cow:false ~blocks ~bytes:4096
+  in
+  let child, _ = Vmem.Vm.clone_space vm parent in
+  ignore (ok (Vmem.Vm.touch vm parent ~addr:region.Vmem.Addr_space.base ~access:`Exec ()));
+  ignore (ok (Vmem.Vm.touch vm child ~addr:region.Vmem.Addr_space.base ~access:`Exec ()));
+  Alcotest.(check int) "text costs no frames in either space" 0
+    (Vmem.Vm.stats vm).Vmem.Vm.frames_in_use
+
+let test_clone_swapped_pages () =
+  let _e, _m, vm = make_vm ~frames:1 ~swap:Vmem.Vm.Swap_flash () in
+  let parent = Vmem.Vm.new_space vm in
+  let region, _ =
+    Vmem.Vm.map_anon vm parent ~kind:Vmem.Addr_space.Heap ~prot:Vmem.Page_table.prot_rw
+      ~bytes:(2 * 4096)
+  in
+  let a0 = region.Vmem.Addr_space.base in
+  let a1 = a0 + 4096 in
+  ignore (ok (Vmem.Vm.touch vm parent ~addr:a0 ~access:`Write ()));
+  ignore (ok (Vmem.Vm.touch vm parent ~addr:a1 ~access:`Write ()));
+  (* a0 is now swapped out.  Fork shares the slot. *)
+  let child, _ = Vmem.Vm.clone_space vm parent in
+  let swap_ins_before = (Vmem.Vm.stats vm).Vmem.Vm.swap_ins in
+  ignore (ok (Vmem.Vm.touch vm child ~addr:a0 ~access:`Read ()));
+  Alcotest.(check int) "one swap-in serves both sharers" (swap_ins_before + 1)
+    (Vmem.Vm.stats vm).Vmem.Vm.swap_ins;
+  (* And the write afterwards still resolves COW. *)
+  ignore (ok (Vmem.Vm.touch vm child ~addr:a0 ~access:`Write ()))
+
+let suite =
+  [
+    Alcotest.test_case "page table map/translate" `Quick test_page_table_map_translate;
+    Alcotest.test_case "shared text across spaces" `Quick test_shared_text_across_spaces;
+    Alcotest.test_case "page table protect/unmap" `Quick test_page_table_protect_unmap;
+    Alcotest.test_case "address space regions" `Quick test_addr_space_regions;
+    Alcotest.test_case "bad page size" `Quick test_addr_space_bad_page_size;
+    Alcotest.test_case "anon zero-fill" `Quick test_anon_zero_fill;
+    Alcotest.test_case "unmapped fault" `Quick test_unmapped_fault;
+    Alcotest.test_case "file map reads in place" `Quick test_file_mapping_reads_in_place;
+    Alcotest.test_case "COW write to buffer" `Quick test_cow_write_goes_to_buffer;
+    Alcotest.test_case "swap to flash" `Quick test_swap_to_flash;
+    Alcotest.test_case "swap to disk" `Quick test_swap_to_disk;
+    Alcotest.test_case "no swap -> OOM" `Quick test_no_swap_out_of_memory;
+    Alcotest.test_case "unmap releases" `Quick test_unmap_releases_frames;
+    Alcotest.test_case "fork shares then copies" `Quick test_clone_shares_then_copies;
+    Alcotest.test_case "fork last sharer" `Quick test_clone_last_sharer_skips_copy;
+    Alcotest.test_case "fork shares XIP text" `Quick test_clone_shares_xip_text;
+    Alcotest.test_case "fork with swapped pages" `Quick test_clone_swapped_pages;
+  ]
