@@ -13,12 +13,24 @@ let section title = Fmt.pr "@.######## %s ########@.@." title
 
 let note fmt = Fmt.pr ("  " ^^ fmt ^^ "@.")
 
+(* Machine-readable results: experiments record their headline numbers
+   here and the harness drains them per experiment for --json output. *)
+let metrics : (string * float) list ref = ref []
+let put_metric name value = metrics := (name, value) :: !metrics
+
+let take_metrics () =
+  let recorded = List.rev !metrics in
+  metrics := [];
+  recorded
+
 let run_machine ?(seed = 42) ~cfg ~profile ~duration () =
-  let trace = Trace.Synth.generate profile ~rng:(Rng.create ~seed) ~duration in
+  (* The generated trace streams straight into the replay; no experiment
+     holds a full record list. *)
+  let trace = Trace.Synth.generate_seq profile ~rng:(Rng.create ~seed) ~duration in
   let machine = Ssmc.Machine.create cfg in
-  Ssmc.Machine.preload machine trace.Trace.Synth.initial_files;
-  let result = Ssmc.Machine.run machine trace.Trace.Synth.records in
-  (machine, trace, result)
+  Ssmc.Machine.preload machine trace.Trace.Synth.stream_initial_files;
+  let result = Ssmc.Machine.run_seq machine trace.Trace.Synth.seq in
+  (machine, result)
 
 let p50 h = Stat.Histogram.quantile h 0.5
 let p99 h = Stat.Histogram.quantile h 0.99

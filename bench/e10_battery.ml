@@ -29,7 +29,7 @@ let rec run () =
         ]
   in
   let row name cfg =
-    let machine, _trace, r =
+    let machine, r =
       Common.run_machine ~seed:101 ~cfg ~profile:Trace.Workloads.pim ~duration ()
     in
     let draw_mw = 1000.0 *. r.Ssmc.Machine.energy_j /. Time.span_to_s r.Ssmc.Machine.elapsed in

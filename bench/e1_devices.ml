@@ -119,7 +119,7 @@ and which_flash () =
       List.iter
         (fun (label, spec) ->
           let cfg = Ssmc.Config.solid_state ~flash_spec:spec ~seed:19 () in
-          let _m, _trace, r = Common.run_machine ~seed:19 ~cfg ~profile ~duration () in
+          let _m, r = Common.run_machine ~seed:19 ~cfg ~profile ~duration () in
           Table.add_row t
             [
               profile.Trace.Synth.name;

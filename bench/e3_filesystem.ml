@@ -112,7 +112,7 @@ let microbench_table () =
 let trace_table () =
   let duration = Common.minutes 10.0 in
   let run cfg =
-    let m, _t, r =
+    let m, r =
       Common.run_machine ~cfg ~profile:Trace.Workloads.engineering ~duration ()
     in
     (m, r)

@@ -18,10 +18,10 @@ let run_with ?flush_watermark ~buffer ~seed ~duration () =
     { Storage.Manager.default_config with Storage.Manager.buffer; flush_watermark }
   in
   let cfg = Ssmc.Config.solid_state ~flash_mb:24 ~dram_mb:16 ~manager:manager_cfg ~seed () in
-  let _m, trace, result =
+  let _m, result =
     Common.run_machine ~seed ~cfg ~profile:Trace.Workloads.engineering ~duration ()
   in
-  (trace, result)
+  result
 
 let row_of ~label (result : Ssmc.Machine.result) =
   let stats = Option.get result.Ssmc.Machine.manager_stats in
@@ -60,8 +60,7 @@ let run () =
       let buffer =
         buffer_config ~capacity_bytes:(kib * 1024) ~delay_s:30.0 ~refresh:true
       in
-      let trace, result = run_with ~buffer ~seed:61 ~duration () in
-      ignore trace;
+      let result = run_with ~buffer ~seed:61 ~duration () in
       let stats = Option.get result.Ssmc.Machine.manager_stats in
       curve :=
         (Table.cell_bytes (kib * 1024), 100.0 *. stats.Storage.Manager.write_reduction)
@@ -85,7 +84,7 @@ let run () =
   List.iter
     (fun (label, delay_s, refresh) ->
       let buffer = buffer_config ~capacity_bytes:Units.mib ~delay_s ~refresh in
-      let _trace, result = run_with ~buffer ~seed:61 ~duration () in
+      let result = run_with ~buffer ~seed:61 ~duration () in
       Table.add_row t2 (row_of ~label result))
     [
       ("5s delay", 5.0, true);
@@ -98,9 +97,7 @@ let run () =
   List.iter
     (fun (label, watermark) ->
       let buffer = buffer_config ~capacity_bytes:Units.mib ~delay_s:30.0 ~refresh:true in
-      let _trace, result =
-        run_with ~flush_watermark:watermark ~buffer ~seed:61 ~duration ()
-      in
+      let result = run_with ~flush_watermark:watermark ~buffer ~seed:61 ~duration () in
       Table.add_row t2 (row_of ~label result))
     [ ("30s + flush at 50% full", 0.5); ("30s + flush at 80% full", 0.8) ];
   Table.print t2;
@@ -113,7 +110,7 @@ let run () =
           Storage.Manager.buffer = buffer_config ~capacity_bytes:Units.mib ~delay_s:30.0 ~refresh:true }
       in
       let cfg = Ssmc.Config.solid_state ~flash_mb:24 ~dram_mb:16 ~manager:manager_cfg ~seed:62 () in
-      let _m, _trace, result = Common.run_machine ~seed:62 ~cfg ~profile ~duration () in
+      let _m, result = Common.run_machine ~seed:62 ~cfg ~profile ~duration () in
       Table.add_row t3 (row_of ~label:profile.Trace.Synth.name result))
     Trace.Workloads.all;
   Table.print t3

@@ -4,7 +4,11 @@
 
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- e6 e8   # selected experiments
-     QUICK=1 dune exec bench/main.exe    # shorter runs for iteration *)
+     QUICK=1 dune exec bench/main.exe    # shorter runs for iteration
+
+   --json FILE additionally writes machine-readable results: per
+   experiment its wall-clock seconds and the headline metrics it
+   recorded, plus the process peak RSS. *)
 
 let experiments =
   [
@@ -18,14 +22,85 @@ let experiments =
     ("e8", "Section 3.3 bank partitioning", E8_banks.run);
     ("e9", "Section 4 DRAM/flash sizing", E9_sizing.run);
     ("e10", "Section 2 storage power and battery life", E10_battery.run);
+    ("stream", "streaming replay: peak heap vs trace length", Stream.run);
     ("micro", "simulator micro-benchmarks", Micro.run);
   ]
 
+(* Peak resident set of this process, in kB, from the kernel's
+   high-water mark ("VmHWM:  12345 kB" in /proc/self/status). *)
+let max_rss_kb () =
+  try
+    In_channel.with_open_text "/proc/self/status" (fun ic ->
+        let rec scan () =
+          match In_channel.input_line ic with
+          | None -> None
+          | Some line -> (
+            try Some (Scanf.sscanf line "VmHWM: %d kB" Fun.id)
+            with Scanf.Scan_failure _ | Failure _ | End_of_file -> scan ())
+        in
+        scan ())
+  with Sys_error _ -> None
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float v =
+  if Float.is_finite v then Printf.sprintf "%.6g" v
+  else Printf.sprintf "%S" (Float.to_string v)
+
+let write_json path runs =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"quick\": %b,\n  \"max_rss_kb\": %s,\n"
+       Common.quick
+       (match max_rss_kb () with Some kb -> string_of_int kb | None -> "null"));
+  Buffer.add_string buf "  \"experiments\": [\n";
+  List.iteri
+    (fun i (name, descr, wall_s, metrics) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"experiment\": \"%s\", \"description\": \"%s\", \"wall_s\": %s,\n\
+           \      \"metrics\": { "
+           (json_escape name) (json_escape descr) (json_float wall_s));
+      List.iteri
+        (fun j (key, v) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf
+            (Printf.sprintf "\"%s\": %s" (json_escape key) (json_float v)))
+        metrics;
+      Buffer.add_string buf " } }")
+    runs;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf))
+
 let () =
+  let json_path, picks =
+    let rec split acc = function
+      | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+      | [ "--json" ] ->
+        Fmt.epr "--json needs a file argument@.";
+        exit 2
+      | arg :: rest -> split (arg :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    split [] (List.tl (Array.to_list Sys.argv))
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as picks) -> picks
-    | _ -> List.map (fun (name, _, _) -> name) experiments
+    match picks with
+    | [] -> List.map (fun (name, _, _) -> name) experiments
+    | picks -> picks
   in
   let unknown =
     List.filter (fun pick -> not (List.exists (fun (n, _, _) -> n = pick) experiments))
@@ -43,9 +118,20 @@ let () =
     "Reproduction harness for 'Operating System Implications of Solid-State Mobile \
      Computers' (HotOS-IV 1993)@.";
   if Common.quick then Fmt.pr "(QUICK mode: shortened runs)@.";
-  List.iter
-    (fun pick ->
-      let _, _, run = List.find (fun (n, _, _) -> n = pick) experiments in
-      run ())
-    requested;
+  let runs =
+    List.map
+      (fun pick ->
+        let _, descr, run = List.find (fun (n, _, _) -> n = pick) experiments in
+        ignore (Common.take_metrics ());
+        let t0 = Unix.gettimeofday () in
+        run ();
+        let wall_s = Unix.gettimeofday () -. t0 in
+        (pick, descr, wall_s, Common.take_metrics ()))
+      requested
+  in
+  (match json_path with
+  | None -> ()
+  | Some path ->
+    write_json path runs;
+    Fmt.pr "@.wrote machine-readable results to %s@." path);
   Fmt.pr "@.done.@."

@@ -67,12 +67,37 @@ let test_histogram =
   Test.make ~name:"histogram: observe"
     (Staged.stage (fun () -> Sim.Stat.Histogram.observe h 123.0))
 
+(* End-to-end throughput of the streaming pipeline.  Generation is
+   deterministic in the seed, so the record count per run is fixed and a
+   records/s figure falls out of the OLS ns/run estimate. *)
+let gen_duration = Sim.Time.span_s 60.0
+
+let gen_stream ~seed () =
+  Trace.Synth.generate_seq Trace.Workloads.engineering
+    ~rng:(Sim.Rng.create ~seed) ~duration:gen_duration
+
+let gen_records =
+  lazy (Seq.fold_left (fun n _ -> n + 1) 0 (gen_stream ~seed:3 ()).Trace.Synth.seq)
+
+let test_tracegen =
+  Test.make ~name:"tracegen: stream 60s engineering"
+    (Staged.stage (fun () ->
+         Seq.iter ignore (gen_stream ~seed:3 ()).Trace.Synth.seq))
+
+let test_replay =
+  Test.make ~name:"machine: streaming replay, 60s engineering"
+    (Staged.stage (fun () ->
+         let machine = Ssmc.Machine.create (Ssmc.Config.solid_state ~seed:5 ()) in
+         let trace = gen_stream ~seed:3 () in
+         Ssmc.Machine.preload machine trace.Trace.Synth.stream_initial_files;
+         ignore (Ssmc.Machine.run_seq machine trace.Trace.Synth.seq)))
+
 let run () =
   Common.section "micro-benchmarks of the simulator's hot paths (wall-clock)";
   let tests =
     [
       test_event_queue; test_write_buffer; test_zipf; test_rng; test_cleaner_select;
-      test_histogram;
+      test_histogram; test_tracegen; test_replay;
     ]
   in
   let ols =
@@ -88,13 +113,35 @@ let run () =
       ~columns:[ ("benchmark", Sim.Table.Left); ("ns/run", Sim.Table.Right); ("R^2", Sim.Table.Right) ]
   in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let estimates = Hashtbl.create 16 in
   List.iter
     (fun (name, ols) ->
       let estimate =
         match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
       in
+      Hashtbl.replace estimates name estimate;
       let r2 = Option.value (Analyze.OLS.r_square ols) ~default:nan in
       Sim.Table.add_row table
         [ name; Printf.sprintf "%.1f" estimate; Printf.sprintf "%.3f" r2 ])
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
-  Sim.Table.print table
+  Sim.Table.print table;
+  (* Convert the two pipeline benchmarks to records/s for --json. *)
+  let throughput suffix metric label =
+    Hashtbl.iter
+      (fun name ns ->
+        if
+          String.length name >= String.length suffix
+          && String.sub name (String.length name - String.length suffix)
+               (String.length suffix)
+             = suffix
+          && ns > 0.0
+        then begin
+          let rps = float_of_int (Lazy.force gen_records) /. (ns *. 1e-9) in
+          Common.put_metric metric rps;
+          Common.note "%s: %.0f records/s" label rps
+        end)
+      estimates
+  in
+  throughput "stream 60s engineering" "tracegen_records_per_s" "trace generation";
+  throughput "streaming replay, 60s engineering" "replay_records_per_s"
+    "end-to-end replay"

@@ -22,18 +22,39 @@ let run_simulation machine_kind workload trace_file minutes seed flash_mb dram_m
       exit 2
   in
   let duration = Time.span_s (60.0 *. minutes) in
-  let initial_files, records =
+  (* Two streaming passes, so the trace never has to fit in memory: the
+     first validates and computes the preload set and summary, the second
+     drives the machine.  A generated workload is simply regenerated for
+     the second pass — generation is deterministic in the seed. *)
+  let initial_files, summary, replay =
     match trace_file with
-    | Some path -> begin
-      match Trace.Format_io.read_file_with_init path with
-      | Ok (initial_files, records) -> (initial_files, records)
-      | Error msg ->
-        Fmt.epr "cannot read trace %s: %s@." path msg;
-        exit 2
-    end
+    | Some path ->
+      let inits = ref [] in
+      let summary =
+        try
+          In_channel.with_open_text path (fun ic ->
+              Trace.Stats.summarize_seq
+                (Trace.Format_io.read_seq
+                   ~on_init:(fun (file, size) -> inits := (file, size) :: !inits)
+                   ic))
+        with Failure msg | Sys_error msg ->
+          Fmt.epr "cannot read trace %s: %s@." path msg;
+          exit 2
+      in
+      ( List.rev !inits,
+        summary,
+        fun machine ->
+          In_channel.with_open_text path (fun ic ->
+              Ssmc.Machine.run_seq machine (Trace.Format_io.read_seq ic)) )
     | None ->
-      let t = Trace.Synth.generate profile ~rng:(Rng.create ~seed) ~duration in
-      (t.Trace.Synth.initial_files, t.Trace.Synth.records)
+      let stream () =
+        Trace.Synth.generate_seq profile ~rng:(Rng.create ~seed) ~duration
+      in
+      let first = stream () in
+      let summary = Trace.Stats.summarize_seq first.Trace.Synth.seq in
+      ( first.Trace.Synth.stream_initial_files,
+        summary,
+        fun machine -> Ssmc.Machine.run_seq machine (stream ()).Trace.Synth.seq )
   in
   let cfg =
     match machine_kind with
@@ -59,11 +80,10 @@ let run_simulation machine_kind workload trace_file minutes seed flash_mb dram_m
   in
   let machine = Ssmc.Machine.create cfg in
   Ssmc.Machine.preload machine initial_files;
-  let summary = Trace.Stats.summarize records in
   Fmt.pr "machine: %s | workload: %s (%a)@."
     (match machine_kind with `Solid_state -> "solid-state" | `Conventional -> "conventional")
     workload Trace.Stats.pp_summary summary;
-  let result = Ssmc.Machine.run machine records in
+  let result = replay machine in
   Fmt.pr "%a@." Ssmc.Machine.pp_result result;
   (match result.Ssmc.Machine.manager_stats with
   | Some stats when verbose -> Fmt.pr "storage manager: %a@." Storage.Manager.pp_stats stats

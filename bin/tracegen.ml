@@ -15,21 +15,42 @@ let generate workload minutes seed output analyze =
       exit 2
   in
   let duration = Time.span_s (60.0 *. minutes) in
-  let t = Trace.Synth.generate profile ~rng:(Rng.create ~seed) ~duration in
-  (match output with
-  | Some path ->
-    Trace.Format_io.write_file ~initial_files:t.Trace.Synth.initial_files path
-      t.Trace.Synth.records;
-    Fmt.pr "wrote %d records (and %d preload directives) to %s@."
-      (List.length t.Trace.Synth.records)
-      (List.length t.Trace.Synth.initial_files)
-      path
-  | None ->
-    List.iter
-      (fun (file, size) -> print_endline (Trace.Format_io.init_directive file size))
-      t.Trace.Synth.initial_files;
-    Trace.Format_io.write_channel stdout t.Trace.Synth.records);
-  if analyze then begin
+  if not analyze then begin
+    (* Stream records straight to the output as they are generated: memory
+       stays constant however long the requested trace is. *)
+    let t = Trace.Synth.generate_seq profile ~rng:(Rng.create ~seed) ~duration in
+    match output with
+    | Some path ->
+      let n =
+        Trace.Format_io.write_file_seq
+          ~initial_files:t.Trace.Synth.stream_initial_files path t.Trace.Synth.seq
+      in
+      Fmt.pr "wrote %d records (and %d preload directives) to %s@." n
+        (List.length t.Trace.Synth.stream_initial_files)
+        path
+    | None ->
+      List.iter
+        (fun (file, size) -> print_endline (Trace.Format_io.init_directive file size))
+        t.Trace.Synth.stream_initial_files;
+      ignore (Trace.Format_io.write_seq stdout t.Trace.Synth.seq)
+  end
+  else begin
+    (* Analysis (calibration, write death) is inherently multi-pass, so the
+       trace is materialized; output is identical to the streamed path. *)
+    let t = Trace.Synth.generate profile ~rng:(Rng.create ~seed) ~duration in
+    (match output with
+    | Some path ->
+      Trace.Format_io.write_file ~initial_files:t.Trace.Synth.initial_files path
+        t.Trace.Synth.records;
+      Fmt.pr "wrote %d records (and %d preload directives) to %s@."
+        (List.length t.Trace.Synth.records)
+        (List.length t.Trace.Synth.initial_files)
+        path
+    | None ->
+      List.iter
+        (fun (file, size) -> print_endline (Trace.Format_io.init_directive file size))
+        t.Trace.Synth.initial_files;
+      Trace.Format_io.write_channel stdout t.Trace.Synth.records);
     let summary = Trace.Stats.summarize t.Trace.Synth.records in
     Fmt.epr "summary: %a@." Trace.Stats.pp_summary summary;
     Fmt.epr "calibration:@.%a@." Trace.Calibration.pp_report (Trace.Calibration.analyze t);

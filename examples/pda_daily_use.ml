@@ -12,16 +12,18 @@ let () =
     Ssmc.Config.solid_state ~name:"pda" ~dram_mb:2 ~flash_mb:10 ~battery_wh:2.5 ()
   in
   let machine = Ssmc.Machine.create cfg in
+  (* Eight hours of trace streams through the machine as it is generated —
+     the whole day never sits in memory at once. *)
   let trace =
-    Trace.Synth.generate Trace.Workloads.pim ~rng:(Rng.create ~seed:11)
+    Trace.Synth.generate_seq Trace.Workloads.pim ~rng:(Rng.create ~seed:11)
       ~duration:(Time.span_s (8.0 *. 3600.0))
   in
   Fmt.pr "Preloading the address book, calendar and notes (%d files)...@."
-    (List.length trace.Trace.Synth.initial_files);
-  Ssmc.Machine.preload machine trace.Trace.Synth.initial_files;
+    (List.length trace.Trace.Synth.stream_initial_files);
+  Ssmc.Machine.preload machine trace.Trace.Synth.stream_initial_files;
 
   Fmt.pr "Running 8 hours of organizer use...@.";
-  let result = Ssmc.Machine.run machine trace.Trace.Synth.records in
+  let result = Ssmc.Machine.run_seq machine trace.Trace.Synth.seq in
   Fmt.pr "@.%a@.@." Ssmc.Machine.pp_result result;
 
   let battery = Ssmc.Machine.battery machine in

@@ -228,13 +228,15 @@ type result = {
   lifetime_years : float option;
 }
 
-let run ?(drain = Time.span_s 120.0) t records =
+let run_seq ?(drain = Time.span_s 120.0) t records =
   let started = Engine.now t.engine in
   let offset = Time.diff started Time.zero in
   let shifted =
-    List.map
-      (fun r -> { r with Trace.Record.at = Time.add r.Trace.Record.at offset })
-      records
+    if Time.equal started Time.zero then records
+    else
+      Seq.map
+        (fun r -> { r with Trace.Record.at = Time.add r.Trace.Record.at offset })
+        records
   in
   let read_latency = Stat.Summary.create () in
   let write_latency = Stat.Summary.create () in
@@ -243,13 +245,22 @@ let run ?(drain = Time.span_s 120.0) t records =
   let write_hist_us = Stat.Histogram.create () in
   let busy = ref Time.span_zero in
   let ops = ref 0 in
-  (* Periodic power accounting, as an OS housekeeping task would. *)
-  let last_at =
-    match List.rev shifted with [] -> started | r :: _ -> r.Trace.Record.at
+  (* The final record's timestamp bounds the drain window, but a streamed
+     trace's length is unknown until it ends: track it as records go by
+     instead of scanning the materialized trace.  The periodic power
+     accounting (an OS housekeeping task) likewise cannot take an [until]
+     bound up front; the chain stops rescheduling once the drain is done. *)
+  let last_at = ref started in
+  let accounting_done = ref false in
+  let rec account_tick engine =
+    if not !accounting_done then begin
+      account t;
+      ignore (Engine.schedule_after engine ~after:(Time.span_s 60.0) account_tick)
+    end
   in
-  Engine.schedule_every t.engine ~every:(Time.span_s 60.0)
-    ~until:(Time.add last_at drain) (fun _ -> account t);
-  Trace.Replay.run t.engine shifted ~f:(fun engine record ->
+  ignore (Engine.schedule_after t.engine ~after:(Time.span_s 60.0) account_tick);
+  Trace.Replay.run_seq t.engine shifted ~f:(fun engine record ->
+      last_at := record.Trace.Record.at;
       let span = apply t record in
       incr ops;
       busy := Time.span_add !busy span;
@@ -266,7 +277,8 @@ let run ?(drain = Time.span_s 120.0) t records =
       (* Closed loop: the (single-threaded) client does not issue its next
          operation until this one completed. *)
       Engine.run_until engine (Time.add (Engine.now engine) span));
-  Engine.run_until t.engine (Time.add last_at drain);
+  Engine.run_until t.engine (Time.add !last_at drain);
+  accounting_done := true;
   account t;
   let elapsed = Time.diff (Engine.now t.engine) started in
   let manager_stats = Option.map Storage.Manager.stats t.manager in
@@ -293,6 +305,8 @@ let run ?(drain = Time.span_s 120.0) t records =
     manager_stats;
     lifetime_years;
   }
+
+let run ?drain t records = run_seq ?drain t (List.to_seq records)
 
 let pp_result ppf r =
   Fmt.pf ppf

@@ -52,14 +52,26 @@ type result = {
   lifetime_years : float option;  (** Flash-wear extrapolation. *)
 }
 
+val run_seq :
+  ?drain:Sim.Time.span ->
+  t ->
+  Trace.Record.t Seq.t ->
+  result
+(** Replay a trace (timestamps are shifted so the trace starts "now"),
+    then keep the engine running [drain] longer (default 120 s) so pending
+    flushes and cleaning settle, then do the final power accounting.
+
+    Records are pulled one at a time and none is retained: replaying a
+    streamed ({!Trace.Synth.generate_seq}) or file-backed
+    ({!Trace.Format_io.read_seq}) trace keeps peak memory constant in the
+    trace length (file-system state aside). *)
+
 val run :
   ?drain:Sim.Time.span ->
   t ->
   Trace.Record.t list ->
   result
-(** Replay a trace (timestamps are shifted so the trace starts "now"),
-    then keep the engine running [drain] longer (default 120 s) so pending
-    flushes and cleaning settle, then do the final power accounting. *)
+(** [run_seq] over a materialized trace. *)
 
 val pp_result : Format.formatter -> result -> unit
 

@@ -72,12 +72,14 @@ let sweep ?(budget_dollars = 1000.0) ?(fractions = default_fractions)
           ~manager:manager_cfg ~seed ()
       in
       let machine = Machine.create cfg in
+      (* Stream generation straight into the replay: each sweep point holds
+         at most one in-flight record, not the whole trace. *)
       let trace =
-        Trace.Synth.generate profile ~rng:(Rng.create ~seed:(seed + 1)) ~duration
+        Trace.Synth.generate_seq profile ~rng:(Rng.create ~seed:(seed + 1)) ~duration
       in
       match
-        Machine.preload machine trace.Trace.Synth.initial_files;
-        Machine.run machine trace.Trace.Synth.records
+        Machine.preload machine trace.Trace.Synth.stream_initial_files;
+        Machine.run_seq machine trace.Trace.Synth.seq
       with
       | result -> point_of_run ~fraction ~dram_mb ~flash_mb ~buffer_mb ~result
       | exception Storage.Manager.Out_of_space ->

@@ -1,48 +1,65 @@
 open Sim
 
-(* A growable array of optional block handles: the flat block map. *)
+(* A growable array of block handles: the flat block map.  Slots hold the
+   handle directly (block ids are non-negative ints) with [no_block] as the
+   hole sentinel, so the per-block read/write path never touches an option
+   box — every replayed record walks this structure. *)
 module Blockmap = struct
-  type t = { mutable slots : Storage.Manager.block option array; mutable len : int }
+  type t = { mutable slots : int array; mutable len : int }
+
+  let no_block = -1
 
   let create () = { slots = [||]; len = 0 }
   let length t = t.len
 
-  let get t i = if i < t.len then t.slots.(i) else None
+  (* Unboxed lookup: the handle, or [no_block] for a hole / out of range. *)
+  let find t i = if i < t.len then t.slots.(i) else no_block
+
+  let get t i =
+    let b = find t i in
+    if b = no_block then None else Some b
 
   let ensure t n =
     if n > Array.length t.slots then begin
       let cap = max 8 (max n (2 * Array.length t.slots)) in
-      let slots = Array.make cap None in
+      let slots = Array.make cap no_block in
       Array.blit t.slots 0 slots 0 t.len;
       t.slots <- slots
     end;
     if n > t.len then t.len <- n
 
-  let set t i v =
+  let set t i b =
+    if b < 0 then invalid_arg "Blockmap.set: negative block";
     ensure t (i + 1);
-    t.slots.(i) <- v
+    t.slots.(i) <- b
 
   (* Shrink to [n] slots, returning the dropped live handles. *)
   let crop t n =
+    let n = max n 0 in
     let dropped = ref [] in
     for i = t.len - 1 downto n do
-      (match t.slots.(i) with
-      | Some b -> dropped := b :: !dropped
-      | None -> ());
-      t.slots.(i) <- None
+      let b = t.slots.(i) in
+      if b <> no_block then dropped := b :: !dropped;
+      t.slots.(i) <- no_block
     done;
     if n < t.len then t.len <- n;
     !dropped
 
   let iter_live f t =
     for i = 0 to t.len - 1 do
-      match t.slots.(i) with Some b -> f b | None -> ()
+      let b = t.slots.(i) in
+      if b <> no_block then f b
     done
 end
 
 type node = File of file | Dir of (string, node) Hashtbl.t
 
 and file = { mutable size : int; map : Blockmap.t }
+
+(* Directory tables start large enough that workload-scale directories
+   (hundreds to thousands of entries under one data directory) do not pay
+   repeated rehash-and-copy cycles while a trace replays. *)
+let dir_table_size = 64
 
 type t = {
   manager : Storage.Manager.t;
@@ -101,7 +118,7 @@ let mkdir t path =
   | Ok (`Root _) -> Error Fs_error.Eexist
   | Ok (`In (_, _, Some _)) -> Error Fs_error.Eexist
   | Ok (`In (table, fname, None)) ->
-    Hashtbl.replace table fname (Dir (Hashtbl.create 16));
+    Hashtbl.replace table fname (Dir (Hashtbl.create dir_table_size));
     t.dirs <- t.dirs + 1;
     Ok (Time.span_add !charge (meta_write t))
 
@@ -132,12 +149,13 @@ let write t path ~offset ~bytes =
       let cursor = ref (Time.add start !charge) in
       for i = first to last do
         let b =
-          match Blockmap.get f.map i with
-          | Some b -> b
-          | None ->
+          let b = Blockmap.find f.map i in
+          if b <> Blockmap.no_block then b
+          else begin
             let b = Storage.Manager.alloc t.manager in
-            Blockmap.set f.map i (Some b);
+            Blockmap.set f.map i b;
             b
+          end
         in
         cursor := Storage.Manager.write_block_at t.manager ~at:!cursor b
       done;
@@ -163,11 +181,12 @@ let read t path ~offset ~bytes =
         (* How much of this block the range covers. *)
         let lo = max offset (i * bs) and hi = min (offset + bytes) ((i + 1) * bs) in
         let n = hi - lo in
-        (match Blockmap.get f.map i with
-        | Some b -> cursor := Storage.Manager.read_block_at ~bytes:n t.manager ~at:!cursor b
-        | None ->
+        let b = Blockmap.find f.map i in
+        if b <> Blockmap.no_block then
+          cursor := Storage.Manager.read_block_at ~bytes:n t.manager ~at:!cursor b
+        else
           cursor :=
-            Time.add !cursor (Device.Dram.read (Storage.Manager.dram t.manager) ~bytes:n))
+            Time.add !cursor (Device.Dram.read (Storage.Manager.dram t.manager) ~bytes:n)
       done;
       charge := Time.diff !cursor start
     end;
@@ -281,7 +300,7 @@ let preload t path ~size =
     for i = 0 to Units.ceil_div size bs - 1 do
       let b = Storage.Manager.alloc t.manager in
       Storage.Manager.load_cold t.manager b;
-      Blockmap.set f.map i (Some b)
+      Blockmap.set f.map i b
     done;
     f.size <- size;
     Ok ()
@@ -310,7 +329,7 @@ let adopt t path ~size ~blocks =
   let* _span = create t path in
   let charge = ref Time.span_zero in
   let* f = lookup_file t path ~charge in
-  List.iteri (fun i b -> Blockmap.set f.map i (Some b)) blocks;
+  List.iteri (fun i b -> Blockmap.set f.map i b) blocks;
   f.size <- size;
   Ok ()
 

@@ -13,6 +13,39 @@
 
 type t
 
+(** The flat per-file block map.  Stored unboxed — one int per slot, with a
+    sentinel for holes — because every replayed data operation walks it.
+    Exposed for white-box property tests; file-system clients never need
+    it. *)
+module Blockmap : sig
+  type t
+
+  val create : unit -> t
+
+  val length : t -> int
+  (** Slots in use (holes included): one past the highest index ever set. *)
+
+  val no_block : int
+  (** The hole sentinel returned by {!find}; never a valid handle. *)
+
+  val find : t -> int -> int
+  (** The handle at a slot, or {!no_block} for a hole or an index at or
+      beyond {!length}.  Allocation-free. *)
+
+  val get : t -> int -> Storage.Manager.block option
+  (** Boxing variant of {!find}. *)
+
+  val set : t -> int -> Storage.Manager.block -> unit
+  (** Store a handle, growing the map as needed (intermediate slots become
+      holes).  @raise Invalid_argument on a negative handle. *)
+
+  val crop : t -> int -> Storage.Manager.block list
+  (** [crop t n] shrinks to [n] slots and returns the dropped live handles
+      in ascending slot order.  Negative [n] behaves as [0]. *)
+
+  val iter_live : (Storage.Manager.block -> unit) -> t -> unit
+end
+
 val create_fs : manager:Storage.Manager.t -> unit -> t
 (** A fresh, empty file system ("/" exists). *)
 

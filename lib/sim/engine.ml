@@ -29,21 +29,27 @@ let schedule_every t ~every ?until f =
 
 let cancel t handle = Event_queue.cancel t.agenda handle
 
+(* The innermost simulation loop: peek the timestamp (an unboxed int), then
+   take the payload, so delivering an event allocates nothing. *)
 let step t =
-  match Event_queue.pop t.agenda with
-  | None -> false
-  | Some (at, f) ->
+  if Event_queue.is_empty t.agenda then false
+  else begin
+    let at = Event_queue.peek_time_exn t.agenda in
+    let f = Event_queue.pop_exn t.agenda in
     t.clock <- at;
     f t;
     true
+  end
 
 let run_until t limit =
   let rec go () =
-    match Event_queue.peek_time t.agenda with
-    | Some at when Time.( <= ) at limit ->
+    if
+      (not (Event_queue.is_empty t.agenda))
+      && Time.( <= ) (Event_queue.peek_time_exn t.agenda) limit
+    then begin
       ignore (step t);
       go ()
-    | Some _ | None -> ()
+    end
   in
   go ();
   if Time.( < ) t.clock limit then t.clock <- limit

@@ -87,6 +87,8 @@ let rec drop_cancelled t =
     drop_cancelled t
   end
 
+exception Empty
+
 let pop t =
   drop_cancelled t;
   if t.size = 0 then None
@@ -96,9 +98,22 @@ let pop t =
     Some (entry.at, entry.payload)
   end
 
+let pop_exn t =
+  drop_cancelled t;
+  if t.size = 0 then raise Empty
+  else begin
+    let entry = remove_min t in
+    t.live <- t.live - 1;
+    entry.payload
+  end
+
 let peek_time t =
   drop_cancelled t;
   if t.size = 0 then None else Some t.heap.(0).at
+
+let peek_time_exn t =
+  drop_cancelled t;
+  if t.size = 0 then raise Empty else t.heap.(0).at
 
 let length t = t.live
 let is_empty t = length t = 0

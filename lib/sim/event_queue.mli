@@ -23,6 +23,21 @@ val pop : 'a t -> (Time.t * 'a) option
 val peek_time : 'a t -> Time.t option
 (** The timestamp of the earliest live event. *)
 
+exception Empty
+
+(** Allocation-free variants for hot loops: {!peek_time} and {!pop} box
+    their results ([Some], a tuple) on every call, which the simulation
+    engine pays once per event.  Pattern: check {!is_empty}, read
+    {!peek_time_exn}, then take the payload with {!pop_exn}. *)
+
+val pop_exn : 'a t -> 'a
+(** Remove the earliest live event and return its payload.
+    @raise Empty when the queue has no live events. *)
+
+val peek_time_exn : 'a t -> Time.t
+(** The timestamp of the earliest live event, unboxed.
+    @raise Empty when the queue has no live events. *)
+
 val length : 'a t -> int
 (** Number of live (non-cancelled) events. *)
 

@@ -52,26 +52,6 @@ let of_line line =
     | _ -> Error (Printf.sprintf "unrecognized record: %S" line)
   end
 
-let write_channel oc records =
-  List.iter
-    (fun r ->
-      output_string oc (to_line r);
-      output_char oc '\n')
-    records
-
-let read_channel ic =
-  let rec go lineno acc =
-    match In_channel.input_line ic with
-    | None -> Ok (List.rev acc)
-    | Some line -> begin
-      match of_line line with
-      | Ok None -> go (lineno + 1) acc
-      | Ok (Some r) -> go (lineno + 1) (r :: acc)
-      | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
-    end
-  in
-  go 1 []
-
 let init_directive file size = Printf.sprintf "#init %d %d" file size
 
 let parse_init line =
@@ -83,31 +63,88 @@ let parse_init line =
   end
   | _ -> None
 
-let write_file ?(initial_files = []) path records =
+(* --- Streaming writes --------------------------------------------------------- *)
+
+let write_seq oc records =
+  let n = ref 0 in
+  Seq.iter
+    (fun r ->
+      output_string oc (to_line r);
+      output_char oc '\n';
+      incr n)
+    records;
+  !n
+
+let write_channel oc records = ignore (write_seq oc (List.to_seq records))
+
+let write_file_seq ?(initial_files = []) path records =
   Out_channel.with_open_text path (fun oc ->
       List.iter
         (fun (file, size) ->
           output_string oc (init_directive file size);
           output_char oc '\n')
         initial_files;
-      write_channel oc records)
+      write_seq oc records)
+
+let write_file ?initial_files path records =
+  ignore (write_file_seq ?initial_files path (List.to_seq records))
+
+(* --- Streaming reads ---------------------------------------------------------- *)
+
+let fold_channel ?on_init ic ~init ~f =
+  let rec go lineno acc =
+    match In_channel.input_line ic with
+    | None -> Ok acc
+    | Some line -> begin
+      match (on_init, parse_init line) with
+      | Some handle, Some directive ->
+        handle directive;
+        go (lineno + 1) acc
+      | _ -> begin
+        match of_line line with
+        | Ok None -> go (lineno + 1) acc
+        | Ok (Some r) -> go (lineno + 1) (f acc r)
+        | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+      end
+    end
+  in
+  go 1 init
+
+let read_seq ?on_init ic =
+  let lineno = ref 0 in
+  let rec next () =
+    match In_channel.input_line ic with
+    | None -> Seq.Nil
+    | Some line -> begin
+      incr lineno;
+      match (on_init, parse_init line) with
+      | Some handle, Some directive ->
+        handle directive;
+        next ()
+      | _ -> begin
+        match of_line line with
+        | Ok None -> next ()
+        | Ok (Some r) -> Seq.Cons (r, next)
+        | Error msg -> failwith (Printf.sprintf "line %d: %s" !lineno msg)
+      end
+    end
+  in
+  next
+
+let read_channel ic =
+  Result.map List.rev
+    (fold_channel ic ~init:[] ~f:(fun acc r -> r :: acc))
 
 let read_file path = In_channel.with_open_text path read_channel
 
 let read_file_with_init path =
   In_channel.with_open_text path (fun ic ->
-      let rec go lineno inits acc =
-        match In_channel.input_line ic with
-        | None -> Ok (List.rev inits, List.rev acc)
-        | Some line -> begin
-          match parse_init line with
-          | Some init -> go (lineno + 1) (init :: inits) acc
-          | None -> begin
-            match of_line line with
-            | Ok None -> go (lineno + 1) inits acc
-            | Ok (Some r) -> go (lineno + 1) inits (r :: acc)
-            | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
-          end
-        end
-      in
-      go 1 [] [])
+      let inits = ref [] in
+      match
+        fold_channel ic
+          ~on_init:(fun (file, size) -> inits := (file, size) :: !inits)
+          ~init:[]
+          ~f:(fun acc r -> r :: acc)
+      with
+      | Ok records -> Ok (List.rev !inits, List.rev records)
+      | Error msg -> Error msg)

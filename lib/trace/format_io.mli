@@ -22,6 +22,40 @@ val of_line : string -> (Record.t option, string) result
 (** [Ok None] for comments and blank lines; [Error msg] on malformed
     input. *)
 
+(** {1 Streaming}
+
+    These process one record at a time and retain none of them, so traces
+    far larger than RAM can be written, scanned, and replayed.  The list
+    functions below are wrappers over them. *)
+
+val write_seq : out_channel -> Record.t Seq.t -> int
+(** Write records as they are pulled from the sequence; returns how many
+    were written. *)
+
+val write_file_seq :
+  ?initial_files:(Record.file_id * int) list -> string -> Record.t Seq.t -> int
+(** Init directives first, then the streamed records; returns the record
+    count. *)
+
+val fold_channel :
+  ?on_init:(Record.file_id * int -> unit) ->
+  in_channel ->
+  init:'a ->
+  f:('a -> Record.t -> 'a) ->
+  ('a, string) result
+(** Fold over every record to end of channel in constant memory.  With
+    [on_init], init directives are reported through it (wherever they
+    appear); otherwise they are skipped as comments.  The error message
+    includes the line number. *)
+
+val read_seq :
+  ?on_init:(Record.file_id * int -> unit) -> in_channel -> Record.t Seq.t
+(** Lazy record sequence over a channel; comments and blanks are skipped,
+    init directives go to [on_init] if given.  Ephemeral — it advances the
+    channel, so consume it at most once, within the channel's lifetime.
+    @raise Failure on malformed input (use {!fold_channel} to validate
+    first when the input is untrusted). *)
+
 val write_channel : out_channel -> Record.t list -> unit
 
 val read_channel : in_channel -> (Record.t list, string) result

@@ -1,13 +1,18 @@
 open Sim
 
-let run engine records ~f =
-  List.iter
+let run_seq engine records ~f =
+  Seq.iter
     (fun r ->
       let at = r.Record.at in
       if Time.( < ) (Engine.now engine) at then Engine.run_until engine at;
       f engine r)
     records
 
-let run_all engine records ~f ~drain_until =
-  run engine records ~f;
+let run engine records ~f = run_seq engine (List.to_seq records) ~f
+
+let run_all_seq engine records ~f ~drain_until =
+  run_seq engine records ~f;
   Engine.run_until engine drain_until
+
+let run_all engine records ~f ~drain_until =
+  run_all_seq engine (List.to_seq records) ~f ~drain_until

@@ -3,15 +3,33 @@
     Drives a time-ordered trace through a consumer while keeping a
     simulation engine's clock in step, so that background activity scheduled
     on the engine (writeback timers, cleaners, battery accounting)
-    interleaves with foreground operations at the right instants. *)
+    interleaves with foreground operations at the right instants.
 
-val run :
-  Sim.Engine.t -> Record.t list -> f:(Sim.Engine.t -> Record.t -> unit) -> unit
+    The sequence variants pull records on demand and retain none of them:
+    replay of a streamed or file-backed trace runs in constant memory no
+    matter how long the trace is.  The list variants are thin wrappers. *)
+
+val run_seq :
+  Sim.Engine.t -> Record.t Seq.t -> f:(Sim.Engine.t -> Record.t -> unit) -> unit
 (** For each record in order: run every engine event due before the record's
     timestamp, advance the clock to it, and apply [f].  Records stamped in
     the past (before the current clock) are applied at the current clock
     time — a foreground operation cannot begin before its predecessor's
     bookkeeping completed. *)
+
+val run :
+  Sim.Engine.t -> Record.t list -> f:(Sim.Engine.t -> Record.t -> unit) -> unit
+(** [run_seq] over a materialized trace. *)
+
+val run_all_seq :
+  Sim.Engine.t ->
+  Record.t Seq.t ->
+  f:(Sim.Engine.t -> Record.t -> unit) ->
+  drain_until:Sim.Time.t ->
+  unit
+(** [run_seq] followed by running the engine's agenda up to [drain_until] —
+    letting pending flushes and cleaners finish after the last foreground
+    operation. *)
 
 val run_all :
   Sim.Engine.t ->
@@ -19,6 +37,4 @@ val run_all :
   f:(Sim.Engine.t -> Record.t -> unit) ->
   drain_until:Sim.Time.t ->
   unit
-(** [run] followed by running the engine's agenda up to [drain_until] —
-    letting pending flushes and cleaners finish after the last foreground
-    operation. *)
+(** [run_all_seq] over a materialized trace. *)

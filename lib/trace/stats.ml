@@ -13,7 +13,7 @@ type summary = {
   duration : Time.span;
 }
 
-let summarize records =
+let summarize_seq records =
   let files = Hashtbl.create 256 in
   let creates = ref 0
   and reads = ref 0
@@ -24,7 +24,7 @@ let summarize records =
   and bytes_written = ref 0
   and ops = ref 0
   and last = ref Time.zero in
-  List.iter
+  Seq.iter
     (fun r ->
       incr ops;
       Hashtbl.replace files (Record.file r) ();
@@ -52,6 +52,8 @@ let summarize records =
     distinct_files = Hashtbl.length files;
     duration = Time.diff !last Time.zero;
   }
+
+let summarize records = summarize_seq (List.to_seq records)
 
 let write_rate_bytes_per_s s =
   let secs = Time.span_to_s s.duration in

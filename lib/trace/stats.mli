@@ -22,6 +22,10 @@ type summary = {
 
 val summarize : Record.t list -> summary
 
+val summarize_seq : Record.t Seq.t -> summary
+(** Single streaming pass; memory stays constant (distinct-file tracking
+    aside) however long the trace is. *)
+
 val write_rate_bytes_per_s : summary -> float
 
 type death = {

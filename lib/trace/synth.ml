@@ -43,11 +43,19 @@ type t = {
   records : Record.t list;
 }
 
+type stream = {
+  stream_profile : profile;
+  stream_initial_files : (Record.file_id * int) list;
+  seq : Record.t Seq.t;
+}
+
 let block = 512
 
 let align offset = offset - (offset mod block)
 
-(* Mutable generation state. *)
+(* Mutable generation state.  Emitted records wait in [buf] until the
+   consumer pulls them, so memory stays bounded by one arrival's burst (a
+   whole-file write) no matter how long the trace runs. *)
 type state = {
   rng : Rng.t;
   zipf : Distribution.Zipf.t;
@@ -55,10 +63,12 @@ type state = {
   last_write : (int, int) Hashtbl.t;  (* file -> offset of previous update *)
   deletions : int Event_queue.t;  (* scheduled deaths of short-lived files *)
   mutable next_id : int;
-  mutable acc : Record.t list;  (* reversed *)
+  buf : Record.t Queue.t;
+  mutable now : Time.t;
+  mutable finished : bool;
 }
 
-let emit st ~at op = st.acc <- { Record.at; op } :: st.acc
+let emit st ~at op = Queue.add { Record.at; op } st.buf
 
 (* Sizes are clamped: 1993 mobile files are small, and unbounded lognormal
    tails would let one freak multi-megabyte file dominate every mean. *)
@@ -86,19 +96,19 @@ let create_and_write st ~at ~size ~io_dist =
 
 let flush_deletions st ~upto =
   let rec go () =
-    match Event_queue.peek_time st.deletions with
-    | Some at when Time.( <= ) at upto -> begin
-      match Event_queue.pop st.deletions with
-      | Some (at, file) ->
-        if Hashtbl.mem st.sizes file then begin
-          Hashtbl.remove st.sizes file;
-          Hashtbl.remove st.last_write file;
-          emit st ~at (Record.Delete { file })
-        end;
-        go ()
-      | None -> ()
+    if
+      (not (Event_queue.is_empty st.deletions))
+      && Time.( <= ) (Event_queue.peek_time_exn st.deletions) upto
+    then begin
+      let at = Event_queue.peek_time_exn st.deletions in
+      let file = Event_queue.pop_exn st.deletions in
+      if Hashtbl.mem st.sizes file then begin
+        Hashtbl.remove st.sizes file;
+        Hashtbl.remove st.last_write file;
+        emit st ~at (Record.Delete { file })
+      end;
+      go ()
     end
-    | Some _ | None -> ()
   in
   go ()
 
@@ -172,8 +182,34 @@ let do_update p st ~at =
     if offset + bytes > size then Hashtbl.replace st.sizes file (offset + bytes);
     emit st ~at (Record.Write { file; offset; bytes })
 
-let generate p ~rng ~duration =
-  (match validate p with Ok () -> () | Error msg -> invalid_arg ("Synth.generate: " ^ msg));
+(* Advance the state machine by one arrival, buffering whatever it emits.
+   Samples the RNG in exactly the order the eager generator always did, so
+   the streamed trace is byte-identical to the materialized one. *)
+let step p st ~interarrival ~stop =
+  let gap = Time.span_s (Float.max 1e-6 (Distribution.sample interarrival st.rng)) in
+  let at = Time.add st.now gap in
+  if Time.( < ) stop at then begin
+    flush_deletions st ~upto:stop;
+    st.finished <- true
+  end
+  else begin
+    flush_deletions st ~upto:at;
+    let x = Rng.unit_float st.rng in
+    if x < p.read_fraction then do_read p st ~at
+    else begin
+      let y = Rng.unit_float st.rng in
+      if y < p.new_file_fraction then do_new_file p st ~at
+      else if y < p.new_file_fraction +. p.whole_file_rewrite_fraction then
+        do_whole_file_rewrite p st ~at
+      else do_update p st ~at
+    end;
+    st.now <- at
+  end
+
+let generate_seq p ~rng ~duration =
+  (match validate p with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Synth.generate: " ^ msg));
   let st =
     {
       rng;
@@ -182,7 +218,9 @@ let generate p ~rng ~duration =
       last_write = Hashtbl.create 1024;
       deletions = Event_queue.create ();
       next_id = p.population;
-      acc = [];
+      buf = Queue.create ();
+      now = Time.zero;
+      finished = false;
     }
   in
   let initial_files =
@@ -193,25 +231,23 @@ let generate p ~rng ~duration =
   in
   let interarrival = Distribution.Exponential { mean = 1.0 /. p.ops_per_second } in
   let stop = Time.add Time.zero duration in
-  let rec step now =
-    let gap = Time.span_s (Float.max 1e-6 (Distribution.sample interarrival rng)) in
-    let at = Time.add now gap in
-    if Time.( < ) stop at then flush_deletions st ~upto:stop
+  let rec next () =
+    if not (Queue.is_empty st.buf) then Seq.Cons (Queue.pop st.buf, next)
+    else if st.finished then Seq.Nil
     else begin
-      flush_deletions st ~upto:at;
-      let x = Rng.unit_float rng in
-      if x < p.read_fraction then do_read p st ~at
-      else begin
-        let y = Rng.unit_float rng in
-        if y < p.new_file_fraction then do_new_file p st ~at
-        else if y < p.new_file_fraction +. p.whole_file_rewrite_fraction then
-          do_whole_file_rewrite p st ~at
-        else do_update p st ~at
-      end;
-      step at
+      step p st ~interarrival ~stop;
+      next ()
     end
   in
-  step Time.zero;
-  { profile = p; initial_files; records = List.rev st.acc }
+  { stream_profile = p; stream_initial_files = initial_files; seq = next }
+
+let generate p ~rng ~duration =
+  let s = generate_seq p ~rng ~duration in
+  {
+    profile = s.stream_profile;
+    initial_files = s.stream_initial_files;
+    records = List.of_seq s.seq;
+  }
 
 let first_fresh_file t = t.profile.population
+let stream_first_fresh_file s = s.stream_profile.population

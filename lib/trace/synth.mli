@@ -50,9 +50,34 @@ type t = {
   records : Record.t list;  (** Time-ordered operations. *)
 }
 
+type stream = {
+  stream_profile : profile;
+  stream_initial_files : (Record.file_id * int) list;
+      (** Eager — sized by the profile's population, not the duration. *)
+  seq : Record.t Seq.t;
+      (** Time-ordered operations, produced lazily as the consumer pulls:
+          memory stays constant in the trace duration.  The sequence is
+          {e ephemeral} — it drives the generator's RNG, so consume it at
+          most once; re-evaluating a prefix replays different randomness.
+          For multiple passes, call {!generate_seq} again with a fresh RNG
+          of the same seed (generation is deterministic), or materialize
+          with {!generate}. *)
+}
+
+val generate_seq : profile -> rng:Sim.Rng.t -> duration:Sim.Time.span -> stream
+(** Generate a trace covering [duration] of simulated time, streaming.
+    Buffered lookahead is bounded by a single arrival's burst, so traces
+    arbitrarily longer than RAM can be generated, written, or replayed.
+    @raise Invalid_argument if [validate] fails. *)
+
 val generate : profile -> rng:Sim.Rng.t -> duration:Sim.Time.span -> t
-(** Generate a trace covering [duration] of simulated time.
+(** [generate_seq] materialized to a list, in the same record order with
+    byte-identical records.  Convenient for analyses that need several
+    passes; memory grows linearly with [duration].
     @raise Invalid_argument if [validate] fails. *)
 
 val first_fresh_file : t -> Record.file_id
 (** File ids at or above this value were created during the trace. *)
+
+val stream_first_fresh_file : stream -> Record.file_id
+(** Same boundary, for a streamed trace. *)

@@ -108,6 +108,68 @@ let test_flash_wearout_mid_run () =
     (Storage.Manager.capacity_blocks manager
     = (Storage.Manager.nsegments manager - stats.Storage.Manager.retired_segments) * 32)
 
+(* --- Streaming replay equals list replay ------------------------------------------ *)
+
+let check_same_result label (a : Ssmc.Machine.result) (b : Ssmc.Machine.result) =
+  let chk what = Alcotest.(check int) (label ^ ": " ^ what) in
+  chk "ops" a.Ssmc.Machine.ops_applied b.Ssmc.Machine.ops_applied;
+  chk "errors" a.Ssmc.Machine.op_errors b.Ssmc.Machine.op_errors;
+  Alcotest.(check (float 0.0)) (label ^ ": busy")
+    (Time.span_to_us a.Ssmc.Machine.busy)
+    (Time.span_to_us b.Ssmc.Machine.busy);
+  Alcotest.(check (float 0.0)) (label ^ ": energy") a.Ssmc.Machine.energy_j
+    b.Ssmc.Machine.energy_j;
+  let sa = Option.get a.Ssmc.Machine.manager_stats in
+  let sb = Option.get b.Ssmc.Machine.manager_stats in
+  chk "flushes" sa.Storage.Manager.blocks_flushed sb.Storage.Manager.blocks_flushed;
+  chk "client writes" sa.Storage.Manager.client_writes sb.Storage.Manager.client_writes;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "%s: write p%.0f" label (100.0 *. q))
+        (Stat.Histogram.quantile a.Ssmc.Machine.write_hist_us q)
+        (Stat.Histogram.quantile b.Ssmc.Machine.write_hist_us q))
+    [ 0.5; 0.9; 0.99 ]
+
+let test_streaming_replay_equivalence () =
+  (* The same workload replayed three ways — materialized list, that list
+     as a Seq, and generated-on-the-fly — must give identical results and
+     identical final file-system state. *)
+  let machine () = Ssmc.Machine.create (Ssmc.Config.solid_state ~seed:25 ()) in
+  let trace = gen 25 120.0 in
+  let finish m result = (result, m) in
+  let via_list =
+    let m = machine () in
+    Ssmc.Machine.preload m trace.Trace.Synth.initial_files;
+    finish m (Ssmc.Machine.run m trace.Trace.Synth.records)
+  in
+  let via_seq_of_list =
+    let m = machine () in
+    Ssmc.Machine.preload m trace.Trace.Synth.initial_files;
+    finish m (Ssmc.Machine.run_seq m (List.to_seq trace.Trace.Synth.records))
+  in
+  let via_stream =
+    let m = machine () in
+    let t =
+      Trace.Synth.generate_seq small_profile ~rng:(Rng.create ~seed:25)
+        ~duration:(Time.span_s 120.0)
+    in
+    Ssmc.Machine.preload m t.Trace.Synth.stream_initial_files;
+    finish m (Ssmc.Machine.run_seq m t.Trace.Synth.seq)
+  in
+  let (r_list, m_list) = via_list in
+  List.iter
+    (fun (label, (r, m)) ->
+      check_same_result label r_list r;
+      let fs_of m = Option.get (Ssmc.Machine.memfs m) in
+      (match Fs.Memfs.check (fs_of m) with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s: fsck: %s" label msg);
+      Alcotest.(check int) (label ^ ": metadata bytes")
+        (Fs.Memfs.metadata_bytes (fs_of m_list))
+        (Fs.Memfs.metadata_bytes (fs_of m)))
+    [ ("seq-of-list", via_seq_of_list); ("end-to-end stream", via_stream) ]
+
 (* --- memfs / ffs logical equivalence ---------------------------------------------- *)
 
 let apply_all (type fs) (module F : Fs.Vfs.S with type t = fs) (fs : fs) ops =
@@ -218,6 +280,8 @@ let suite =
   [
     Alcotest.test_case "whole-machine determinism" `Slow test_whole_machine_determinism;
     Alcotest.test_case "trace file roundtrip" `Quick test_trace_file_roundtrip_same_result;
+    Alcotest.test_case "streaming replay equivalence" `Quick
+      test_streaming_replay_equivalence;
     Alcotest.test_case "battery exhaustion mid-run" `Slow test_battery_exhaustion_mid_run;
     Alcotest.test_case "flash wear-out mid-run" `Slow test_flash_wearout_mid_run;
     Alcotest.test_case "memfs/ffs equivalence" `Quick test_fs_equivalence;

@@ -201,6 +201,74 @@ let prop_random_ops_consistent =
           acc && Fs.Memfs.exists fs path && Fs.Memfs.file_size fs path = Ok size)
         shadow true)
 
+(* --- Blockmap (white-box) ---------------------------------------------------------- *)
+
+let test_blockmap_edges () =
+  let open Fs.Memfs.Blockmap in
+  let m = create () in
+  Alcotest.(check int) "empty length" 0 (length m);
+  Alcotest.(check int) "find on empty" no_block (find m 0);
+  Alcotest.(check (option int)) "get on empty" None (get m 5);
+  set m 3 42;
+  Alcotest.(check int) "length grows past holes" 4 (length m);
+  Alcotest.(check int) "intermediate slot is a hole" no_block (find m 1);
+  Alcotest.(check (option int)) "get boxes the handle" (Some 42) (get m 3);
+  Alcotest.(check int) "beyond length" no_block (find m 100);
+  Alcotest.check_raises "negative handle rejected"
+    (Invalid_argument "Blockmap.set: negative block") (fun () -> set m 0 (-2));
+  Alcotest.(check (list int)) "crop beyond length drops nothing" [] (crop m 10);
+  Alcotest.(check int) "crop beyond length keeps length" 4 (length m);
+  Alcotest.(check (list int)) "negative crop drops all live" [ 42 ] (crop m (-3));
+  Alcotest.(check int) "negative crop empties" 0 (length m)
+
+(* Random set/crop interleavings agree with a hashtable model, slot for
+   slot, including the dropped-handle lists crop reports. *)
+let prop_blockmap_model =
+  QCheck.Test.make ~name:"memfs: blockmap matches its model" ~count:300
+    QCheck.(
+      list_of_size (Gen.int_range 1 40) (triple (int_bound 1) (int_bound 40) (int_bound 500)))
+    (fun ops ->
+      let m = Fs.Memfs.Blockmap.create () in
+      let model = Hashtbl.create 16 in
+      let model_len = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (kind, i, v) ->
+          if kind = 0 then begin
+            Fs.Memfs.Blockmap.set m i v;
+            Hashtbl.replace model i v;
+            model_len := max !model_len (i + 1)
+          end
+          else begin
+            let n = i - 2 (* exercise negative crops too *) in
+            let dropped = Fs.Memfs.Blockmap.crop m n in
+            let floor = max n 0 in
+            let expect =
+              List.init (max 0 (!model_len - floor)) (fun k -> floor + k)
+              |> List.filter_map (fun j ->
+                     Option.map (fun v -> (j, v)) (Hashtbl.find_opt model j))
+            in
+            List.iter (fun (j, _) -> Hashtbl.remove model j) expect;
+            model_len := min !model_len floor;
+            if dropped <> List.map snd expect then ok := false
+          end)
+        ops;
+      ok := !ok && Fs.Memfs.Blockmap.length m = !model_len;
+      for j = 0 to !model_len + 4 do
+        let expect =
+          if j < !model_len then
+            Option.value (Hashtbl.find_opt model j) ~default:Fs.Memfs.Blockmap.no_block
+          else Fs.Memfs.Blockmap.no_block
+        in
+        if Fs.Memfs.Blockmap.find m j <> expect then ok := false
+      done;
+      let live = ref [] in
+      Fs.Memfs.Blockmap.iter_live (fun b -> live := b :: !live) m;
+      let expect_live =
+        List.init !model_len Fun.id |> List.filter_map (Hashtbl.find_opt model)
+      in
+      !ok && List.rev !live = expect_live)
+
 let suite =
   [
     Alcotest.test_case "namespace" `Quick test_create_and_namespace;
@@ -213,5 +281,7 @@ let suite =
     Alcotest.test_case "metadata accounting" `Quick test_metadata_bytes_grow;
     Alcotest.test_case "sync flushes" `Quick test_sync_flushes;
     Alcotest.test_case "enumerate & adopt" `Quick test_enumerate_and_adopt;
+    Alcotest.test_case "blockmap edges" `Quick test_blockmap_edges;
+    QCheck_alcotest.to_alcotest prop_blockmap_model;
     QCheck_alcotest.to_alcotest prop_random_ops_consistent;
   ]

@@ -265,6 +265,108 @@ let test_replay_runs_due_events () =
   Trace.Replay.run engine [ record 100 (w 1 0 1) ] ~f:(fun _ _ -> ());
   Alcotest.(check bool) "event before record fired" true !fired
 
+(* --- Streaming ------------------------------------------------------------------- *)
+
+let lines records = List.map Trace.Format_io.to_line records
+
+let test_stream_equals_list () =
+  (* The streamed generator must sample the RNG in exactly the eager
+     order: same seed, byte-identical trace, for every workload. *)
+  List.iter
+    (fun profile ->
+      let duration = Time.span_s 120.0 in
+      let eager = Trace.Synth.generate profile ~rng:(Rng.create ~seed:9) ~duration in
+      let streamed =
+        Trace.Synth.generate_seq profile ~rng:(Rng.create ~seed:9) ~duration
+      in
+      Alcotest.(check (list (pair int int)))
+        (profile.Trace.Synth.name ^ " initial files")
+        eager.Trace.Synth.initial_files streamed.Trace.Synth.stream_initial_files;
+      Alcotest.(check int)
+        (profile.Trace.Synth.name ^ " fresh-id boundary")
+        (Trace.Synth.first_fresh_file eager)
+        (Trace.Synth.stream_first_fresh_file streamed);
+      Alcotest.(check (list string))
+        (profile.Trace.Synth.name ^ " records")
+        (lines eager.Trace.Synth.records)
+        (lines (List.of_seq streamed.Trace.Synth.seq)))
+    Trace.Workloads.all
+
+let test_stream_summary_equals_list () =
+  let duration = Time.span_s 300.0 in
+  let eager =
+    Trace.Synth.generate Trace.Workloads.engineering ~rng:(Rng.create ~seed:13) ~duration
+  in
+  let streamed =
+    Trace.Synth.generate_seq Trace.Workloads.engineering ~rng:(Rng.create ~seed:13)
+      ~duration
+  in
+  let a = Trace.Stats.summarize eager.Trace.Synth.records in
+  let b = Trace.Stats.summarize_seq streamed.Trace.Synth.seq in
+  Alcotest.(check bool) "identical summaries" true (a = b)
+
+let test_stream_file_roundtrip () =
+  let path = Filename.temp_file "trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let inits = [ (0, 100); (1, 200) ] in
+      let n =
+        Trace.Format_io.write_file_seq ~initial_files:inits path
+          (List.to_seq all_op_shapes)
+      in
+      Alcotest.(check int) "write_file_seq count" (List.length all_op_shapes) n;
+      (* The streamed writer produces what the eager writer produced. *)
+      let eager_path = Filename.temp_file "trace" ".txt" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove eager_path)
+        (fun () ->
+          Trace.Format_io.write_file ~initial_files:inits eager_path all_op_shapes;
+          let slurp p = In_channel.with_open_text p In_channel.input_all in
+          Alcotest.(check string) "byte-identical file" (slurp eager_path) (slurp path));
+      (* read_seq sees both parts. *)
+      let seen_inits = ref [] in
+      let back =
+        In_channel.with_open_text path (fun ic ->
+            List.of_seq
+              (Trace.Format_io.read_seq
+                 ~on_init:(fun init -> seen_inits := init :: !seen_inits)
+                 ic))
+      in
+      Alcotest.(check (list (pair int int))) "inits" inits (List.rev !seen_inits);
+      Alcotest.(check (list string)) "records" (lines all_op_shapes) (lines back);
+      (* fold_channel folds every record, in order. *)
+      match
+        In_channel.with_open_text path (fun ic ->
+            Trace.Format_io.fold_channel ic ~init:0 ~f:(fun n _ -> n + 1))
+      with
+      | Ok n -> Alcotest.(check int) "fold count" (List.length all_op_shapes) n
+      | Error e -> Alcotest.fail e)
+
+let test_stream_read_errors () =
+  let path = Filename.temp_file "trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc "# fine\n1 write 1 0 512\n2 frobnicate 9\n");
+      (match
+         In_channel.with_open_text path (fun ic ->
+             Trace.Format_io.fold_channel ic ~init:0 ~f:(fun n _ -> n + 1))
+       with
+      | Ok _ -> Alcotest.fail "garbage accepted"
+      | Error e ->
+        Alcotest.(check bool) ("error cites the line: " ^ e) true
+          (String.length e >= 7 && String.sub e 0 7 = "line 3:"));
+      match
+        In_channel.with_open_text path (fun ic ->
+            List.of_seq (Trace.Format_io.read_seq ic))
+      with
+      | exception Failure e ->
+        Alcotest.(check bool) ("read_seq raises with line: " ^ e) true
+          (String.length e >= 7 && String.sub e 0 7 = "line 3:")
+      | _ -> Alcotest.fail "read_seq accepted garbage")
+
 let suite =
   [
     Alcotest.test_case "record accessors" `Quick test_record_accessors;
@@ -286,4 +388,8 @@ let suite =
     Alcotest.test_case "Baker death fraction" `Slow test_engineering_death_fraction_matches_baker;
     Alcotest.test_case "replay clock" `Quick test_replay_advances_clock;
     Alcotest.test_case "replay due events" `Quick test_replay_runs_due_events;
+    Alcotest.test_case "stream equals list" `Quick test_stream_equals_list;
+    Alcotest.test_case "stream summary equals list" `Quick test_stream_summary_equals_list;
+    Alcotest.test_case "stream file roundtrip" `Quick test_stream_file_roundtrip;
+    Alcotest.test_case "stream read errors" `Quick test_stream_read_errors;
   ]
