@@ -14,13 +14,17 @@ let section title = Fmt.pr "@.######## %s ########@.@." title
 let note fmt = Fmt.pr ("  " ^^ fmt ^^ "@.")
 
 (* Machine-readable results: experiments record their headline numbers
-   here and the harness drains them per experiment for --json output. *)
-let metrics : (string * float) list ref = ref []
-let put_metric name value = metrics := (name, value) :: !metrics
+   here and the harness drains them per experiment for --json output.  A
+   queue, so take_metrics preserves insertion order by construction — the
+   CI smoke diffs two runs' JSON, which needs a stable metric order.  Call
+   put_metric only from the main domain (record pool results after the
+   parallel phase, not inside work items). *)
+let metrics : (string * float) Queue.t = Queue.create ()
+let put_metric name value = Queue.add (name, value) metrics
 
 let take_metrics () =
-  let recorded = List.rev !metrics in
-  metrics := [];
+  let recorded = List.of_seq (Queue.to_seq metrics) in
+  Queue.clear metrics;
   recorded
 
 let run_machine ?(seed = 42) ~cfg ~profile ~duration () =

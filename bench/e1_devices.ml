@@ -99,10 +99,13 @@ let rec run () =
 
 (* The paper contrasts the two flash products: Intel's memory-mapped parts
    (fast reads, for direct mapping and XIP) and SunDisk's drive-replacement
-   parts (balanced, behind a controller).  Run the same machine on each. *)
+   parts (balanced, behind a controller).  Run the same machine on each —
+   replicated over several seeds on the Domain pool, so the comparison
+   carries 95% confidence half-widths instead of one sample per cell. *)
 and which_flash () =
   let t =
-    Table.create ~title:"which flash for secondary storage? (same machine, same workload)"
+    Table.create
+      ~title:"which flash for secondary storage? (same machine, 3 seeds per cell)"
       ~columns:
         [
           ("workload", Table.Left);
@@ -114,20 +117,34 @@ and which_flash () =
         ]
   in
   let duration = Common.minutes 5.0 in
+  let seeds = [ 19; 20; 21 ] in
+  let pm (c : Ssmc.Machine.ci) =
+    Printf.sprintf "%.1f ±%.1f" c.Ssmc.Machine.mean c.Ssmc.Machine.half_width
+  in
   List.iter
     (fun profile ->
       List.iter
         (fun (label, spec) ->
-          let cfg = Ssmc.Config.solid_state ~flash_spec:spec ~seed:19 () in
-          let _m, r = Common.run_machine ~seed:19 ~cfg ~profile ~duration () in
+          let rep =
+            Ssmc.Machine.run_replicated ~seeds (fun ~seed ->
+                let cfg = Ssmc.Config.solid_state ~flash_spec:spec ~seed () in
+                snd (Common.run_machine ~seed ~cfg ~profile ~duration ()))
+          in
+          (* The p50 comes from the seeds' pooled histogram. *)
+          let pooled_reads =
+            List.fold_left
+              (fun acc (_, (r : Ssmc.Machine.result)) ->
+                Stat.Histogram.merge acc r.Ssmc.Machine.read_hist_us)
+              (Stat.Histogram.create ()) rep.Ssmc.Machine.runs
+          in
           Table.add_row t
             [
               profile.Trace.Synth.name;
               label;
-              Common.cell_us (Stat.Summary.mean r.Ssmc.Machine.read_latency);
-              Common.cell_us (Common.p50 r.Ssmc.Machine.read_hist_us);
-              Common.cell_us (Stat.Summary.mean r.Ssmc.Machine.write_latency);
-              Table.cell_f r.Ssmc.Machine.energy_j;
+              pm rep.Ssmc.Machine.read_us;
+              Common.cell_us (Common.p50 pooled_reads);
+              pm rep.Ssmc.Machine.write_us;
+              pm rep.Ssmc.Machine.energy_j;
             ])
         [ ("Intel (memory-mapped)", Device.Specs.intel_flash);
           ("SunDisk (drive-style)", Device.Specs.sundisk_flash) ];

@@ -66,6 +66,11 @@ let churn ~engine ~manager ~utilization ~rounds ~writes_per_round ~pattern ~seed
 
 let rounds n = if Common.quick then n / 4 else n
 
+(* The grids below are embarrassingly parallel: every cell builds its own
+   engine, manager, and RNG from constants, so the cells run on the Domain
+   pool and only the rendering stays sequential.  Cell order (hence output)
+   is identical at any job count. *)
+
 let cleaner_table () =
   let t =
     Table.create ~title:"cleaner policy vs flash utilization (zipf rewrites)"
@@ -79,30 +84,36 @@ let cleaner_table () =
           ("max erases", Table.Right);
         ]
   in
-  List.iter
-    (fun utilization ->
-      List.iter
-        (fun cleaner ->
-          let engine, manager =
-            make ~flash_kib:1024 ~wear:Storage.Wear.Dynamic ~cleaner
-              ~endurance:1_000_000 ()
-          in
-          churn ~engine ~manager ~utilization ~rounds:(rounds 400) ~writes_per_round:128
-            ~pattern:`Zipf ~seed:71;
-          let stats = Storage.Manager.stats manager in
-          let e = Storage.Manager.wear_evenness manager in
-          Table.add_row t
-            [
-              Table.cell_pct utilization;
-              Storage.Cleaner.policy_name cleaner;
-              Printf.sprintf "%.3f" stats.Storage.Manager.write_amplification;
-              Table.cell_i stats.Storage.Manager.cleanings;
-              Table.cell_i stats.Storage.Manager.blocks_cleaned;
-              Table.cell_i e.Storage.Wear.max_erases;
-            ])
-        [ Storage.Cleaner.Greedy; Storage.Cleaner.Cost_benefit ];
-      Table.add_rule t)
-    [ 0.70; 0.80; 0.90 ];
+  let utilizations = [ 0.70; 0.80; 0.90 ] in
+  let policies = [ Storage.Cleaner.Greedy; Storage.Cleaner.Cost_benefit ] in
+  let cells =
+    Pool.run_map
+      (fun (utilization, cleaner) ->
+        let engine, manager =
+          make ~flash_kib:1024 ~wear:Storage.Wear.Dynamic ~cleaner
+            ~endurance:1_000_000 ()
+        in
+        churn ~engine ~manager ~utilization ~rounds:(rounds 400) ~writes_per_round:128
+          ~pattern:`Zipf ~seed:71;
+        (utilization, cleaner, Storage.Manager.stats manager,
+         Storage.Manager.wear_evenness manager))
+      (List.concat_map
+         (fun u -> List.map (fun c -> (u, c)) policies)
+         utilizations)
+  in
+  List.iteri
+    (fun i (utilization, cleaner, stats, e) ->
+      Table.add_row t
+        [
+          Table.cell_pct utilization;
+          Storage.Cleaner.policy_name cleaner;
+          Printf.sprintf "%.3f" stats.Storage.Manager.write_amplification;
+          Table.cell_i stats.Storage.Manager.cleanings;
+          Table.cell_i stats.Storage.Manager.blocks_cleaned;
+          Table.cell_i e.Storage.Wear.max_erases;
+        ];
+      if (i + 1) mod List.length policies = 0 then Table.add_rule t)
+    cells;
   Table.print t
 
 let wear_table () =
@@ -118,21 +129,28 @@ let wear_table () =
           ("relative lifetime", Table.Right);
         ]
   in
-  let baseline = ref None in
+  let cells =
+    Pool.run_map
+      (fun wear ->
+        let engine, manager =
+          make ~flash_kib:512 ~wear ~cleaner:Storage.Cleaner.Cost_benefit
+            ~endurance:1_000_000 ()
+        in
+        churn ~engine ~manager ~utilization:0.85 ~rounds:(rounds 600)
+          ~writes_per_round:96 ~pattern:`Hot_cold ~seed:72;
+        let e = Storage.Manager.wear_evenness manager in
+        let stats = Storage.Manager.stats manager in
+        let flash = Storage.Manager.flash manager in
+        let elapsed = Time.diff (Engine.now engine) Time.zero in
+        (wear, e, Ssmc.Lifetime.of_run ~flash ~stats ~evenness:e ~elapsed))
+      [ Storage.Wear.None_; Storage.Wear.Dynamic;
+        Storage.Wear.Static { spread_threshold = 12 } ]
+  in
+  let baseline =
+    match cells with (_, _, lifetime) :: _ -> lifetime | [] -> assert false
+  in
   List.iter
-    (fun wear ->
-      let engine, manager =
-        make ~flash_kib:512 ~wear ~cleaner:Storage.Cleaner.Cost_benefit
-          ~endurance:1_000_000 ()
-      in
-      churn ~engine ~manager ~utilization:0.85 ~rounds:(rounds 600) ~writes_per_round:96
-        ~pattern:`Hot_cold ~seed:72;
-      let e = Storage.Manager.wear_evenness manager in
-      let stats = Storage.Manager.stats manager in
-      let flash = Storage.Manager.flash manager in
-      let elapsed = Time.diff (Engine.now engine) Time.zero in
-      let lifetime = Ssmc.Lifetime.of_run ~flash ~stats ~evenness:e ~elapsed in
-      if !baseline = None then baseline := Some lifetime;
+    (fun (wear, e, lifetime) ->
       Table.add_row t
         [
           Storage.Wear.policy_name wear;
@@ -142,9 +160,9 @@ let wear_table () =
           Printf.sprintf "%.2f"
             (float_of_int e.Storage.Wear.max_erases
             /. Float.max 1e-9 e.Storage.Wear.mean_erases);
-          Printf.sprintf "%.2fx" (lifetime /. Option.get !baseline);
+          Printf.sprintf "%.2fx" (lifetime /. baseline);
         ])
-    [ Storage.Wear.None_; Storage.Wear.Dynamic; Storage.Wear.Static { spread_threshold = 12 } ];
+    cells;
   Table.print t
 
 let wearout_demo () =
@@ -166,31 +184,39 @@ let wearout_demo () =
           ("bad sectors", Table.Right);
         ]
   in
-  let baseline = ref None in
+  let cells =
+    Pool.run_map
+      (fun wear ->
+        let engine, manager =
+          make ~buffer_blocks:8 ~flash_kib:256 ~wear
+            ~cleaner:Storage.Cleaner.Cost_benefit ~endurance ()
+        in
+        (try
+           churn ~engine ~manager ~utilization:0.8 ~rounds:100_000 ~writes_per_round:96
+             ~pattern:`Hot_cold ~seed:73
+         with Storage.Manager.Out_of_space -> ());
+        (wear, Storage.Manager.stats manager,
+         Device.Flash.bad_sectors (Storage.Manager.flash manager)))
+      [ Storage.Wear.None_; Storage.Wear.Dynamic;
+        Storage.Wear.Static { spread_threshold = threshold } ]
+  in
+  let baseline =
+    match cells with
+    | (_, stats, _) :: _ -> float_of_int (512 * stats.Storage.Manager.blocks_flushed)
+    | [] -> assert false
+  in
   List.iter
-    (fun wear ->
-      let engine, manager =
-        make ~buffer_blocks:8 ~flash_kib:256 ~wear ~cleaner:Storage.Cleaner.Cost_benefit
-          ~endurance ()
-      in
-      (try
-         churn ~engine ~manager ~utilization:0.8 ~rounds:100_000 ~writes_per_round:96
-           ~pattern:`Hot_cold ~seed:73
-       with Storage.Manager.Out_of_space -> ());
-      let stats = Storage.Manager.stats manager in
-      let flash = Storage.Manager.flash manager in
+    (fun (wear, stats, bad_sectors) ->
       let written = float_of_int (512 * stats.Storage.Manager.blocks_flushed) in
-      if !baseline = None then baseline := Some written;
       Table.add_row t
         [
           Storage.Wear.policy_name wear;
           Table.cell_bytes (512 * stats.Storage.Manager.blocks_flushed);
-          Printf.sprintf "%.2fx" (written /. Option.get !baseline);
+          Printf.sprintf "%.2fx" (written /. baseline);
           Table.cell_i stats.Storage.Manager.retired_segments;
-          Table.cell_i (Device.Flash.bad_sectors flash);
+          Table.cell_i bad_sectors;
         ])
-    [ Storage.Wear.None_; Storage.Wear.Dynamic;
-      Storage.Wear.Static { spread_threshold = threshold } ];
+    cells;
   Table.print t
 
 let segment_size_table () =
@@ -209,16 +235,21 @@ let segment_size_table () =
           ("bank busy per cleaning", Table.Right);
         ]
   in
+  let cells =
+    Pool.run_map
+      (fun segment_sectors ->
+        let engine, manager =
+          make ~segment_sectors ~flash_kib:2048 ~wear:Storage.Wear.Dynamic
+            ~cleaner:Storage.Cleaner.Cost_benefit ~endurance:1_000_000 ()
+        in
+        churn ~engine ~manager ~utilization:0.75 ~rounds:(rounds 200)
+          ~writes_per_round:128 ~pattern:`Zipf ~seed:74;
+        (segment_sectors, Storage.Manager.stats manager,
+         Device.Flash.erases (Storage.Manager.flash manager)))
+      [ 8; 32; 128 ]
+  in
   List.iter
-    (fun segment_sectors ->
-      let engine, manager =
-        make ~segment_sectors ~flash_kib:2048 ~wear:Storage.Wear.Dynamic
-          ~cleaner:Storage.Cleaner.Cost_benefit ~endurance:1_000_000 ()
-      in
-      churn ~engine ~manager ~utilization:0.75 ~rounds:(rounds 200) ~writes_per_round:128
-        ~pattern:`Zipf ~seed:74;
-      let stats = Storage.Manager.stats manager in
-      let flash = Storage.Manager.flash manager in
+    (fun (segment_sectors, stats, erases) ->
       (* A cleaning erases the whole victim: that long, uninterruptible
          bank occupancy is what a concurrent reader of the same bank eats. *)
       let erase_burst =
@@ -230,10 +261,10 @@ let segment_size_table () =
           Table.cell_bytes (segment_sectors * 512);
           Printf.sprintf "%.3f" stats.Storage.Manager.write_amplification;
           Table.cell_i stats.Storage.Manager.cleanings;
-          Table.cell_i (Device.Flash.erases flash);
+          Table.cell_i erases;
           Table.cell_span erase_burst;
         ])
-    [ 8; 32; 128 ];
+    cells;
   Table.print t
 
 let run () =

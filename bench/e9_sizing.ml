@@ -64,13 +64,30 @@ let table_for profile =
              ( Table.cell_pct p.Ssmc.Sizing.dram_fraction,
                Float.log10 (Float.max 1.0 p.Ssmc.Sizing.mean_write_us) ))
        points);
+  (* Headline metrics for --json: every point's mean write latency plus
+     the knee.  Deterministic at any --jobs, which the CI smoke asserts by
+     diffing two runs. *)
+  List.iter
+    (fun (p : Ssmc.Sizing.point) ->
+      Common.put_metric
+        (Printf.sprintf "e9_%s_write_us_%02d" profile.Trace.Synth.name
+           (int_of_float (Float.round (100.0 *. p.Ssmc.Sizing.dram_fraction))))
+        p.Ssmc.Sizing.mean_write_us)
+    points;
   match Ssmc.Sizing.knee points with
   | Some knee ->
+    Common.put_metric
+      (Printf.sprintf "e9_%s_knee_fraction" profile.Trace.Synth.name)
+      knee.Ssmc.Sizing.dram_fraction;
     Common.note "knee for '%s': %.0f%% of budget on DRAM (%.1fMB DRAM / %.1fMB flash)"
       profile.Trace.Synth.name
       (100.0 *. knee.Ssmc.Sizing.dram_fraction)
       knee.Ssmc.Sizing.dram_mb knee.Ssmc.Sizing.flash_mb
-  | None -> Common.note "no feasible split for '%s'" profile.Trace.Synth.name
+  | None ->
+    Common.put_metric
+      (Printf.sprintf "e9_%s_knee_fraction" profile.Trace.Synth.name)
+      (-1.0);
+    Common.note "no feasible split for '%s'" profile.Trace.Synth.name
 
 let run () =
   Common.section "E9: sizing DRAM vs flash under a fixed budget (Section 4)";

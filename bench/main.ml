@@ -4,11 +4,15 @@
 
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- e6 e8   # selected experiments
+     dune exec bench/main.exe -- --list  # print the experiment table
      QUICK=1 dune exec bench/main.exe    # shorter runs for iteration
 
-   --json FILE additionally writes machine-readable results: per
-   experiment its wall-clock seconds and the headline metrics it
-   recorded, plus the process peak RSS. *)
+   --jobs N sizes the Domain pool independent simulation points run on
+   (default: SSMC_JOBS or the machine's core count); results are
+   byte-identical at any job count.  --json FILE additionally writes
+   machine-readable results: per experiment its wall-clock seconds and
+   the headline metrics it recorded, plus the job count and the process
+   peak RSS. *)
 
 let experiments =
   [
@@ -24,6 +28,7 @@ let experiments =
     ("e10", "Section 2 storage power and battery life", E10_battery.run);
     ("stream", "streaming replay: peak heap vs trace length", Stream.run);
     ("micro", "simulator micro-benchmarks", Micro.run);
+    ("pool", "Domain pool: parallel speedup and sequential overhead", Pool_bench.run);
   ]
 
 (* Peak resident set of this process, in kB, from the kernel's
@@ -61,8 +66,8 @@ let write_json path runs =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
-    (Printf.sprintf "  \"quick\": %b,\n  \"max_rss_kb\": %s,\n"
-       Common.quick
+    (Printf.sprintf "  \"quick\": %b,\n  \"jobs\": %d,\n  \"max_rss_kb\": %s,\n"
+       Common.quick (Sim.Pool.default_jobs ())
        (match max_rss_kb () with Some kb -> string_of_int kb | None -> "null"));
   Buffer.add_string buf "  \"experiments\": [\n";
   List.iteri
@@ -85,27 +90,57 @@ let write_json path runs =
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (Buffer.contents buf))
 
+let print_experiment_table () =
+  let t =
+    Sim.Table.create ~title:"experiments"
+      ~columns:[ ("name", Sim.Table.Left); ("description", Sim.Table.Left) ]
+  in
+  List.iter (fun (name, descr, _) -> Sim.Table.add_row t [ name; descr ]) experiments;
+  Sim.Table.print t
+
+let usage () =
+  Fmt.epr "usage: main.exe [--list] [--jobs N] [--json FILE] [EXPERIMENT...]@.";
+  exit 2
+
 let () =
-  let json_path, picks =
-    let rec split acc = function
-      | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+  let json_path, jobs, list_only, picks =
+    let rec parse (json, jobs, list_only, picks) = function
+      | "--json" :: path :: rest -> parse (Some path, jobs, list_only, picks) rest
       | [ "--json" ] ->
         Fmt.epr "--json needs a file argument@.";
-        exit 2
-      | arg :: rest -> split (arg :: acc) rest
-      | [] -> (None, List.rev acc)
+        usage ()
+      | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> parse (json, Some j, list_only, picks) rest
+        | _ ->
+          Fmt.epr "--jobs needs a positive integer, got %S@." n;
+          usage ())
+      | [ "--jobs" ] ->
+        Fmt.epr "--jobs needs an argument@.";
+        usage ()
+      | "--list" :: rest -> parse (json, jobs, true, picks) rest
+      | arg :: rest -> parse (json, jobs, list_only, arg :: picks) rest
+      | [] -> (json, jobs, list_only, List.rev picks)
     in
-    split [] (List.tl (Array.to_list Sys.argv))
+    parse (None, None, false, []) (List.tl (Array.to_list Sys.argv))
   in
+  if list_only then begin
+    print_experiment_table ();
+    exit 0
+  end;
+  Option.iter Sim.Pool.set_default_jobs jobs;
   let requested =
     match picks with
     | [] -> List.map (fun (name, _, _) -> name) experiments
     | picks -> picks
   in
-  let unknown =
-    List.filter (fun pick -> not (List.exists (fun (n, _, _) -> n = pick) experiments))
+  (* One lookup per pick; unknown names are collected, not re-searched. *)
+  let resolved =
+    List.map
+      (fun pick -> (pick, List.find_opt (fun (n, _, _) -> n = pick) experiments))
       requested
   in
+  let unknown = List.filter_map (fun (p, r) -> if r = None then Some p else None) resolved in
   if unknown <> [] then begin
     Fmt.epr "unknown experiment(s): %a@.known: %a@."
       Fmt.(list ~sep:sp string)
@@ -118,16 +153,17 @@ let () =
     "Reproduction harness for 'Operating System Implications of Solid-State Mobile \
      Computers' (HotOS-IV 1993)@.";
   if Common.quick then Fmt.pr "(QUICK mode: shortened runs)@.";
+  Fmt.pr "(domain pool: %d job%s)@." (Sim.Pool.default_jobs ())
+    (if Sim.Pool.default_jobs () = 1 then "" else "s");
   let runs =
     List.map
-      (fun pick ->
-        let _, descr, run = List.find (fun (n, _, _) -> n = pick) experiments in
+      (fun (name, descr, run) ->
         ignore (Common.take_metrics ());
         let t0 = Unix.gettimeofday () in
         run ();
         let wall_s = Unix.gettimeofday () -. t0 in
-        (pick, descr, wall_s, Common.take_metrics ()))
-      requested
+        (name, descr, wall_s, Common.take_metrics ()))
+      (List.filter_map snd resolved)
   in
   (match json_path with
   | None -> ()

@@ -1,0 +1,88 @@
+(* Micro-benchmark of the Domain pool itself: wall-clock of the same
+   CPU-bound indexed map run (a) directly with List.map, (b) through
+   Pool.run_map ~jobs:1 (which must degrade to the sequential path —
+   the acceptance bar is <= 5% overhead), and (c) through the pool at the
+   ambient job count (the speedup every converted sweep inherits).  The
+   work items are RNG spins keyed by Rng.split_ix, like real sweep points:
+   deterministic, independent, all-CPU. *)
+open Sim
+
+let items = 64
+let passes = 5
+
+let spin_iters = if Common.quick then 40_000 else 200_000
+
+let work =
+  let base = Rng.create ~seed:97 in
+  fun i ->
+    let rng = Rng.split_ix base ~index:i in
+    let acc = ref 0L in
+    for _ = 1 to spin_iters do
+      acc := Int64.add !acc (Rng.bits64 rng)
+    done;
+    !acc
+
+let indices = List.init items Fun.id
+
+(* Best-of-N wall-clock per variant, passes interleaved round-robin so a
+   noisy neighbor on the machine penalizes every variant alike. *)
+let time_variants variants =
+  let best = Array.make (List.length variants) infinity in
+  let results = Array.make (List.length variants) [] in
+  for _ = 1 to passes do
+    List.iteri
+      (fun i f ->
+        let t0 = Unix.gettimeofday () in
+        results.(i) <- f ();
+        best.(i) <- Float.min best.(i) (Unix.gettimeofday () -. t0))
+      variants
+  done;
+  (best, results)
+
+let run () =
+  Common.section "pool: Domain pool speedup and sequential overhead";
+  let jobs = Pool.default_jobs () in
+  let best, results =
+    time_variants
+      [
+        (fun () -> List.map work indices);
+        (fun () -> Pool.run_map ~jobs:1 work indices);
+        (fun () -> Pool.run_map work indices);
+      ]
+  in
+  let seq_s = best.(0) and one_s = best.(1) and par_s = best.(2) in
+  if not (results.(0) = results.(1) && results.(0) = results.(2)) then
+    failwith "pool: parallel map diverged from the sequential result";
+  let overhead_pct = 100.0 *. ((one_s /. seq_s) -. 1.0) in
+  let speedup = seq_s /. par_s in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "map of %d items x %d rng draws (best of %d passes)" items
+           spin_iters passes)
+      ~columns:[ ("path", Table.Left); ("wall ms", Table.Right); ("vs sequential", Table.Right) ]
+  in
+  Table.add_row t [ "List.map (direct)"; Printf.sprintf "%.1f" (1000.0 *. seq_s); "1.00x" ];
+  Table.add_row t
+    [
+      "Pool.run_map ~jobs:1";
+      Printf.sprintf "%.1f" (1000.0 *. one_s);
+      Printf.sprintf "%+.1f%% overhead" overhead_pct;
+    ];
+  Table.add_row t
+    [
+      Printf.sprintf "Pool.run_map (jobs=%d)" jobs;
+      Printf.sprintf "%.1f" (1000.0 *. par_s);
+      Printf.sprintf "%.2fx speedup" speedup;
+    ];
+  Table.print t;
+  Common.put_metric "pool_jobs" (float_of_int jobs);
+  Common.put_metric "pool_seq_ms" (1000.0 *. seq_s);
+  Common.put_metric "pool_jobs1_ms" (1000.0 *. one_s);
+  Common.put_metric "pool_jobsN_ms" (1000.0 *. par_s);
+  Common.put_metric "pool_jobs1_overhead_pct" overhead_pct;
+  Common.put_metric "pool_speedup" speedup;
+  Common.note "jobs=1 overhead vs direct sequential: %+.1f%% (bar: <= 5%%)" overhead_pct;
+  Common.note "speedup at %d jobs: %.2fx" jobs speedup;
+  if jobs = 1 then
+    Common.note "(run with --jobs N or SSMC_JOBS=N on a multicore machine to see scaling)"

@@ -7,10 +7,19 @@ open Sim
 open Cmdliner
 
 let run_simulation machine_kind workload trace_file minutes seed flash_mb dram_mb
-    buffer_kb nbanks partitioned wear verbose debug =
+    buffer_kb nbanks partitioned wear jobs replicate verbose debug =
   if debug then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
+  end;
+  (match jobs with
+  | Some j when j < 1 ->
+    Fmt.epr "--jobs needs a positive count@.";
+    exit 2
+  | _ -> Option.iter Pool.set_default_jobs jobs);
+  if replicate < 1 then begin
+    Fmt.epr "--replicate needs a positive count@.";
+    exit 2
   end;
   let profile =
     match Trace.Workloads.find workload with
@@ -26,7 +35,12 @@ let run_simulation machine_kind workload trace_file minutes seed flash_mb dram_m
      first validates and computes the preload set and summary, the second
      drives the machine.  A generated workload is simply regenerated for
      the second pass — generation is deterministic in the seed. *)
-  let initial_files, summary, replay =
+  (* [setup ~seed] yields that seed's preload set and replay function, so a
+     single run and a multi-seed replication share one code path.  For a
+     trace file the records are fixed and every replica re-reads the file
+     (each on its own channel); a generated workload is regenerated per
+     seed — generation is deterministic in the seed. *)
+  let summary, setup =
     match trace_file with
     | Some path ->
       let inits = ref [] in
@@ -41,22 +55,24 @@ let run_simulation machine_kind workload trace_file minutes seed flash_mb dram_m
           Fmt.epr "cannot read trace %s: %s@." path msg;
           exit 2
       in
-      ( List.rev !inits,
-        summary,
-        fun machine ->
-          In_channel.with_open_text path (fun ic ->
-              Ssmc.Machine.run_seq machine (Trace.Format_io.read_seq ic)) )
+      let initial_files = List.rev !inits in
+      ( summary,
+        fun ~seed:_ ->
+          ( initial_files,
+            fun machine ->
+              In_channel.with_open_text path (fun ic ->
+                  Ssmc.Machine.run_seq machine (Trace.Format_io.read_seq ic)) ) )
     | None ->
-      let stream () =
+      let stream ~seed =
         Trace.Synth.generate_seq profile ~rng:(Rng.create ~seed) ~duration
       in
-      let first = stream () in
-      let summary = Trace.Stats.summarize_seq first.Trace.Synth.seq in
-      ( first.Trace.Synth.stream_initial_files,
-        summary,
-        fun machine -> Ssmc.Machine.run_seq machine (stream ()).Trace.Synth.seq )
+      let summary = Trace.Stats.summarize_seq (stream ~seed).Trace.Synth.seq in
+      ( summary,
+        fun ~seed ->
+          ( (stream ~seed).Trace.Synth.stream_initial_files,
+            fun machine -> Ssmc.Machine.run_seq machine (stream ~seed).Trace.Synth.seq ) )
   in
-  let cfg =
+  let cfg_for seed =
     match machine_kind with
     | `Solid_state ->
       let banking =
@@ -78,29 +94,50 @@ let run_simulation machine_kind workload trace_file minutes seed flash_mb dram_m
       Ssmc.Config.solid_state ~flash_mb ~dram_mb ~nbanks ~manager ~seed ()
     | `Conventional -> Ssmc.Config.conventional ~dram_mb ~seed ()
   in
-  let machine = Ssmc.Machine.create cfg in
-  Ssmc.Machine.preload machine initial_files;
+  let run_one ~seed =
+    let machine = Ssmc.Machine.create (cfg_for seed) in
+    let initial_files, replay = setup ~seed in
+    Ssmc.Machine.preload machine initial_files;
+    (machine, replay machine)
+  in
   Fmt.pr "machine: %s | workload: %s (%a)@."
     (match machine_kind with `Solid_state -> "solid-state" | `Conventional -> "conventional")
     workload Trace.Stats.pp_summary summary;
-  let result = replay machine in
-  Fmt.pr "%a@." Ssmc.Machine.pp_result result;
-  (match result.Ssmc.Machine.manager_stats with
-  | Some stats when verbose -> Fmt.pr "storage manager: %a@." Storage.Manager.pp_stats stats
-  | Some stats ->
-    Fmt.pr "write traffic reduced by %.1f%%; flash lifetime estimate: %s@."
-      (100.0 *. stats.Storage.Manager.write_reduction)
-      (match result.Ssmc.Machine.lifetime_years with
-      | Some y when Float.is_finite y -> Printf.sprintf "%.1f years" y
-      | _ -> "unbounded")
-  | None -> ());
-  if verbose then begin
-    match Ssmc.Machine.manager machine with
-    | Some manager ->
-      let e = Storage.Manager.wear_evenness manager in
-      Fmt.pr "wear: min=%d max=%d stddev=%.1f@." e.Storage.Wear.min_erases
-        e.Storage.Wear.max_erases e.Storage.Wear.stddev_erases
-    | None -> ()
+  if replicate = 1 then begin
+    let machine, result = run_one ~seed in
+    Fmt.pr "%a@." Ssmc.Machine.pp_result result;
+    (match result.Ssmc.Machine.manager_stats with
+    | Some stats when verbose ->
+      Fmt.pr "storage manager: %a@." Storage.Manager.pp_stats stats
+    | Some stats ->
+      Fmt.pr "write traffic reduced by %.1f%%; flash lifetime estimate: %s@."
+        (100.0 *. stats.Storage.Manager.write_reduction)
+        (match result.Ssmc.Machine.lifetime_years with
+        | Some y when Float.is_finite y -> Printf.sprintf "%.1f years" y
+        | _ -> "unbounded")
+    | None -> ());
+    if verbose then begin
+      match Ssmc.Machine.manager machine with
+      | Some manager ->
+        let e = Storage.Manager.wear_evenness manager in
+        Fmt.pr "wear: min=%d max=%d stddev=%.1f@." e.Storage.Wear.min_erases
+          e.Storage.Wear.max_erases e.Storage.Wear.stddev_erases
+      | None -> ()
+    end
+  end
+  else begin
+    let seeds = List.init replicate (fun i -> seed + i) in
+    Fmt.pr "replicating over %d seeds (%d..%d) on %d job%s@." replicate seed
+      (seed + replicate - 1) (Pool.default_jobs ())
+      (if Pool.default_jobs () = 1 then "" else "s");
+    let rep =
+      Ssmc.Machine.run_replicated ~seeds (fun ~seed -> snd (run_one ~seed))
+    in
+    if verbose then
+      List.iter
+        (fun (s, r) -> Fmt.pr "seed %d: %a@." s Ssmc.Machine.pp_result r)
+        rep.Ssmc.Machine.runs;
+    Fmt.pr "across seeds (mean ± 95%% CI):@.%a@." Ssmc.Machine.pp_replicated rep
   end
 
 let wear_arg =
@@ -164,6 +201,17 @@ let cmd =
     Arg.(value & opt wear_arg Storage.Wear.Dynamic & info [ "wear" ] ~docv:"POLICY"
            ~doc:"Wear-leveling policy: none, dynamic or static.")
   in
+  let jobs =
+    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Domain pool size for replicated runs (default: the SSMC_JOBS \
+                 environment variable or the machine's core count).  Never changes \
+                 results, only wall-clock.")
+  in
+  let replicate =
+    Arg.(value & opt int 1 & info [ "replicate" ] ~docv:"N"
+           ~doc:"Run N seeds (seed, seed+1, ...) in parallel and report each headline \
+                 metric as mean ± 95% confidence interval.")
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Extra statistics.") in
   let debug =
     Arg.(value & flag & info [ "debug" ]
@@ -172,7 +220,8 @@ let cmd =
   let term =
     Term.(
       const run_simulation $ machine $ workload $ trace_file $ minutes $ seed $ flash_mb
-      $ dram_mb $ buffer_kb $ nbanks $ partitioned $ wear $ verbose $ debug)
+      $ dram_mb $ buffer_kb $ nbanks $ partitioned $ wear $ jobs $ replicate $ verbose
+      $ debug)
   in
   Cmd.v
     (Cmd.info "ssmc_sim" ~doc:"Simulate a solid-state (or conventional) mobile computer")

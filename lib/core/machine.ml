@@ -308,6 +308,54 @@ let run_seq ?(drain = Time.span_s 120.0) t records =
 
 let run ?drain t records = run_seq ?drain t (List.to_seq records)
 
+(* --- Multi-seed replication --------------------------------------------------- *)
+
+type ci = { mean : float; half_width : float; n : int }
+
+type replicated = {
+  runs : (int * result) list;
+  read_us : ci;
+  write_us : ci;
+  energy_j : ci;
+}
+
+let ci_of values =
+  let n = List.length values in
+  let mean = List.fold_left ( +. ) 0.0 values /. float_of_int n in
+  let half_width =
+    if n < 2 then 0.0
+    else begin
+      let ss =
+        List.fold_left (fun acc v -> acc +. ((v -. mean) *. (v -. mean))) 0.0 values
+      in
+      let stddev = sqrt (ss /. float_of_int (n - 1)) in
+      (* Normal-approximation 95% interval; fine for the "is the spread
+         small relative to the effect" question replication answers here. *)
+      1.96 *. stddev /. sqrt (float_of_int n)
+    end
+  in
+  { mean; half_width; n }
+
+let run_replicated ?jobs ~seeds run =
+  if seeds = [] then invalid_arg "Machine.run_replicated: no seeds";
+  (* Each replica builds its own machine from its seed inside [run]; the
+     replicas share nothing, so the pool map is deterministic in [seeds]
+     order at any job count. *)
+  let runs = Pool.run_map ?jobs (fun seed -> (seed, run ~seed)) seeds in
+  let stat f = ci_of (List.map (fun (_, r) -> f r) runs) in
+  {
+    runs;
+    read_us = stat (fun r -> Stat.Summary.mean r.read_latency);
+    write_us = stat (fun r -> Stat.Summary.mean r.write_latency);
+    energy_j = stat (fun r -> r.energy_j);
+  }
+
+let pp_ci ppf c = Fmt.pf ppf "%.1f ±%.1f (n=%d)" c.mean c.half_width c.n
+
+let pp_replicated ppf r =
+  Fmt.pf ppf "@[<v>read us: %a@,write us: %a@,energy J: %a@]" pp_ci r.read_us pp_ci
+    r.write_us pp_ci r.energy_j
+
 let pp_result ppf r =
   Fmt.pf ppf
     "@[<v>ops=%d errors=%d elapsed=%a busy=%a@,read: %a@,write: %a@,meta: %a@,\

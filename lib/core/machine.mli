@@ -75,6 +75,39 @@ val run :
 
 val pp_result : Format.formatter -> result -> unit
 
+(** {1 Multi-seed replication}
+
+    A single seed gives one sample of every stochastic quantity; paper-grade
+    claims want the spread.  [run_replicated] runs one complete machine per
+    seed on the Domain pool and reduces the headline metrics to mean ± 95 %
+    confidence half-widths.  Experiments opt in by wrapping their per-seed
+    setup in the [run] callback. *)
+
+type ci = {
+  mean : float;
+  half_width : float;  (** 95 % confidence half-width (normal approx.). *)
+  n : int;
+}
+
+type replicated = {
+  runs : (int * result) list;  (** Per-seed results, in [seeds] order. *)
+  read_us : ci;  (** Across seeds: mean per-op read latency. *)
+  write_us : ci;
+  energy_j : ci;
+}
+
+val run_replicated :
+  ?jobs:int -> seeds:int list -> (seed:int -> result) -> replicated
+(** [run_replicated ~seeds run] evaluates [run ~seed] for each seed on the
+    ambient Domain pool ([~jobs] overrides, [1] is sequential).  [run] must
+    build a fresh machine (and trace) from its seed and share nothing:
+    results are collected in [seeds] order and are byte-identical at any
+    job count.
+    @raise Invalid_argument if [seeds] is empty. *)
+
+val pp_ci : Format.formatter -> ci -> unit
+val pp_replicated : Format.formatter -> replicated -> unit
+
 (** {1 Power accounting}
 
     Accounting runs automatically every simulated minute during {!run};

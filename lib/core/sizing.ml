@@ -45,10 +45,13 @@ let point_of_run ~fraction ~dram_mb ~flash_mb ~buffer_mb ~(result : Machine.resu
   }
 
 let sweep ?(budget_dollars = 1000.0) ?(fractions = default_fractions)
-    ?(duration = Time.span_s 1200.0) ?(seed = 7) ~profile () =
+    ?(duration = Time.span_s 1200.0) ?(seed = 7) ?jobs ~profile () =
   let dram_cost = Device.Specs.(nec_dram.d_econ.dollars_per_mb) in
   let flash_cost = Device.Specs.(intel_flash.f_econ.dollars_per_mb) in
-  List.map
+  (* Every point builds its own machine, engine, and RNGs from [seed]
+     alone, so the points are independent and the pool map below returns
+     byte-identical results at any job count. *)
+  Pool.run_map ?jobs
     (fun fraction ->
       let dram_mb = budget_dollars *. fraction /. dram_cost in
       let flash_mb = budget_dollars *. (1.0 -. fraction) /. flash_cost in
@@ -98,7 +101,8 @@ let sweep ?(budget_dollars = 1000.0) ?(fractions = default_fractions)
         })
     fractions
 
-let knee points =
+let knee ?(tolerance = 1.2) points =
+  if not (tolerance >= 1.0) then invalid_arg "Sizing.knee: tolerance < 1.0";
   let usable = List.filter (fun p -> not p.out_of_space) points in
   match usable with
   | [] -> None
@@ -107,7 +111,7 @@ let knee points =
       List.fold_left (fun acc p -> Float.min acc p.mean_write_us) infinity usable
     in
     usable
-    |> List.filter (fun p -> p.mean_write_us <= best *. 1.2)
+    |> List.filter (fun p -> p.mean_write_us <= best *. tolerance)
     |> List.sort (fun a b -> Float.compare a.dram_fraction b.dram_fraction)
     |> function
     | [] -> None

@@ -29,17 +29,25 @@ val sweep :
   ?fractions:float list ->
   ?duration:Sim.Time.span ->
   ?seed:int ->
+  ?jobs:int ->
   profile:Trace.Synth.profile ->
   unit ->
   point list
 (** Run the workload over each DRAM budget fraction (default 0.1–0.6 in
     steps, $1000 budget, 20 simulated minutes).  Points whose flash could
     not hold the workload's live data are returned with [out_of_space]
-    set. *)
+    set.
 
-val knee : point list -> point option
-(** The cheapest-DRAM point whose mean write latency is within 20 % of the
-    best achieved — the "enough DRAM to buffer the writable working set"
-    answer. *)
+    The points are independent and run on the Domain pool ([~jobs]
+    overrides the ambient {!Sim.Pool.default_jobs}); the result list is
+    byte-identical at any job count, and [~jobs:1] is the plain sequential
+    path. *)
+
+val knee : ?tolerance:float -> point list -> point option
+(** The cheapest-DRAM point whose mean write latency is within [tolerance]
+    (default [1.2], i.e. 20 %) of the best achieved — the "enough DRAM to
+    buffer the writable working set" answer.  Ties break toward the
+    smaller DRAM share.
+    @raise Invalid_argument if [tolerance < 1.0]. *)
 
 val pp_point : Format.formatter -> point -> unit

@@ -1,0 +1,215 @@
+(* A fixed-size Domain pool.  Determinism is the design constraint: work is
+   handed out by index from an atomic cursor (any worker may compute any
+   item), but every result lands in a slot fixed by its submission index,
+   so the output never depends on scheduling.  See pool.mli. *)
+
+type task = unit -> unit
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  has_work : Condition.t;
+  pending : task Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* --- Sizing ---------------------------------------------------------------- *)
+
+let env_jobs () =
+  match Sys.getenv_opt "SSMC_JOBS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> Some j
+    | _ -> None)
+
+let configured_jobs = ref None
+
+let default_jobs () =
+  match !configured_jobs with
+  | Some j -> j
+  | None -> (
+    match env_jobs () with
+    | Some j -> j
+    | None -> max 1 (Domain.recommended_domain_count ()))
+
+let set_default_jobs j =
+  if j < 1 then invalid_arg "Pool.set_default_jobs: jobs < 1";
+  configured_jobs := Some j
+
+(* --- Lifecycle ------------------------------------------------------------- *)
+
+let worker pool () =
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while (not pool.stop) && Queue.is_empty pool.pending do
+      Condition.wait pool.has_work pool.mutex
+    done;
+    match Queue.take_opt pool.pending with
+    | Some task ->
+      Mutex.unlock pool.mutex;
+      task ();
+      loop ()
+    | None ->
+      (* Stopped and drained. *)
+      Mutex.unlock pool.mutex
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Pool.create: jobs < 1";
+  let pool =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      pending = Queue.create ();
+      stop = false;
+      workers = [];
+    }
+  in
+  pool.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (worker pool));
+  pool
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let workers = t.workers in
+  t.stop <- true;
+  t.workers <- [];
+  Condition.broadcast t.has_work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join workers
+
+let with_pool ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* --- Indexed execution ------------------------------------------------------ *)
+
+(* Run [f 0 .. f (n-1)], each exactly once, on up to [t.jobs] domains (the
+   caller included), returning only when all are done.  Workers claim
+   [chunk] consecutive indices per trip to the shared cursor. *)
+let run_indexed ?(chunk = 1) t ~n f =
+  if chunk < 1 then invalid_arg "Pool.run_indexed: chunk < 1";
+  if t.stop then invalid_arg "Pool: pool is shut down";
+  if n > 0 then begin
+    if t.jobs = 1 || n = 1 then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      let cursor = Atomic.make 0 in
+      let remaining = Atomic.make n in
+      let finished = Mutex.create () in
+      let all_done = Condition.create () in
+      (* First failure by submission index, so re-raising is deterministic. *)
+      let failure : (int * exn * Printexc.raw_backtrace) option ref = ref None in
+      let record_failure i exn bt =
+        Mutex.lock finished;
+        (match !failure with
+        | Some (j, _, _) when j <= i -> ()
+        | _ -> failure := Some (i, exn, bt));
+        Mutex.unlock finished
+      in
+      let work () =
+        let continue = ref true in
+        while !continue do
+          let lo = Atomic.fetch_and_add cursor chunk in
+          if lo >= n then continue := false
+          else begin
+            let hi = min (lo + chunk) n in
+            for i = lo to hi - 1 do
+              (try f i
+               with exn -> record_failure i exn (Printexc.get_raw_backtrace ()));
+              if Atomic.fetch_and_add remaining (-1) = 1 then begin
+                Mutex.lock finished;
+                Condition.broadcast all_done;
+                Mutex.unlock finished
+              end
+            done
+          end
+        done
+      in
+      let helpers = min (t.jobs - 1) (n - 1) in
+      Mutex.lock t.mutex;
+      for _ = 1 to helpers do
+        Queue.push work t.pending
+      done;
+      Condition.broadcast t.has_work;
+      Mutex.unlock t.mutex;
+      work ();
+      Mutex.lock finished;
+      while Atomic.get remaining > 0 do
+        Condition.wait all_done finished
+      done;
+      Mutex.unlock finished;
+      match !failure with
+      | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+      | None -> ()
+    end
+  end
+
+(* --- Maps -------------------------------------------------------------------- *)
+
+let map_array ?chunk t f items =
+  let n = Array.length items in
+  if t.jobs = 1 then Array.map f items
+  else begin
+    let out = Array.make n None in
+    run_indexed ?chunk t ~n (fun i -> out.(i) <- Some (f items.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let mapi ?chunk t f items =
+  if t.jobs = 1 then List.mapi f items
+  else begin
+    let arr = Array.of_list items in
+    let n = Array.length arr in
+    let out = Array.make n None in
+    run_indexed ?chunk t ~n (fun i -> out.(i) <- Some (f i arr.(i)));
+    Array.to_list (Array.map (function Some v -> v | None -> assert false) out)
+  end
+
+let map ?chunk t f items =
+  if t.jobs = 1 then List.map f items else mapi ?chunk t (fun _ x -> f x) items
+
+let map_reduce ?chunk t ~map:fm ~combine ~init items =
+  List.fold_left combine init (map ?chunk t fm items)
+
+(* --- Ambient pool ------------------------------------------------------------- *)
+
+let ambient : t option ref = ref None
+
+let () =
+  at_exit (fun () ->
+      match !ambient with
+      | Some pool ->
+        ambient := None;
+        shutdown pool
+      | None -> ())
+
+let ambient_pool () =
+  let want = default_jobs () in
+  match !ambient with
+  | Some pool when pool.jobs = want -> pool
+  | existing ->
+    Option.iter shutdown existing;
+    let pool = create ~jobs:want () in
+    ambient := Some pool;
+    pool
+
+let run_mapi ?jobs ?chunk f items =
+  match jobs with
+  | None -> mapi ?chunk (ambient_pool ()) f items
+  | Some 1 -> List.mapi f items
+  | Some j -> with_pool ~jobs:j (fun pool -> mapi ?chunk pool f items)
+
+let run_map ?jobs ?chunk f items =
+  match jobs with
+  | None -> map ?chunk (ambient_pool ()) f items
+  | Some 1 -> List.map f items
+  | Some j -> with_pool ~jobs:j (fun pool -> map ?chunk pool f items)

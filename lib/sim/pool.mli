@@ -1,0 +1,88 @@
+(** A fixed-size Domain pool for deterministic parallel sweeps.
+
+    The simulator's experiments are grids of mutually independent points —
+    budget splits, policy × utilization products, per-device machine runs,
+    multi-seed replications.  This module fans such grids out over OCaml 5
+    Domains while keeping the results {e byte-identical regardless of job
+    count}:
+
+    - work items are indexed, and results are collected into the submission
+      order, never the completion order;
+    - the pool shares no state with the work function: each item must be
+      self-contained (build its own engine, machine, and RNG).  Derive
+      per-item randomness from an index-keyed {!Rng.split_ix}, never from a
+      mutable generator shared across items;
+    - [jobs = 1] degrades to a plain sequential [List.map] on the calling
+      domain — no Domains are spawned and no behavior changes.
+
+    An exception raised by a work item is re-raised by the submitting call
+    once the batch has drained; when several items fail, the one with the
+    smallest index wins, so failures are deterministic too. *)
+
+type t
+(** A pool of worker domains of fixed size.  The submitting domain also
+    executes work, so a pool of size [jobs] holds [jobs - 1] Domains. *)
+
+val default_jobs : unit -> int
+(** The ambient parallelism: the last {!set_default_jobs}, else the
+    [SSMC_JOBS] environment variable, else
+    [Domain.recommended_domain_count ()].  Always at least 1. *)
+
+val set_default_jobs : int -> unit
+(** Set the ambient parallelism (the [--jobs] flag lands here).  Replaces
+    the ambient pool on its next use if the size changed.
+    @raise Invalid_argument if the argument is [< 1]. *)
+
+val create : ?jobs:int -> unit -> t
+(** A fresh pool of [jobs] (default {!default_jobs}) workers.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent; using the pool
+    afterwards raises [Invalid_argument]. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run, then [shutdown] (also on exception). *)
+
+(** {1 Mapping}
+
+    All functions preserve submission order and are observationally
+    equivalent to their sequential [List]/[Array] counterparts. [?chunk]
+    (default 1) hands each worker [chunk] consecutive indices at a time —
+    raise it when items are tiny so the per-item dispatch cost amortizes. *)
+
+val map : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f items] ≡ [List.map f items]. *)
+
+val mapi : ?chunk:int -> t -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** [mapi pool f items] ≡ [List.mapi f items]. *)
+
+val map_array : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array pool f items] ≡ [Array.map f items]. *)
+
+val map_reduce :
+  ?chunk:int ->
+  t ->
+  map:('a -> 'b) ->
+  combine:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a list ->
+  'acc
+(** Parallel [map], then a sequential in-order fold of [combine] on the
+    submitting domain — deterministic even for non-associative [combine]. *)
+
+(** {1 Ambient pool}
+
+    The process-wide pool sized by {!default_jobs}, created lazily and
+    reused across calls (and torn down at exit).  This is what the
+    experiment hot paths use, so one [--jobs]/[SSMC_JOBS] setting governs
+    the whole run. *)
+
+val run_map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [run_map f items] maps on the ambient pool.  [~jobs] overrides the
+    ambient size for this call alone (a transient pool; [~jobs:1] is a
+    direct sequential map). *)
+
+val run_mapi : ?jobs:int -> ?chunk:int -> (int -> 'a -> 'b) -> 'a list -> 'b list

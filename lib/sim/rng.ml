@@ -15,6 +15,16 @@ let bits64 t =
   mix t.state
 
 let split t = { state = bits64 t }
+
+let split_ix t ~index =
+  if index < 0 then invalid_arg "Rng.split_ix: negative index";
+  (* The stream the (index+1)-th consecutive [split] of a copy of [t] would
+     yield, computed directly: [t] itself is not advanced, and any index can
+     be derived independently of the others — the property parallel sweeps
+     need to hand item [i] its RNG without threading a generator through
+     items [0..i-1]. *)
+  { state = mix (Int64.add t.state (Int64.mul (Int64.of_int (index + 1)) golden_gamma)) }
+
 let copy t = { state = t.state }
 
 let int t bound =

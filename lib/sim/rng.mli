@@ -17,6 +17,14 @@ val split : t -> t
 (** [split t] returns a new generator whose future output is independent of
     [t]'s, and advances [t].  Use one stream per subsystem. *)
 
+val split_ix : t -> index:int -> t
+(** [split_ix t ~index] is the stream the [(index+1)]-th consecutive
+    {!split} of a copy of [t] would return, without advancing [t]: a pure
+    function of [t]'s current state and [index].  Indexed work items in
+    parallel sweeps ({!Pool}) derive their RNG this way so that item [i]'s
+    randomness is independent of how many items ran, and on which domain.
+    @raise Invalid_argument if [index < 0]. *)
+
 val copy : t -> t
 (** A generator that will produce the same future sequence as [t]. *)
 

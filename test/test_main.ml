@@ -7,6 +7,7 @@ let () =
       ("event_queue", Test_event_queue.suite);
       ("engine", Test_engine.suite);
       ("stat", Test_stat.suite);
+      ("pool", Test_pool.suite);
       ("table_units", Test_table_units.suite);
       ("device", Test_device.suite);
       ("flash", Test_flash.suite);

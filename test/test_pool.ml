@@ -1,0 +1,150 @@
+(* The Domain pool's contract: observational equivalence with List.map at
+   every job count, submission-order results, deterministic failures, and
+   end-to-end equivalence of a pooled experiment sweep. *)
+open Sim
+
+let job_counts = [ 1; 2; 3; 4; 8 ]
+
+(* A work function with per-item randomness derived the way pool clients
+   are told to: an index-keyed split, no shared generator. *)
+let keyed_work base_seed i =
+  let rng = Rng.split_ix (Rng.create ~seed:base_seed) ~index:i in
+  Int64.to_int (Int64.logand (Rng.bits64 rng) 0xFFFFFFL) + i
+
+let test_map_equiv_list_map () =
+  let f x = (x * x) - (3 * x) in
+  List.iter
+    (fun n ->
+      let items = List.init n (fun i -> i - 7) in
+      let expect = List.map f items in
+      List.iter
+        (fun jobs ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "map n=%d jobs=%d" n jobs)
+            expect
+            (Pool.run_map ~jobs f items))
+        job_counts)
+    [ 0; 1; 2; 5; 64; 257 ]
+
+let test_mapi_order () =
+  let items = List.init 100 (fun i -> 100 - i) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "mapi keeps submission order, jobs=%d" jobs)
+        (List.mapi (fun i x -> (i, x)) items)
+        (Pool.run_mapi ~jobs (fun i x -> (i, x)) items))
+    job_counts
+
+let test_chunked () =
+  let items = List.init 129 (fun i -> keyed_work 41 i) in
+  let expect = List.map succ items in
+  List.iter
+    (fun chunk ->
+      Pool.with_pool ~jobs:4 (fun pool ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "chunk=%d" chunk)
+            expect
+            (Pool.map ~chunk pool succ items)))
+    [ 1; 2; 7; 64; 1000 ]
+
+let test_map_array () =
+  let items = Array.init 83 (fun i -> keyed_work 43 i) in
+  Pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check (array int))
+        "map_array ≡ Array.map" (Array.map succ items)
+        (Pool.map_array pool succ items))
+
+let test_map_reduce_in_order () =
+  (* A non-associative, non-commutative combine: order differences would
+     show immediately in the result string. *)
+  let items = List.init 40 (fun i -> keyed_work 47 i) in
+  let combine acc v = acc ^ "," ^ string_of_int v in
+  let expect = List.fold_left (fun acc x -> combine acc (x * 2)) "r" items in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          Alcotest.(check string)
+            (Printf.sprintf "map_reduce in order, jobs=%d" jobs)
+            expect
+            (Pool.map_reduce pool ~map:(fun x -> x * 2) ~combine ~init:"r" items)))
+    job_counts
+
+exception Boom of int
+
+let test_first_failure_wins () =
+  (* Items 5 and 23 both fail; every job count must re-raise index 5's. *)
+  let f x = if x = 5 || x = 23 then raise (Boom x) else x in
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "first failure, jobs=%d" jobs)
+        (Boom 5)
+        (fun () -> ignore (Pool.run_map ~jobs f (List.init 40 Fun.id))))
+    job_counts
+
+let test_shutdown () =
+  let pool = Pool.create ~jobs:2 () in
+  Alcotest.(check int) "jobs" 2 (Pool.jobs pool);
+  Alcotest.(check (list int)) "usable" [ 2; 4 ] (Pool.map pool (fun x -> x * 2) [ 1; 2 ]);
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* idempotent *)
+  Alcotest.check_raises "use after shutdown" (Invalid_argument "Pool: pool is shut down")
+    (fun () -> ignore (Pool.map pool succ [ 1; 2; 3 ]))
+
+let test_pool_reuse () =
+  (* One pool across many batches, interleaved sizes. *)
+  Pool.with_pool ~jobs:4 (fun pool ->
+      List.iter
+        (fun n ->
+          let items = List.init n (fun i -> keyed_work 53 i) in
+          Alcotest.(check (list int))
+            (Printf.sprintf "batch n=%d" n)
+            (List.map succ items) (Pool.map pool succ items))
+        [ 64; 1; 0; 31; 128; 3 ])
+
+let prop_map_matches_all_job_counts =
+  QCheck.Test.make ~name:"pool: map ≡ List.map at jobs 1 and 4" ~count:50
+    QCheck.(pair small_int (small_list int))
+    (fun (salt, items) ->
+      let f x = (x * 31) + salt in
+      let expect = List.map f items in
+      Pool.run_map ~jobs:1 f items = expect && Pool.run_map ~jobs:4 f items = expect)
+
+(* End-to-end: a pooled experiment sweep is byte-identical at any job
+   count, including the point records' floats. *)
+let test_sweep_job_count_equivalence () =
+  let sweep jobs =
+    Ssmc.Sizing.sweep ~budget_dollars:800.0 ~fractions:[ 0.1; 0.3; 0.5 ]
+      ~duration:(Time.span_s 20.0) ~jobs
+      ~profile:{ Trace.Workloads.pim with Trace.Synth.population = 25 }
+      ()
+  in
+  let sequential = sweep 1 in
+  Alcotest.(check int) "three points" 3 (List.length sequential);
+  List.iter
+    (fun jobs ->
+      (* Polymorphic compare: float fields must match bit-for-bit (nan
+         compares equal to itself here, which is what we want for
+         out-of-space points). *)
+      Alcotest.(check bool)
+        (Printf.sprintf "sweep jobs=%d ≡ jobs=1" jobs)
+        true
+        (Stdlib.compare sequential (sweep jobs) = 0))
+    [ 2; 3; 8 ]
+
+let suite =
+  [
+    Alcotest.test_case "map ≡ List.map" `Quick test_map_equiv_list_map;
+    Alcotest.test_case "mapi order" `Quick test_mapi_order;
+    Alcotest.test_case "chunked" `Quick test_chunked;
+    Alcotest.test_case "map_array" `Quick test_map_array;
+    Alcotest.test_case "map_reduce in order" `Quick test_map_reduce_in_order;
+    Alcotest.test_case "first failure wins" `Quick test_first_failure_wins;
+    Alcotest.test_case "shutdown" `Quick test_shutdown;
+    Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+    QCheck_alcotest.to_alcotest prop_map_matches_all_job_counts;
+    Alcotest.test_case "sweep equivalence across job counts" `Slow
+      test_sweep_job_count_equivalence;
+  ]

@@ -30,6 +30,28 @@ let test_split_independence () =
   done;
   Alcotest.(check bool) "split streams diverge" true (!same < 5)
 
+let test_split_ix () =
+  (* split_ix t ~index:i is the stream the (i+1)-th consecutive split of a
+     copy of t would yield... *)
+  let t = Rng.create ~seed:29 in
+  let splitter = Rng.copy t in
+  let consecutive = List.init 4 (fun _ -> Rng.split splitter) in
+  List.iteri
+    (fun i s ->
+      let keyed = Rng.split_ix t ~index:i in
+      for _ = 1 to 10 do
+        Alcotest.(check int64)
+          (Printf.sprintf "split_ix %d matches %d-th split" i (i + 1))
+          (Rng.bits64 s) (Rng.bits64 keyed)
+      done)
+    consecutive;
+  (* ... and t itself is not advanced by any of it. *)
+  Alcotest.(check int64) "split_ix is pure"
+    (Rng.bits64 (Rng.create ~seed:29))
+    (Rng.bits64 t);
+  Alcotest.check_raises "negative index" (Invalid_argument "Rng.split_ix: negative index")
+    (fun () -> ignore (Rng.split_ix (Rng.create ~seed:1) ~index:(-1)))
+
 let test_int_bounds_errors () =
   let rng = Rng.create ~seed:11 in
   Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound <= 0") (fun () ->
@@ -103,6 +125,7 @@ let suite =
     Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
     Alcotest.test_case "copy" `Quick test_copy;
     Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "split_ix keyed splitting" `Quick test_split_ix;
     Alcotest.test_case "bound errors" `Quick test_int_bounds_errors;
     Alcotest.test_case "rough uniformity" `Quick test_uniformity_rough;
     Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;

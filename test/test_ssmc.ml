@@ -223,6 +223,67 @@ let test_sizing_knee_logic () =
   | None -> Alcotest.fail "knee expected");
   Alcotest.(check bool) "empty points, no knee" true (Ssmc.Sizing.knee [] = None)
 
+let test_sizing_knee_tolerance () =
+  let point ?(out_of_space = false) ~fraction ~write_us () =
+    {
+      Ssmc.Sizing.dram_fraction = fraction;
+      dram_mb = 10.0 *. fraction;
+      flash_mb = 10.0;
+      buffer_mb = 1.0;
+      mean_write_us = write_us;
+      mean_read_us = 50.0;
+      write_reduction = 0.4;
+      energy_j = 1.0;
+      lifetime_years = 10.0;
+      permanent_capacity_mb = 5.0;
+      out_of_space;
+    }
+  in
+  let fraction = function
+    | Some p -> p.Ssmc.Sizing.dram_fraction
+    | None -> Alcotest.fail "knee expected"
+  in
+  (* All points out of space: no viable configuration, no knee. *)
+  let all_oos =
+    [
+      point ~out_of_space:true ~fraction:0.1 ~write_us:50.0 ();
+      point ~out_of_space:true ~fraction:0.5 ~write_us:40.0 ();
+    ]
+  in
+  Alcotest.(check bool) "all out of space, no knee" true (Ssmc.Sizing.knee all_oos = None);
+  (* A single viable point is its own knee. *)
+  let lone = point ~fraction:0.3 ~write_us:80.0 () in
+  Alcotest.(check (float 1e-9)) "single point is the knee" 0.3
+    (fraction (Ssmc.Sizing.knee [ lone ]));
+  (* Equal write latencies: the knee prefers the smaller DRAM share. *)
+  let tie =
+    [
+      point ~fraction:0.6 ~write_us:50.0 ();
+      point ~fraction:0.2 ~write_us:50.0 ();
+      point ~fraction:0.4 ~write_us:50.0 ();
+    ]
+  in
+  Alcotest.(check (float 1e-9)) "tie breaks toward smaller DRAM share" 0.2
+    (fraction (Ssmc.Sizing.knee tie));
+  (* Tolerance widens or narrows the near-optimal band: 60us is within
+     1.5x of the 45us optimum but outside the default 1.2x. *)
+  let band =
+    [
+      point ~fraction:0.1 ~write_us:60.0 ();
+      point ~fraction:0.3 ~write_us:52.0 ();
+      point ~fraction:0.5 ~write_us:45.0 ();
+    ]
+  in
+  Alcotest.(check (float 1e-9)) "default tolerance excludes 60us" 0.3
+    (fraction (Ssmc.Sizing.knee band));
+  Alcotest.(check (float 1e-9)) "tolerance 1.5 admits 60us" 0.1
+    (fraction (Ssmc.Sizing.knee ~tolerance:1.5 band));
+  Alcotest.(check (float 1e-9)) "tolerance 1.0 keeps only the optimum" 0.5
+    (fraction (Ssmc.Sizing.knee ~tolerance:1.0 band));
+  Alcotest.check_raises "tolerance below 1.0 rejected"
+    (Invalid_argument "Sizing.knee: tolerance < 1.0") (fun () ->
+      ignore (Ssmc.Sizing.knee ~tolerance:0.5 band))
+
 let test_sizing_sweep_small () =
   (* A tiny sweep: just ensure it runs end-to-end and orders sanely. *)
   let points =
@@ -256,5 +317,6 @@ let suite =
     Alcotest.test_case "recovery outcomes" `Quick test_recovery_outcomes;
     Alcotest.test_case "holdup days" `Quick test_holdup_days;
     Alcotest.test_case "sizing knee" `Quick test_sizing_knee_logic;
+    Alcotest.test_case "sizing knee tolerance" `Quick test_sizing_knee_tolerance;
     Alcotest.test_case "sizing sweep" `Slow test_sizing_sweep_small;
   ]
