@@ -31,6 +31,7 @@ let make ?(buffer_blocks = 64) ?(segment_sectors = 32) ~flash_kib ~wear ~cleaner
         };
       max_flush_batch = 64;
       flush_spacing = Time.span_ms 20.0;
+      selector = Common.selector;
     }
   in
   (engine, Storage.Manager.create cfg ~engine ~flash ~dram)
@@ -103,6 +104,16 @@ let cleaner_table () =
   in
   List.iteri
     (fun i (utilization, cleaner, stats, e) ->
+      let tag =
+        Printf.sprintf "u%d_%s"
+          (int_of_float (100.0 *. utilization))
+          (Storage.Cleaner.policy_name cleaner)
+      in
+      Common.put_metric ("e7_wa_" ^ tag) stats.Storage.Manager.write_amplification;
+      Common.put_metric ("e7_cleanings_" ^ tag)
+        (float_of_int stats.Storage.Manager.cleanings);
+      Common.put_metric ("e7_max_erases_" ^ tag)
+        (float_of_int e.Storage.Wear.max_erases);
       Table.add_row t
         [
           Table.cell_pct utilization;
@@ -151,6 +162,11 @@ let wear_table () =
   in
   List.iter
     (fun (wear, e, lifetime) ->
+      let tag = Storage.Wear.policy_name wear in
+      Common.put_metric ("e7_even_min_" ^ tag) (float_of_int e.Storage.Wear.min_erases);
+      Common.put_metric ("e7_even_max_" ^ tag) (float_of_int e.Storage.Wear.max_erases);
+      Common.put_metric ("e7_even_stddev_" ^ tag) e.Storage.Wear.stddev_erases;
+      Common.put_metric ("e7_life_rel_" ^ tag) (lifetime /. baseline);
       Table.add_row t
         [
           Storage.Wear.policy_name wear;
@@ -208,6 +224,11 @@ let wearout_demo () =
   List.iter
     (fun (wear, stats, bad_sectors) ->
       let written = float_of_int (512 * stats.Storage.Manager.blocks_flushed) in
+      let tag = Storage.Wear.policy_name wear in
+      Common.put_metric ("e7_wearout_flushed_" ^ tag)
+        (float_of_int stats.Storage.Manager.blocks_flushed);
+      Common.put_metric ("e7_wearout_retired_" ^ tag)
+        (float_of_int stats.Storage.Manager.retired_segments);
       Table.add_row t
         [
           Storage.Wear.policy_name wear;
@@ -256,6 +277,9 @@ let segment_size_table () =
         Time.span_scale (Device.Specs.intel_flash.Device.Specs.f_erase)
           (float_of_int segment_sectors)
       in
+      Common.put_metric
+        (Printf.sprintf "e7_segsize_wa_%d" segment_sectors)
+        stats.Storage.Manager.write_amplification;
       Table.add_row t
         [
           Table.cell_bytes (segment_sectors * 512);

@@ -19,6 +19,7 @@ let run_point ~banking ~write_blocks_per_s ~seed =
     {
       Storage.Manager.default_config with
       Storage.Manager.banking;
+      selector = Common.selector;
       buffer =
         {
           Storage.Write_buffer.capacity_blocks = 512;
@@ -86,6 +87,12 @@ let run () =
   in
   List.iteri
     (fun i (write_blocks_per_s, banking, h) ->
+      let tag =
+        Printf.sprintf "%d_%s" write_blocks_per_s (Storage.Banks.policy_name banking)
+      in
+      Common.put_metric ("e8_p50_" ^ tag) (Common.p50 h);
+      Common.put_metric ("e8_p99_" ^ tag) (Common.p99 h);
+      Common.put_metric ("e8_mean_" ^ tag) (Stat.Histogram.mean h);
       Table.add_row t
         [
           Table.cell_bytes (512 * write_blocks_per_s) ^ "/s";

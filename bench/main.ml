@@ -27,6 +27,7 @@ let experiments =
     ("e9", "Section 4 DRAM/flash sizing", E9_sizing.run);
     ("e10", "Section 2 storage power and battery life", E10_battery.run);
     ("stream", "streaming replay: peak heap vs trace length", Stream.run);
+    ("storage", "storage manager: indexed structures vs scan reference", Storage_bench.run);
     ("micro", "simulator micro-benchmarks", Micro.run);
     ("pool", "Domain pool: parallel speedup and sequential overhead", Pool_bench.run);
   ]

@@ -1,0 +1,224 @@
+(* Storage-manager decision paths: the indexed segment-state structures
+   against the scan-per-decision reference they replaced.
+
+   Three measurements:
+   - Bechamel throughput of the steady-state rewrite+clean loop at 64, 512,
+     and 4096 segments under both selectors — the scan reference grows
+     linearly with segment count, the indexed path should stay near-flat;
+   - allocation churn (GC minor words per write) under both selectors —
+     the reference's per-decision Array.to_list / List.filter round trips
+     against the list-free index walk;
+   - a scaled-down E7-style policy grid wall-clocked under both selectors,
+     with the final statistics asserted equal (the decisions are
+     byte-identical; only the time to make them differs). *)
+
+open Bechamel
+open Toolkit
+open Sim
+
+(* 4 banks, 8-sector segments, 512B sectors: [nsegments] scales the flash
+   size, everything else stays fixed.  Write-through buffering so every
+   rewrite exercises acquire (and, at steady state, cleaning). *)
+let make_manager ?(cleaner = Storage.Cleaner.Cost_benefit) ~nsegments ~selector () =
+  let engine = Engine.create () in
+  let flash =
+    Device.Flash.create
+      (Device.Flash.config ~nbanks:4 ~size_bytes:(nsegments * 8 * 512) ())
+  in
+  let dram = Device.Dram.create ~size_bytes:(4 * Units.mib) ~battery_backed:true () in
+  let cfg =
+    {
+      Storage.Manager.default_config with
+      Storage.Manager.segment_sectors = 8;
+      cleaner;
+      buffer =
+        {
+          Storage.Write_buffer.capacity_blocks = 0;
+          writeback_delay = Time.span_s 1.0;
+          refresh_on_rewrite = false;
+        };
+      selector;
+    }
+  in
+  (engine, Storage.Manager.create cfg ~engine ~flash ~dram)
+
+(* A filled manager plus a deterministic rewrite stream: 85% of capacity
+   live, rewrites spread over every block by an LCG so segments age into
+   the mixed-utilization regime the cleaner actually faces. *)
+let rewrite_state ~nsegments ~selector =
+  let engine, manager = make_manager ~nsegments ~selector () in
+  let live = 85 * Storage.Manager.capacity_blocks manager / 100 in
+  let blocks = Array.init live (fun _ -> Storage.Manager.alloc manager) in
+  Array.iter (fun b -> Storage.Manager.load_cold manager b) blocks;
+  Engine.run_until engine (Time.add (Engine.now engine) (Time.span_s 1.0));
+  let state = ref 12345 in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    blocks.(!state mod live)
+  in
+  (engine, manager, next)
+
+let rewrites_per_run = 64
+
+let throughput_test ~nsegments ~selector ~label =
+  let engine, manager, next = rewrite_state ~nsegments ~selector in
+  Test.make
+    ~name:(Printf.sprintf "storage: %d rewrites, %d segs, %s" rewrites_per_run
+             nsegments label)
+    (Staged.stage (fun () ->
+         for _ = 1 to rewrites_per_run do
+           ignore (Storage.Manager.write_block manager (next ()))
+         done;
+         Engine.run_until engine (Time.add (Engine.now engine) (Time.span_us 500.0))))
+
+let selectors =
+  [ (Storage.Manager.Indexed, "indexed"); (Storage.Manager.Scan, "scan") ]
+
+let sizes = [ 64; 512; 4096 ]
+
+let throughput_table () =
+  let tests =
+    List.concat_map
+      (fun nsegments ->
+        List.map
+          (fun (selector, label) -> throughput_test ~nsegments ~selector ~label)
+          selectors)
+      sizes
+  in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Bechamel.Time.second 0.25) ~stabilize:true ()
+  in
+  let grouped = Test.make_grouped ~name:"storage" ~fmt:"%s %s" tests in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let estimate_of name =
+    Hashtbl.fold
+      (fun key ols acc ->
+        (* Keys are "storage <test name>". *)
+        let suffix_matches =
+          String.length key >= String.length name
+          && String.sub key (String.length key - String.length name) (String.length name)
+             = name
+        in
+        if suffix_matches then
+          match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> acc
+        else acc)
+      results nan
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "rewrite+clean cost vs segment count (%d rewrites per run)"
+           rewrites_per_run)
+      ~columns:
+        [
+          ("segments", Table.Right);
+          ("scan ns/run", Table.Right);
+          ("indexed ns/run", Table.Right);
+          ("speedup", Table.Right);
+        ]
+  in
+  List.iter
+    (fun nsegments ->
+      let ns label =
+        estimate_of
+          (Printf.sprintf "storage: %d rewrites, %d segs, %s" rewrites_per_run
+             nsegments label)
+      in
+      let scan = ns "scan" and indexed = ns "indexed" in
+      Common.put_metric (Printf.sprintf "storage_ns_scan_%d" nsegments) scan;
+      Common.put_metric (Printf.sprintf "storage_ns_indexed_%d" nsegments) indexed;
+      Table.add_row t
+        [
+          Table.cell_i nsegments;
+          Printf.sprintf "%.0f" scan;
+          Printf.sprintf "%.0f" indexed;
+          Printf.sprintf "%.1fx" (scan /. indexed);
+        ])
+    sizes;
+  Table.print t;
+  Common.note
+    "scan cost grows with the segment array; the indexed walk should stay near-flat \
+     from 512 to 4096 segments."
+
+(* Allocation churn of the decision paths: minor-heap words per client
+   write.  The scan reference materializes candidate lists twice per
+   acquire; the index walk allocates only balanced-tree nodes on state
+   transitions. *)
+let allocation_table () =
+  let writes = 4000 in
+  let words_per_write selector =
+    let _engine, manager, next = rewrite_state ~nsegments:512 ~selector in
+    let before = Gc.minor_words () in
+    for _ = 1 to writes do
+      ignore (Storage.Manager.write_block manager (next ()))
+    done;
+    (Gc.minor_words () -. before) /. float_of_int writes
+  in
+  let t =
+    Table.create ~title:"allocation churn (512 segments, write-through rewrites)"
+      ~columns:[ ("selector", Table.Left); ("minor words / write", Table.Right) ]
+  in
+  List.iter
+    (fun (selector, label) ->
+      let words = words_per_write selector in
+      Common.put_metric ("storage_words_per_write_" ^ label) words;
+      Table.add_row t [ label; Printf.sprintf "%.0f" words ])
+    selectors;
+  Table.print t
+
+(* A scaled-down E7 cleaner grid, wall-clocked under both selectors.  The
+   two runs must agree on every statistic — the selectors differ only in
+   how fast they reach the same decisions. *)
+let e7_grid selector =
+  let cells = ref [] in
+  List.iter
+    (fun cleaner ->
+      List.iter
+        (fun utilization ->
+          let engine, manager = make_manager ~cleaner ~nsegments:1024 ~selector () in
+          let capacity = Storage.Manager.capacity_blocks manager in
+          let live = int_of_float (float_of_int capacity *. utilization) in
+          let blocks = Array.init live (fun _ -> Storage.Manager.alloc manager) in
+          Array.iter (fun b -> Storage.Manager.load_cold manager b) blocks;
+          Engine.run_until engine (Time.add (Engine.now engine) (Time.span_s 60.0));
+          Storage.Manager.reset_traffic manager;
+          let rng = Rng.create ~seed:75 in
+          let zipf = Distribution.Zipf.create ~n:live ~s:1.0 in
+          for _ = 1 to if Common.quick then 40 else 120 do
+            for _ = 1 to 128 do
+              ignore
+                (Storage.Manager.write_block manager
+                   blocks.(Distribution.Zipf.sample zipf rng))
+            done;
+            Engine.run_until engine (Time.add (Engine.now engine) (Time.span_s 1.0))
+          done;
+          cells :=
+            (Storage.Manager.stats manager, Storage.Manager.wear_evenness manager)
+            :: !cells)
+        [ 0.75; 0.90 ])
+    [ Storage.Cleaner.Greedy; Storage.Cleaner.Cost_benefit ];
+  List.rev !cells
+
+let e7_comparison () =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let scan_cells, scan_s = time (fun () -> e7_grid Storage.Manager.Scan) in
+  let indexed_cells, indexed_s = time (fun () -> e7_grid Storage.Manager.Indexed) in
+  if scan_cells <> indexed_cells then
+    failwith "storage bench: selectors disagreed on the E7 grid results";
+  Common.put_metric "storage_e7_wall_scan_s" scan_s;
+  Common.put_metric "storage_e7_wall_indexed_s" indexed_s;
+  Common.note
+    "E7-style grid (1024 segments): scan %.2fs, indexed %.2fs (%.1fx); results identical."
+    scan_s indexed_s (scan_s /. indexed_s)
+
+let run () =
+  Common.section "storage manager: indexed decision structures vs scan reference";
+  throughput_table ();
+  allocation_table ();
+  e7_comparison ()

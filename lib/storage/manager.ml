@@ -6,6 +6,13 @@ module Log = (val Logs.src_log log_src)
 
 exception Out_of_space
 
+type selector = Indexed | Scan | Checked
+
+let selector_name = function
+  | Indexed -> "indexed"
+  | Scan -> "scan"
+  | Checked -> "checked"
+
 type config = {
   segment_sectors : int;
   buffer : Write_buffer.config;
@@ -19,6 +26,7 @@ type config = {
   max_flush_batch : int;
   flush_spacing : Time.span;
   flush_watermark : float option;
+  selector : selector;
 }
 
 let default_config =
@@ -35,6 +43,7 @@ let default_config =
     max_flush_batch = 16;
     flush_spacing = Time.span_ms 100.0;
     flush_watermark = None;
+    selector = Indexed;
   }
 
 type block = int
@@ -69,6 +78,17 @@ type t = {
      the device model does not store payloads. *)
   durable : (int, int * int) Hashtbl.t;
   mutable next_version : int;
+  (* Incrementally maintained segment-state indexes and counters.  The
+     indexes answer every allocation/cleaning decision in O(log n); the
+     counters replace the O(#segments) rescans in stats and the
+     maybe_clean loop condition.  Maintained in every selector mode (the
+     Scan reference consults the arrays instead, which is what the
+     differential tests compare against). *)
+  idx : Seg_index.t;
+  wear_acc : Wear.acc;
+  in_closed_idx : bool array;
+  mutable n_live_blocks : int;
+  mutable n_retired : int;
   (* Counters. *)
   mutable c_writes : int;
   mutable c_reads : int;
@@ -78,6 +98,104 @@ type t = {
   mutable c_hot_retained : int;
   mutable c_cleanings : int;
 }
+
+let block_bytes t = Device.Flash.sector_bytes t.flash
+let nsegments t = Array.length t.segments
+let bank_of_segment t i = i / t.segs_per_bank
+let flash t = t.flash
+let dram t = t.dram
+let engine t = t.engine
+
+let find_meta t b =
+  match Hashtbl.find_opt t.meta b with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Manager: unknown block %d" b)
+
+let erase_count_of_segment t seg =
+  (* Segments wear uniformly (whole-segment erases), so the first sector's
+     count stands for the segment. *)
+  Device.Flash.erase_count t.flash ~sector:(Segment.first_sector seg)
+
+(* --- Index maintenance ----------------------------------------------------
+
+   Every segment state transition flows through these hooks, keeping the
+   per-bank free/victim structures, the wear accumulator, and the O(1)
+   counters in sync with the array the reference scans walk. *)
+
+(* The free index key: erase count under wear-leveling allocation, 0 under
+   first-fit (so the min entry is simply the lowest free id). *)
+let wear_key t seg =
+  if Seg_index.wear_keyed t.idx then erase_count_of_segment t seg else 0
+
+let free_index_add t seg =
+  let i = Segment.id seg in
+  Seg_index.add_free t.idx ~bank:(bank_of_segment t i) ~key:(wear_key t seg) ~id:i
+
+let free_index_remove t seg =
+  let i = Segment.id seg in
+  Seg_index.remove_free t.idx ~bank:(bank_of_segment t i) ~key:(wear_key t seg) ~id:i
+
+let lt_ns seg = Time.to_ns (Segment.last_touched seg)
+
+let closed_index_add t seg =
+  let i = Segment.id seg in
+  if not t.retired.(i) then begin
+    Seg_index.add_closed t.idx ~bank:(bank_of_segment t i) ~id:i
+      ~live:(Segment.live_count seg) ~erase:(erase_count_of_segment t seg)
+      ~lt_ns:(lt_ns seg);
+    t.in_closed_idx.(i) <- true
+  end
+
+let closed_index_remove t seg =
+  let i = Segment.id seg in
+  if t.in_closed_idx.(i) then begin
+    Seg_index.remove_closed t.idx ~bank:(bank_of_segment t i) ~id:i
+      ~live:(Segment.live_count seg) ~erase:(erase_count_of_segment t seg)
+      ~lt_ns:(lt_ns seg);
+    t.in_closed_idx.(i) <- false
+  end
+
+(* After [Segment.kill seg ~slot]. *)
+let note_kill t seg =
+  t.n_live_blocks <- t.n_live_blocks - 1;
+  let i = Segment.id seg in
+  if t.in_closed_idx.(i) then begin
+    let live = Segment.live_count seg in
+    Seg_index.closed_live_changed t.idx ~bank:(bank_of_segment t i) ~id:i
+      ~old_live:(live + 1) ~new_live:live ~lt_ns:(lt_ns seg)
+  end
+
+(* Append a live block to an Open segment: the one place segments fill,
+   touch, and transition to Closed (where they become victim candidates). *)
+let log_append_exn t seg ~block ~touch_at =
+  match Segment.append seg ~block with
+  | None -> assert false (* callers hold an Open (non-full) segment *)
+  | Some slot ->
+    t.n_live_blocks <- t.n_live_blocks + 1;
+    Segment.touch seg ~at:touch_at;
+    if Segment.state seg = Segment.Closed then closed_index_add t seg;
+    slot
+
+(* Rebuild every index, counter, and the wear accumulator from the segment
+   array (manager creation and crash recovery, where the rebuild loop
+   manipulates segments directly). *)
+let rebuild_indexes t =
+  Seg_index.clear t.idx;
+  Wear.acc_clear t.wear_acc;
+  Array.fill t.in_closed_idx 0 (Array.length t.in_closed_idx) false;
+  t.n_live_blocks <- 0;
+  t.n_retired <- 0;
+  Array.iteri
+    (fun i seg ->
+      Wear.acc_add t.wear_acc (erase_count_of_segment t seg);
+      t.n_live_blocks <- t.n_live_blocks + Segment.live_count seg;
+      if t.retired.(i) then t.n_retired <- t.n_retired + 1
+      else
+        match Segment.state seg with
+        | Segment.Free -> free_index_add t seg
+        | Segment.Closed -> closed_index_add t seg
+        | Segment.Open -> ())
+    t.segments
 
 let create cfg ~engine ~flash ~dram =
   if cfg.segment_sectors <= 0 then invalid_arg "Manager.create: segment_sectors <= 0";
@@ -104,59 +222,57 @@ let create cfg ~engine ~flash ~dram =
         in
         Segment.create ~id:i ~first_sector ~nslots:cfg.segment_sectors)
   in
-  {
-    cfg;
-    engine;
-    flash;
-    dram;
-    segments;
-    retired = Array.make nsegments false;
-    segs_per_bank;
-    buffer = Write_buffer.create cfg.buffer;
-    heat = Heat.create ~half_life:cfg.heat_half_life ();
-    meta = Hashtbl.create 4096;
-    next_block = 0;
-    open_fresh = None;
-    open_clean = None;
-    open_cold = None;
-    timer = None;
-    cleaning = false;
-    durable = Hashtbl.create 4096;
-    next_version = 0;
-    c_writes = 0;
-    c_reads = 0;
-    c_flushed = 0;
-    c_cleaned = 0;
-    c_cold = 0;
-    c_hot_retained = 0;
-    c_cleanings = 0;
-  }
+  let t =
+    {
+      cfg;
+      engine;
+      flash;
+      dram;
+      segments;
+      retired = Array.make nsegments false;
+      segs_per_bank;
+      buffer = Write_buffer.create cfg.buffer;
+      heat = Heat.create ~half_life:cfg.heat_half_life ();
+      meta = Hashtbl.create 4096;
+      next_block = 0;
+      open_fresh = None;
+      open_clean = None;
+      open_cold = None;
+      timer = None;
+      cleaning = false;
+      durable = Hashtbl.create 4096;
+      next_version = 0;
+      idx =
+        Seg_index.create ~nbanks
+          ~wear_keyed:(cfg.wear <> Wear.None_)
+          ~track_live:(cfg.cleaner = Cleaner.Greedy)
+          ~track_erase:(match cfg.wear with Wear.Static _ -> true | _ -> false)
+          ~track_age:(cfg.cleaner = Cleaner.Cost_benefit);
+      wear_acc = Wear.acc_create ();
+      in_closed_idx = Array.make nsegments false;
+      n_live_blocks = 0;
+      n_retired = 0;
+      c_writes = 0;
+      c_reads = 0;
+      c_flushed = 0;
+      c_cleaned = 0;
+      c_cold = 0;
+      c_hot_retained = 0;
+      c_cleanings = 0;
+    }
+  in
+  rebuild_indexes t;
+  t
 
-let block_bytes t = Device.Flash.sector_bytes t.flash
-let nsegments t = Array.length t.segments
-let bank_of_segment t i = i / t.segs_per_bank
-let flash t = t.flash
-let dram t = t.dram
-let engine t = t.engine
+(* --- Reference scans (the pre-index implementation, kept verbatim) --------
 
-let capacity_blocks t =
-  let usable = ref 0 in
-  Array.iteri
-    (fun i seg -> if not t.retired.(i) then usable := !usable + Segment.nslots seg)
-    t.segments;
-  !usable
+   These remain the executable specification: the Scan selector routes
+   every decision and statistic through them, and the Checked selector
+   runs both paths and fails loudly on any divergence.  The differential
+   tests in test/test_manager_diff.ml hold the two implementations
+   byte-identical. *)
 
-let find_meta t b =
-  match Hashtbl.find_opt t.meta b with
-  | Some m -> m
-  | None -> invalid_arg (Printf.sprintf "Manager: unknown block %d" b)
-
-let erase_count_of_segment t seg =
-  (* Segments wear uniformly (whole-segment erases), so the first sector's
-     count stands for the segment. *)
-  Device.Flash.erase_count t.flash ~sector:(Segment.first_sector seg)
-
-let free_segment_count t =
+let free_segment_count_scan t =
   let n = ref 0 in
   Array.iteri
     (fun i seg ->
@@ -164,11 +280,55 @@ let free_segment_count t =
     t.segments;
   !n
 
+let live_block_count_scan t =
+  Array.fold_left (fun acc seg -> acc + Segment.live_count seg) 0 t.segments
+
+let capacity_blocks_scan t =
+  let usable = ref 0 in
+  Array.iteri
+    (fun i seg -> if not t.retired.(i) then usable := !usable + Segment.nslots seg)
+    t.segments;
+  !usable
+
+let free_segment_count t =
+  match t.cfg.selector with
+  | Scan -> free_segment_count_scan t
+  | Indexed -> Seg_index.free_count t.idx
+  | Checked ->
+    let n = Seg_index.free_count t.idx in
+    let scan = free_segment_count_scan t in
+    if n <> scan then
+      Fmt.failwith "Manager: free-segment counter %d but scan says %d" n scan;
+    n
+
+let live_block_count t =
+  match t.cfg.selector with
+  | Scan -> live_block_count_scan t
+  | Indexed -> t.n_live_blocks
+  | Checked ->
+    let n = t.n_live_blocks in
+    let scan = live_block_count_scan t in
+    if n <> scan then
+      Fmt.failwith "Manager: live-block counter %d but scan says %d" n scan;
+    n
+
+let capacity_blocks t =
+  match t.cfg.selector with
+  | Scan -> capacity_blocks_scan t
+  | Indexed -> (nsegments t - t.n_retired) * t.cfg.segment_sectors
+  | Checked ->
+    let n = (nsegments t - t.n_retired) * t.cfg.segment_sectors in
+    let scan = capacity_blocks_scan t in
+    if n <> scan then Fmt.failwith "Manager: capacity counter %d but scan says %d" n scan;
+    n
+
 (* Kill a block's flash copy (data superseded or freed). *)
 let kill_flash_copy t m =
   match m.loc with
   | Flashed { seg; slot } ->
-    Segment.kill t.segments.(seg) ~slot;
+    let s = t.segments.(seg) in
+    Segment.kill s ~slot;
+    note_kill t s;
     m.loc <- Blank
   | Blank | Buffered -> ()
 
@@ -181,6 +341,221 @@ let record_header t ~sector ~block =
   let version = t.next_version in
   t.next_version <- version + 1;
   Hashtbl.replace t.durable sector (block, version)
+
+(* --- Free-segment picks --------------------------------------------------- *)
+
+(* The reference: materialize the eligible set, restrict it to the
+   least-busy bank, hand it to Wear.pick_free. *)
+let pick_scan t ~purpose ~for_cold ~restrict =
+  let nbanks = Device.Flash.nbanks t.flash in
+  let eligible seg =
+    let i = Segment.id seg in
+    Segment.state seg = Segment.Free
+    && (not t.retired.(i))
+    && ((not restrict)
+       || Banks.allowed t.cfg.banking ~nbanks purpose ~bank:(bank_of_segment t i))
+  in
+  let candidates = Array.of_list (List.filter eligible (Array.to_list t.segments)) in
+  if Array.length candidates = 0 then None
+  else begin
+    (* Prefer the least-busy bank so queued writeback spreads across the
+       banks it is allowed to use; wear policy picks within that bank. *)
+    let bank_busy seg =
+      Device.Flash.bank_busy_until t.flash ~bank:(bank_of_segment t (Segment.id seg))
+    in
+    let best_busy =
+      Array.fold_left (fun acc seg -> Time.min acc (bank_busy seg))
+        (bank_busy candidates.(0)) candidates
+    in
+    let in_best =
+      Array.of_list
+        (List.filter
+           (fun seg -> Time.equal (bank_busy seg) best_busy)
+           (Array.to_list candidates))
+    in
+    Wear.pick_free ~for_cold t.cfg.wear ~erase_count:(erase_count_of_segment t) in_best
+  end
+
+(* The index walk: per allowed bank, one O(log n) min/max lookup; across
+   banks, prefer the least-busy bank, then the wear policy's key, then the
+   lowest id — exactly the reference's tie-breaking (ids ascend with
+   banks, and each bank entry already carries its lowest tied id).  No
+   closures, no intermediate lists. *)
+let pick_indexed t ~purpose ~for_cold ~restrict =
+  let nbanks = Device.Flash.nbanks t.flash in
+  (* Under Static wear leveling, cold data parks on the most-worn free
+     segment; everything else takes the least-worn (or first-fit, where
+     keys are constant 0). *)
+  let want_most_worn =
+    match t.cfg.wear with Wear.Static _ -> for_cold | Wear.None_ | Wear.Dynamic -> false
+  in
+  let best_id = ref (-1) in
+  let best_key = ref 0 in
+  let best_busy = ref Time.zero in
+  for bank = 0 to nbanks - 1 do
+    if
+      Seg_index.bank_free_count t.idx ~bank > 0
+      && ((not restrict) || Banks.allowed t.cfg.banking ~nbanks purpose ~bank)
+    then begin
+      let entry =
+        if want_most_worn then Seg_index.most_worn_free t.idx ~bank
+        else Seg_index.least_worn_free t.idx ~bank
+      in
+      match entry with
+      | None -> assert false (* bank_free_count > 0 *)
+      | Some (key, id) ->
+        let better =
+          !best_id < 0
+          ||
+          let busy = Device.Flash.bank_busy_until t.flash ~bank in
+          Time.( < ) busy !best_busy
+          || Time.equal busy !best_busy
+             && (if want_most_worn then key > !best_key else key < !best_key)
+        in
+        if better then begin
+          best_id := id;
+          best_key := key;
+          best_busy := Device.Flash.bank_busy_until t.flash ~bank
+        end
+    end
+  done;
+  if !best_id < 0 then None else Some t.segments.(!best_id)
+
+let pick_for t ~purpose ~for_cold ~restrict =
+  match t.cfg.selector with
+  | Indexed -> pick_indexed t ~purpose ~for_cold ~restrict
+  | Scan -> pick_scan t ~purpose ~for_cold ~restrict
+  | Checked ->
+    let i = pick_indexed t ~purpose ~for_cold ~restrict in
+    let s = pick_scan t ~purpose ~for_cold ~restrict in
+    (match (i, s) with
+    | None, None -> ()
+    | Some a, Some b when Segment.id a = Segment.id b -> ()
+    | _ ->
+      Fmt.failwith "Manager: pick divergence (indexed %a, scan %a)"
+        Fmt.(option ~none:(any "none") int)
+        (Option.map Segment.id i)
+        Fmt.(option ~none:(any "none") int)
+        (Option.map Segment.id s));
+    i
+
+(* --- Victim selection ----------------------------------------------------- *)
+
+let bank_allowed_for t ~purpose ~bank =
+  match purpose with
+  | None -> true
+  | Some p -> Banks.allowed t.cfg.banking ~nbanks:(Device.Flash.nbanks t.flash) p ~bank
+
+(* The reference: Wear.relocation_victim then Cleaner.select, both full
+   folds over the segment array. *)
+let select_victim_scan t ~now ~purpose =
+  (* Only Closed segments are ever selected (both selectors filter on
+     state), so retirement (and the caller's bank constraint) are the
+     only extra eligibility conditions. *)
+  let eligible seg =
+    let i = Segment.id seg in
+    (not t.retired.(i)) && bank_allowed_for t ~purpose ~bank:(bank_of_segment t i)
+  in
+  match
+    Wear.relocation_victim t.cfg.wear ~erase_count:(erase_count_of_segment t) ~eligible
+      t.segments
+  with
+  | Some v -> Some v
+  | None -> Cleaner.select t.cfg.cleaner ~now ~eligible t.segments
+
+let select_victim_indexed t ~now ~purpose =
+  let nbanks = Device.Flash.nbanks t.flash in
+  let relocation =
+    match t.cfg.wear with
+    | Wear.None_ | Wear.Dynamic -> None
+    | Wear.Static { spread_threshold } ->
+      let e = Wear.evenness_of_acc t.wear_acc in
+      if not (Wear.spread_exceeds e ~spread_threshold) then None
+      else begin
+        (* The least-worn closed segment in the allowed banks, lowest id
+           on ties. *)
+        let best_id = ref (-1) in
+        let best_key = ref 0 in
+        for bank = 0 to nbanks - 1 do
+          if bank_allowed_for t ~purpose ~bank then
+            match Seg_index.coldest_closed t.idx ~bank with
+            | Some (key, id) ->
+              if !best_id < 0 || key < !best_key then begin
+                best_id := id;
+                best_key := key
+              end
+            | None -> ()
+        done;
+        if !best_id < 0 then None else Some t.segments.(!best_id)
+      end
+  in
+  match relocation with
+  | Some v -> Some v
+  | None -> (
+    match t.cfg.cleaner with
+    | Cleaner.Greedy ->
+      (* Greedy maximizes 1 - u, i.e. minimizes the live count; lowest id
+         on ties (per-bank entries carry their lowest tied id, and ids
+         ascend with banks). *)
+      let best_id = ref (-1) in
+      let best_key = ref 0 in
+      for bank = 0 to nbanks - 1 do
+        if bank_allowed_for t ~purpose ~bank then
+          match Seg_index.least_live_closed t.idx ~bank with
+          | Some (key, id) ->
+            if !best_id < 0 || key < !best_key then begin
+              best_id := id;
+              best_key := key
+            end
+          | None -> ()
+      done;
+      if !best_id < 0 then None else Some t.segments.(!best_id)
+    | Cleaner.Cost_benefit ->
+      (* Within one last-touched group the age factor is shared, so only
+         the group's emptiest-lowest-id member can win; across groups,
+         walk oldest-first and stop once the group's score ceiling
+         (age + 1, utilization 0) can no longer beat the best so far.
+         Scores are computed by Cleaner.score itself, so the floats are
+         the reference's floats. *)
+      let best_id = ref (-1) in
+      let best_score = ref neg_infinity in
+      for bank = 0 to nbanks - 1 do
+        if bank_allowed_for t ~purpose ~bank then
+          Seg_index.iter_age_reps t.idx ~bank ~f:(fun ~lt_ns ~id ->
+              let lt = Time.of_ns lt_ns in
+              let age = Time.span_to_s (Time.diff (Time.max now lt) lt) in
+              if !best_id >= 0 && age +. 1.0 < !best_score then false
+              else begin
+                let s = Cleaner.score t.cfg.cleaner ~now t.segments.(id) in
+                if
+                  !best_id < 0 || s > !best_score
+                  || (s = !best_score && id < !best_id)
+                then begin
+                  best_id := id;
+                  best_score := s
+                end;
+                true
+              end)
+      done;
+      if !best_id < 0 then None else Some t.segments.(!best_id))
+
+let select_victim t ~now ~purpose =
+  match t.cfg.selector with
+  | Indexed -> select_victim_indexed t ~now ~purpose
+  | Scan -> select_victim_scan t ~now ~purpose
+  | Checked ->
+    let i = select_victim_indexed t ~now ~purpose in
+    let s = select_victim_scan t ~now ~purpose in
+    (match (i, s) with
+    | None, None -> ()
+    | Some a, Some b when Segment.id a = Segment.id b -> ()
+    | _ ->
+      Fmt.failwith "Manager: victim divergence (indexed %a, scan %a)"
+        Fmt.(option ~none:(any "none") int)
+        (Option.map Segment.id i)
+        Fmt.(option ~none:(any "none") int)
+        (Option.map Segment.id s));
+    i
 
 (* --- Log appends, segment acquisition, cleaning -------------------------- *)
 
@@ -200,60 +575,29 @@ let rec ensure_open t ~purpose ~cursor =
 
 and acquire t ~purpose ~cursor =
   if not t.cleaning then maybe_clean t ~cursor;
-  let nbanks = Device.Flash.nbanks t.flash in
-  let pick ~restrict =
-    let eligible seg =
-      let i = Segment.id seg in
-      Segment.state seg = Segment.Free
-      && (not t.retired.(i))
-      && ((not restrict)
-         || Banks.allowed t.cfg.banking ~nbanks purpose ~bank:(bank_of_segment t i))
-    in
-    let candidates = Array.of_list (List.filter eligible (Array.to_list t.segments)) in
-    if Array.length candidates = 0 then None
-    else begin
-      (* Prefer the least-busy bank so queued writeback spreads across the
-         banks it is allowed to use; wear policy picks within that bank. *)
-      let bank_busy seg =
-        Device.Flash.bank_busy_until t.flash ~bank:(bank_of_segment t (Segment.id seg))
-      in
-      let best_busy =
-        Array.fold_left (fun acc seg -> Time.min acc (bank_busy seg))
-          (bank_busy candidates.(0)) candidates
-      in
-      let in_best =
-        Array.of_list
-          (List.filter
-             (fun seg -> Time.equal (bank_busy seg) best_busy)
-             (Array.to_list candidates))
-      in
-      let for_cold =
-        match purpose with
-        | Banks.Clean_out | Banks.Cold_load -> true
-        | Banks.Fresh_write -> false
-      in
-      Wear.pick_free ~for_cold t.cfg.wear ~erase_count:(erase_count_of_segment t) in_best
-    end
+  let for_cold =
+    match purpose with
+    | Banks.Clean_out | Banks.Cold_load -> true
+    | Banks.Fresh_write -> false
   in
   let choice =
-    match pick ~restrict:true with
+    match pick_for t ~purpose ~for_cold ~restrict:true with
     | Some s -> Some s
     | None ->
       (* No free segment in the banks this purpose may use: try to recycle
          one there before polluting the other banks' partition. *)
-      let in_allowed seg =
-        Banks.allowed t.cfg.banking ~nbanks purpose
-          ~bank:(bank_of_segment t (Segment.id seg))
-      in
-      if (not t.cleaning) && clean_one t ~cursor ~among:in_allowed then
-        pick ~restrict:true
+      if (not t.cleaning) && clean_one t ~cursor ~purpose:(Some purpose) then
+        pick_for t ~purpose ~for_cold ~restrict:true
       else None
   in
   let choice =
-    match choice with Some s -> Some s | None -> pick ~restrict:false
+    match choice with
+    | Some s -> Some s
+    | None -> pick_for t ~purpose ~for_cold ~restrict:false
   in
   match choice with
   | Some seg ->
+    free_index_remove t seg;
     Segment.open_ seg;
     Segment.touch seg ~at:(Engine.now t.engine);
     seg
@@ -264,10 +608,9 @@ and acquire t ~purpose ~cursor =
     end
     else begin
       (* One forced cleaning pass, then give up. *)
-      if not (clean_one t ~cursor) then begin
+      if not (clean_one t ~cursor ~purpose:None) then begin
         Log.err (fun m ->
-            m "out of space: %d live blocks, %d free segments"
-              (Array.fold_left (fun acc seg -> acc + Segment.live_count seg) 0 t.segments)
+            m "out of space: %d live blocks, %d free segments" (live_block_count t)
               (free_segment_count t));
         raise Out_of_space
       end;
@@ -278,30 +621,18 @@ and maybe_clean t ~cursor =
   while
     free_segment_count t < t.cfg.low_water
     && free_segment_count t < t.cfg.high_water
-    && clean_one t ~cursor
+    && clean_one t ~cursor ~purpose:None
   do
     ()
   done
 
-and clean_one ?(among = fun _ -> true) t ~cursor =
+and clean_one t ~cursor ~purpose =
   if t.cleaning then false
   else begin
     t.cleaning <- true;
     Fun.protect ~finally:(fun () -> t.cleaning <- false) @@ fun () ->
     let now = Engine.now t.engine in
-    (* Only Closed segments are ever selected (both selectors filter on
-       state), so retirement (and the caller's bank constraint) are the
-       only extra eligibility conditions. *)
-    let eligible seg = (not t.retired.(Segment.id seg)) && among seg in
-    let victim =
-      match
-        Wear.relocation_victim t.cfg.wear ~erase_count:(erase_count_of_segment t)
-          ~eligible t.segments
-      with
-      | Some v -> Some v
-      | None -> Cleaner.select t.cfg.cleaner ~now ~eligible t.segments
-    in
-    match victim with
+    match select_victim t ~now ~purpose with
     | None ->
       Log.debug (fun m -> m "cleaner: no eligible victim");
       false
@@ -310,6 +641,9 @@ and clean_one ?(among = fun _ -> true) t ~cursor =
           m "cleaning segment %d (live %d/%d, %d erases)" (Segment.id victim)
             (Segment.live_count victim) (Segment.nslots victim)
             (erase_count_of_segment t victim));
+      (* The victim leaves the candidate structures now; the copy-out
+         kills below adjust only the live-block counter. *)
+      closed_index_remove t victim;
       (* Don't clean a segment that frees nothing unless wear leveling
          forced it (in which case it was returned by relocation_victim). *)
       t.c_cleanings <- t.c_cleanings + 1;
@@ -323,25 +657,22 @@ and clean_one ?(among = fun _ -> true) t ~cursor =
           in
           cursor := read_op.Device.Flash.finish;
           let out = ensure_open t ~purpose:Banks.Clean_out ~cursor in
-          (match Segment.append out ~block:b with
-          | Some out_slot ->
-            let out_sector = Segment.sector_of_slot out out_slot in
-            let prog =
-              or_device_failure
-                (Device.Flash.program t.flash ~now:!cursor ~sector:out_sector ~bytes)
-            in
-            cursor := prog.Device.Flash.finish;
-            record_header t ~sector:out_sector ~block:b;
-            Segment.touch out ~at:now;
-            let m = find_meta t b in
-            m.loc <- Flashed { seg = Segment.id out; slot = out_slot };
-            Segment.kill victim ~slot
-          | None ->
-            (* ensure_open returned a full segment: impossible by construction. *)
-            assert false);
+          let out_slot = log_append_exn t out ~block:b ~touch_at:now in
+          let out_sector = Segment.sector_of_slot out out_slot in
+          let prog =
+            or_device_failure
+              (Device.Flash.program t.flash ~now:!cursor ~sector:out_sector ~bytes)
+          in
+          cursor := prog.Device.Flash.finish;
+          record_header t ~sector:out_sector ~block:b;
+          let m = find_meta t b in
+          m.loc <- Flashed { seg = Segment.id out; slot = out_slot };
+          Segment.kill victim ~slot;
+          note_kill t victim;
           t.c_cleaned <- t.c_cleaned + 1)
         (Segment.live_blocks victim);
       (* Erase the sectors that were programmed since the last erase. *)
+      let erases_before = erase_count_of_segment t victim in
       for slot = 0 to Segment.used_slots victim - 1 do
         let sector = Segment.sector_of_slot victim slot in
         Hashtbl.remove t.durable sector;
@@ -351,6 +682,8 @@ and clean_one ?(among = fun _ -> true) t ~cursor =
         | Error e ->
           Fmt.failwith "Manager: erase failed: %a" Device.Flash.pp_error e
       done;
+      Wear.acc_bump t.wear_acc ~old_count:erases_before
+        ~new_count:(erase_count_of_segment t victim);
       Segment.reset_to_free victim;
       (* Retire the segment if wear-out claimed any of its sectors. *)
       let worn = ref false in
@@ -360,31 +693,29 @@ and clean_one ?(among = fun _ -> true) t ~cursor =
       done;
       if !worn then begin
         t.retired.(Segment.id victim) <- true;
+        t.n_retired <- t.n_retired + 1;
         Log.warn (fun m ->
             m "segment %d retired (worn out); %d segments remain"
               (Segment.id victim)
-              (Array.length t.segments
-              - Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 t.retired))
-      end;
+              (Array.length t.segments - t.n_retired))
+      end
+      else free_index_add t victim;
       true
   end
 
 (* Program one client/cold block at the head of the log. *)
 let append_block t ~purpose ~cursor b =
   let seg = ensure_open t ~purpose ~cursor in
-  match Segment.append seg ~block:b with
-  | None -> assert false (* ensure_open yields an Open (non-full) segment *)
-  | Some slot ->
-    let sector = Segment.sector_of_slot seg slot in
-    let prog =
-      or_device_failure
-        (Device.Flash.program t.flash ~now:!cursor ~sector ~bytes:(block_bytes t))
-    in
-    cursor := prog.Device.Flash.finish;
-    record_header t ~sector ~block:b;
-    Segment.touch seg ~at:(Engine.now t.engine);
-    let m = find_meta t b in
-    m.loc <- Flashed { seg = Segment.id seg; slot }
+  let slot = log_append_exn t seg ~block:b ~touch_at:(Engine.now t.engine) in
+  let sector = Segment.sector_of_slot seg slot in
+  let prog =
+    or_device_failure
+      (Device.Flash.program t.flash ~now:!cursor ~sector ~bytes:(block_bytes t))
+  in
+  cursor := prog.Device.Flash.finish;
+  record_header t ~sector ~block:b;
+  let m = find_meta t b in
+  m.loc <- Flashed { seg = Segment.id seg; slot }
 
 (* --- Writeback timer ------------------------------------------------------ *)
 
@@ -589,11 +920,12 @@ type stats = {
   write_amplification : float;
 }
 
-let live_block_count t =
-  Array.fold_left (fun acc seg -> acc + Segment.live_count seg) 0 t.segments
+let retired_count t =
+  match t.cfg.selector with
+  | Scan -> Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 t.retired
+  | Indexed | Checked -> t.n_retired
 
 let stats t =
-  let retired = Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 t.retired in
   {
     client_writes = t.c_writes;
     client_reads = t.c_reads;
@@ -606,7 +938,7 @@ let stats t =
     cleanings = t.c_cleanings;
     dirty_blocks = Write_buffer.size t.buffer;
     free_segments = free_segment_count t;
-    retired_segments = retired;
+    retired_segments = retired_count t;
     live_blocks = live_block_count t;
     write_reduction =
       (if t.c_writes = 0 then 0.0
@@ -627,7 +959,15 @@ let pp_stats ppf s =
     s.write_amplification s.dirty_blocks s.free_segments s.live_blocks
 
 let wear_evenness t =
-  Wear.evenness ~erase_count:(erase_count_of_segment t) t.segments
+  match t.cfg.selector with
+  | Scan -> Wear.evenness ~erase_count:(erase_count_of_segment t) t.segments
+  | Indexed -> Wear.evenness_of_acc t.wear_acc
+  | Checked ->
+    let inc = Wear.evenness_of_acc t.wear_acc in
+    let scan = Wear.evenness ~erase_count:(erase_count_of_segment t) t.segments in
+    if inc <> scan then
+      Fmt.failwith "Manager: wear accumulator diverged from the scan";
+    inc
 
 let segment_of_block t b =
   match (find_meta t b).loc with
@@ -693,7 +1033,9 @@ let crash_and_remount t =
       | Some _ | None -> Hashtbl.replace winner block (version, sector))
     fresh.durable;
   (* Rebuild segment occupancy: appends were sequential, so each segment's
-     programmed sectors are a prefix of its slots. *)
+     programmed sectors are a prefix of its slots.  The loop drives the
+     segments directly; indexes and counters are rebuilt wholesale at the
+     end. *)
   let stale = ref 0 in
   let max_block = ref (-1) in
   Array.iter
@@ -744,6 +1086,7 @@ let crash_and_remount t =
       if !worn then fresh.retired.(i) <- true)
     fresh.segments;
   fresh.next_block <- !max_block + 1;
+  rebuild_indexes fresh;
   let report =
     {
       sectors_scanned = !scanned;

@@ -26,6 +26,18 @@
 exception Out_of_space
 (** Raised when live data exceeds what flash can hold even after cleaning. *)
 
+(** How allocation and cleaning decisions are answered.
+
+    [Indexed] (the default) consults incrementally maintained per-bank
+    indexes — O(log n) per decision, O(1) counters for statistics.
+    [Scan] is the original implementation, a full scan over the segment
+    array per decision; it is kept as the executable reference.  [Checked]
+    runs both and raises [Failure] on any divergence (used by the
+    differential tests; the two are byte-identical by construction). *)
+type selector = Indexed | Scan | Checked
+
+val selector_name : selector -> string
+
 type config = {
   segment_sectors : int;  (** Sectors (= blocks) per log segment. *)
   buffer : Write_buffer.config;
@@ -49,6 +61,7 @@ type config = {
           of waiting for their writeback deadline.  Trades absorption for
           headroom (fewer synchronous evictions on bursts).  [None]
           disables it (pure writeback-delay policy). *)
+  selector : selector;
 }
 
 val default_config : config

@@ -57,7 +57,37 @@ type evenness = {
   stddev_erases : float;
 }
 
+type acc
+(** Running wear statistics (count, total, sum of squares, per-level
+    multiplicities) in exact integer form.  Integer sums are
+    order-independent, so an accumulator maintained incrementally — one
+    {!acc_bump} per segment cleaning — holds byte-for-byte the same
+    values as one built by {!acc_of_scan} over the array, and the
+    evenness floats derived from either are identical. *)
+
+val acc_create : unit -> acc
+val acc_clear : acc -> unit
+
+val acc_add : acc -> int -> unit
+(** Register one more segment currently at the given erase count. *)
+
+val acc_bump : acc -> old_count:int -> new_count:int -> unit
+(** A segment moved from [old_count] to [new_count] erases. *)
+
+val acc_of_scan : erase_count:(Segment.t -> int) -> Segment.t array -> acc
+(** The reference: fold every segment's current erase count. *)
+
+val evenness_of_acc : acc -> evenness
+(** The single derivation of the evenness floats; both the scan and the
+    incremental paths go through it. *)
+
 val evenness : erase_count:(Segment.t -> int) -> Segment.t array -> evenness
+(** [evenness_of_acc] of [acc_of_scan]. *)
+
+val spread_exceeds : evenness -> spread_threshold:int -> bool
+(** The [Static] relocation trigger: [max - mean > threshold].  Max minus
+    mean rather than max minus min, so one never-erased outlier segment
+    cannot keep forced relocation running forever. *)
 
 val lifetime_writes :
   endurance:int -> total_sectors:int -> max_erases:int -> total_erases:int -> float

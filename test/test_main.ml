@@ -15,9 +15,11 @@ let () =
       ("trace", Test_trace.suite);
       ("segment", Test_segment.suite);
       ("policies", Test_policies.suite);
+      ("seg_index", Test_seg_index.suite);
       ("write_buffer", Test_write_buffer.suite);
       ("heat", Test_heat.suite);
       ("manager", Test_manager.suite);
+      ("manager_diff", Test_manager_diff.suite);
       ("fs_base", Test_fs_base.suite);
       ("memfs", Test_memfs.suite);
       ("ffs", Test_ffs.suite);

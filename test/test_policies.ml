@@ -123,6 +123,57 @@ let test_relocation_trigger () =
        ~eligible:(fun _ -> true) [| closed; other |]
     = None)
 
+(* --- Tie-breaking ------------------------------------------------------------
+
+   Both decision implementations (the reference scans here, the Seg_index
+   fast path through the manager) must prefer the lowest segment id on
+   ties; the differential tests rely on this being pinned down. *)
+
+let test_pick_free_tie_lowest_id () =
+  let segs = Array.init 4 (fun id -> free_segment ~id) in
+  let erase_count _ = 7 in
+  let check name policy ~for_cold =
+    match Storage.Wear.pick_free ~for_cold policy ~erase_count segs with
+    | Some s -> Alcotest.(check int) name 0 (Storage.Segment.id s)
+    | None -> Alcotest.fail "no pick"
+  in
+  check "first-fit tie" Storage.Wear.None_ ~for_cold:false;
+  check "dynamic tie" Storage.Wear.Dynamic ~for_cold:false;
+  let static = Storage.Wear.Static { spread_threshold = 5 } in
+  check "static hot tie" static ~for_cold:false;
+  check "static cold tie" static ~for_cold:true
+
+let test_cleaner_select_tie_lowest_id () =
+  (* Identical utilization and age everywhere: the fold must keep its
+     first (lowest-id) maximum under both policies. *)
+  let segs =
+    Array.init 4 (fun id -> segment ~id ~fill:8 ~kill:[ 0; 1 ] ~touched:1_000)
+  in
+  let now = Time.of_ns 500_000_000 in
+  List.iter
+    (fun (name, policy) ->
+      match Storage.Cleaner.select policy ~now ~eligible:(fun _ -> true) segs with
+      | Some s -> Alcotest.(check int) name 0 (Storage.Segment.id s)
+      | None -> Alcotest.fail "no victim")
+    [ ("greedy tie", Storage.Cleaner.Greedy);
+      ("cost-benefit tie", Storage.Cleaner.Cost_benefit) ]
+
+let test_relocation_victim_tie_lowest_id () =
+  let segs = Array.init 3 (fun id -> segment ~id ~fill:8 ~kill:[] ~touched:0) in
+  (* Equal wear on the closed segments, a spread-busting outlier via a
+     fourth: make ids 0..2 all erase-count 0 and force the trigger with a
+     high max elsewhere. *)
+  let outlier = free_segment ~id:3 in
+  let all = Array.append segs [| outlier |] in
+  let erase_count s = if Storage.Segment.id s = 3 then 40 else 0 in
+  match
+    Storage.Wear.relocation_victim
+      (Storage.Wear.Static { spread_threshold = 10 })
+      ~erase_count ~eligible:(fun _ -> true) all
+  with
+  | Some s -> Alcotest.(check int) "lowest id relocated" 0 (Storage.Segment.id s)
+  | None -> Alcotest.fail "should trigger"
+
 let test_lifetime_writes () =
   Alcotest.(check (float 1e-9)) "even wear full budget" 1000.0
     (Storage.Wear.lifetime_writes ~endurance:10 ~total_sectors:100 ~max_erases:5
@@ -180,6 +231,10 @@ let suite =
     Alcotest.test_case "pick_free skips used" `Quick test_pick_free_skips_non_free;
     Alcotest.test_case "evenness" `Quick test_evenness;
     Alcotest.test_case "relocation trigger" `Quick test_relocation_trigger;
+    Alcotest.test_case "pick_free tie -> lowest id" `Quick test_pick_free_tie_lowest_id;
+    Alcotest.test_case "select tie -> lowest id" `Quick test_cleaner_select_tie_lowest_id;
+    Alcotest.test_case "relocation tie -> lowest id" `Quick
+      test_relocation_victim_tie_lowest_id;
     Alcotest.test_case "lifetime writes" `Quick test_lifetime_writes;
     Alcotest.test_case "banks validate" `Quick test_banks_validate;
     Alcotest.test_case "banks allowed" `Quick test_banks_allowed;
