@@ -26,6 +26,7 @@ let experiments =
     ("e8", "Section 3.3 bank partitioning", E8_banks.run);
     ("e9", "Section 4 DRAM/flash sizing", E9_sizing.run);
     ("e10", "Section 2 storage power and battery life", E10_battery.run);
+    ("e11", "Section 3.3 fault injection and crash recovery", E11_faults.run);
     ("stream", "streaming replay: peak heap vs trace length", Stream.run);
     ("storage", "storage manager: indexed structures vs scan reference", Storage_bench.run);
     ("micro", "simulator micro-benchmarks", Micro.run);
@@ -47,49 +48,36 @@ let max_rss_kb () =
         scan ())
   with Sys_error _ -> None
 
-let json_escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let json_float v =
-  if Float.is_finite v then Printf.sprintf "%.6g" v
-  else Printf.sprintf "%S" (Float.to_string v)
-
+(* Emission goes through Sim.Json: numbers keep the %.6g format the
+   snapshot comparisons rely on, and non-finite values become null instead
+   of leaking "inf"/"nan" tokens no standard parser accepts. *)
 let write_json path runs =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf
-    (Printf.sprintf "  \"quick\": %b,\n  \"jobs\": %d,\n  \"max_rss_kb\": %s,\n"
-       Common.quick (Sim.Pool.default_jobs ())
-       (match max_rss_kb () with Some kb -> string_of_int kb | None -> "null"));
-  Buffer.add_string buf "  \"experiments\": [\n";
-  List.iteri
-    (fun i (name, descr, wall_s, metrics) ->
-      if i > 0 then Buffer.add_string buf ",\n";
-      Buffer.add_string buf
-        (Printf.sprintf
-           "    { \"experiment\": \"%s\", \"description\": \"%s\", \"wall_s\": %s,\n\
-           \      \"metrics\": { "
-           (json_escape name) (json_escape descr) (json_float wall_s));
-      List.iteri
-        (fun j (key, v) ->
-          if j > 0 then Buffer.add_string buf ", ";
-          Buffer.add_string buf
-            (Printf.sprintf "\"%s\": %s" (json_escape key) (json_float v)))
-        metrics;
-      Buffer.add_string buf " } }")
-    runs;
-  Buffer.add_string buf "\n  ]\n}\n";
+  let open Sim.Json in
+  let doc =
+    Obj
+      [
+        ("quick", Bool Common.quick);
+        ("jobs", int (Sim.Pool.default_jobs ()));
+        ( "max_rss_kb",
+          match max_rss_kb () with Some kb -> int kb | None -> Null );
+        ( "experiments",
+          List
+            (List.map
+               (fun (name, descr, wall_s, metrics) ->
+                 Obj
+                   [
+                     ("experiment", String name);
+                     ("description", String descr);
+                     ("wall_s", number wall_s);
+                     ( "metrics",
+                       Obj (List.map (fun (key, v) -> (key, number v)) metrics) );
+                   ])
+               runs) );
+      ]
+  in
   Out_channel.with_open_text path (fun oc ->
-      Out_channel.output_string oc (Buffer.contents buf))
+      Out_channel.output_string oc (to_string doc);
+      Out_channel.output_char oc '\n')
 
 let print_experiment_table () =
   let t =

@@ -32,11 +32,11 @@ let () =
     (100.0 *. Device.Battery.fraction_remaining battery);
 
   (* How long would the machine hold its memory if left in a drawer? *)
-  let days, backup_hours = Ssmc.Recovery.holdup_days ~dram ~battery in
+  let holdup = Ssmc.Recovery.dram_holdup ~dram ~battery in
   Fmt.pr
     "Idle retention: the primary battery preserves DRAM for ~%.0f more days;@.\
      the lithium backup alone would hold it ~%.0f hours during a battery swap.@.@."
-    days backup_hours;
+    holdup.Ssmc.Recovery.primary_days holdup.Ssmc.Recovery.backup_hours;
 
   (* The user jots a note, then the power scare: what would a sudden
      failure lose right now, with the note still in the write buffer? *)

@@ -78,6 +78,7 @@ let () =
       done;
       Fmt.pr "  %-16s cold-read latency: mean=%.0fus max=%.0fus@."
         (Storage.Banks.policy_name banking)
-        (Stat.Summary.mean lat) (Stat.Summary.max lat))
+        (Stat.Summary.mean lat)
+        (Option.value ~default:0.0 (Stat.Summary.max lat)))
     [ Storage.Banks.Unified; Storage.Banks.Partitioned { write_banks = 1 } ];
   Fmt.pr "  (reads of read-mostly banks rarely wait behind a 5ms program or erase)@."

@@ -9,8 +9,10 @@ type t = {
   dram : Device.Dram.t;
   flash : Device.Flash.t option;
   disk : Device.Disk.t option;
-  manager : Storage.Manager.t option;
-  fs : fs_impl;
+  (* A cold restart (crash + remount) replaces both: the old manager and
+     file system die with the DRAM contents. *)
+  mutable manager : Storage.Manager.t option;
+  mutable fs : fs_impl;
   battery : Device.Battery.t;
   mutable last_account : Time.t;
   mutable accounted_j : float;  (** Energy already drained from the battery. *)
@@ -212,6 +214,155 @@ let apply t record =
     in
     Time.span_add create_span (span_or_error t (fs_write t path ~offset ~bytes))
 
+(* --- Fault injection --------------------------------------------------------- *)
+
+type fault_outcome = {
+  at : Time.t;
+  kind : Fault.kind;
+  survived_by : [ `Primary_battery | `Backup_battery | `Nothing ];
+  dirty_at_fault : int;
+  blocks_lost : int;
+  cold_restart : bool;
+  remount : Storage.Manager.remount_report option;
+  remount_span : Time.span;
+  files_damaged : int;
+}
+
+let rec mkdir_parents t path =
+  match String.rindex_opt path '/' with
+  | Some i when i > 0 -> begin
+    let parent = String.sub path 0 i in
+    mkdir_parents t parent;
+    match Fs.Memfs.mkdir t parent with
+    | Ok _ | Error Fs.Fs_error.Eexist -> ()
+    | Error e -> Fmt.failwith "crash recovery: mkdir %s: %a" parent Fs.Fs_error.pp e
+  end
+  | Some _ | None -> ()
+
+(* Total loss of DRAM: remount the flash and rebuild the namespace over
+   whatever survived.  File names and sizes carry across (a real layout
+   stores per-block back-references and metadata logs on flash; the model
+   keeps the bookkeeping in one place), but any block whose only copy sat
+   in the write buffer is gone, and the file it belonged to is damaged. *)
+let cold_crash t =
+  let mgr, fs =
+    match (t.manager, t.fs) with
+    | Some m, Mem fs -> (m, fs)
+    | _ -> invalid_arg "Machine: fault injection requires solid-state storage"
+  in
+  let files = Fs.Memfs.enumerate_sparse fs in
+  let fresh_mgr, span, report = Storage.Manager.crash_and_remount mgr in
+  let fresh_fs = Fs.Memfs.create_fs ~manager:fresh_mgr () in
+  let lost = ref 0 in
+  let damaged = ref 0 in
+  List.iter
+    (fun (path, size, blocks) ->
+      let survivors =
+        List.filter (fun (_, b) -> Storage.Manager.block_exists fresh_mgr b) blocks
+      in
+      let nlost = List.length blocks - List.length survivors in
+      if nlost > 0 then incr damaged;
+      lost := !lost + nlost;
+      mkdir_parents fresh_fs path;
+      match Fs.Memfs.adopt_sparse fresh_fs path ~size ~blocks:survivors with
+      | Ok () -> ()
+      | Error e -> Fmt.failwith "crash recovery: adopt %s: %a" path Fs.Fs_error.pp e)
+    files;
+  t.manager <- Some fresh_mgr;
+  t.fs <- Mem fresh_fs;
+  (!lost, !damaged, report, span)
+
+let inject_fault t kind =
+  let mgr =
+    match t.manager with
+    | Some m -> m
+    | None -> invalid_arg "Machine: fault injection requires solid-state storage"
+  in
+  (* Settle the energy books first: battery state at the instant of the
+     fault decides what survives. *)
+  account t;
+  let now = Engine.now t.engine in
+  let dirty = (Storage.Manager.stats mgr).Storage.Manager.dirty_blocks in
+  let dram_backed = Device.Dram.battery_backed t.dram in
+  let warm survived_by =
+    {
+      at = now;
+      kind;
+      survived_by;
+      dirty_at_fault = dirty;
+      blocks_lost = 0;
+      cold_restart = false;
+      remount = None;
+      remount_span = Time.span_zero;
+      files_damaged = 0;
+    }
+  in
+  let cold () =
+    let blocks_lost, files_damaged, report, remount_span = cold_crash t in
+    {
+      at = now;
+      kind;
+      survived_by = `Nothing;
+      dirty_at_fault = dirty;
+      blocks_lost;
+      cold_restart = true;
+      remount = Some report;
+      remount_span;
+      files_damaged;
+    }
+  in
+  match kind with
+  | Fault.Power_failure ->
+    (* External power vanishes.  Battery-backed DRAM rides it out on
+       whichever battery holds; otherwise the machine cold-restarts when
+       power returns. *)
+    if dram_backed && not (Device.Battery.exhausted t.battery) then
+      warm
+        (if Device.Battery.on_backup t.battery then `Backup_battery
+         else `Primary_battery)
+    else begin
+      let o = cold () in
+      Device.Battery.recharge t.battery;
+      o
+    end
+  | Fault.Battery_swap ->
+    (* The primary is pulled; only the lithium backup can carry DRAM
+       through the gap.  Either way a fresh primary goes in afterwards. *)
+    if dram_backed && Device.Battery.backup_joules t.battery > 0.0 then begin
+      Device.Battery.swap_primary t.battery;
+      warm `Backup_battery
+    end
+    else begin
+      let o = cold () in
+      Device.Battery.swap_primary t.battery;
+      o
+    end
+  | Fault.Battery_depletion ->
+    (* The gauge lied: the primary dies abruptly.  The backup (if any)
+       keeps DRAM alive until the user swaps; with no backup the machine
+       is down until external power returns. *)
+    Device.Battery.deplete_primary t.battery;
+    if dram_backed && Device.Battery.backup_joules t.battery > 0.0 then
+      warm `Backup_battery
+    else begin
+      let o = cold () in
+      Device.Battery.recharge t.battery;
+      o
+    end
+
+let pp_fault_outcome ppf o =
+  Fmt.pf ppf "%a at %a: %s, dirty=%d lost=%d" Fault.pp_kind o.kind Time.pp o.at
+    (match o.survived_by with
+    | `Primary_battery -> "rode out on primary"
+    | `Backup_battery -> "rode out on backup"
+    | `Nothing -> "cold restart")
+    o.dirty_at_fault o.blocks_lost;
+  match o.remount with
+  | Some r ->
+    Fmt.pf ppf " (remount %a in %a, %d files damaged)"
+      Storage.Manager.pp_remount_report r Time.pp_span o.remount_span o.files_damaged
+  | None -> ()
+
 type result = {
   ops_applied : int;
   op_errors : int;
@@ -226,10 +377,19 @@ type result = {
   battery_fraction_left : float;
   manager_stats : Storage.Manager.stats option;
   lifetime_years : float option;
+  fault_log : fault_outcome list;
 }
 
-let run_seq ?(drain = Time.span_s 120.0) t records =
+let run_seq ?(drain = Time.span_s 120.0) ?(faults = []) t records =
   let started = Engine.now t.engine in
+  let fault_log = ref [] in
+  List.iter
+    (fun e ->
+      let at = Time.add started e.Fault.after in
+      ignore
+        (Engine.schedule t.engine ~at (fun _ ->
+             fault_log := inject_fault t e.Fault.kind :: !fault_log)))
+    faults;
   let offset = Time.diff started Time.zero in
   let shifted =
     if Time.equal started Time.zero then records
@@ -304,9 +464,10 @@ let run_seq ?(drain = Time.span_s 120.0) t records =
     battery_fraction_left = Device.Battery.fraction_remaining t.battery;
     manager_stats;
     lifetime_years;
+    fault_log = List.rev !fault_log;
   }
 
-let run ?drain t records = run_seq ?drain t (List.to_seq records)
+let run ?drain ?faults t records = run_seq ?drain ?faults t (List.to_seq records)
 
 (* --- Multi-seed replication --------------------------------------------------- *)
 
@@ -359,8 +520,10 @@ let pp_replicated ppf r =
 let pp_result ppf r =
   Fmt.pf ppf
     "@[<v>ops=%d errors=%d elapsed=%a busy=%a@,read: %a@,write: %a@,meta: %a@,\
-     energy=%.1fJ battery=%.1f%%@]"
+     energy=%.1fJ battery=%.1f%%%a@]"
     r.ops_applied r.op_errors Time.pp_span r.elapsed Time.pp_span r.busy
     Stat.Summary.pp r.read_latency Stat.Summary.pp r.write_latency Stat.Summary.pp
     r.meta_latency r.energy_j
     (100.0 *. r.battery_fraction_left)
+    (Fmt.list ~sep:Fmt.nop (fun ppf o -> Fmt.pf ppf "@,fault: %a" pp_fault_outcome o))
+    r.fault_log

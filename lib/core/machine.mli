@@ -36,6 +36,40 @@ val apply : t -> Trace.Record.t -> Sim.Time.span
     create when it is implicit).  Failed operations (e.g. reads of deleted
     files) are counted and charged nothing. *)
 
+(** {1 Fault injection}
+
+    A {!Sim.Fault.kind} interpreted against the machine's battery and
+    storage state at the instant it fires.  While any battery holds,
+    battery-backed DRAM rides the event out and nothing is lost — the
+    paper's §3.3 safety argument.  When no battery holds, the machine
+    cold-restarts: the write buffer's dirty blocks are dropped, the
+    storage manager remounts from the surviving flash headers, and the
+    namespace is rebuilt over whatever blocks flash still has.  Only
+    solid-state machines accept faults (a conventional machine raises
+    [Invalid_argument]). *)
+
+type fault_outcome = {
+  at : Sim.Time.t;
+  kind : Sim.Fault.kind;
+  survived_by : [ `Primary_battery | `Backup_battery | `Nothing ];
+  dirty_at_fault : int;  (** Write-buffer occupancy when the fault hit. *)
+  blocks_lost : int;  (** 0 unless [survived_by = `Nothing]. *)
+  cold_restart : bool;
+  remount : Storage.Manager.remount_report option;  (** Cold restarts only. *)
+  remount_span : Sim.Time.span;  (** Header-scan time of the remount. *)
+  files_damaged : int;  (** Files that lost at least one block. *)
+}
+
+val inject_fault : t -> Sim.Fault.kind -> fault_outcome
+(** Fire one fault right now.  On a cold restart the machine's manager and
+    file system are replaced; previously obtained handles to them are dead.
+    Power/battery state afterwards: a fresh primary after a swap, a
+    recharged battery after a restart (the machine is plugged in to come
+    back up).
+    @raise Invalid_argument on a conventional (disk) machine. *)
+
+val pp_fault_outcome : Format.formatter -> fault_outcome -> unit
+
 type result = {
   ops_applied : int;
   op_errors : int;
@@ -50,16 +84,23 @@ type result = {
   battery_fraction_left : float;
   manager_stats : Storage.Manager.stats option;
   lifetime_years : float option;  (** Flash-wear extrapolation. *)
+  fault_log : fault_outcome list;  (** Injected faults, in firing order. *)
 }
 
 val run_seq :
   ?drain:Sim.Time.span ->
+  ?faults:Sim.Fault.schedule ->
   t ->
   Trace.Record.t Seq.t ->
   result
 (** Replay a trace (timestamps are shifted so the trace starts "now"),
     then keep the engine running [drain] longer (default 120 s) so pending
     flushes and cleaning settle, then do the final power accounting.
+
+    Each [faults] event fires at [start + after] through {!inject_fault}
+    while the replay runs; the trace resumes on the (possibly remounted)
+    machine and the outcomes land in [fault_log].  Events scheduled past
+    the end of the drain window never fire.
 
     Records are pulled one at a time and none is retained: replaying a
     streamed ({!Trace.Synth.generate_seq}) or file-backed
@@ -68,6 +109,7 @@ val run_seq :
 
 val run :
   ?drain:Sim.Time.span ->
+  ?faults:Sim.Fault.schedule ->
   t ->
   Trace.Record.t list ->
   result

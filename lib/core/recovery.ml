@@ -21,7 +21,9 @@ let power_failure ~manager ~battery ~dram_battery_backed =
     flash_blocks_intact = stats.Storage.Manager.live_blocks;
   }
 
-let holdup_days ~dram ~battery =
+type holdup = { primary_days : float; backup_hours : float }
+
+let dram_holdup ~dram ~battery =
   let spec = Device.Dram.spec dram in
   let refresh_w =
     Device.Power.watts_of_mw
@@ -32,7 +34,11 @@ let holdup_days ~dram ~battery =
     Device.Battery.primary_joules battery /. refresh_w /. 86_400.0
   in
   let backup_hours = Device.Battery.backup_joules battery /. refresh_w /. 3_600.0 in
-  (primary_days, backup_hours)
+  { primary_days; backup_hours }
+
+let pp_holdup ppf h =
+  Fmt.pf ppf "%.1f days on primary, %.1f h on backup" h.primary_days
+    h.backup_hours
 
 let pp_outcome ppf o =
   Fmt.pf ppf "dirty=%d lost=%d survived_by=%s flash_intact=%d" o.dirty_blocks

@@ -23,10 +23,22 @@ val power_failure :
   outcome
 (** What a power failure right now would do. *)
 
-val holdup_days :
-  dram:Device.Dram.t -> battery:Device.Battery.t -> float * float
-(** (days the primary battery preserves an otherwise idle machine's DRAM,
-    hours the lithium backup alone does) — the self-refresh-only draw
-    arithmetic behind Section 3.1's retention claim. *)
+type holdup = {
+  primary_days : float;
+      (** Days the primary battery preserves an otherwise idle machine's
+          DRAM. *)
+  backup_hours : float;
+      (** Hours the lithium backup alone does.  Deliberately a different
+          unit from [primary_days] — the paper quotes "many days" versus
+          "many hours" — and a labelled field so the pair can't be
+          destructured in the wrong order. *)
+}
+
+val dram_holdup :
+  dram:Device.Dram.t -> battery:Device.Battery.t -> holdup
+(** The self-refresh-only draw arithmetic behind Section 3.1's retention
+    claim. *)
+
+val pp_holdup : Format.formatter -> holdup -> unit
 
 val pp_outcome : Format.formatter -> outcome -> unit

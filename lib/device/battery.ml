@@ -37,9 +37,27 @@ let exhausted t = t.primary <= 0.0 && t.backup <= 0.0
 let on_backup t = t.primary <= 0.0 && t.backup > 0.0
 let unmet_joules t = t.unmet
 let swap_primary t = t.primary <- t.capacity
+let deplete_primary t = t.primary <- 0.0
+
+let recharge t =
+  t.primary <- t.capacity;
+  t.backup <- t.backup_capacity
+
+type holdup = Finite of Time.span | Unbounded
 
 let holdup_time t ~draw_watts =
-  if draw_watts <= 0.0 then invalid_arg "Battery.holdup_time: draw <= 0";
-  Time.span_s ((t.primary +. t.backup) /. draw_watts)
+  if draw_watts < 0.0 then invalid_arg "Battery.holdup_time: negative draw";
+  if draw_watts = 0.0 then Unbounded
+  else begin
+    let seconds = (t.primary +. t.backup) /. draw_watts in
+    (* Time.span is an int of nanoseconds; a draw small enough to overflow
+       it is indistinguishable from no draw at all. *)
+    if seconds >= float_of_int max_int /. 1e9 then Unbounded
+    else Finite (Time.span_s seconds)
+  end
+
+let pp_holdup ppf = function
+  | Unbounded -> Fmt.string ppf "unbounded"
+  | Finite span -> Time.pp_span ppf span
 
 let fraction_remaining t = t.primary /. t.capacity

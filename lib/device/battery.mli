@@ -35,8 +35,23 @@ val swap_primary : t -> unit
 (** Replace the primary with a fresh one (the backup keeps DRAM alive
     meanwhile). *)
 
-val holdup_time : t -> draw_watts:float -> Sim.Time.span
-(** How long the remaining charge sustains a constant draw. *)
+val deplete_primary : t -> unit
+(** The primary runs out abruptly (fault injection: the gauge lied). *)
+
+val recharge : t -> unit
+(** Restore both primary and backup to full capacity — external power
+    returned after a crash. *)
+
+type holdup = Finite of Sim.Time.span | Unbounded
+
+val holdup_time : t -> draw_watts:float -> holdup
+(** How long the remaining charge sustains a constant draw.  A zero draw
+    (or one small enough to overflow the span representation) holds
+    forever: [Unbounded], not an error — an idle machine drawing nothing
+    never loses DRAM.
+    @raise Invalid_argument on a negative draw. *)
+
+val pp_holdup : Format.formatter -> holdup -> unit
 
 val fraction_remaining : t -> float
 (** Remaining primary charge as a fraction of a fresh battery. *)

@@ -333,6 +333,41 @@ let adopt t path ~size ~blocks =
   f.size <- size;
   Ok ()
 
+(* Slot-indexed variants: a crash can lose arbitrary blocks out of the
+   middle of a file, and rebuilding the namespace through the dense
+   [enumerate]/[adopt] pair would silently shift every survivor into the
+   wrong offset.  These keep each block pinned to its slot. *)
+
+let enumerate_sparse t =
+  let acc = ref [] in
+  let rec walk prefix node =
+    match node with
+    | File f ->
+      let blocks = ref [] in
+      for i = Blockmap.length f.map - 1 downto 0 do
+        let b = Blockmap.find f.map i in
+        if b <> Blockmap.no_block then blocks := (i, b) :: !blocks
+      done;
+      acc := (prefix, f.size, !blocks) :: !acc
+    | Dir table ->
+      Hashtbl.iter (fun name child -> walk (prefix ^ "/" ^ name) child) table
+  in
+  Hashtbl.iter (fun name child -> walk ("/" ^ name) child) t.root;
+  List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !acc
+
+let adopt_sparse t path ~size ~blocks =
+  List.iter
+    (fun (_, b) ->
+      if not (Storage.Manager.block_exists t.manager b) then
+        invalid_arg "Memfs.adopt_sparse: unknown block")
+    blocks;
+  let* _span = create t path in
+  let charge = ref Time.span_zero in
+  let* f = lookup_file t path ~charge in
+  List.iter (fun (i, b) -> Blockmap.set f.map i b) blocks;
+  f.size <- size;
+  Ok ()
+
 let rec node_metadata_bytes = function
   | File f -> 64 + (8 * Blockmap.length f.map)
   | Dir table -> Hashtbl.fold (fun _ n acc -> acc + 64 + node_metadata_bytes n) table 64

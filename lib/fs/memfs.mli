@@ -74,6 +74,19 @@ val adopt : t -> string -> size:int -> blocks:Storage.Manager.block list ->
     reconstruction after recovery).  The parent directory must exist.
     @raise Invalid_argument if any block is unknown to the manager. *)
 
+val enumerate_sparse : t -> (string * int * (int * Storage.Manager.block) list) list
+(** Like {!enumerate} but each block carries its slot index, so holes — and
+    blocks a crash removed from the middle of a file — keep every survivor
+    at its original offset. *)
+
+val adopt_sparse :
+  t -> string -> size:int -> blocks:(int * Storage.Manager.block) list ->
+  (unit, Fs_error.t) result
+(** Slot-indexed {!adopt}: each [(slot, block)] lands at exactly [slot].
+    The crash path rebuilds damaged files through this so surviving blocks
+    never shift position.
+    @raise Invalid_argument if any block is unknown to the manager. *)
+
 val check : t -> (unit, string) result
 (** Consistency check (fsck): every block reachable from a file is alive
     in the storage manager exactly once, and the manager holds no blocks

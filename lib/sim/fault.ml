@@ -1,0 +1,30 @@
+type kind = Power_failure | Battery_swap | Battery_depletion
+
+let kind_name = function
+  | Power_failure -> "power-failure"
+  | Battery_swap -> "battery-swap"
+  | Battery_depletion -> "battery-depletion"
+
+let pp_kind ppf k = Fmt.string ppf (kind_name k)
+
+type event = { after : Time.span; kind : kind }
+type schedule = event list
+
+let schedule events =
+  List.stable_sort (fun a b -> compare (Time.span_to_ns a.after) (Time.span_to_ns b.after)) events
+
+let all_kinds = [ Power_failure; Battery_swap; Battery_depletion ]
+
+let random ~rng ?(kinds = all_kinds) ~n ~over () =
+  if n < 0 then invalid_arg "Fault.random: n < 0";
+  if Time.span_to_ns over <= 0 then invalid_arg "Fault.random: empty window";
+  if kinds = [] then invalid_arg "Fault.random: no kinds";
+  let kinds = Array.of_list kinds in
+  let events =
+    List.init n (fun _ ->
+        let after = Time.span_ns (1 + Rng.int rng (Time.span_to_ns over)) in
+        { after; kind = Rng.choose rng kinds })
+  in
+  schedule events
+
+let pp_event ppf e = Fmt.pf ppf "%a at +%a" pp_kind e.kind Time.pp_span e.after

@@ -1,0 +1,47 @@
+(** Fault schedules for trace-driven runs.
+
+    A fault schedule is a list of power events — sudden power failures,
+    battery swaps, battery depletion — pinned to instants relative to the
+    start of a run.  The schedule itself is pure data: the machine layer
+    interprets each kind against its battery and storage state when the
+    simulated clock reaches it (scheduling the firing through the event
+    {!Engine}).  Keeping the schedule in [Sim] lets device- and
+    storage-level tests construct fault points without depending on the
+    machine assembly. *)
+
+type kind =
+  | Power_failure
+      (** External power vanishes mid-operation.  Whether DRAM (and with
+          it the write buffer and block map) survives depends on the
+          battery state at that instant. *)
+  | Battery_swap
+      (** The primary battery is pulled and replaced; only the lithium
+          backup can carry DRAM through the gap. *)
+  | Battery_depletion
+      (** The primary battery runs out abruptly (the gauge lied); the
+          machine falls onto its backup, if any. *)
+
+val kind_name : kind -> string
+val pp_kind : Format.formatter -> kind -> unit
+
+type event = {
+  after : Time.span;  (** Offset from the start of the run. *)
+  kind : kind;
+}
+
+type schedule = event list
+(** Events ordered by [after] (construct with {!schedule}). *)
+
+val schedule : event list -> schedule
+(** Sort events by offset (stable: simultaneous events keep their given
+    order). *)
+
+val random :
+  rng:Rng.t -> ?kinds:kind list -> n:int -> over:Time.span -> unit -> schedule
+(** [n] events at uniformly random offsets in [(0, over]], each with a
+    kind drawn uniformly from [kinds] (default: all three).  Deterministic
+    in the generator's state.
+    @raise Invalid_argument if [n < 0], [over] is zero, or [kinds] is
+    empty. *)
+
+val pp_event : Format.formatter -> event -> unit

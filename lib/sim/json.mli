@@ -1,0 +1,36 @@
+(** Minimal JSON, for the machine-readable results the bench harness
+    emits.
+
+    The writer produces strictly RFC 8259-conformant documents: JSON has no
+    representation for NaN or the infinities, so {!number} maps every
+    non-finite float to [Null] instead of leaking a bare [inf] (invalid
+    JSON) or a quoted ["inf"] (a type-inconsistent string where consumers
+    expect a number).  The parser exists so the test suite can feed every
+    emitted document back through a real grammar, not a regex. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float  (** Must be finite; use {!number} to construct. *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val number : float -> t
+(** [Number v] when [v] is finite, [Null] otherwise. *)
+
+val int : int -> t
+
+val to_string : t -> string
+(** Serialize.  Numbers print with ["%.6g"] (integers without a point);
+    strings are escaped per RFC 8259.
+    @raise Invalid_argument on a non-finite [Number] (construct with
+    {!number}). *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document (surrounding whitespace allowed).
+    Numbers come back as floats; object member order is preserved.  Errors
+    carry a byte offset. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on a missing field or a non-object. *)

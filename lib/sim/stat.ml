@@ -34,8 +34,8 @@ module Summary = struct
   let mean t = if t.count = 0 then 0.0 else t.mean
   let variance t = if t.count < 2 then 0.0 else t.m2 /. float_of_int (t.count - 1)
   let stddev t = sqrt (variance t)
-  let min t = t.min
-  let max t = t.max
+  let min t = if t.count = 0 then None else Some t.min
+  let max t = if t.count = 0 then None else Some t.max
   let total t = t.total
 
   let reset t =

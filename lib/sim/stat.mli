@@ -34,11 +34,13 @@ module Summary : sig
   (** Unbiased sample variance; 0 with fewer than two observations. *)
 
   val stddev : t -> float
-  val min : t -> float
-  (** [infinity] when empty. *)
+  val min : t -> float option
+  (** [None] when empty.  An empty summary has no extrema; returning the
+      [infinity] sentinels here used to leak non-finite floats into JSON
+      output, which RFC 8259 cannot represent. *)
 
-  val max : t -> float
-  (** [neg_infinity] when empty. *)
+  val max : t -> float option
+  (** [None] when empty. *)
 
   val total : t -> float
   val reset : t -> unit

@@ -53,7 +53,20 @@ type loc =
   | Buffered  (** Dirty in the DRAM write buffer. *)
   | Flashed of { seg : int; slot : int }
 
-type meta = { mutable loc : loc }
+type meta = {
+  mutable loc : loc;
+  (* Sector holding this block's newest durable header, -1 if none.  It can
+     trail [loc]: a rewritten-but-dirty block keeps its old on-flash header
+     live so a crash rolls back to the previous version instead of losing
+     the block outright. *)
+  mutable hdr_sector : int;
+}
+
+(* A sector header as the log-structured convention stores it on the
+   medium.  [h_live] is the in-place obsoletion bit: NOR flash can clear
+   bits without an erase, so superseding or deleting a block marks its old
+   header dead where it lies — remount then never resurrects stale data. *)
+type header = { h_block : int; h_version : int; mutable h_live : bool }
 
 type t = {
   cfg : config;
@@ -72,11 +85,11 @@ type t = {
   mutable open_cold : int option;
   mutable timer : (Event_queue.handle * Time.t) option;
   mutable cleaning : bool;  (** Re-entrancy guard for the cleaner. *)
-  (* Sector headers, as the log-structured convention stores them on the
-     medium: which logical block a sector holds and its write version.
-     Conceptually part of flash (it survives power loss); kept here because
-     the device model does not store payloads. *)
-  durable : (int, int * int) Hashtbl.t;
+  (* Sector headers: which logical block a sector holds, its write version,
+     and whether it is still live.  Conceptually part of flash (it survives
+     power loss); kept here because the device model does not store
+     payloads. *)
+  durable : (int, header) Hashtbl.t;
   mutable next_version : int;
   (* Incrementally maintained segment-state indexes and counters.  The
      indexes answer every allocation/cleaning decision in O(log n); the
@@ -336,11 +349,25 @@ let or_device_failure = function
   | Ok op -> op
   | Error e -> Fmt.failwith "Manager: unexpected flash failure: %a" Device.Flash.pp_error e
 
-(* Written as part of every sector program (the 16-byte header). *)
-let record_header t ~sector ~block =
+(* Clear a block's previous header's liveness bit in place, if it still
+   exists and still belongs to this block (cleaning may have erased the
+   sector and a later program reused it for someone else). *)
+let obsolete_header t ~block ~hdr_sector =
+  if hdr_sector >= 0 then
+    match Hashtbl.find_opt t.durable hdr_sector with
+    | Some h when h.h_block = block -> h.h_live <- false
+    | Some _ | None -> ()
+
+(* Written as part of every sector program (the 16-byte header).  The new
+   header supersedes the block's previous one, which is obsoleted in place
+   — the bit-clear rides along with programs the caller already charged to
+   the device, so it costs no extra bank time. *)
+let record_header t m ~sector ~block =
+  obsolete_header t ~block ~hdr_sector:m.hdr_sector;
   let version = t.next_version in
   t.next_version <- version + 1;
-  Hashtbl.replace t.durable sector (block, version)
+  Hashtbl.replace t.durable sector { h_block = block; h_version = version; h_live = true };
+  m.hdr_sector <- sector
 
 (* --- Free-segment picks --------------------------------------------------- *)
 
@@ -664,8 +691,8 @@ and clean_one t ~cursor ~purpose =
               (Device.Flash.program t.flash ~now:!cursor ~sector:out_sector ~bytes)
           in
           cursor := prog.Device.Flash.finish;
-          record_header t ~sector:out_sector ~block:b;
           let m = find_meta t b in
+          record_header t m ~sector:out_sector ~block:b;
           m.loc <- Flashed { seg = Segment.id out; slot = out_slot };
           Segment.kill victim ~slot;
           note_kill t victim;
@@ -713,8 +740,8 @@ let append_block t ~purpose ~cursor b =
       (Device.Flash.program t.flash ~now:!cursor ~sector ~bytes:(block_bytes t))
   in
   cursor := prog.Device.Flash.finish;
-  record_header t ~sector ~block:b;
   let m = find_meta t b in
+  record_header t m ~sector ~block:b;
   m.loc <- Flashed { seg = Segment.id seg; slot }
 
 (* --- Writeback timer ------------------------------------------------------ *)
@@ -799,7 +826,7 @@ and timer_fired t =
 let alloc t =
   let b = t.next_block in
   t.next_block <- b + 1;
-  Hashtbl.replace t.meta b { loc = Blank };
+  Hashtbl.replace t.meta b { loc = Blank; hdr_sector = -1 };
   b
 
 (* Flush one specific dirty block synchronously (eviction path). *)
@@ -877,6 +904,10 @@ let free_block t b =
   | Buffered -> ignore (Write_buffer.remove t.buffer ~block:b)
   | Flashed _ -> kill_flash_copy t m
   | Blank -> ());
+  (* Deletion is durable: whatever header the block still has on flash —
+     even a rollback copy left live while the block sat dirty — is
+     obsoleted in place, so a crash cannot resurrect freed data. *)
+  obsolete_header t ~block:b ~hdr_sector:m.hdr_sector;
   Heat.forget t.heat ~block:b;
   Hashtbl.remove t.meta b
 
@@ -974,6 +1005,31 @@ let segment_of_block t b =
   | Flashed { seg; _ } -> Some seg
   | Blank | Buffered -> None
 
+let location_of_block t b =
+  match (find_meta t b).loc with
+  | Flashed { seg; slot } -> Some (seg, slot)
+  | Blank | Buffered -> None
+
+type segment_snapshot = {
+  seg_state : Segment.state;
+  seg_live : int;
+  seg_used : int;
+  seg_erases : int;
+  seg_retired : bool;
+}
+
+let segment_snapshots t =
+  Array.mapi
+    (fun i seg ->
+      {
+        seg_state = Segment.state seg;
+        seg_live = Segment.live_count seg;
+        seg_used = Segment.used_slots seg;
+        seg_erases = erase_count_of_segment t seg;
+        seg_retired = t.retired.(i);
+      })
+    t.segments
+
 let block_is_dirty t b =
   match (find_meta t b).loc with Buffered -> true | Blank | Flashed _ -> false
 
@@ -1009,8 +1065,21 @@ let pp_remount_report ppf r =
 
 let crash_and_remount t =
   let buffered_lost = Write_buffer.size t.buffer in
+  (* Power is gone: the dead manager must never touch the (shared) flash
+     again.  Cancel its pending writeback timer and discard the DRAM
+     buffer's contents — that is exactly the data the crash loses. *)
+  (match t.timer with Some (h, _) -> Engine.cancel t.engine h | None -> ());
+  t.timer <- None;
+  ignore (Write_buffer.drain t.buffer);
   let fresh = create t.cfg ~engine:t.engine ~flash:t.flash ~dram:t.dram in
-  Hashtbl.iter (fun k v -> Hashtbl.replace fresh.durable k v) t.durable;
+  (* Deep-copy the headers: they model on-flash state shared by old and new
+     manager, but the records are mutable and the dead manager must not
+     alias the live one's. *)
+  Hashtbl.iter
+    (fun k h ->
+      Hashtbl.replace fresh.durable k
+        { h_block = h.h_block; h_version = h.h_version; h_live = h.h_live })
+    t.durable;
   fresh.next_version <- t.next_version;
   (* Scan every readable sector's header, charging the device. *)
   let now = Engine.now t.engine in
@@ -1024,13 +1093,15 @@ let crash_and_remount t =
     | Error Device.Flash.Bad_sector -> ()
     | Error e -> Fmt.failwith "remount: %a" Device.Flash.pp_error e
   done;
-  (* Newest version of each block wins. *)
+  (* Newest live version of each block wins; headers obsoleted in place
+     (superseded or deleted data) never come back. *)
   let winner = Hashtbl.create 1024 in
   Hashtbl.iter
-    (fun sector (block, version) ->
-      match Hashtbl.find_opt winner block with
-      | Some (v, _) when v >= version -> ()
-      | Some _ | None -> Hashtbl.replace winner block (version, sector))
+    (fun sector h ->
+      if h.h_live then
+        match Hashtbl.find_opt winner h.h_block with
+        | Some (v, _) when v >= h.h_version -> ()
+        | Some _ | None -> Hashtbl.replace winner h.h_block (h.h_version, sector))
     fresh.durable;
   (* Rebuild segment occupancy: appends were sequential, so each segment's
      programmed sectors are a prefix of its slots.  The loop drives the
@@ -1053,19 +1124,23 @@ let crash_and_remount t =
           | None ->
             (* A hole would mean appends were not sequential. *)
             assert false
-          | Some (block, version) ->
-            (match Segment.append seg ~block with
+          | Some h ->
+            (match Segment.append seg ~block:h.h_block with
             | Some s -> assert (s = slot)
             | None -> assert false);
-            max_block := max !max_block block;
+            (* Even a dead header pins its block id: a resurrected id would
+               otherwise collide with it on the next remount. *)
+            max_block := max !max_block h.h_block;
             let winning =
-              match Hashtbl.find_opt winner block with
-              | Some (v, _) -> v = version
+              h.h_live
+              &&
+              match Hashtbl.find_opt winner h.h_block with
+              | Some (_, s) -> s = sector
               | None -> false
             in
             if winning then begin
-              Hashtbl.replace fresh.meta block
-                { loc = Flashed { seg = Segment.id seg; slot } }
+              Hashtbl.replace fresh.meta h.h_block
+                { loc = Flashed { seg = Segment.id seg; slot }; hdr_sector = sector }
             end
             else begin
               incr stale;

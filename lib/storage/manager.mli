@@ -163,6 +163,24 @@ val nsegments : t -> int
 val segment_of_block : t -> block -> int option
 (** The segment holding the block's flash copy, if flushed. *)
 
+val location_of_block : t -> block -> (int * int) option
+(** The exact [(segment, slot)] of the block's flash copy, if flushed —
+    the placement the crash-consistency harness asserts survives a
+    remount. *)
+
+(** A point-in-time view of one segment, for comparing physical flash
+    state across a crash or between managers. *)
+type segment_snapshot = {
+  seg_state : Segment.state;
+  seg_live : int;  (** Live blocks resident in the segment. *)
+  seg_used : int;  (** Programmed slots since the last erase. *)
+  seg_erases : int;
+  seg_retired : bool;
+}
+
+val segment_snapshots : t -> segment_snapshot array
+(** One snapshot per segment, indexed by segment id. *)
+
 val block_is_dirty : t -> block -> bool
 (** Is the block's current data in the DRAM write buffer? *)
 
@@ -178,12 +196,19 @@ val reset_traffic : t -> unit
 (** {1 Crash recovery}
 
     Every programmed sector carries a small header naming the logical
-    block it holds and a monotonically increasing version (the
-    log-structured convention).  If the machine loses {e all} power — both
-    batteries — the DRAM-resident block map and the write buffer are gone,
-    but flash and its headers survive; a remount rebuilds the map by
-    scanning them.  Battery-backed DRAM exists precisely so this scan (and
-    the loss of buffered data) almost never happens. *)
+    block it holds, a monotonically increasing version, and a liveness bit
+    (the log-structured convention).  Superseding or deleting a block
+    clears its old header's liveness bit in place — flash can clear bits
+    without an erase — so freed data stays freed across a crash.  One
+    deliberate exception: a block rewritten while its new data is still
+    dirty in DRAM keeps its previous flash copy live, so a crash rolls the
+    block back to the last durable version instead of losing it entirely.
+
+    If the machine loses {e all} power — both batteries — the DRAM-resident
+    block map and the write buffer are gone, but flash and its headers
+    survive; a remount rebuilds the map by scanning them.  Battery-backed
+    DRAM exists precisely so this scan (and the loss of buffered data)
+    almost never happens. *)
 
 type remount_report = {
   sectors_scanned : int;
@@ -198,6 +223,8 @@ val crash_and_remount : t -> t * Sim.Time.span * remount_report
     flash device, its block map rebuilt by reading every sector's header.
     Block handles for recovered blocks remain valid on the new manager.
     The returned span is the scan time (the recovery-latency cost the
-    battery-backed organization avoids). *)
+    battery-backed organization avoids).  The crashed manager is dead
+    afterwards: its pending writeback timer is cancelled and its buffer
+    emptied, so it can never touch the shared flash again. *)
 
 val pp_remount_report : Format.formatter -> remount_report -> unit

@@ -45,6 +45,11 @@ let enqueue t ~block ~deadline =
   ignore (Event_queue.add t.queue ~at:deadline block)
 
 let write t ~now ~block =
+  (* Zero capacity is a true pass-through: nothing is ever admitted, so
+     there is nothing to absorb or refresh either — don't touch the
+     tables, just tell the caller to write through. *)
+  if t.cfg.capacity_blocks = 0 then Needs_eviction
+  else
   match Hashtbl.find_opt t.deadlines block with
   | Some _ ->
     t.absorbed <- t.absorbed + 1;

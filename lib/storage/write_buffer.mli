@@ -27,6 +27,12 @@ val default_config : config
 type t
 
 val create : config -> t
+(** A zero [capacity_blocks] is legal and means write-through: {!write}
+    always answers [Needs_eviction] without touching any state, nothing is
+    ever buffered, and no flush deadline ever exists ({!next_deadline} is
+    [None], {!drain} is empty).
+    @raise Invalid_argument on a negative capacity. *)
+
 val config : t -> config
 val size : t -> int
 (** Dirty blocks currently held. *)

@@ -1,0 +1,420 @@
+(* Differential crash-consistency harness (the §3.3 safety argument, run
+   live).  For crash points spread across an operation sequence and the
+   full cleaner × wear × banking × buffering policy grid, two managers —
+   one [Checked] (every internal decision asserted against the scan
+   reference) and one [Scan] — run the same prefix, crash, and remount.
+   The pre-crash state of each manager is its own crash-free reference:
+   the crash destroys only DRAM, so everything flash-resident must come
+   back exactly where it was, wear statistics and all, and the only
+   permissible loss is what sat dirty in the write buffer. *)
+
+open Sim
+
+let mk ~selector ~cleaner ~wear ~banking ~buffer_blocks () =
+  let engine = Engine.create () in
+  let flash =
+    Device.Flash.create
+      (Device.Flash.config ~nbanks:2 ~endurance_override:60
+         ~size_bytes:(128 * 1024) ())
+  in
+  let dram = Device.Dram.create ~size_bytes:Units.mib ~battery_backed:true () in
+  let cfg =
+    {
+      Storage.Manager.default_config with
+      Storage.Manager.segment_sectors = 8;
+      buffer =
+        {
+          Storage.Write_buffer.capacity_blocks = buffer_blocks;
+          writeback_delay = Time.span_ms 5.0;
+          refresh_on_rewrite = true;
+        };
+      cleaner;
+      wear;
+      banking;
+      selector;
+    }
+  in
+  (engine, Storage.Manager.create cfg ~engine ~flash ~dram)
+
+type op = Write of int | Fresh | Free of int | Cold | Advance of int
+
+let op_of_int n =
+  match n mod 6 with
+  | 0 | 1 -> Write (n / 6)
+  | 2 -> Fresh
+  | 3 -> Free (n / 6)
+  | 4 -> Advance (1 + (n / 6 mod 20))
+  | _ -> Cold
+
+let lcg_ops ~seed ~len =
+  let s = ref seed in
+  List.init len (fun _ ->
+      s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+      !s mod 100_000)
+
+(* Drive one manager through the op stream.  Deterministic in the stream,
+   so two managers fed the same list allocate identical handles. *)
+let run_ops (engine, m) ops =
+  let cap = Storage.Manager.capacity_blocks m * 6 / 10 in
+  let live = ref [] in
+  let nlive = ref 0 in
+  List.iter
+    (fun n ->
+      match op_of_int n with
+      | Write k when !nlive > 0 ->
+        ignore (Storage.Manager.write_block m (List.nth !live (k mod !nlive)))
+      | Write _ | Fresh when !nlive < cap ->
+        let b = Storage.Manager.alloc m in
+        ignore (Storage.Manager.write_block m b);
+        live := b :: !live;
+        incr nlive
+      | Write _ | Fresh -> ()
+      | Free k when !nlive > 0 ->
+        let b = List.nth !live (k mod !nlive) in
+        Storage.Manager.free_block m b;
+        live := List.filter (fun x -> x <> b) !live;
+        decr nlive
+      | Free _ -> ()
+      | Cold when !nlive < cap ->
+        let b = Storage.Manager.alloc m in
+        Storage.Manager.load_cold m b;
+        live := b :: !live;
+        incr nlive
+      | Cold -> ()
+      | Advance ms ->
+        Engine.run_until engine
+          (Time.add (Engine.now engine) (Time.span_ms (float_of_int ms))))
+    ops
+
+(* Everything the invariants need about a manager at one instant. *)
+type snapshot = {
+  blocks : (int * bool * (int * int) option) list;
+      (* (block, dirty, flash placement), ascending by block *)
+  segs : Storage.Manager.segment_snapshot array;
+  evenness : Storage.Wear.evenness;
+  dirty : int;
+  free_segments : int;
+  capacity : int;
+}
+
+let snapshot m =
+  {
+    blocks =
+      List.map
+        (fun b ->
+          ( b,
+            Storage.Manager.block_is_dirty m b,
+            Storage.Manager.location_of_block m b ))
+        (Storage.Manager.known_blocks m);
+    segs = Storage.Manager.segment_snapshots m;
+    evenness = Storage.Manager.wear_evenness m;
+    dirty = (Storage.Manager.stats m).Storage.Manager.dirty_blocks;
+    free_segments = (Storage.Manager.stats m).Storage.Manager.free_segments;
+    capacity = Storage.Manager.capacity_blocks m;
+  }
+
+let fail ~ctx fmt = Printf.ksprintf (fun s -> Alcotest.failf "%s: %s" ctx s) fmt
+
+(* The heart of the harness: pre-crash state vs the remounted manager. *)
+let check_invariants ~ctx pre post report =
+  let module M = Storage.Manager in
+  let post_blocks = List.map (fun (b, _, _) -> b) post.blocks in
+  let pre_flashed =
+    List.filter_map (fun (b, _, loc) -> Option.map (fun l -> (b, l)) loc) pre.blocks
+  in
+  (* 1. Live flash blocks are never lost, and keep their exact placement. *)
+  List.iter
+    (fun (b, loc) ->
+      match List.assoc_opt b (List.map (fun (b, _, l) -> (b, l)) post.blocks) with
+      | Some (Some loc') when loc' = loc -> ()
+      | Some _ -> fail ~ctx "flash block %d moved across the crash" b
+      | None -> fail ~ctx "flash-resident block %d lost by the crash" b)
+    pre_flashed;
+  (* 2. Nothing appears from nowhere: recovered ⊆ known-before, and any
+     recovered block that was not flash-resident must be a dirty block
+     rolled back to an older durable version. *)
+  List.iter
+    (fun b ->
+      match List.find_opt (fun (b', _, _) -> b' = b) pre.blocks with
+      | None -> fail ~ctx "block %d resurrected from nothing" b
+      | Some (_, dirty, loc) ->
+        if loc = None && not dirty then
+          fail ~ctx "block %d recovered but had no data at the crash" b)
+    post_blocks;
+  (* 3. Loss is bounded by the write buffer: every lost block was dirty,
+     and the report accounts for the buffer exactly. *)
+  let lost =
+    List.filter (fun (b, _, _) -> not (List.mem b post_blocks)) pre.blocks
+  in
+  List.iter
+    (fun (b, dirty, _) ->
+      if not dirty then fail ~ctx "non-dirty block %d lost" b)
+    lost;
+  if List.length lost > pre.dirty then
+    fail ~ctx "lost %d blocks but only %d were dirty" (List.length lost) pre.dirty;
+  if report.M.buffered_lost <> pre.dirty then
+    fail ~ctx "report says %d buffered lost but buffer held %d"
+      report.M.buffered_lost pre.dirty;
+  (* Rollback accounting: dirty blocks either vanish (lost) or roll back
+     to a flash copy. *)
+  let rollbacks =
+    List.filter
+      (fun (b, dirty, loc) -> dirty && loc = None && List.mem b post_blocks)
+      pre.blocks
+    |> List.length
+  in
+  let dirty_with_stale =
+    List.filter (fun (b, dirty, _) -> dirty && List.mem b post_blocks) pre.blocks
+    |> List.length
+  in
+  ignore dirty_with_stale;
+  (* 4. Wear state is untouched by a crash: evenness, per-segment erase
+     counts, and the retired set all match the crash-free reference. *)
+  if post.evenness <> pre.evenness then fail ~ctx "wear evenness changed";
+  if Array.length post.segs <> Array.length pre.segs then
+    fail ~ctx "segment count changed";
+  Array.iteri
+    (fun i (s : M.segment_snapshot) ->
+      let s' = post.segs.(i) in
+      if s'.M.seg_erases <> s.M.seg_erases then
+        fail ~ctx "segment %d erase count %d -> %d" i s.M.seg_erases s'.M.seg_erases;
+      if s'.M.seg_retired <> s.M.seg_retired then
+        fail ~ctx "segment %d retirement flipped" i;
+      (* 5. Physical occupancy: programmed slots are exactly preserved;
+         live counts only grow (rollback copies count as live again). *)
+      if s'.M.seg_used <> s.M.seg_used then
+        fail ~ctx "segment %d used slots %d -> %d" i s.M.seg_used s'.M.seg_used;
+      if s'.M.seg_live < s.M.seg_live then
+        fail ~ctx "segment %d lost live blocks (%d -> %d)" i s.M.seg_live
+          s'.M.seg_live;
+      (* State compatibility: a partially-filled Open segment remounts as
+         Closed (or Free when it held nothing); everything else is
+         preserved. *)
+      match (s.M.seg_state, s'.M.seg_state) with
+      | Storage.Segment.Open, (Storage.Segment.Closed | Storage.Segment.Free) -> ()
+      | a, b when a = b -> ()
+      | _ -> fail ~ctx "segment %d state changed incompatibly" i)
+    pre.segs;
+  let live_sum snaps =
+    Array.fold_left (fun acc s -> acc + s.M.seg_live) 0 snaps
+  in
+  if live_sum post.segs <> live_sum pre.segs + rollbacks then
+    fail ~ctx "live-block total %d, expected %d + %d rollbacks"
+      (live_sum post.segs) (live_sum pre.segs) rollbacks;
+  (* 6. Capacity accounting survives, and the remounted buffer is clean. *)
+  if post.capacity <> pre.capacity then fail ~ctx "capacity changed";
+  if post.free_segments <> pre.free_segments then
+    fail ~ctx "free segments %d -> %d" pre.free_segments post.free_segments;
+  if post.dirty <> 0 then fail ~ctx "remounted manager has dirty blocks"
+
+let run_crash_point ~ctx ~ops ~crash_index ~cleaner ~wear ~banking ~buffer_blocks =
+  let prefix = List.filteri (fun i _ -> i < crash_index) ops in
+  (* Both selectors crash at the same point: the Checked manager asserts
+     indexed-vs-scan agreement internally at every decision, and the
+     externally visible recovery must agree with the plain Scan manager. *)
+  let ea, a =
+    mk ~selector:Storage.Manager.Checked ~cleaner ~wear ~banking ~buffer_blocks ()
+  in
+  let eb, b =
+    mk ~selector:Storage.Manager.Scan ~cleaner ~wear ~banking ~buffer_blocks ()
+  in
+  run_ops (ea, a) prefix;
+  run_ops (eb, b) prefix;
+  let pre_a = snapshot a in
+  let pre_b = snapshot b in
+  if pre_a.blocks <> pre_b.blocks then
+    fail ~ctx "selectors diverged before the crash";
+  let a', span_a, report_a = Storage.Manager.crash_and_remount a in
+  let b', span_b, report_b = Storage.Manager.crash_and_remount b in
+  if span_a <> span_b then fail ~ctx "remount spans diverged across selectors";
+  if report_a <> report_b then fail ~ctx "remount reports diverged across selectors";
+  let post_a = snapshot a' in
+  let post_b = snapshot b' in
+  if post_a.blocks <> post_b.blocks then
+    fail ~ctx "recovered block sets diverged across selectors";
+  check_invariants ~ctx pre_a post_a report_a;
+  check_invariants ~ctx pre_b post_b report_b;
+  (* 8. Remount is idempotent: crashing the already-clean remounted
+     manager recovers the identical state and loses nothing. *)
+  let a'', _, report2 = Storage.Manager.crash_and_remount a' in
+  if report2.Storage.Manager.buffered_lost <> 0 then
+    fail ~ctx "second remount claims buffered loss";
+  let post2 = snapshot a'' in
+  if post2.blocks <> post_a.blocks then fail ~ctx "remount not idempotent"
+
+(* 24 configs x 9 crash points = 216 crash scenarios (>= the 200 the
+   acceptance criteria require), every one over both selectors. *)
+let crash_indices = [ 15; 40; 77; 120; 161; 200; 247; 301; 355 ]
+
+let grid_case ~name ~seed ~len =
+  Alcotest.test_case name `Slow (fun () ->
+      let ops = lcg_ops ~seed ~len in
+      List.iter
+        (fun cleaner ->
+          List.iter
+            (fun wear ->
+              List.iter
+                (fun banking ->
+                  List.iter
+                    (fun buffer_blocks ->
+                      List.iter
+                        (fun crash_index ->
+                          let ctx =
+                            Printf.sprintf "%s/%s/%s buf=%d crash@%d"
+                              (Storage.Cleaner.policy_name cleaner)
+                              (Storage.Wear.policy_name wear)
+                              (Storage.Banks.policy_name banking)
+                              buffer_blocks crash_index
+                          in
+                          run_crash_point ~ctx ~ops ~crash_index ~cleaner ~wear
+                            ~banking ~buffer_blocks)
+                        crash_indices)
+                    [ 0; 8 ])
+                [ Storage.Banks.Unified; Storage.Banks.Partitioned { write_banks = 1 } ])
+            [
+              Storage.Wear.None_;
+              Storage.Wear.Dynamic;
+              Storage.Wear.Static { spread_threshold = 5 };
+            ])
+        [ Storage.Cleaner.Greedy; Storage.Cleaner.Cost_benefit ])
+
+(* A quick single-config pass so even `-q` runs exercise the crash path. *)
+let quick_case =
+  Alcotest.test_case "single config, all crash points" `Quick (fun () ->
+      let ops = lcg_ops ~seed:42 ~len:360 in
+      List.iter
+        (fun crash_index ->
+          run_crash_point
+            ~ctx:(Printf.sprintf "quick crash@%d" crash_index)
+            ~ops ~crash_index ~cleaner:Storage.Cleaner.Cost_benefit
+            ~wear:Storage.Wear.Dynamic ~banking:Storage.Banks.Unified
+            ~buffer_blocks:8)
+        crash_indices)
+
+(* --- Machine-level faults: battery state decides what survives. ------------- *)
+
+let solid_machine ?(backup_wh = 0.1) () =
+  Ssmc.Machine.create (Ssmc.Config.solid_state ~backup_wh ~seed:11 ())
+
+let write_some machine n =
+  let memfs = Option.get (Ssmc.Machine.memfs machine) in
+  (match Fs.Memfs.mkdir memfs "/data" with
+  | Ok _ | Error Fs.Fs_error.Eexist -> ()
+  | Error e -> Alcotest.failf "mkdir: %s" (Fmt.str "%a" Fs.Fs_error.pp e));
+  for i = 0 to n - 1 do
+    let path = Printf.sprintf "/data/f%d" i in
+    (match Fs.Memfs.create memfs path with
+    | Ok _ | Error Fs.Fs_error.Eexist -> ()
+    | Error e -> Alcotest.failf "create: %s" (Fmt.str "%a" Fs.Fs_error.pp e));
+    match Fs.Memfs.write memfs path ~offset:0 ~bytes:1024 with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "write: %s" (Fmt.str "%a" Fs.Fs_error.pp e)
+  done
+
+let test_warm_fault_loses_nothing () =
+  let machine = solid_machine () in
+  write_some machine 8;
+  let mgr_before = Option.get (Ssmc.Machine.manager machine) in
+  let dirty = (Storage.Manager.stats mgr_before).Storage.Manager.dirty_blocks in
+  Alcotest.(check bool) "buffer has dirty data" true (dirty > 0);
+  let o = Ssmc.Machine.inject_fault machine Fault.Power_failure in
+  Alcotest.(check bool) "battery held" true (o.Ssmc.Machine.survived_by <> `Nothing);
+  Alcotest.(check int) "nothing lost" 0 o.Ssmc.Machine.blocks_lost;
+  Alcotest.(check bool) "no restart" false o.Ssmc.Machine.cold_restart;
+  Alcotest.(check bool) "manager untouched" true
+    (Option.get (Ssmc.Machine.manager machine) == mgr_before);
+  let memfs = Option.get (Ssmc.Machine.memfs machine) in
+  match Fs.Memfs.check memfs with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "fsck after warm fault: %s" msg
+
+let test_cold_fault_bounded_loss () =
+  let machine = solid_machine ~backup_wh:0.0 () in
+  write_some machine 8;
+  let mgr = Option.get (Ssmc.Machine.manager machine) in
+  let dirty = (Storage.Manager.stats mgr).Storage.Manager.dirty_blocks in
+  (* No backup: depleting the primary forces a cold restart. *)
+  let o = Ssmc.Machine.inject_fault machine Fault.Battery_depletion in
+  Alcotest.(check bool) "nothing held" true (o.Ssmc.Machine.survived_by = `Nothing);
+  Alcotest.(check bool) "cold restart" true o.Ssmc.Machine.cold_restart;
+  Alcotest.(check int) "dirty counted" dirty o.Ssmc.Machine.dirty_at_fault;
+  Alcotest.(check bool) "loss bounded by buffer" true
+    (o.Ssmc.Machine.blocks_lost <= dirty);
+  (match o.Ssmc.Machine.remount with
+  | Some r -> Alcotest.(check int) "report matches" dirty r.Storage.Manager.buffered_lost
+  | None -> Alcotest.fail "cold restart must carry a remount report");
+  (* The machine came back: fsck passes and it takes new writes. *)
+  let memfs = Option.get (Ssmc.Machine.memfs machine) in
+  (match Fs.Memfs.check memfs with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "fsck after cold restart: %s" msg);
+  write_some machine 2;
+  match Fs.Memfs.check (Option.get (Ssmc.Machine.memfs machine)) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "fsck after resumed writes: %s" msg
+
+let test_swap_rides_backup () =
+  let machine = solid_machine ~backup_wh:0.1 () in
+  write_some machine 4;
+  let o = Ssmc.Machine.inject_fault machine Fault.Battery_swap in
+  Alcotest.(check bool) "backup carried the swap" true
+    (o.Ssmc.Machine.survived_by = `Backup_battery);
+  Alcotest.(check int) "nothing lost" 0 o.Ssmc.Machine.blocks_lost;
+  let b = Ssmc.Machine.battery machine in
+  Alcotest.(check (float 1e-9)) "fresh primary" 1.0 (Device.Battery.fraction_remaining b)
+
+let test_run_seq_with_faults () =
+  (* A trace-driven run with a mid-run fault schedule: the replay resumes
+     across each fault and the outcomes land in the result, warm ones
+     losing nothing. *)
+  let machine = solid_machine () in
+  let trace =
+    Trace.Synth.generate Trace.Workloads.pim ~rng:(Rng.create ~seed:5)
+      ~duration:(Time.span_s 30.0)
+  in
+  Ssmc.Machine.preload machine trace.Trace.Synth.initial_files;
+  let faults =
+    Fault.schedule
+      [
+        { Fault.after = Time.span_s 5.0; kind = Fault.Power_failure };
+        { Fault.after = Time.span_s 12.0; kind = Fault.Battery_swap };
+        { Fault.after = Time.span_s 21.0; kind = Fault.Battery_depletion };
+      ]
+  in
+  let result = Ssmc.Machine.run ~faults machine trace.Trace.Synth.records in
+  Alcotest.(check int) "all faults fired" 3 (List.length result.Ssmc.Machine.fault_log);
+  List.iter
+    (fun o ->
+      if o.Ssmc.Machine.survived_by <> `Nothing then begin
+        Alcotest.(check int) "warm fault loses nothing" 0 o.Ssmc.Machine.blocks_lost;
+        Alcotest.(check bool) "warm fault needs no remount" true
+          (o.Ssmc.Machine.remount = None)
+      end
+      else
+        Alcotest.(check bool) "cold loss bounded" true
+          (o.Ssmc.Machine.blocks_lost <= o.Ssmc.Machine.dirty_at_fault))
+    result.Ssmc.Machine.fault_log;
+  Alcotest.(check bool) "trace resumed after faults" true
+    (result.Ssmc.Machine.ops_applied > 0);
+  match Fs.Memfs.check (Option.get (Ssmc.Machine.memfs machine)) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "fsck after faulted run: %s" msg
+
+let test_conventional_machine_rejects_faults () =
+  let machine = Ssmc.Machine.create (Ssmc.Config.conventional ()) in
+  Alcotest.check_raises "conventional machine"
+    (Invalid_argument "Machine: fault injection requires solid-state storage")
+    (fun () -> ignore (Ssmc.Machine.inject_fault machine Fault.Power_failure))
+
+let suite =
+  [
+    quick_case;
+    grid_case ~name:"policy grid x crash points" ~seed:42 ~len:360;
+    Alcotest.test_case "warm fault loses nothing" `Quick test_warm_fault_loses_nothing;
+    Alcotest.test_case "cold fault: loss bounded by buffer" `Quick
+      test_cold_fault_bounded_loss;
+    Alcotest.test_case "battery swap rides the backup" `Quick test_swap_rides_backup;
+    Alcotest.test_case "run_seq with a fault schedule" `Quick test_run_seq_with_faults;
+    Alcotest.test_case "conventional machine rejects faults" `Quick
+      test_conventional_machine_rejects_faults;
+  ]

@@ -77,8 +77,9 @@ let test_battery_swap () =
 let test_battery_holdup () =
   let b = Device.Battery.of_watt_hours 1.0 in
   (* 1 Wh = 3600 J at 1 W = 3600 s. *)
-  Alcotest.check span "holdup" (Time.span_s 3600.0)
-    (Device.Battery.holdup_time b ~draw_watts:1.0);
+  (match Device.Battery.holdup_time b ~draw_watts:1.0 with
+  | Device.Battery.Finite s -> Alcotest.check span "holdup" (Time.span_s 3600.0) s
+  | Device.Battery.Unbounded -> Alcotest.fail "finite draw must give finite holdup");
   Alcotest.(check (float 1e-9)) "fraction" 1.0 (Device.Battery.fraction_remaining b)
 
 (* --- DRAM --------------------------------------------------------------------- *)

@@ -1,0 +1,155 @@
+(* The JSON layer under `bench --json`: emission must never produce a
+   document a standard parser rejects (RFC 8259 has no Infinity/NaN), and
+   of_string must read back exactly what to_string wrote. *)
+
+open Sim
+
+let test_to_string_basics () =
+  Alcotest.(check string) "null" "null" (Json.to_string Json.Null);
+  Alcotest.(check string) "bool" "true" (Json.to_string (Json.Bool true));
+  Alcotest.(check string)
+    "number keeps the bench %.6g format" "1234.57"
+    (Json.to_string (Json.Number 1234.5678));
+  Alcotest.(check string) "int" "42" (Json.to_string (Json.int 42));
+  Alcotest.(check string)
+    "escaping" {|"a\"b\\c\nd"|}
+    (Json.to_string (Json.String "a\"b\\c\nd"));
+  Alcotest.(check string)
+    "object" {|{"a": 1, "b": [true, null]}|}
+    (Json.to_string
+       (Json.Obj
+          [ ("a", Json.int 1); ("b", Json.List [ Json.Bool true; Json.Null ]) ]))
+
+let test_non_finite_becomes_null () =
+  (* The satellite bug: Summary.min/max of an empty summary used to leak
+     "inf" into the emitted document.  [Json.number] is the safe door. *)
+  Alcotest.(check string) "inf" "null" (Json.to_string (Json.number infinity));
+  Alcotest.(check string) "-inf" "null" (Json.to_string (Json.number neg_infinity));
+  Alcotest.(check string) "nan" "null" (Json.to_string (Json.number nan));
+  Alcotest.(check string) "finite passes" "1.5" (Json.to_string (Json.number 1.5));
+  Alcotest.check_raises "raw non-finite Number refused"
+    (Invalid_argument "Json.to_string: non-finite number (use Json.number)")
+    (fun () -> ignore (Json.to_string (Json.Number infinity)))
+
+let test_of_string_basics () =
+  let parse s =
+    match Json.of_string s with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "parse %S: %s" s e
+  in
+  Alcotest.(check bool) "null" true (parse "null" = Json.Null);
+  Alcotest.(check bool) "number" true (parse " -1.5e2 " = Json.Number (-150.0));
+  Alcotest.(check bool) "string escapes" true
+    (parse {|"a\"b\\c\ndA"|} = Json.String "a\"b\\c\ndA");
+  Alcotest.(check bool) "nested" true
+    (parse {|{"a":[1,true,null],"b":{}}|}
+    = Json.Obj
+        [
+          ("a", Json.List [ Json.Number 1.0; Json.Bool true; Json.Null ]);
+          ("b", Json.Obj []);
+        ]);
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | Ok _ -> Alcotest.failf "parser accepted %S" bad
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "Infinity"; "nan"; "1 2"; "\"unterminated" ]
+
+let test_member () =
+  let doc = Json.Obj [ ("x", Json.int 1); ("y", Json.Null) ] in
+  Alcotest.(check bool) "present" true (Json.member "x" doc = Some (Json.Number 1.0));
+  Alcotest.(check bool) "null member" true (Json.member "y" doc = Some Json.Null);
+  Alcotest.(check bool) "absent" true (Json.member "z" doc = None);
+  Alcotest.(check bool) "non-object" true (Json.member "x" (Json.int 1) = None)
+
+(* Random finite documents roundtrip exactly: parse (print v) = v. *)
+let gen_json =
+  let open QCheck2.Gen in
+  sized
+  @@ fix (fun self n ->
+         let leaf =
+           oneof
+             [
+               return Json.Null;
+               map (fun b -> Json.Bool b) bool;
+               map (fun f -> Json.Number f) (float_bound_inclusive 1e9);
+               map (fun i -> Json.int i) (int_range (-1000000) 1000000);
+               map (fun s -> Json.String s) (string_size ~gen:printable (0 -- 12));
+             ]
+         in
+         if n <= 0 then leaf
+         else
+           oneof
+             [
+               leaf;
+               map (fun l -> Json.List l) (list_size (0 -- 4) (self (n / 2)));
+               map
+                 (fun kvs -> Json.Obj kvs)
+                 (list_size (0 -- 4)
+                    (pair (string_size ~gen:printable (1 -- 8)) (self (n / 2))));
+             ])
+
+let prop_roundtrip =
+  QCheck2.Test.make ~count:300 ~name:"to_string/of_string roundtrip" gen_json
+    (fun v ->
+      match Json.of_string (Json.to_string v) with
+      | Error e -> QCheck2.Test.fail_reportf "reparse failed: %s" e
+      | Ok v' ->
+        (* %.6g rounds numbers, so compare the re-printed form: printing is a
+           fixpoint after one trip. *)
+        String.equal (Json.to_string v) (Json.to_string v'))
+
+(* The shape `bench --json` writes: a metrics object full of summaries,
+   including the empty-summary case that used to emit bare infinities. *)
+let test_bench_shaped_document () =
+  let summary name s =
+    ( name,
+      Json.Obj
+        [
+          ("count", Json.int (Stat.Summary.count s));
+          ("mean", Json.number (Stat.Summary.mean s));
+          ( "min",
+            match Stat.Summary.min s with
+            | Some v -> Json.number v
+            | None -> Json.Null );
+          ( "max",
+            match Stat.Summary.max s with
+            | Some v -> Json.number v
+            | None -> Json.Null );
+        ] )
+  in
+  let filled = Stat.Summary.create () in
+  Stat.Summary.observe filled 3.0;
+  Stat.Summary.observe filled 7.0;
+  let doc =
+    Json.Obj [ summary "write_us" filled; summary "idle_us" (Stat.Summary.create ()) ]
+  in
+  let s = Json.to_string doc in
+  Alcotest.(check bool) "no bare infinity in the document" false
+    (let has sub =
+       let n = String.length s and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+       go 0
+     in
+     has "inf" || has "nan");
+  match Json.of_string s with
+  | Error e -> Alcotest.failf "bench-shaped document unparseable: %s" e
+  | Ok v ->
+    let get path =
+      match Json.member "idle_us" v with
+      | Some o -> Json.member path o
+      | None -> Alcotest.fail "idle_us missing"
+    in
+    Alcotest.(check bool) "empty min is null" true (get "min" = Some Json.Null);
+    Alcotest.(check bool) "empty max is null" true (get "max" = Some Json.Null)
+
+let suite =
+  [
+    Alcotest.test_case "to_string basics" `Quick test_to_string_basics;
+    Alcotest.test_case "non-finite numbers become null" `Quick
+      test_non_finite_becomes_null;
+    Alcotest.test_case "of_string basics" `Quick test_of_string_basics;
+    Alcotest.test_case "member" `Quick test_member;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    Alcotest.test_case "bench-shaped document" `Quick test_bench_shaped_document;
+  ]

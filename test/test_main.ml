@@ -30,6 +30,8 @@ let () =
       ("calibration", Test_calibration.suite);
       ("integration", Test_integration.suite);
       ("remount", Test_remount.suite);
+      ("crash_consistency", Test_crash_consistency.suite);
+      ("json", Test_json.suite);
       ("card", Test_card.suite);
       ("misc", Test_misc.suite);
     ]

@@ -14,8 +14,8 @@ let test_summary_empty () =
   Alcotest.(check int) "count" 0 (Stat.Summary.count s);
   Alcotest.(check (float 0.0)) "mean" 0.0 (Stat.Summary.mean s);
   Alcotest.(check (float 0.0)) "variance" 0.0 (Stat.Summary.variance s);
-  Alcotest.(check (float 0.0)) "min" infinity (Stat.Summary.min s);
-  Alcotest.(check (float 0.0)) "max" neg_infinity (Stat.Summary.max s)
+  Alcotest.(check (option (float 0.0))) "min" None (Stat.Summary.min s);
+  Alcotest.(check (option (float 0.0))) "max" None (Stat.Summary.max s)
 
 let test_summary_known_values () =
   let s = Stat.Summary.create () in
@@ -24,8 +24,8 @@ let test_summary_known_values () =
   Alcotest.(check (float 1e-9)) "mean" 5.0 (Stat.Summary.mean s);
   (* Sample variance of this classic data set is 32/7. *)
   Alcotest.(check (float 1e-9)) "variance" (32.0 /. 7.0) (Stat.Summary.variance s);
-  Alcotest.(check (float 1e-9)) "min" 2.0 (Stat.Summary.min s);
-  Alcotest.(check (float 1e-9)) "max" 9.0 (Stat.Summary.max s);
+  Alcotest.(check (option (float 1e-9))) "min" (Some 2.0) (Stat.Summary.min s);
+  Alcotest.(check (option (float 1e-9))) "max" (Some 9.0) (Stat.Summary.max s);
   Alcotest.(check (float 1e-9)) "total" 40.0 (Stat.Summary.total s)
 
 let test_summary_single () =
@@ -107,6 +107,31 @@ let prop_histogram_mass =
       in
       mass = List.length values)
 
+let prop_quantile_boundaries =
+  (* Boundary contract: q=0 and q=1 always answer (0 when empty), and with a
+     single observation every quantile lands in that observation's bucket. *)
+  QCheck.Test.make ~name:"histogram: quantile boundaries" ~count:200
+    QCheck.(pair (float_range 0.0 1e9) (float_range 0.0 1.0))
+    (fun (x, q) ->
+      let empty = Stat.Histogram.create () in
+      let at_bounds_empty =
+        Stat.Histogram.quantile empty 0.0 = 0.0
+        && Stat.Histogram.quantile empty 1.0 = 0.0
+        && Stat.Histogram.quantile empty q = 0.0
+      in
+      let h = Stat.Histogram.create () in
+      Stat.Histogram.observe h x;
+      (* Bucket i>0 spans [2^(i-1), 2^i); its geometric midpoint stays within
+         a factor of sqrt 2 of any member, and bucket 0 answers 0.5. *)
+      let within v =
+        if x < 1.0 then v = 0.5
+        else v >= x /. 2.0 && v <= x *. 2.0
+      in
+      at_bounds_empty
+      && within (Stat.Histogram.quantile h 0.0)
+      && within (Stat.Histogram.quantile h q)
+      && within (Stat.Histogram.quantile h 1.0))
+
 let prop_quantile_monotone =
   QCheck.Test.make ~name:"histogram: quantiles are monotone" ~count:100
     QCheck.(list_of_size (Gen.int_range 1 100) (float_range 0.0 1e6))
@@ -128,5 +153,6 @@ let suite =
     Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
     QCheck_alcotest.to_alcotest prop_welford_matches_naive;
     QCheck_alcotest.to_alcotest prop_histogram_mass;
+    QCheck_alcotest.to_alcotest prop_quantile_boundaries;
     QCheck_alcotest.to_alcotest prop_quantile_monotone;
   ]

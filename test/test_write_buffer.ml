@@ -42,10 +42,31 @@ let test_capacity_pressure () =
     (Storage.Write_buffer.write b ~now:(sec 2.0) ~block:3 = Storage.Write_buffer.Admitted)
 
 let test_zero_capacity_write_through () =
+  (* Capacity zero means a true pass-through: every write is pushed straight
+     to eviction and the buffer itself never holds, expires, or counts
+     anything. *)
   let b = make ~capacity:0 () in
   Alcotest.(check bool) "always needs eviction" true
     (Storage.Write_buffer.write b ~now:(sec 0.0) ~block:1
-    = Storage.Write_buffer.Needs_eviction)
+    = Storage.Write_buffer.Needs_eviction);
+  Alcotest.(check bool) "rewrite too" true
+    (Storage.Write_buffer.write b ~now:(sec 1.0) ~block:1
+    = Storage.Write_buffer.Needs_eviction);
+  Alcotest.(check int) "never holds anything" 0 (Storage.Write_buffer.size b);
+  Alcotest.(check bool) "full by definition" true (Storage.Write_buffer.is_full b);
+  Alcotest.(check bool) "nothing resident" false (Storage.Write_buffer.mem b ~block:1);
+  Alcotest.(check (option int)) "no victim" None (Storage.Write_buffer.oldest b);
+  Alcotest.(check bool) "no deadline pending" true
+    (Storage.Write_buffer.next_deadline b = None);
+  Alcotest.(check (list int)) "nothing ever expires" []
+    (Storage.Write_buffer.take_expired b ~now:(sec 1000.0));
+  Alcotest.(check (list int)) "drain is empty" [] (Storage.Write_buffer.drain b);
+  Alcotest.(check bool) "readmit refused" false
+    (Storage.Write_buffer.readmit b ~now:(sec 2.0) ~block:1);
+  Alcotest.(check int) "no admissions counted" 0
+    (Storage.Write_buffer.admitted_blocks b);
+  Alcotest.(check int) "no absorptions counted" 0
+    (Storage.Write_buffer.absorbed_writes b)
 
 let test_expiry_order_and_timing () =
   let b = make ~capacity:10 ~delay:30.0 () in
