@@ -13,6 +13,9 @@ let buffer_config ~capacity_bytes ~delay_s ~refresh =
     refresh_on_rewrite = refresh;
   }
 
+(* Counters come from the probe registry rather than the manager's private
+   stats record: preload resets both through the same chokepoint, so the
+   snapshot taken right after the replay is exactly this run's traffic. *)
 let run_with ?flush_watermark ~buffer ~seed ~duration () =
   let manager_cfg =
     { Storage.Manager.default_config with Storage.Manager.buffer; flush_watermark }
@@ -21,17 +24,23 @@ let run_with ?flush_watermark ~buffer ~seed ~duration () =
   let _m, result =
     Common.run_machine ~seed ~cfg ~profile:Trace.Workloads.engineering ~duration ()
   in
-  result
+  (result, Probe.snapshot ())
 
-let row_of ~label (result : Ssmc.Machine.result) =
-  let stats = Option.get result.Ssmc.Machine.manager_stats in
+let reduction snap =
+  let writes = Probe.Snapshot.counter_value snap "storage.manager.client_writes" in
+  let flushed = Probe.Snapshot.counter_value snap "storage.manager.blocks_flushed" in
+  if writes = 0 then 0.0
+  else 1.0 -. (float_of_int flushed /. float_of_int writes)
+
+let row_of ~label ((result : Ssmc.Machine.result), snap) =
+  let c name = Probe.Snapshot.counter_value snap name in
   [
     label;
-    Table.cell_bytes (512 * stats.Storage.Manager.client_writes);
-    Table.cell_bytes (512 * stats.Storage.Manager.blocks_flushed);
-    Table.cell_pct stats.Storage.Manager.write_reduction;
-    Table.cell_i stats.Storage.Manager.absorbed_writes;
-    Table.cell_i stats.Storage.Manager.cancelled_blocks;
+    Table.cell_bytes (512 * c "storage.manager.client_writes");
+    Table.cell_bytes (512 * c "storage.manager.blocks_flushed");
+    Table.cell_pct (reduction snap);
+    Table.cell_i (c "storage.write_buffer.absorbed");
+    Table.cell_i (c "storage.write_buffer.cancelled");
     Common.cell_us (Stat.Summary.mean result.Ssmc.Machine.write_latency);
     (match result.Ssmc.Machine.lifetime_years with
     | Some y when Float.is_finite y -> Printf.sprintf "%.1f" y
@@ -60,12 +69,10 @@ let run () =
       let buffer =
         buffer_config ~capacity_bytes:(kib * 1024) ~delay_s:30.0 ~refresh:true
       in
-      let result = run_with ~buffer ~seed:61 ~duration () in
-      let stats = Option.get result.Ssmc.Machine.manager_stats in
+      let run = run_with ~buffer ~seed:61 ~duration () in
       curve :=
-        (Table.cell_bytes (kib * 1024), 100.0 *. stats.Storage.Manager.write_reduction)
-        :: !curve;
-      Table.add_row t (row_of ~label:(Table.cell_bytes (kib * 1024)) result))
+        (Table.cell_bytes (kib * 1024), 100.0 *. reduction (snd run)) :: !curve;
+      Table.add_row t (row_of ~label:(Table.cell_bytes (kib * 1024)) run))
     [ 0; 128; 256; 512; 1024; 2048; 4096; 8192 ];
   Table.print t;
   Chart.print_bars ~title:"write-traffic reduction vs buffer size" ~unit:"%"
@@ -84,8 +91,7 @@ let run () =
   List.iter
     (fun (label, delay_s, refresh) ->
       let buffer = buffer_config ~capacity_bytes:Units.mib ~delay_s ~refresh in
-      let result = run_with ~buffer ~seed:61 ~duration () in
-      Table.add_row t2 (row_of ~label result))
+      Table.add_row t2 (row_of ~label (run_with ~buffer ~seed:61 ~duration ())))
     [
       ("5s delay", 5.0, true);
       ("30s delay (default)", 30.0, true);
@@ -97,8 +103,8 @@ let run () =
   List.iter
     (fun (label, watermark) ->
       let buffer = buffer_config ~capacity_bytes:Units.mib ~delay_s:30.0 ~refresh:true in
-      let result = run_with ~flush_watermark:watermark ~buffer ~seed:61 ~duration () in
-      Table.add_row t2 (row_of ~label result))
+      Table.add_row t2
+        (row_of ~label (run_with ~flush_watermark:watermark ~buffer ~seed:61 ~duration ())))
     [ ("30s + flush at 50% full", 0.5); ("30s + flush at 80% full", 0.8) ];
   Table.print t2;
 
@@ -111,6 +117,6 @@ let run () =
       in
       let cfg = Ssmc.Config.solid_state ~flash_mb:24 ~dram_mb:16 ~manager:manager_cfg ~seed:62 () in
       let _m, result = Common.run_machine ~seed:62 ~cfg ~profile ~duration () in
-      Table.add_row t3 (row_of ~label:profile.Trace.Synth.name result))
+      Table.add_row t3 (row_of ~label:profile.Trace.Synth.name (result, Probe.snapshot ())))
     Trace.Workloads.all;
   Table.print t3

@@ -87,6 +87,10 @@ let cleaner_table () =
   in
   let utilizations = [ 0.70; 0.80; 0.90 ] in
   let policies = [ Storage.Cleaner.Greedy; Storage.Cleaner.Cost_benefit ] in
+  (* Counters come from the probe registry: churn's reset_traffic clears
+     this worker domain's probes after the fill phase, so the snapshot
+     taken inside the work item holds exactly this cell's rewrite traffic
+     (identical values to Manager.stats — the CI snapshot pins them). *)
   let cells =
     Pool.run_map
       (fun (utilization, cleaner) ->
@@ -96,31 +100,38 @@ let cleaner_table () =
         in
         churn ~engine ~manager ~utilization ~rounds:(rounds 400) ~writes_per_round:128
           ~pattern:`Zipf ~seed:71;
-        (utilization, cleaner, Storage.Manager.stats manager,
+        (utilization, cleaner, Probe.snapshot (),
          Storage.Manager.wear_evenness manager))
       (List.concat_map
          (fun u -> List.map (fun c -> (u, c)) policies)
          utilizations)
   in
   List.iteri
-    (fun i (utilization, cleaner, stats, e) ->
+    (fun i (utilization, cleaner, snap, e) ->
+      let c name = Probe.Snapshot.counter_value snap name in
+      let flushed = c "storage.manager.blocks_flushed" in
+      let cleaned = c "storage.manager.blocks_cleaned" in
+      let wa =
+        Storage.Cleaner.write_amplification
+          ~blocks_written:(flushed + cleaned) ~blocks_flushed:flushed
+      in
       let tag =
         Printf.sprintf "u%d_%s"
           (int_of_float (100.0 *. utilization))
           (Storage.Cleaner.policy_name cleaner)
       in
-      Common.put_metric ("e7_wa_" ^ tag) stats.Storage.Manager.write_amplification;
+      Common.put_metric ("e7_wa_" ^ tag) wa;
       Common.put_metric ("e7_cleanings_" ^ tag)
-        (float_of_int stats.Storage.Manager.cleanings);
+        (float_of_int (c "storage.manager.clean_ops"));
       Common.put_metric ("e7_max_erases_" ^ tag)
         (float_of_int e.Storage.Wear.max_erases);
       Table.add_row t
         [
           Table.cell_pct utilization;
           Storage.Cleaner.policy_name cleaner;
-          Printf.sprintf "%.3f" stats.Storage.Manager.write_amplification;
-          Table.cell_i stats.Storage.Manager.cleanings;
-          Table.cell_i stats.Storage.Manager.blocks_cleaned;
+          Printf.sprintf "%.3f" wa;
+          Table.cell_i (c "storage.manager.clean_ops");
+          Table.cell_i cleaned;
           Table.cell_i e.Storage.Wear.max_erases;
         ];
       if (i + 1) mod List.length policies = 0 then Table.add_rule t)

@@ -31,6 +31,7 @@ let experiments =
     ("storage", "storage manager: indexed structures vs scan reference", Storage_bench.run);
     ("micro", "simulator micro-benchmarks", Micro.run);
     ("pool", "Domain pool: parallel speedup and sequential overhead", Pool_bench.run);
+    ("probe", "Sim.Probe: disabled-path overhead vs replay cost", Probe_bench.run);
   ]
 
 (* Peak resident set of this process, in kB, from the kernel's
@@ -63,7 +64,7 @@ let write_json path runs =
         ( "experiments",
           List
             (List.map
-               (fun (name, descr, wall_s, metrics) ->
+               (fun (name, descr, wall_s, metrics, probes) ->
                  Obj
                    [
                      ("experiment", String name);
@@ -71,6 +72,7 @@ let write_json path runs =
                      ("wall_s", number wall_s);
                      ( "metrics",
                        Obj (List.map (fun (key, v) -> (key, number v)) metrics) );
+                     ("probes", Sim.Probe.Snapshot.to_json probes);
                    ])
                runs) );
       ]
@@ -144,14 +146,19 @@ let () =
   if Common.quick then Fmt.pr "(QUICK mode: shortened runs)@.";
   Fmt.pr "(domain pool: %d job%s)@." (Sim.Pool.default_jobs ())
     (if Sim.Pool.default_jobs () = 1 then "" else "s");
+  (* The registry backs both the ad-hoc metric tables (E6/E7 read their
+     counters from snapshots) and the per-experiment "probes" key in the
+     JSON output, so metric recording stays on for the whole harness. *)
+  Sim.Probe.set_metrics true;
   let runs =
     List.map
       (fun (name, descr, run) ->
         ignore (Common.take_metrics ());
+        Sim.Probe.reset_all ();
         let t0 = Unix.gettimeofday () in
         run ();
         let wall_s = Unix.gettimeofday () -. t0 in
-        (name, descr, wall_s, Common.take_metrics ()))
+        (name, descr, wall_s, Common.take_metrics (), Sim.Probe.snapshot_all ()))
       (List.filter_map snd resolved)
   in
   (match json_path with

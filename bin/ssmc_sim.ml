@@ -7,7 +7,8 @@ open Sim
 open Cmdliner
 
 let run_simulation machine_kind workload trace_file minutes seed flash_mb dram_mb
-    buffer_kb nbanks partitioned wear jobs replicate verbose debug =
+    buffer_kb nbanks partitioned wear backup_wh jobs replicate metrics_json trace_out
+    fault_after fault_kind verbose debug =
   if debug then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -21,6 +22,26 @@ let run_simulation machine_kind workload trace_file minutes seed flash_mb dram_m
     Fmt.epr "--replicate needs a positive count@.";
     exit 2
   end;
+  if fault_after <> [] && machine_kind = `Conventional then begin
+    Fmt.epr "--fault-after requires the solid-state machine@.";
+    exit 2
+  end;
+  (match List.find_opt (fun s -> s < 0.0) fault_after with
+  | Some s ->
+    Fmt.epr "--fault-after needs a non-negative time, got %g@." s;
+    exit 2
+  | None -> ());
+  if backup_wh < 0.0 then begin
+    Fmt.epr "--backup-wh needs a non-negative capacity, got %g@." backup_wh;
+    exit 2
+  end;
+  Probe.set_metrics (metrics_json <> None || trace_out <> None);
+  Probe.set_timeline (trace_out <> None);
+  let faults =
+    List.map
+      (fun s -> { Fault.kind = fault_kind; after = Time.span_s s })
+      fault_after
+  in
   let profile =
     match Trace.Workloads.find workload with
     | Some p -> p
@@ -61,7 +82,7 @@ let run_simulation machine_kind workload trace_file minutes seed flash_mb dram_m
           ( initial_files,
             fun machine ->
               In_channel.with_open_text path (fun ic ->
-                  Ssmc.Machine.run_seq machine (Trace.Format_io.read_seq ic)) ) )
+                  Ssmc.Machine.run_seq ~faults machine (Trace.Format_io.read_seq ic)) ) )
     | None ->
       let stream ~seed =
         Trace.Synth.generate_seq profile ~rng:(Rng.create ~seed) ~duration
@@ -70,7 +91,8 @@ let run_simulation machine_kind workload trace_file minutes seed flash_mb dram_m
       ( summary,
         fun ~seed ->
           ( (stream ~seed).Trace.Synth.stream_initial_files,
-            fun machine -> Ssmc.Machine.run_seq machine (stream ~seed).Trace.Synth.seq ) )
+            fun machine ->
+              Ssmc.Machine.run_seq ~faults machine (stream ~seed).Trace.Synth.seq ) )
   in
   let cfg_for seed =
     match machine_kind with
@@ -91,14 +113,71 @@ let run_simulation machine_kind workload trace_file minutes seed flash_mb dram_m
             };
         }
       in
-      Ssmc.Config.solid_state ~flash_mb ~dram_mb ~nbanks ~manager ~seed ()
+      Ssmc.Config.solid_state ~flash_mb ~dram_mb ~nbanks ~manager ~backup_wh ~seed ()
     | `Conventional -> Ssmc.Config.conventional ~dram_mb ~seed ()
   in
-  let run_one ~seed =
-    let machine = Ssmc.Machine.create (cfg_for seed) in
-    let initial_files, replay = setup ~seed in
+  (* Per-replica probe capture.  Machine.preload resets this domain's probe
+     state, and a pool worker runs its items sequentially, so the snapshot
+     taken right after replay holds exactly this replica's activity — at
+     any --jobs.  Captures land in a mutex-guarded table and are merged in
+     seed order at the end, so the totals are job-count invariant. *)
+  let captures_mu = Mutex.create () in
+  let metric_snaps = ref [] in
+  let trace_events = ref [] in
+  let capturing = metrics_json <> None || trace_out <> None in
+  let run_one ~seed:run_seed =
+    let machine = Ssmc.Machine.create (cfg_for run_seed) in
+    let initial_files, replay = setup ~seed:run_seed in
     Ssmc.Machine.preload machine initial_files;
-    (machine, replay machine)
+    let result = replay machine in
+    if capturing then begin
+      let snap = Probe.snapshot () in
+      (* The timeline is reported for the base seed only: replicas replay
+         the same workload shape, and one coherent timeline is what a
+         Perfetto view needs. *)
+      let events =
+        if trace_out <> None && run_seed = seed then Probe.Timeline.events ()
+        else []
+      in
+      Mutex.lock captures_mu;
+      metric_snaps := (run_seed, snap) :: !metric_snaps;
+      if events <> [] then trace_events := events;
+      Mutex.unlock captures_mu
+    end;
+    (machine, result)
+  in
+  let write_json_file path doc =
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Json.to_string doc);
+        Out_channel.output_char oc '\n')
+  in
+  let emit_captures () =
+    (match metrics_json with
+    | None -> ()
+    | Some path ->
+      let snaps =
+        List.sort (fun (a, _) (b, _) -> compare a b) !metric_snaps
+      in
+      let merged =
+        List.fold_left
+          (fun acc (_, s) -> Probe.Snapshot.merge acc s)
+          Probe.Snapshot.empty snaps
+      in
+      let doc =
+        Json.Obj
+          [
+            ("seeds", Json.List (List.map (fun (s, _) -> Json.int s) snaps));
+            ("metrics", Probe.Snapshot.to_json merged);
+          ]
+      in
+      write_json_file path doc;
+      Fmt.pr "wrote metrics JSON to %s@." path);
+    match trace_out with
+    | None -> ()
+    | Some path ->
+      write_json_file path (Probe.Timeline.to_chrome_json !trace_events);
+      Fmt.pr "wrote Chrome trace (%d events) to %s@."
+        (List.length !trace_events) path
   in
   Fmt.pr "machine: %s | workload: %s (%a)@."
     (match machine_kind with `Solid_state -> "solid-state" | `Conventional -> "conventional")
@@ -138,7 +217,8 @@ let run_simulation machine_kind workload trace_file minutes seed flash_mb dram_m
         (fun (s, r) -> Fmt.pr "seed %d: %a@." s Ssmc.Machine.pp_result r)
         rep.Ssmc.Machine.runs;
     Fmt.pr "across seeds (mean ± 95%% CI):@.%a@." Ssmc.Machine.pp_replicated rep
-  end
+  end;
+  emit_captures ()
 
 let wear_arg =
   let parse = function
@@ -212,6 +292,42 @@ let cmd =
            ~doc:"Run N seeds (seed, seed+1, ...) in parallel and report each headline \
                  metric as mean ± 95% confidence interval.")
   in
+  let metrics_json =
+    Arg.(value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE"
+           ~doc:"Write the probe registry's merged metric totals as JSON.  With \
+                 --replicate, per-seed snapshots are merged in seed order, so the \
+                 totals are identical at any --jobs.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write an event timeline (op applies, flash programs/erases, cleaner \
+                 passes, flush batches, faults, remounts) as Chrome trace_event JSON, \
+                 loadable in Perfetto or about:tracing.")
+  in
+  let fault_after =
+    Arg.(value & opt_all float [] & info [ "fault-after" ] ~docv:"SECONDS"
+           ~doc:"Inject a fault (see --fault-kind) this many simulated seconds into \
+                 the run (repeatable; solid-state machine only).")
+  in
+  let fault_kind =
+    let parse = function
+      | "power" -> Ok Fault.Power_failure
+      | "swap" -> Ok Fault.Battery_swap
+      | "depletion" -> Ok Fault.Battery_depletion
+      | s -> Error (`Msg (Printf.sprintf "unknown fault kind %S (power|swap|depletion)" s))
+    in
+    let print ppf k = Fault.pp_kind ppf k in
+    Arg.(value & opt (conv (parse, print)) Fault.Power_failure
+         & info [ "fault-kind" ] ~docv:"KIND"
+             ~doc:"What --fault-after injects: power (external power failure), swap \
+                   (primary battery pulled), or depletion (primary dies abruptly).  \
+                   Combine depletion with --backup-wh 0 for a cold restart.")
+  in
+  let backup_wh =
+    Arg.(value & opt float 0.5 & info [ "backup-wh" ] ~docv:"WH"
+           ~doc:"Backup (lithium) battery capacity in watt-hours; 0 removes it, so \
+                 faults that outlast the primary cold-restart the machine.")
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Extra statistics.") in
   let debug =
     Arg.(value & flag & info [ "debug" ]
@@ -220,8 +336,8 @@ let cmd =
   let term =
     Term.(
       const run_simulation $ machine $ workload $ trace_file $ minutes $ seed $ flash_mb
-      $ dram_mb $ buffer_kb $ nbanks $ partitioned $ wear $ jobs $ replicate $ verbose
-      $ debug)
+      $ dram_mb $ buffer_kb $ nbanks $ partitioned $ wear $ backup_wh $ jobs $ replicate
+      $ metrics_json $ trace_out $ fault_after $ fault_kind $ verbose $ debug)
   in
   Cmd.v
     (Cmd.info "ssmc_sim" ~doc:"Simulate a solid-state (or conventional) mobile computer")

@@ -41,8 +41,20 @@ let access t cost ~bytes ops traffic =
   Stat.Counter.add traffic bytes;
   d
 
-let read t ~bytes = access t t.spec.Specs.d_read ~bytes t.reads t.bytes_read
-let write t ~bytes = access t t.spec.Specs.d_write ~bytes t.writes t.bytes_written
+let p_reads = Probe.counter "device.dram.reads"
+let p_writes = Probe.counter "device.dram.writes"
+let p_bytes_read = Probe.counter "device.dram.bytes_read"
+let p_bytes_written = Probe.counter "device.dram.bytes_written"
+
+let read t ~bytes =
+  Probe.incr p_reads;
+  Probe.add p_bytes_read bytes;
+  access t t.spec.Specs.d_read ~bytes t.reads t.bytes_read
+
+let write t ~bytes =
+  Probe.incr p_writes;
+  Probe.add p_bytes_written bytes;
+  access t t.spec.Specs.d_write ~bytes t.writes t.bytes_written
 
 let charge_idle t d =
   Power.Meter.charge_background t.meter ~watts:(refresh_watts t) d

@@ -92,23 +92,39 @@ let active_watts t =
   Power.watts_of_mw
     (t.cfg.spec.Specs.f_active_mw_per_mb *. Units.to_mib (size_bytes t))
 
+let op_name = function
+  | `Read -> "flash.read"
+  | `Program -> "flash.program"
+  | `Erase -> "flash.erase"
+
 (* Serialize the request behind its bank and account time and energy. *)
-let service t ~now ~sector ~is_read dur =
+let service t ~now ~sector ~op dur =
   let bank = bank_of_sector t sector in
   let start = Time.max now t.bank_busy.(bank) in
   let finish = Time.add start dur in
   t.bank_busy.(bank) <- finish;
   let w = Time.span_to_ns (Time.diff start now) in
   t.wait_ns <- t.wait_ns + w;
-  if is_read then begin
+  (match op with
+  | `Read ->
     t.read_wait_ns <- t.read_wait_ns + w;
     Stat.Histogram.observe t.read_wait_hist (float_of_int w /. 1e3)
-  end;
+  | `Program | `Erase -> ());
+  if Probe.timeline_enabled () then
+    Probe.span ~name:(op_name op) ~cat:"flash" ~tid:bank
+      ~args:[ ("sector", string_of_int sector) ]
+      ~start ~finish ();
   Power.Meter.charge_power t.meter ~watts:(active_watts t) dur;
   { start; finish }
 
 let check_bytes t bytes =
   if bytes < 0 || bytes > sector_bytes t then invalid_arg "Flash: bytes out of range"
+
+let p_reads = Probe.counter "device.flash.reads"
+let p_programs = Probe.counter "device.flash.programs"
+let p_erases = Probe.counter "device.flash.erases"
+let p_bytes_read = Probe.counter "device.flash.bytes_read"
+let p_bytes_programmed = Probe.counter "device.flash.bytes_programmed"
 
 let read t ~now ~sector ~bytes =
   check_bytes t bytes;
@@ -116,9 +132,11 @@ let read t ~now ~sector ~bytes =
   if s.bad then Error Bad_sector
   else begin
     let dur = Specs.access_time t.cfg.spec.Specs.f_read ~bytes in
-    let op = service t ~now ~sector ~is_read:true dur in
+    let op = service t ~now ~sector ~op:`Read dur in
     Stat.Counter.incr t.c_reads;
     Stat.Counter.add t.c_bytes_read bytes;
+    Probe.incr p_reads;
+    Probe.add p_bytes_read bytes;
     Ok op
   end
 
@@ -129,10 +147,12 @@ let program t ~now ~sector ~bytes =
   else if s.programmed + bytes > sector_bytes t then Error Overwrite_without_erase
   else begin
     let dur = Specs.access_time t.cfg.spec.Specs.f_write ~bytes in
-    let op = service t ~now ~sector ~is_read:false dur in
+    let op = service t ~now ~sector ~op:`Program dur in
     s.programmed <- s.programmed + bytes;
     Stat.Counter.incr t.c_programs;
     Stat.Counter.add t.c_bytes_programmed bytes;
+    Probe.incr p_programs;
+    Probe.add p_bytes_programmed bytes;
     Ok op
   end
 
@@ -140,11 +160,12 @@ let erase t ~now ~sector =
   let s = state t sector in
   if s.bad then Error Bad_sector
   else begin
-    let op = service t ~now ~sector ~is_read:false t.cfg.spec.Specs.f_erase in
+    let op = service t ~now ~sector ~op:`Erase t.cfg.spec.Specs.f_erase in
     s.erase_count <- s.erase_count + 1;
     s.programmed <- 0;
     if s.erase_count >= t.endurance then s.bad <- true;
     Stat.Counter.incr t.c_erases;
+    Probe.incr p_erases;
     Ok op
   end
 

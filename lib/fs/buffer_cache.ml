@@ -17,6 +17,10 @@ type t = {
   mutable writebacks : int;
 }
 
+let p_hits = Sim.Probe.counter "fs.buffer_cache.hits"
+let p_misses = Sim.Probe.counter "fs.buffer_cache.misses"
+let p_writebacks = Sim.Probe.counter "fs.buffer_cache.writebacks"
+
 let create ~capacity_blocks =
   if capacity_blocks < 0 then invalid_arg "Buffer_cache.create: negative capacity";
   {
@@ -50,15 +54,27 @@ let push_front t node =
 
 type lookup = Hit | Miss
 
+let count_hit t =
+  t.hits <- t.hits + 1;
+  Sim.Probe.incr p_hits
+
+let count_miss t =
+  t.misses <- t.misses + 1;
+  Sim.Probe.incr p_misses
+
+let count_writeback t =
+  t.writebacks <- t.writebacks + 1;
+  Sim.Probe.incr p_writebacks
+
 let find t ~key =
   match Hashtbl.find_opt t.table key with
   | Some node ->
-    t.hits <- t.hits + 1;
+    count_hit t;
     unlink t node;
     push_front t node;
     Hit
   | None ->
-    t.misses <- t.misses + 1;
+    count_miss t;
     Miss
 
 let evict_one t =
@@ -68,10 +84,34 @@ let evict_one t =
     unlink t node;
     Hashtbl.remove t.table node.key;
     if node.dirty then begin
-      t.writebacks <- t.writebacks + 1;
+      count_writeback t;
       Some node.key
     end
     else None
+
+(* The block is known absent: make it resident (or pass it through at zero
+   capacity) and return the dirty victims.  Shared by [insert] and the miss
+   arm of [find_or_insert]; counts nothing itself. *)
+let insert_fresh t ~key ~dirty =
+  if t.capacity = 0 then begin
+    if dirty then begin
+      count_writeback t;
+      [ key ]
+    end
+    else []
+  end
+  else begin
+    let victims = ref [] in
+    while size t >= t.capacity do
+      match evict_one t with
+      | Some victim -> victims := victim :: !victims
+      | None -> ()
+    done;
+    let node = { key; dirty; prev = None; next = None } in
+    Hashtbl.replace t.table key node;
+    push_front t node;
+    List.rev !victims
+  end
 
 let insert t ~key ~dirty =
   match Hashtbl.find_opt t.table key with
@@ -80,26 +120,19 @@ let insert t ~key ~dirty =
     unlink t node;
     push_front t node;
     []
+  | None -> insert_fresh t ~key ~dirty
+
+let find_or_insert t ~key ~dirty =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+    count_hit t;
+    node.dirty <- node.dirty || dirty;
+    unlink t node;
+    push_front t node;
+    (Hit, [])
   | None ->
-    if t.capacity = 0 then begin
-      if dirty then begin
-        t.writebacks <- t.writebacks + 1;
-        [ key ]
-      end
-      else []
-    end
-    else begin
-      let victims = ref [] in
-      while size t >= t.capacity do
-        match evict_one t with
-        | Some victim -> victims := victim :: !victims
-        | None -> ()
-      done;
-      let node = { key; dirty; prev = None; next = None } in
-      Hashtbl.replace t.table key node;
-      push_front t node;
-      List.rev !victims
-    end
+    count_miss t;
+    (Miss, insert_fresh t ~key ~dirty)
 
 let mark_dirty t ~key =
   match Hashtbl.find_opt t.table key with
@@ -134,3 +167,8 @@ let take_dirty t =
 let hits t = t.hits
 let misses t = t.misses
 let writebacks t = t.writebacks
+
+let reset_counters t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.writebacks <- 0

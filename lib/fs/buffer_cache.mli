@@ -19,15 +19,36 @@ val size : t -> int
 
 type lookup = Hit | Miss
 
+(** {2 Counting contract}
+
+    {!find} counts one hit or one miss and refreshes recency on a hit only.
+    {!insert} counts {e nothing} (it reports dirty evictions through the
+    {!writebacks} counter but never hit/miss) and always refreshes recency.
+    So the classic miss sequence [find] (counts the miss) then [insert]
+    (silent) counts exactly once — but any other composition miscounts:
+    [insert] alone leaves the access invisible to hit/miss, and [find]
+    followed by a hit-path [insert] touches recency twice, which changes
+    eviction order relative to a single access.  Callers accounting one
+    logical block access should use {!find_or_insert}. *)
+
 val find : t -> key:int -> lookup
-(** Probe for a block; a hit refreshes its recency. *)
+(** Probe for a block; a hit refreshes its recency and counts one hit, a
+    miss counts one miss (and does not touch recency — the block is not
+    resident). *)
 
 val insert : t -> key:int -> dirty:bool -> int list
 (** Make the block resident (MRU, with the given dirty state — an
     already-resident block keeps its dirty bit ORed).  Returns the dirty
     victims evicted to make room, which the caller must write back.  With
     zero capacity the block is not retained and, if dirty, is its own
-    victim. *)
+    victim.  Counts no hit or miss; see the counting contract above. *)
+
+val find_or_insert : t -> key:int -> dirty:bool -> lookup * int list
+(** One logical block access: probe, and on a miss make the block resident
+    as {!insert} would.  Counts exactly one hit or one miss and refreshes
+    recency exactly once, whatever the outcome — immune to the
+    [find]-then-[insert] double-touch.  Returns the outcome and the dirty
+    victims (always [[]] on a hit). *)
 
 val mark_dirty : t -> key:int -> bool
 (** Returns false if the block is not resident. *)
@@ -45,4 +66,8 @@ val take_dirty : t -> int list
 val hits : t -> int
 val misses : t -> int
 val writebacks : t -> int
-(** Dirty blocks returned by {!insert} evictions so far. *)
+(** Dirty blocks returned by {!insert}/{!find_or_insert} evictions so far. *)
+
+val reset_counters : t -> unit
+(** Zero {!hits}, {!misses}, and {!writebacks} (residency and recency are
+    untouched).  Part of [Machine.preload]'s start-clean contract. *)

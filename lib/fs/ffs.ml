@@ -94,25 +94,38 @@ type access_kind = Read | Write_delayed | Write_sync | Write_fresh
 (* [Write_fresh]: a full overwrite of a newly allocated block — no read
    needed, dirty in cache. *)
 
+let p_reads = Probe.counter "fs.ffs.block_reads"
+let p_writes = Probe.counter "fs.ffs.block_writes"
+
+(* Every path is one logical cache access, so each goes through
+   [find_or_insert]: exactly one hit or miss is counted per call.  The
+   write paths used to reach the cache through bare [insert], which counts
+   nothing — so write hits and misses were invisible to the hit-ratio
+   counters E3 reports. *)
 let access t ~cursor ~addr kind =
+  (match kind with Read -> Probe.incr p_reads | _ -> Probe.incr p_writes);
   match kind with
   | Read -> begin
     dram_span ~cursor (Device.Dram.read t.dram ~bytes:t.cfg.fs_block_bytes);
-    match Buffer_cache.find t.cache ~key:addr with
-    | Buffer_cache.Hit -> ()
-    | Buffer_cache.Miss ->
+    match Buffer_cache.find_or_insert t.cache ~key:addr ~dirty:false with
+    | Buffer_cache.Hit, _ -> ()
+    | Buffer_cache.Miss, victims ->
       disk_io t ~cursor ~addr ~kind:`Read;
-      write_back_victims t ~cursor (Buffer_cache.insert t.cache ~key:addr ~dirty:false)
+      write_back_victims t ~cursor victims
   end
   | Write_delayed | Write_fresh ->
     dram_span ~cursor (Device.Dram.write t.dram ~bytes:t.cfg.fs_block_bytes);
-    write_back_victims t ~cursor (Buffer_cache.insert t.cache ~key:addr ~dirty:true)
+    let _, victims = Buffer_cache.find_or_insert t.cache ~key:addr ~dirty:true in
+    write_back_victims t ~cursor victims
   | Write_sync ->
     dram_span ~cursor (Device.Dram.write t.dram ~bytes:t.cfg.fs_block_bytes);
+    let _, victims = Buffer_cache.find_or_insert t.cache ~key:addr ~dirty:false in
     disk_io t ~cursor ~addr ~kind:`Write;
-    write_back_victims t ~cursor (Buffer_cache.insert t.cache ~key:addr ~dirty:false)
+    write_back_victims t ~cursor victims
 
 let meta_write_kind t = if t.cfg.sync_metadata then Write_sync else Write_delayed
+
+let reset_counters t = Buffer_cache.reset_counters t.cache
 
 (* --- Layout --------------------------------------------------------------- *)
 

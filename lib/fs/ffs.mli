@@ -49,6 +49,11 @@ val data_blocks : t -> int
 
 val cache : t -> Buffer_cache.t
 
+val reset_counters : t -> unit
+(** Zero the buffer cache's hit/miss/writeback counters; part of
+    [Machine.preload]'s start-clean contract (cache residency is kept — a
+    warm cache is state, not accounting). *)
+
 val preload : t -> string -> size:int -> (unit, Fs_error.t) result
 (** Install a file before the experiment starts (untimed, but laid out
     exactly as a normal write would be). *)

@@ -135,9 +135,13 @@ let create t path =
 
 let block_bytes t = Storage.Manager.block_bytes t.manager
 
+let p_writes = Sim.Probe.counter "fs.memfs.writes"
+let p_reads = Sim.Probe.counter "fs.memfs.reads"
+
 let write t path ~offset ~bytes =
   if offset < 0 || bytes < 0 then Error Fs_error.Einval
   else begin
+    Sim.Probe.incr p_writes;
     let charge = ref Time.span_zero in
     let* f = lookup_file t path ~charge in
     if bytes > 0 then begin
@@ -169,6 +173,7 @@ let write t path ~offset ~bytes =
 let read t path ~offset ~bytes =
   if offset < 0 || bytes < 0 then Error Fs_error.Einval
   else begin
+    Sim.Probe.incr p_reads;
     let charge = ref Time.span_zero in
     let* f = lookup_file t path ~charge in
     let bytes = max 0 (min bytes (f.size - offset)) in

@@ -1,0 +1,408 @@
+(* The observability registry.
+
+   The fast path is the disabled one: every recording entry point loads one
+   atomic flag and branches away, so instrumentation can sit on simulator
+   hot paths permanently (the probe micro-benchmark in bench/ pins this).
+
+   When enabled, each domain accumulates into its own DLS-held state — no
+   locks, no sharing, no cross-domain interference — and registers that
+   state once in a global list so [snapshot_all]/[reset_all] can merge or
+   clear everything when the harness knows all workers are idle. *)
+
+type counter = string
+type gauge = string
+type summary = string
+type histogram = string
+
+let counter name = name
+let gauge name = name
+let summary name = name
+let histogram name = name
+
+let metrics_on = Atomic.make false
+let timeline_on = Atomic.make false
+let metrics_enabled () = Atomic.get metrics_on
+let set_metrics b = Atomic.set metrics_on b
+let timeline_enabled () = Atomic.get timeline_on
+let set_timeline b = Atomic.set timeline_on b
+
+type ccell = { mutable c : int }
+type gcell = { mutable g : float }
+
+type scell = {
+  mutable n : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+type cell = Ccell of ccell | Gcell of gcell | Scell of scell | Hcell of Stat.Histogram.t
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ts_ns : int;
+  ev_dur_ns : int option;
+  ev_tid : int;
+  ev_args : (string * string) list;
+}
+
+(* Events are kept newest-first; [Timeline.events] reverses and sorts.  The
+   cap bounds memory on pathological runs; overflow is counted, not silent. *)
+let max_events = 2_000_000
+
+type state = {
+  cells : (string, cell) Hashtbl.t;
+  mutable events : event list;
+  mutable nevents : int;
+  mutable dropped : int;
+}
+
+let registry : state list ref = ref []
+let registry_mu = Mutex.create ()
+
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      let st =
+        { cells = Hashtbl.create 64; events = []; nevents = 0; dropped = 0 }
+      in
+      Mutex.lock registry_mu;
+      registry := st :: !registry;
+      Mutex.unlock registry_mu;
+      st)
+
+let state () = Domain.DLS.get dls_key
+
+(* Cells are interned per domain on first touch.  A name is expected to keep
+   one kind for the whole process; a clash is an instrumentation bug and
+   fails loudly rather than miscounting. *)
+let kind_clash name =
+  invalid_arg (Printf.sprintf "Probe: metric %S used with two kinds" name)
+
+let ccell st name =
+  match Hashtbl.find_opt st.cells name with
+  | Some (Ccell c) -> c
+  | Some _ -> kind_clash name
+  | None ->
+    let c = { c = 0 } in
+    Hashtbl.add st.cells name (Ccell c);
+    c
+
+let gcell st name =
+  match Hashtbl.find_opt st.cells name with
+  | Some (Gcell g) -> g
+  | Some _ -> kind_clash name
+  | None ->
+    let g = { g = 0.0 } in
+    Hashtbl.add st.cells name (Gcell g);
+    g
+
+let scell st name =
+  match Hashtbl.find_opt st.cells name with
+  | Some (Scell s) -> s
+  | Some _ -> kind_clash name
+  | None ->
+    let s = { n = 0; sum = 0.0; vmin = infinity; vmax = neg_infinity } in
+    Hashtbl.add st.cells name (Scell s);
+    s
+
+let hcell st name =
+  match Hashtbl.find_opt st.cells name with
+  | Some (Hcell h) -> h
+  | Some _ -> kind_clash name
+  | None ->
+    let h = Stat.Histogram.create () in
+    Hashtbl.add st.cells name (Hcell h);
+    h
+
+let incr name =
+  if Atomic.get metrics_on then begin
+    let c = ccell (state ()) name in
+    c.c <- c.c + 1
+  end
+
+let add name k =
+  if Atomic.get metrics_on then begin
+    let c = ccell (state ()) name in
+    c.c <- c.c + k
+  end
+
+let set name v =
+  if Atomic.get metrics_on then begin
+    let g = gcell (state ()) name in
+    g.g <- v
+  end
+
+let observe name v =
+  if Atomic.get metrics_on then begin
+    let s = scell (state ()) name in
+    s.n <- s.n + 1;
+    s.sum <- s.sum +. v;
+    if v < s.vmin then s.vmin <- v;
+    if v > s.vmax then s.vmax <- v
+  end
+
+let observe_hist name v =
+  if Atomic.get metrics_on then
+    Stat.Histogram.observe (hcell (state ()) name) v
+
+let push_event st ev =
+  if st.nevents >= max_events then st.dropped <- st.dropped + 1
+  else begin
+    st.events <- ev :: st.events;
+    st.nevents <- st.nevents + 1
+  end
+
+let span ~name ~cat ?(tid = 0) ?(args = []) ~start ~finish () =
+  if Atomic.get timeline_on then begin
+    if Time.(finish < start) then
+      invalid_arg "Probe.span: finish precedes start";
+    push_event (state ())
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_ts_ns = Time.to_ns start;
+        ev_dur_ns = Some (Time.to_ns finish - Time.to_ns start);
+        ev_tid = tid;
+        ev_args = args;
+      }
+  end
+
+let instant ~name ~cat ?(tid = 0) ?(args = []) ~at () =
+  if Atomic.get timeline_on then
+    push_event (state ())
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_ts_ns = Time.to_ns at;
+        ev_dur_ns = None;
+        ev_tid = tid;
+        ev_args = args;
+      }
+
+module Snapshot = struct
+  type value =
+    | Counter of int
+    | Gauge of float
+    | Summary of { n : int; sum : float; vmin : float; vmax : float }
+    | Histogram of (float * float * int) list
+
+  type t = (string * value) list
+
+  let empty = []
+  let find t name = List.assoc_opt name t
+
+  let counter_value t name =
+    match find t name with Some (Counter n) -> n | _ -> 0
+
+  (* Both operands' bucket lists are ascending by [lo] (Histogram.buckets);
+     a plain two-pointer merge keeps the result ascending and exact. *)
+  let merge_buckets a b =
+    let rec go a b =
+      match (a, b) with
+      | [], rest | rest, [] -> rest
+      | ((alo, ahi, ac) as ha) :: ta, ((blo, _, bc) as hb) :: tb ->
+        if alo = blo then (alo, ahi, ac + bc) :: go ta tb
+        else if alo < blo then ha :: go ta (hb :: tb)
+        else hb :: go (ha :: ta) tb
+    in
+    go a b
+
+  let sub_buckets later earlier =
+    let rec go a b =
+      match (a, b) with
+      | rest, [] -> rest
+      | [], _ -> []
+      | ((alo, ahi, ac) as ha) :: ta, (blo, _, bc) :: tb ->
+        if alo = blo then
+          let d = Stdlib.max 0 (ac - bc) in
+          if d = 0 then go ta tb else (alo, ahi, d) :: go ta tb
+        else if alo < blo then ha :: go ta b
+        else go a tb
+    in
+    go later earlier
+
+  let merge_value a b =
+    match (a, b) with
+    | Counter x, Counter y -> Counter (x + y)
+    | Gauge _, Gauge y -> Gauge y
+    | Summary a, Summary b ->
+      Summary
+        {
+          n = a.n + b.n;
+          sum = a.sum +. b.sum;
+          vmin = Float.min a.vmin b.vmin;
+          vmax = Float.max a.vmax b.vmax;
+        }
+    | Histogram a, Histogram b -> Histogram (merge_buckets a b)
+    | _, y -> y
+
+  let merge a b =
+    let rec go a b =
+      match (a, b) with
+      | [], rest | rest, [] -> rest
+      | ((ka, va) as ha) :: ta, ((kb, vb) as hb) :: tb ->
+        let c = String.compare ka kb in
+        if c = 0 then (ka, merge_value va vb) :: go ta tb
+        else if c < 0 then ha :: go ta (hb :: tb)
+        else hb :: go (ha :: ta) tb
+    in
+    go a b
+
+  let diff_value later earlier =
+    match (later, earlier) with
+    | Counter x, Counter y -> Counter (Stdlib.max 0 (x - y))
+    | Summary l, Summary e ->
+      let n = Stdlib.max 0 (l.n - e.n) in
+      Summary
+        {
+          n;
+          sum = (if n = 0 then 0.0 else l.sum -. e.sum);
+          vmin = l.vmin;
+          vmax = l.vmax;
+        }
+    | Histogram l, Histogram e -> Histogram (sub_buckets l e)
+    | v, _ -> v
+
+  (* Names present only in [earlier] have vanished from the registry (a
+     reset happened in between); nothing meaningful can be said about them,
+     so the diff covers [later]'s names only. *)
+  let diff ~later ~earlier =
+    List.map
+      (fun (name, v) ->
+        match List.assoc_opt name earlier with
+        | None -> (name, v)
+        | Some e -> (name, diff_value v e))
+      later
+
+  let is_zero = function
+    | Counter n -> n = 0
+    | Gauge _ -> true
+    | Summary { n; _ } -> n = 0
+    | Histogram buckets -> List.for_all (fun (_, _, c) -> c = 0) buckets
+
+  let to_json t =
+    let open Json in
+    let value_json = function
+      | Counter n -> int n
+      | Gauge g -> Obj [ ("gauge", number g) ]
+      | Summary { n; sum; vmin; vmax } ->
+        Obj
+          [
+            ("count", int n);
+            ("sum", number sum);
+            ("min", if n = 0 then Null else number vmin);
+            ("max", if n = 0 then Null else number vmax);
+            ("mean", if n = 0 then Null else number (sum /. float_of_int n));
+          ]
+      | Histogram buckets ->
+        let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 buckets in
+        Obj
+          [
+            ("count", int total);
+            ( "buckets",
+              List
+                (List.map
+                   (fun (lo, hi, c) ->
+                     Obj
+                       [
+                         ("lo", number lo); ("hi", number hi); ("count", int c);
+                       ])
+                   buckets) );
+          ]
+    in
+    Obj (List.map (fun (name, v) -> (name, value_json v)) t)
+end
+
+let snapshot_state st =
+  Hashtbl.fold
+    (fun name cell acc ->
+      let v =
+        match cell with
+        | Ccell { c } -> Snapshot.Counter c
+        | Gcell { g } -> Snapshot.Gauge g
+        | Scell { n; sum; vmin; vmax } -> Snapshot.Summary { n; sum; vmin; vmax }
+        | Hcell h -> Snapshot.Histogram (Stat.Histogram.buckets h)
+      in
+      (name, v) :: acc)
+    st.cells []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot () = snapshot_state (state ())
+
+let reset_state st =
+  Hashtbl.reset st.cells;
+  st.events <- [];
+  st.nevents <- 0;
+  st.dropped <- 0
+
+let reset () = reset_state (state ())
+
+let with_registry f =
+  Mutex.lock registry_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mu) (fun () ->
+      f !registry)
+
+let snapshot_all () =
+  with_registry (fun states ->
+      List.fold_left
+        (fun acc st -> Snapshot.merge acc (snapshot_state st))
+        Snapshot.empty states)
+
+let reset_all () = with_registry (List.iter reset_state)
+
+module Timeline = struct
+  type nonrec event = event = {
+    ev_name : string;
+    ev_cat : string;
+    ev_ts_ns : int;
+    ev_dur_ns : int option;
+    ev_tid : int;
+    ev_args : (string * string) list;
+  }
+
+  let sort_events evs =
+    List.stable_sort (fun a b -> compare a.ev_ts_ns b.ev_ts_ns) evs
+
+  let events () = sort_events (List.rev (state ()).events)
+
+  let events_all () =
+    with_registry (fun states ->
+        sort_events
+          (List.concat_map (fun st -> List.rev st.events) states))
+
+  let dropped () =
+    with_registry
+      (List.fold_left (fun acc st -> acc + st.dropped) 0)
+
+  let to_chrome_json evs =
+    let open Json in
+    let ev_json e =
+      let head =
+        [
+          ("name", String e.ev_name);
+          ("cat", String e.ev_cat);
+          ("ts", number (float_of_int e.ev_ts_ns /. 1e3));
+          ("pid", int 1);
+          ("tid", int e.ev_tid);
+        ]
+      in
+      let phase =
+        match e.ev_dur_ns with
+        | Some d ->
+          [ ("ph", String "X"); ("dur", number (float_of_int d /. 1e3)) ]
+        | None -> [ ("ph", String "i"); ("s", String "g") ]
+      in
+      let args =
+        match e.ev_args with
+        | [] -> []
+        | kvs -> [ ("args", Obj (List.map (fun (k, v) -> (k, String v)) kvs)) ]
+      in
+      Obj (head @ phase @ args)
+    in
+    Obj
+      [
+        ("traceEvents", List (List.map ev_json evs));
+        ("displayTimeUnit", String "ms");
+      ]
+end

@@ -2,23 +2,56 @@ open Sim
 
 type entry = { mutable value : float; mutable stamp : Time.t }
 
-type t = { half_life_ns : float; table : (int, entry) Hashtbl.t }
+type t = {
+  half_life_ns : float;
+  table : (int, entry) Hashtbl.t;
+  mutable writes_since_sweep : int;
+}
+
+(* One decayed write from 20 half-lives ago: cold beyond recovery.  Entries
+   below this are dead weight — no realistic threshold keeps them hot — and
+   used to accumulate forever on long replays. *)
+let floor_value = Float.pow 2.0 (-20.0)
+
+(* Amortize eviction: a full-table pass every [sweep_interval] writes keeps
+   record_write O(1) amortized while bounding the table to live entries. *)
+let sweep_interval = 1024
+
+let p_tracked = Probe.gauge "storage.heat.tracked"
+let p_swept = Probe.counter "storage.heat.swept"
 
 let create ~half_life () =
   let ns = Time.span_to_ns half_life in
-  if ns = 0 then invalid_arg "Heat.create: zero half_life";
-  { half_life_ns = float_of_int ns; table = Hashtbl.create 1024 }
+  (* Time.span rejects negative construction, so ns < 0 can only arrive via
+     a future representation change — but a negative half-life would turn
+     decay into unbounded growth, so reject it here too, not just zero. *)
+  if ns <= 0 then invalid_arg "Heat.create: non-positive half_life";
+  { half_life_ns = float_of_int ns; table = Hashtbl.create 1024;
+    writes_since_sweep = 0 }
 
 let decayed t e ~now =
   let dt = float_of_int (Time.to_ns now - Time.to_ns e.stamp) in
   if dt <= 0.0 then e.value else e.value *. Float.pow 2.0 (-.dt /. t.half_life_ns)
 
+let sweep t ~now =
+  let before = Hashtbl.length t.table in
+  Hashtbl.filter_map_inplace
+    (fun _block e -> if decayed t e ~now < floor_value then None else Some e)
+    t.table;
+  t.writes_since_sweep <- 0;
+  let evicted = before - Hashtbl.length t.table in
+  Probe.add p_swept evicted;
+  Probe.set p_tracked (float_of_int (Hashtbl.length t.table));
+  evicted
+
 let record_write t ~now ~block =
-  match Hashtbl.find_opt t.table block with
+  (match Hashtbl.find_opt t.table block with
   | Some e ->
     e.value <- decayed t e ~now +. 1.0;
     e.stamp <- now
-  | None -> Hashtbl.replace t.table block { value = 1.0; stamp = now }
+  | None -> Hashtbl.replace t.table block { value = 1.0; stamp = now });
+  t.writes_since_sweep <- t.writes_since_sweep + 1;
+  if t.writes_since_sweep >= sweep_interval then ignore (sweep t ~now)
 
 let heat t ~now ~block =
   match Hashtbl.find_opt t.table block with

@@ -10,9 +10,15 @@
 type t
 
 val create : half_life:Sim.Time.span -> unit -> t
-(** @raise Invalid_argument if [half_life] is zero. *)
+(** @raise Invalid_argument if [half_life] is not positive. *)
 
 val record_write : t -> now:Sim.Time.t -> block:int -> unit
+(** Also triggers an automatic {!sweep} every 1024 recorded writes, so the
+    table stays bounded by the live write set on arbitrarily long replays. *)
+
+val sweep : t -> now:Sim.Time.t -> int
+(** Evict every entry whose decayed count has fallen below 2{^-20} (cold
+    beyond any realistic hot threshold) and return how many were dropped. *)
 
 val heat : t -> now:Sim.Time.t -> block:int -> float
 (** The decayed write count as of [now]; 0 for unknown blocks. *)

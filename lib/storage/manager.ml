@@ -6,6 +6,15 @@ module Log = (val Logs.src_log log_src)
 
 exception Out_of_space
 
+let p_writes = Probe.counter "storage.manager.client_writes"
+let p_reads = Probe.counter "storage.manager.client_reads"
+let p_flushed = Probe.counter "storage.manager.blocks_flushed"
+let p_cleaned = Probe.counter "storage.manager.blocks_cleaned"
+let p_cold = Probe.counter "storage.manager.cold_loads"
+let p_hot_retained = Probe.counter "storage.manager.hot_retained"
+let p_cleanings = Probe.counter "storage.manager.clean_ops"
+let p_remounts = Probe.counter "storage.manager.remounts"
+
 type selector = Indexed | Scan | Checked
 
 let selector_name = function
@@ -674,6 +683,9 @@ and clean_one t ~cursor ~purpose =
       (* Don't clean a segment that frees nothing unless wear leveling
          forced it (in which case it was returned by relocation_victim). *)
       t.c_cleanings <- t.c_cleanings + 1;
+      Probe.incr p_cleanings;
+      let clean_start = !cursor in
+      let live_in = Segment.live_count victim in
       let bytes = block_bytes t in
       (* Copy out the survivors. *)
       List.iter
@@ -696,7 +708,8 @@ and clean_one t ~cursor ~purpose =
           m.loc <- Flashed { seg = Segment.id out; slot = out_slot };
           Segment.kill victim ~slot;
           note_kill t victim;
-          t.c_cleaned <- t.c_cleaned + 1)
+          t.c_cleaned <- t.c_cleaned + 1;
+          Probe.incr p_cleaned)
         (Segment.live_blocks victim);
       (* Erase the sectors that were programmed since the last erase. *)
       let erases_before = erase_count_of_segment t victim in
@@ -727,6 +740,14 @@ and clean_one t ~cursor ~purpose =
               (Array.length t.segments - t.n_retired))
       end
       else free_index_add t victim;
+      if Probe.timeline_enabled () then
+        Probe.span ~name:"cleaner.pass" ~cat:"cleaner"
+          ~args:
+            [
+              ("segment", string_of_int (Segment.id victim));
+              ("copied", string_of_int live_in);
+            ]
+          ~start:clean_start ~finish:!cursor ();
       true
   end
 
@@ -802,14 +823,22 @@ and timer_fired t =
           Write_buffer.readmit t.buffer ~now ~block:b
         | Some _ | None -> false
       in
-      if retain then t.c_hot_retained <- t.c_hot_retained + 1
+      if retain then begin
+        t.c_hot_retained <- t.c_hot_retained + 1;
+        Probe.incr p_hot_retained
+      end
       else begin
         (* Reading the buffered copy out of DRAM. *)
         ignore (Device.Dram.read t.dram ~bytes:(block_bytes t));
         append_block t ~purpose:Banks.Fresh_write ~cursor b;
-        t.c_flushed <- t.c_flushed + 1
+        t.c_flushed <- t.c_flushed + 1;
+        Probe.incr p_flushed
       end)
     expired;
+  if expired <> [] && Probe.timeline_enabled () then
+    Probe.span ~name:"write_buffer.flush_batch" ~cat:"storage"
+      ~args:[ ("blocks", string_of_int (List.length expired)) ]
+      ~start:now ~finish:!cursor ();
   (* If a backlog remains, continue only after the device digested this
      batch and a spacing gap — pacing bounds how much bank time queued
      writeback can steal from foreground reads. *)
@@ -834,12 +863,14 @@ let flush_now t ~cursor b =
   if Write_buffer.take t.buffer ~block:b then begin
     ignore (Device.Dram.read t.dram ~bytes:(block_bytes t));
     append_block t ~purpose:Banks.Fresh_write ~cursor b;
-    t.c_flushed <- t.c_flushed + 1
+    t.c_flushed <- t.c_flushed + 1;
+    Probe.incr p_flushed
   end
 
 let write_block_at t ~at b =
   let m = find_meta t b in
   t.c_writes <- t.c_writes + 1;
+  Probe.incr p_writes;
   Heat.record_write t.heat ~now:at ~block:b;
   kill_flash_copy t m;
   let cursor = ref at in
@@ -848,7 +879,8 @@ let write_block_at t ~at b =
   if Write_buffer.capacity t.buffer = 0 then begin
     (* Write-through: straight to flash; the client eats the program time. *)
     append_block t ~purpose:Banks.Fresh_write ~cursor b;
-    t.c_flushed <- t.c_flushed + 1
+    t.c_flushed <- t.c_flushed + 1;
+    Probe.incr p_flushed
   end
   else begin
     let rec admit () =
@@ -887,6 +919,7 @@ let read_block_at ?bytes t ~at b =
   let m = find_meta t b in
   let bytes = Option.value bytes ~default:(block_bytes t) in
   t.c_reads <- t.c_reads + 1;
+  Probe.incr p_reads;
   match m.loc with
   | Blank | Buffered -> Time.add at (Device.Dram.read t.dram ~bytes)
   | Flashed { seg; slot } ->
@@ -918,7 +951,8 @@ let load_cold t b =
   | Buffered | Flashed _ -> invalid_arg "Manager.load_cold: block already has data");
   let cursor = ref (Engine.now t.engine) in
   append_block t ~purpose:Banks.Cold_load ~cursor b;
-  t.c_cold <- t.c_cold + 1
+  t.c_cold <- t.c_cold + 1;
+  Probe.incr p_cold
 
 let flush_all t =
   let now = Engine.now t.engine in
@@ -927,7 +961,8 @@ let flush_all t =
     (fun b ->
       ignore (Device.Dram.read t.dram ~bytes:(block_bytes t));
       append_block t ~purpose:Banks.Fresh_write ~cursor b;
-      t.c_flushed <- t.c_flushed + 1)
+      t.c_flushed <- t.c_flushed + 1;
+      Probe.incr p_flushed)
     (Write_buffer.drain t.buffer);
   Time.diff !cursor now
 
@@ -1038,6 +1073,10 @@ let block_exists t b = Hashtbl.mem t.meta b
 let known_blocks t =
   List.sort compare (Hashtbl.fold (fun b _ acc -> b :: acc) t.meta [])
 
+(* The one reset chokepoint for the storage stack: module counters and the
+   probe registry clear together, so neither can drift from the other.
+   (Probe state is per-domain and shared by every component on this domain,
+   which is exactly the Machine.preload "start clean" contract.) *)
 let reset_traffic t =
   t.c_writes <- 0;
   t.c_reads <- 0;
@@ -1048,7 +1087,8 @@ let reset_traffic t =
   t.c_cleanings <- 0;
   Write_buffer.reset_counters t.buffer;
   Device.Flash.reset_stats t.flash;
-  Device.Dram.reset_stats t.dram
+  Device.Dram.reset_stats t.dram;
+  Probe.reset ()
 
 (* --- Crash recovery ---------------------------------------------------------- *)
 
@@ -1171,4 +1211,15 @@ let crash_and_remount t =
     }
   in
   Log.info (fun m -> m "remount: %a" pp_remount_report report);
+  Probe.incr p_remounts;
+  if Probe.timeline_enabled () then
+    Probe.span ~name:"manager.remount" ~cat:"recovery"
+      ~args:
+        [
+          ("sectors_scanned", string_of_int report.sectors_scanned);
+          ("live_recovered", string_of_int report.live_recovered);
+          ("stale_discarded", string_of_int report.stale_discarded);
+          ("buffered_lost", string_of_int report.buffered_lost);
+        ]
+      ~start:now ~finish:!cursor ();
   (fresh, Time.diff !cursor now, report)

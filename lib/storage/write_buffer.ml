@@ -40,6 +40,10 @@ let mem t ~block = Hashtbl.mem t.deadlines block
 
 type admit = Absorbed | Admitted | Needs_eviction
 
+let p_absorbed = Probe.counter "storage.write_buffer.absorbed"
+let p_admitted = Probe.counter "storage.write_buffer.admitted"
+let p_cancelled = Probe.counter "storage.write_buffer.cancelled"
+
 let enqueue t ~block ~deadline =
   Hashtbl.replace t.deadlines block deadline;
   ignore (Event_queue.add t.queue ~at:deadline block)
@@ -53,6 +57,7 @@ let write t ~now ~block =
   match Hashtbl.find_opt t.deadlines block with
   | Some _ ->
     t.absorbed <- t.absorbed + 1;
+    Probe.incr p_absorbed;
     if t.cfg.refresh_on_rewrite then
       enqueue t ~block ~deadline:(Time.add now t.cfg.writeback_delay);
     Absorbed
@@ -60,6 +65,7 @@ let write t ~now ~block =
     if is_full t then Needs_eviction
     else begin
       t.admitted <- t.admitted + 1;
+      Probe.incr p_admitted;
       enqueue t ~block ~deadline:(Time.add now t.cfg.writeback_delay);
       Admitted
     end
@@ -68,6 +74,7 @@ let remove t ~block =
   if Hashtbl.mem t.deadlines block then begin
     Hashtbl.remove t.deadlines block;
     t.cancelled <- t.cancelled + 1;
+    Probe.incr p_cancelled;
     true
   end
   else false

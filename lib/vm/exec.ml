@@ -44,7 +44,11 @@ let load_text vm space region ~read_source =
   done;
   !span
 
+let p_launches = Probe.counter "vm.exec.launches"
+let p_fetches = Probe.counter "vm.exec.fetches"
+
 let launch vm program ~text_blocks strategy =
+  Probe.incr p_launches;
   let space = Vm.new_space vm in
   let page_bytes = Addr_space.page_bytes space in
   let data, data_span =
@@ -114,6 +118,7 @@ let launch vm program ~text_blocks strategy =
     }
 
 let run vm launched ~rng ~fetches =
+  Probe.add p_fetches fetches;
   let page_bytes = Addr_space.page_bytes launched.space in
   let text = launched.text in
   let text_bytes = text.Addr_space.pages * page_bytes in

@@ -101,6 +101,45 @@ let test_cache_zero_capacity () =
   Alcotest.(check (list int)) "dirty passes through" [ 1 ] victims;
   Alcotest.(check bool) "not retained" false (Fs.Buffer_cache.contains c ~key:1)
 
+(* The counting contract: find_or_insert records exactly one hit or one
+   miss, where the old find-then-insert composition double-touched recency
+   and let callers miscount. *)
+let test_cache_find_or_insert_counts_once () =
+  let c = Fs.Buffer_cache.create ~capacity_blocks:2 in
+  (match Fs.Buffer_cache.find_or_insert c ~key:1 ~dirty:false with
+  | Fs.Buffer_cache.Miss, victims ->
+    Alcotest.(check (list int)) "no victims in empty cache" [] victims
+  | Fs.Buffer_cache.Hit, _ -> Alcotest.fail "empty cache cannot hit");
+  Alcotest.(check int) "one miss" 1 (Fs.Buffer_cache.misses c);
+  Alcotest.(check int) "no hits" 0 (Fs.Buffer_cache.hits c);
+  (match Fs.Buffer_cache.find_or_insert c ~key:1 ~dirty:true with
+  | Fs.Buffer_cache.Hit, victims ->
+    Alcotest.(check (list int)) "hit returns no victims" [] victims
+  | Fs.Buffer_cache.Miss, _ -> Alcotest.fail "resident key must hit");
+  Alcotest.(check int) "one hit" 1 (Fs.Buffer_cache.hits c);
+  Alcotest.(check int) "still one miss" 1 (Fs.Buffer_cache.misses c);
+  (* The hit arm ORed the dirty bit in. *)
+  Alcotest.(check bool) "dirty after hit" true (Fs.Buffer_cache.is_dirty c ~key:1);
+  (* The hit refreshed recency: 1 survives insertion of 2 and 3. *)
+  ignore (Fs.Buffer_cache.find_or_insert c ~key:2 ~dirty:false);
+  ignore (Fs.Buffer_cache.find_or_insert c ~key:3 ~dirty:false);
+  Alcotest.(check bool) "recency refreshed" true (Fs.Buffer_cache.contains c ~key:3);
+  Alcotest.(check int) "three misses total" 3 (Fs.Buffer_cache.misses c)
+
+let test_cache_reset_counters () =
+  let c = Fs.Buffer_cache.create ~capacity_blocks:1 in
+  ignore (Fs.Buffer_cache.find_or_insert c ~key:1 ~dirty:true);
+  ignore (Fs.Buffer_cache.find_or_insert c ~key:1 ~dirty:false);
+  ignore (Fs.Buffer_cache.find_or_insert c ~key:2 ~dirty:false);
+  Alcotest.(check bool) "counters non-zero" true
+    (Fs.Buffer_cache.hits c > 0 && Fs.Buffer_cache.misses c > 0
+    && Fs.Buffer_cache.writebacks c > 0);
+  Fs.Buffer_cache.reset_counters c;
+  Alcotest.(check int) "hits cleared" 0 (Fs.Buffer_cache.hits c);
+  Alcotest.(check int) "misses cleared" 0 (Fs.Buffer_cache.misses c);
+  Alcotest.(check int) "writebacks cleared" 0 (Fs.Buffer_cache.writebacks c);
+  Alcotest.(check bool) "residency kept" true (Fs.Buffer_cache.contains c ~key:2)
+
 let test_cache_reinsert_keeps_dirty () =
   let c = Fs.Buffer_cache.create ~capacity_blocks:2 in
   ignore (Fs.Buffer_cache.insert c ~key:1 ~dirty:true);
@@ -171,6 +210,9 @@ let suite =
     Alcotest.test_case "cache mark/take dirty" `Quick test_cache_mark_dirty_and_take;
     Alcotest.test_case "cache forget" `Quick test_cache_forget;
     Alcotest.test_case "cache zero capacity" `Quick test_cache_zero_capacity;
+    Alcotest.test_case "cache find_or_insert counts once" `Quick
+      test_cache_find_or_insert_counts_once;
+    Alcotest.test_case "cache reset_counters" `Quick test_cache_reset_counters;
     Alcotest.test_case "cache sticky dirty" `Quick test_cache_reinsert_keeps_dirty;
     QCheck_alcotest.to_alcotest prop_cache_never_exceeds_capacity;
     Alcotest.test_case "inode classify boundaries" `Quick test_classify_boundaries;

@@ -49,8 +49,44 @@ let test_forget () =
     (Storage.Heat.heat h ~now:(sec 1.0) ~block:1)
 
 let test_zero_half_life_rejected () =
-  Alcotest.check_raises "zero half-life" (Invalid_argument "Heat.create: zero half_life")
-    (fun () -> ignore (Storage.Heat.create ~half_life:Time.span_zero ()))
+  Alcotest.check_raises "zero half-life"
+    (Invalid_argument "Heat.create: non-positive half_life") (fun () ->
+      ignore (Storage.Heat.create ~half_life:Time.span_zero ()))
+
+let test_sweep_evicts_cooled () =
+  let h = Storage.Heat.create ~half_life:(Time.span_s 10.0) () in
+  Storage.Heat.record_write h ~now:(sec 0.0) ~block:1;
+  Storage.Heat.record_write h ~now:(sec 0.0) ~block:2;
+  (* 30 half-lives later both entries are below the 2^-20 floor. *)
+  Alcotest.(check int) "sweep drops both" 2
+    (Storage.Heat.sweep h ~now:(sec 300.0));
+  Alcotest.(check int) "empty after sweep" 0 (Storage.Heat.tracked h)
+
+let test_sweep_keeps_warm () =
+  let h = Storage.Heat.create ~half_life:(Time.span_s 10.0) () in
+  Storage.Heat.record_write h ~now:(sec 0.0) ~block:1;
+  (* cold *)
+  Storage.Heat.record_write h ~now:(sec 299.0) ~block:2;
+  (* warm *)
+  Alcotest.(check int) "only the cold entry goes" 1
+    (Storage.Heat.sweep h ~now:(sec 300.0));
+  Alcotest.(check int) "warm survives" 1 (Storage.Heat.tracked h);
+  Alcotest.(check bool) "and it is block 2" true
+    (Storage.Heat.heat h ~now:(sec 300.0) ~block:2 > 0.0)
+
+let test_tracked_bounded_over_long_replay () =
+  (* The original bug: every block ever written stayed tracked forever.
+     Touch many distinct blocks far apart in time; the periodic sweep keyed
+     off record_write must keep the table from holding all of them. *)
+  let h = Storage.Heat.create ~half_life:(Time.span_s 1.0) () in
+  let nblocks = 10_000 in
+  for b = 0 to nblocks - 1 do
+    Storage.Heat.record_write h ~now:(sec (float_of_int b)) ~block:b
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "tracked %d << %d" (Storage.Heat.tracked h) nblocks)
+    true
+    (Storage.Heat.tracked h < nblocks / 10)
 
 let prop_heat_decreasing_without_writes =
   QCheck.Test.make ~name:"heat: monotone decay without writes" ~count:200
@@ -70,5 +106,8 @@ let suite =
     Alcotest.test_case "is_hot" `Quick test_is_hot;
     Alcotest.test_case "forget" `Quick test_forget;
     Alcotest.test_case "zero half-life" `Quick test_zero_half_life_rejected;
+    Alcotest.test_case "sweep evicts cooled" `Quick test_sweep_evicts_cooled;
+    Alcotest.test_case "sweep keeps warm" `Quick test_sweep_keeps_warm;
+    Alcotest.test_case "tracked bounded" `Quick test_tracked_bounded_over_long_replay;
     QCheck_alcotest.to_alcotest prop_heat_decreasing_without_writes;
   ]

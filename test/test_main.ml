@@ -8,6 +8,7 @@ let () =
       ("engine", Test_engine.suite);
       ("stat", Test_stat.suite);
       ("pool", Test_pool.suite);
+      ("probe", Test_probe.suite);
       ("table_units", Test_table_units.suite);
       ("device", Test_device.suite);
       ("flash", Test_flash.suite);
