@@ -28,6 +28,8 @@ let experiments =
     ("e10", "Section 2 storage power and battery life", E10_battery.run);
     ("e11", "Section 3.3 fault injection and crash recovery", E11_faults.run);
     ("stream", "streaming replay: peak heap vs trace length", Stream.run);
+    ("queue", "event queue: heap vs timing wheel churn rates", Queue_bench.run);
+    ("replay", "replay drivers: interpreted vs compiled A/B", Replay_bench.run);
     ("storage", "storage manager: indexed structures vs scan reference", Storage_bench.run);
     ("micro", "simulator micro-benchmarks", Micro.run);
     ("pool", "Domain pool: parallel speedup and sequential overhead", Pool_bench.run);

@@ -1,0 +1,94 @@
+(* Wall-clock rates of the event-queue implementations (binary heap vs
+   hierarchical timing wheel) across pending-set sizes.
+
+   Three stages per (kind, pending) point, each in steady state:
+
+   - fill:   add [n] events with uniformly random future instants;
+   - churn:  the simulator's inner loop — pop the earliest event,
+             reschedule one at a random later instant, pending count
+             constant at [n];
+   - cancel: add a batch of extra events and cancel every handle (lazy
+             cancellation: O(1) per call, reclaimed at pop).
+
+   The heap's churn is O(log n) per op; the wheel's is amortized O(1), so
+   the gap should widen with [n].  Wall-clock only — the paper has no
+   number to match; this pins the library's own scaling. *)
+open Sim
+
+let pending_sizes =
+  (* The 1e7 point holds ~10M live entries (~0.5 GB with the heap's array);
+     QUICK caps at 1e6 so smoke runs stay small. *)
+  if Common.quick then [ 1_000; 100_000; 1_000_000 ]
+  else [ 1_000; 100_000; 10_000_000 ]
+
+let churn_ops = if Common.quick then 100_000 else 400_000
+let horizon_ns = 1_000_000_000
+
+let bench_kind kind n =
+  let rng = Rng.create ~seed:(n + 17) in
+  let q = Event_queue.create ~kind () in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n - 1 do
+    ignore (Event_queue.add q ~at:(Time.of_ns (Rng.int rng horizon_ns)) i)
+  done;
+  let fill_s = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to churn_ops do
+    let at = Time.to_ns (Event_queue.peek_time_exn q) in
+    let v = Event_queue.pop_exn q in
+    ignore (Event_queue.add q ~at:(Time.of_ns (at + 1 + Rng.int rng horizon_ns)) v)
+  done;
+  let churn_s = Unix.gettimeofday () -. t0 in
+  let base = Time.to_ns (Event_queue.peek_time_exn q) in
+  let handles =
+    Array.init churn_ops (fun i ->
+        Event_queue.add q ~at:(Time.of_ns (base + 1 + Rng.int rng horizon_ns)) (n + i))
+  in
+  let t0 = Unix.gettimeofday () in
+  Array.iter (Event_queue.cancel q) handles;
+  let cancel_s = Unix.gettimeofday () -. t0 in
+  (fill_s, churn_s, cancel_s)
+
+let run () =
+  Common.section "event queue: heap vs timing wheel (wall-clock churn rates)";
+  let table =
+    Table.create ~title:"million ops/s (higher is better)"
+      ~columns:
+        [
+          ("queue", Table.Left);
+          ("pending", Table.Right);
+          ("fill", Table.Right);
+          ("churn", Table.Right);
+          ("cancel", Table.Right);
+        ]
+  in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun n ->
+          let fill_s, churn_s, cancel_s = bench_kind kind n in
+          let rate ops s = if s > 0.0 then float_of_int ops /. s else Float.infinity in
+          let fill = rate n fill_s in
+          let churn = rate churn_ops churn_s in
+          let cancel = rate churn_ops cancel_s in
+          let metric stage v =
+            Common.put_metric
+              (Printf.sprintf "queue_%s_%d_%s_ops_per_s" (Event_queue.kind_name kind) n
+                 stage)
+              v
+          in
+          metric "fill" fill;
+          metric "churn" churn;
+          metric "cancel" cancel;
+          Table.add_row table
+            [
+              Event_queue.kind_name kind;
+              string_of_int n;
+              Printf.sprintf "%.2f" (fill /. 1e6);
+              Printf.sprintf "%.2f" (churn /. 1e6);
+              Printf.sprintf "%.2f" (cancel /. 1e6);
+            ])
+        pending_sizes)
+    [ Event_queue.Heap; Event_queue.Wheel ];
+  Table.print table;
+  Common.note "churn = pop earliest + reschedule later, pending count constant"

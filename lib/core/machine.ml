@@ -13,6 +13,9 @@ type t = {
      file system die with the DRAM contents. *)
   mutable manager : Storage.Manager.t option;
   mutable fs : fs_impl;
+  (* Bumped whenever [fs] is replaced, so pre-resolved file-system routes
+     (compiled replay) know to re-resolve. *)
+  mutable fs_gen : int;
   battery : Device.Battery.t;
   mutable last_account : Time.t;
   mutable accounted_j : float;  (** Energy already drained from the battery. *)
@@ -48,6 +51,7 @@ let create (cfg : Config.t) =
       disk = None;
       manager = Some mgr;
       fs = Mem memfs;
+      fs_gen = 0;
       battery;
       last_account = Time.zero;
       accounted_j = 0.0;
@@ -67,6 +71,7 @@ let create (cfg : Config.t) =
       disk = Some disk;
       manager = None;
       fs = Disk_fs fs;
+      fs_gen = 0;
       battery;
       last_account = Time.zero;
       accounted_j = 0.0;
@@ -300,6 +305,7 @@ let cold_crash t =
     files;
   t.manager <- Some fresh_mgr;
   t.fs <- Mem fresh_fs;
+  t.fs_gen <- t.fs_gen + 1;
   (!lost, !damaged, report, span)
 
 let inject_fault t kind =
@@ -518,6 +524,180 @@ let run_seq ?(drain = Time.span_s 120.0) ?(faults = []) t records =
   }
 
 let run ?drain ?faults t records = run_seq ?drain ?faults t (List.to_seq records)
+
+(* --- Compiled replay ----------------------------------------------------------
+
+   The raw-speed path over a pre-lowered trace: flat array indexing instead
+   of per-record variant matching, and pre-resolved file-system routes
+   instead of per-record path formatting and parsing.  Charging is
+   byte-identical to [run_seq] — the [_in] operations issue the same DRAM
+   metadata accesses in the same order as the path walk they replace, and
+   every probe/stat observation below mirrors its interpreted twin — so the
+   two drivers produce the same result on the same trace, which the test
+   suite asserts.  Anything the fast path cannot serve (disk-backed file
+   systems, records outside the common "/data" directory) falls back to the
+   interpreted [apply] per record. *)
+
+module Compiled = Trace.Replay.Compiled
+
+let tag_label =
+  (* Indexed by dispatch tag; same strings as [op_label]. *)
+  [| "op.create"; "op.write"; "op.read"; "op.truncate"; "op.delete" |]
+
+(* Leaf names under "/data", interned per file id so the hot loop never
+   formats a path.  [Vfs.path_of_file_id id] is "/data/f<id>". *)
+let name_cache = ref [||]
+
+let leaf_name id =
+  let cache = !name_cache in
+  if id >= 0 && id < Array.length cache && String.length cache.(id) > 0 then
+    cache.(id)
+  else begin
+    let name = "f" ^ string_of_int id in
+    if id >= 0 then begin
+      if id >= Array.length cache then begin
+        let bigger = Array.make (max (id + 1) ((2 * Array.length cache) + 64)) "" in
+        Array.blit cache 0 bigger 0 (Array.length cache);
+        name_cache := bigger
+      end;
+      !name_cache.(id) <- name
+    end;
+    name
+  end
+
+let run_compiled ?(drain = Time.span_s 120.0) ?(faults = []) t (c : Compiled.t) =
+  let started = Engine.now t.engine in
+  let fault_log = ref [] in
+  List.iter
+    (fun e ->
+      let at = Time.add started e.Fault.after in
+      ignore
+        (Engine.schedule t.engine ~at (fun _ ->
+             fault_log := inject_fault t e.Fault.kind :: !fault_log)))
+    faults;
+  let offset_ns = Time.to_ns started in
+  let read_latency = Stat.Summary.create () in
+  let write_latency = Stat.Summary.create () in
+  let meta_latency = Stat.Summary.create () in
+  let read_hist_us = Stat.Histogram.create () in
+  let write_hist_us = Stat.Histogram.create () in
+  let busy = ref Time.span_zero in
+  let ops = ref 0 in
+  let last_at = ref started in
+  let accounting_done = ref false in
+  let rec account_tick engine =
+    if not !accounting_done then begin
+      account t;
+      ignore (Engine.schedule_after engine ~after:(Time.span_s 60.0) account_tick)
+    end
+  in
+  ignore (Engine.schedule_after t.engine ~after:(Time.span_s 60.0) account_tick);
+  (* The pre-resolved route to "/data".  A cold restart replaces the file
+     system out from under us ([t.fs_gen] bumps), so the route is looked up
+     lazily against the current generation; resolution is side-effect-free,
+     so rebuilding mid-run cannot perturb the meters. *)
+  let route_gen = ref (-1) in
+  let route_dir = ref None in
+  let data_dir m =
+    if !route_gen <> t.fs_gen then begin
+      route_dir :=
+        (match Fs.Memfs.route m "/data" with Ok d -> Some d | Error _ -> None);
+      route_gen := t.fs_gen
+    end;
+    !route_dir
+  in
+  let at_ns = c.Compiled.at_ns
+  and tags = c.Compiled.tag
+  and files = c.Compiled.file
+  and arg1 = c.Compiled.arg1
+  and arg2 = c.Compiled.arg2 in
+  for i = 0 to c.Compiled.n - 1 do
+    let at = Time.of_ns (at_ns.(i) + offset_ns) in
+    if Time.( < ) (Engine.now t.engine) at then Engine.run_until t.engine at;
+    last_at := at;
+    let op_start = Engine.now t.engine in
+    let tag = tags.(i) in
+    let span =
+      match t.fs with
+      | Mem m -> begin
+        match data_dir m with
+        | Some dir ->
+          Probe.incr p_ops;
+          let name = leaf_name files.(i) in
+          if tag = Compiled.tag_write then begin
+            let create_span =
+              if Fs.Memfs.exists_in m dir name then Time.span_zero
+              else span_or_error t (Fs.Memfs.create_in m dir name)
+            in
+            Time.span_add create_span
+              (span_or_error t
+                 (Fs.Memfs.write_in m dir name ~offset:arg1.(i) ~bytes:arg2.(i)))
+          end
+          else if tag = Compiled.tag_read then
+            span_or_error t (Fs.Memfs.read_in m dir name ~offset:arg1.(i) ~bytes:arg2.(i))
+          else if tag = Compiled.tag_create then
+            span_or_error t (Fs.Memfs.create_in m dir name)
+          else if tag = Compiled.tag_truncate then
+            span_or_error t (Fs.Memfs.truncate_in m dir name ~size:arg1.(i))
+          else span_or_error t (Fs.Memfs.unlink_in m dir name)
+        | None -> apply t (Compiled.record c i)
+      end
+      | Disk_fs _ -> apply t (Compiled.record c i)
+    in
+    incr ops;
+    busy := Time.span_add !busy span;
+    let us = Time.span_to_us span in
+    if Probe.timeline_enabled () then
+      Probe.span ~name:tag_label.(tag) ~cat:"op"
+        ~args:[ ("file", string_of_int files.(i)) ]
+        ~start:op_start ~finish:(Time.add op_start span) ();
+    if tag = Compiled.tag_read then begin
+      Stat.Summary.observe read_latency us;
+      Stat.Histogram.observe read_hist_us us;
+      Probe.observe p_read_us us;
+      Probe.observe_hist ph_read_us us
+    end
+    else if tag = Compiled.tag_write then begin
+      Stat.Summary.observe write_latency us;
+      Stat.Histogram.observe write_hist_us us;
+      Probe.observe p_write_us us;
+      Probe.observe_hist ph_write_us us
+    end
+    else begin
+      Stat.Summary.observe meta_latency us;
+      Probe.observe p_meta_us us
+    end;
+    Engine.run_until t.engine (Time.add (Engine.now t.engine) span)
+  done;
+  Engine.run_until t.engine (Time.add !last_at drain);
+  accounting_done := true;
+  account t;
+  let elapsed = Time.diff (Engine.now t.engine) started in
+  let manager_stats = Option.map Storage.Manager.stats t.manager in
+  let lifetime_years =
+    match (t.manager, t.flash, manager_stats) with
+    | Some m, Some f, Some stats ->
+      Some
+        (Lifetime.of_run ~flash:f ~stats ~evenness:(Storage.Manager.wear_evenness m)
+           ~elapsed)
+    | _ -> None
+  in
+  {
+    ops_applied = !ops;
+    op_errors = t.errors;
+    elapsed;
+    busy = !busy;
+    read_latency;
+    write_latency;
+    meta_latency;
+    read_hist_us;
+    write_hist_us;
+    energy_j = total_energy t;
+    battery_fraction_left = Device.Battery.fraction_remaining t.battery;
+    manager_stats;
+    lifetime_years;
+    fault_log = List.rev !fault_log;
+  }
 
 (* --- Multi-seed replication --------------------------------------------------- *)
 

@@ -115,6 +115,23 @@ val run :
   result
 (** [run_seq] over a materialized trace. *)
 
+val run_compiled :
+  ?drain:Sim.Time.span ->
+  ?faults:Sim.Fault.schedule ->
+  t ->
+  Trace.Replay.Compiled.t ->
+  result
+(** {!run_seq} over a pre-lowered trace ({!Trace.Replay.Compiled}): the
+    raw-speed replay path.  Dispatch is pre-resolved — flat array indexing
+    instead of per-record variant matching, and a pinned route to ["/data"]
+    instead of per-record path formatting and parsing — but every device
+    charge, probe observation, and statistic is issued in exactly the order
+    the interpreted driver issues them, so the result (and all headline
+    metrics) is byte-identical to [run_seq] on the same trace.  Records the
+    route cannot serve (disk-backed machines, files outside ["/data"]) fall
+    back to the interpreted {!apply} per record; a mid-run cold restart
+    invalidates and transparently rebuilds the route. *)
+
 val pp_result : Format.formatter -> result -> unit
 
 (** {1 Multi-seed replication}

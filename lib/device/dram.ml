@@ -4,6 +4,8 @@ type t = {
   spec : Specs.dram_spec;
   size_bytes : int;
   battery_backed : bool;
+  active_w : float; (* constant for a fixed geometry; hoisted out of [access] *)
+  refresh_w : float;
   meter : Power.Meter.t;
   reads : Stat.Counter.t;
   writes : Stat.Counter.t;
@@ -17,6 +19,10 @@ let create ?(spec = Specs.nec_dram) ~size_bytes ~battery_backed () =
     spec;
     size_bytes;
     battery_backed;
+    active_w =
+      Power.watts_of_mw (spec.Specs.d_active_mw_per_mb *. Units.to_mib size_bytes);
+    refresh_w =
+      Power.watts_of_mw (spec.Specs.d_refresh_mw_per_mb *. Units.to_mib size_bytes);
     meter = Power.Meter.create ~label:"dram";
     reads = Stat.Counter.create ();
     writes = Stat.Counter.create ();
@@ -28,15 +34,9 @@ let size_bytes t = t.size_bytes
 let battery_backed t = t.battery_backed
 let spec t = t.spec
 
-let active_watts t =
-  Power.watts_of_mw (t.spec.Specs.d_active_mw_per_mb *. Units.to_mib t.size_bytes)
-
-let refresh_watts t =
-  Power.watts_of_mw (t.spec.Specs.d_refresh_mw_per_mb *. Units.to_mib t.size_bytes)
-
 let access t cost ~bytes ops traffic =
   let d = Specs.access_time cost ~bytes in
-  Power.Meter.charge_power t.meter ~watts:(active_watts t) d;
+  Power.Meter.charge_power t.meter ~watts:t.active_w d;
   Stat.Counter.incr ops;
   Stat.Counter.add traffic bytes;
   d
@@ -56,8 +56,7 @@ let write t ~bytes =
   Probe.add p_bytes_written bytes;
   access t t.spec.Specs.d_write ~bytes t.writes t.bytes_written
 
-let charge_idle t d =
-  Power.Meter.charge_background t.meter ~watts:(refresh_watts t) d
+let charge_idle t d = Power.Meter.charge_background t.meter ~watts:t.refresh_w d
 
 let meter t = t.meter
 let reads t = Stat.Counter.value t.reads

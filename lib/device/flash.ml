@@ -23,6 +23,8 @@ type sector_state = {
 type t = {
   cfg : config;
   endurance : int;
+  active_w : float; (* constant for a fixed geometry; hoisted out of [service] *)
+  idle_w : float;
   sectors : sector_state array;
   bank_busy : Time.t array;
   meter : Power.Meter.t;
@@ -40,8 +42,12 @@ let create cfg =
   if cfg.nbanks <= 0 || cfg.sectors_per_bank <= 0 then
     invalid_arg "Flash.create: empty geometry";
   let n = cfg.nbanks * cfg.sectors_per_bank in
+  let bytes = n * cfg.spec.Specs.f_sector_bytes in
   {
     cfg;
+    active_w =
+      Power.watts_of_mw (cfg.spec.Specs.f_active_mw_per_mb *. Units.to_mib bytes);
+    idle_w = Power.watts_of_mw (cfg.spec.Specs.f_idle_mw_per_mb *. Units.to_mib bytes);
     endurance =
       (match cfg.endurance_override with
       | Some e ->
@@ -88,10 +94,6 @@ let state t sector =
   if sector < 0 || sector >= nsectors t then invalid_arg "Flash: sector out of range";
   t.sectors.(sector)
 
-let active_watts t =
-  Power.watts_of_mw
-    (t.cfg.spec.Specs.f_active_mw_per_mb *. Units.to_mib (size_bytes t))
-
 let op_name = function
   | `Read -> "flash.read"
   | `Program -> "flash.program"
@@ -114,7 +116,7 @@ let service t ~now ~sector ~op dur =
     Probe.span ~name:(op_name op) ~cat:"flash" ~tid:bank
       ~args:[ ("sector", string_of_int sector) ]
       ~start ~finish ();
-  Power.Meter.charge_power t.meter ~watts:(active_watts t) dur;
+  Power.Meter.charge_power t.meter ~watts:t.active_w dur;
   { start; finish }
 
 let check_bytes t bytes =
@@ -189,10 +191,7 @@ let wear_summary t =
 
 let meter t = t.meter
 
-let idle_watts t =
-  Power.watts_of_mw (t.cfg.spec.Specs.f_idle_mw_per_mb *. Units.to_mib (size_bytes t))
-
-let charge_idle t d = Power.Meter.charge_background t.meter ~watts:(idle_watts t) d
+let charge_idle t d = Power.Meter.charge_background t.meter ~watts:t.idle_w d
 let reads t = Stat.Counter.value t.c_reads
 let programs t = Stat.Counter.value t.c_programs
 let erases t = Stat.Counter.value t.c_erases

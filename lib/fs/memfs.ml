@@ -138,36 +138,73 @@ let block_bytes t = Storage.Manager.block_bytes t.manager
 let p_writes = Sim.Probe.counter "fs.memfs.writes"
 let p_reads = Sim.Probe.counter "fs.memfs.reads"
 
+(* Op bodies shared by the path-resolving entry points and the
+   pre-resolved routes below: everything after the leaf lookup, with the
+   walk's charge threaded in. *)
+
+let write_body t f ~offset ~bytes ~charge =
+  if bytes > 0 then begin
+    let bs = block_bytes t in
+    let first = offset / bs and last = (offset + bytes - 1) / bs in
+    (* Thread completion time through the blocks: each access issues when
+       its predecessor finished. *)
+    let start = Sim.Engine.now (Storage.Manager.engine t.manager) in
+    let cursor = ref (Time.add start !charge) in
+    for i = first to last do
+      let b =
+        let b = Blockmap.find f.map i in
+        if b <> Blockmap.no_block then b
+        else begin
+          let b = Storage.Manager.alloc t.manager in
+          Blockmap.set f.map i b;
+          b
+        end
+      in
+      cursor := Storage.Manager.write_block_at t.manager ~at:!cursor b
+    done;
+    charge := Time.diff !cursor start;
+    f.size <- max f.size (offset + bytes)
+  end;
+  charge := Time.span_add !charge (meta_write t);
+  Ok !charge
+
+let read_body t f ~offset ~bytes ~charge =
+  let bytes = max 0 (min bytes (f.size - offset)) in
+  if bytes > 0 then begin
+    let bs = block_bytes t in
+    let first = offset / bs and last = (offset + bytes - 1) / bs in
+    let start = Sim.Engine.now (Storage.Manager.engine t.manager) in
+    let cursor = ref (Time.add start !charge) in
+    for i = first to last do
+      (* How much of this block the range covers. *)
+      let lo = max offset (i * bs) and hi = min (offset + bytes) ((i + 1) * bs) in
+      let n = hi - lo in
+      let b = Blockmap.find f.map i in
+      if b <> Blockmap.no_block then
+        cursor := Storage.Manager.read_block_at ~bytes:n t.manager ~at:!cursor b
+      else
+        cursor :=
+          Time.add !cursor (Device.Dram.read (Storage.Manager.dram t.manager) ~bytes:n)
+    done;
+    charge := Time.diff !cursor start
+  end;
+  Ok !charge
+
+let truncate_body t f ~size ~charge =
+  let bs = block_bytes t in
+  let keep = Units.ceil_div size bs in
+  List.iter (Storage.Manager.free_block t.manager) (Blockmap.crop f.map keep);
+  f.size <- min f.size size;
+  charge := Time.span_add !charge (meta_write t);
+  Ok !charge
+
 let write t path ~offset ~bytes =
   if offset < 0 || bytes < 0 then Error Fs_error.Einval
   else begin
     Sim.Probe.incr p_writes;
     let charge = ref Time.span_zero in
     let* f = lookup_file t path ~charge in
-    if bytes > 0 then begin
-      let bs = block_bytes t in
-      let first = offset / bs and last = (offset + bytes - 1) / bs in
-      (* Thread completion time through the blocks: each access issues when
-         its predecessor finished. *)
-      let start = Sim.Engine.now (Storage.Manager.engine t.manager) in
-      let cursor = ref (Time.add start !charge) in
-      for i = first to last do
-        let b =
-          let b = Blockmap.find f.map i in
-          if b <> Blockmap.no_block then b
-          else begin
-            let b = Storage.Manager.alloc t.manager in
-            Blockmap.set f.map i b;
-            b
-          end
-        in
-        cursor := Storage.Manager.write_block_at t.manager ~at:!cursor b
-      done;
-      charge := Time.diff !cursor start;
-      f.size <- max f.size (offset + bytes)
-    end;
-    charge := Time.span_add !charge (meta_write t);
-    Ok !charge
+    write_body t f ~offset ~bytes ~charge
   end
 
 let read t path ~offset ~bytes =
@@ -176,26 +213,7 @@ let read t path ~offset ~bytes =
     Sim.Probe.incr p_reads;
     let charge = ref Time.span_zero in
     let* f = lookup_file t path ~charge in
-    let bytes = max 0 (min bytes (f.size - offset)) in
-    if bytes > 0 then begin
-      let bs = block_bytes t in
-      let first = offset / bs and last = (offset + bytes - 1) / bs in
-      let start = Sim.Engine.now (Storage.Manager.engine t.manager) in
-      let cursor = ref (Time.add start !charge) in
-      for i = first to last do
-        (* How much of this block the range covers. *)
-        let lo = max offset (i * bs) and hi = min (offset + bytes) ((i + 1) * bs) in
-        let n = hi - lo in
-        let b = Blockmap.find f.map i in
-        if b <> Blockmap.no_block then
-          cursor := Storage.Manager.read_block_at ~bytes:n t.manager ~at:!cursor b
-        else
-          cursor :=
-            Time.add !cursor (Device.Dram.read (Storage.Manager.dram t.manager) ~bytes:n)
-      done;
-      charge := Time.diff !cursor start
-    end;
-    Ok !charge
+    read_body t f ~offset ~bytes ~charge
   end
 
 let truncate t path ~size =
@@ -203,12 +221,7 @@ let truncate t path ~size =
   else begin
     let charge = ref Time.span_zero in
     let* f = lookup_file t path ~charge in
-    let bs = block_bytes t in
-    let keep = Units.ceil_div size bs in
-    List.iter (Storage.Manager.free_block t.manager) (Blockmap.crop f.map keep);
-    f.size <- min f.size size;
-    charge := Time.span_add !charge (meta_write t);
-    Ok !charge
+    truncate_body t f ~size ~charge
   end
 
 (* Is [dst] inside the subtree rooted at [src]?  (Moving a directory into
@@ -310,6 +323,100 @@ let preload t path ~size =
     f.size <- size;
     Ok ()
   end
+
+(* --- Pre-resolved routes (compiled replay) --------------------------------
+
+   A route pins a file's parent directory table so the hot replay loop
+   skips path formatting, parsing, and the per-component string lookups —
+   while charging exactly what the path-based walk charges (one metadata
+   read per component plus one for the leaf) and still looking the leaf up
+   on every operation (files come and go mid-trace).  Resolving the route
+   itself is side-effect-free setup: no metadata charges, so building or
+   rebuilding routes mid-run (after a cold restart) cannot perturb the
+   device meters. *)
+
+type dirh = { parent : (string, node) Hashtbl.t; depth : int }
+
+let route t dirpath =
+  let* components = Path.parse dirpath in
+  let rec go table = function
+    | [] -> Ok { parent = table; depth = List.length components }
+    | name :: rest -> begin
+      match Hashtbl.find_opt table name with
+      | Some (Dir sub) -> go sub rest
+      | Some (File _) -> Error Fs_error.Enotdir
+      | None -> Error Fs_error.Enoent
+    end
+  in
+  go t.root components
+
+(* The walk's charges, without the walk. *)
+let resolve_in t (d : dirh) name ~charge =
+  let c = ref !charge in
+  for _ = 1 to d.depth do
+    c := Time.span_add !c (meta_read t)
+  done;
+  c := Time.span_add !c (meta_read t);
+  charge := !c;
+  Hashtbl.find_opt d.parent name
+
+let create_in t d name =
+  let charge = ref Time.span_zero in
+  match resolve_in t d name ~charge with
+  | Some _ -> Error Fs_error.Eexist
+  | None ->
+    Hashtbl.replace d.parent name (File { size = 0; map = Blockmap.create () });
+    t.files <- t.files + 1;
+    Ok (Time.span_add !charge (meta_write t))
+
+let exists_in t d name =
+  (* Like [exists], the walk's device charges land but the span is the
+     caller's to discard. *)
+  let charge = ref Time.span_zero in
+  match resolve_in t d name ~charge with Some _ -> true | None -> false
+
+let write_in t d name ~offset ~bytes =
+  if offset < 0 || bytes < 0 then Error Fs_error.Einval
+  else begin
+    Sim.Probe.incr p_writes;
+    let charge = ref Time.span_zero in
+    match resolve_in t d name ~charge with
+    | None -> Error Fs_error.Enoent
+    | Some (Dir _) -> Error Fs_error.Eisdir
+    | Some (File f) -> write_body t f ~offset ~bytes ~charge
+  end
+
+let read_in t d name ~offset ~bytes =
+  if offset < 0 || bytes < 0 then Error Fs_error.Einval
+  else begin
+    Sim.Probe.incr p_reads;
+    let charge = ref Time.span_zero in
+    match resolve_in t d name ~charge with
+    | None -> Error Fs_error.Enoent
+    | Some (Dir _) -> Error Fs_error.Eisdir
+    | Some (File f) -> read_body t f ~offset ~bytes ~charge
+  end
+
+let truncate_in t d name ~size =
+  if size < 0 then Error Fs_error.Einval
+  else begin
+    let charge = ref Time.span_zero in
+    match resolve_in t d name ~charge with
+    | None -> Error Fs_error.Enoent
+    | Some (Dir _) -> Error Fs_error.Eisdir
+    | Some (File f) -> truncate_body t f ~size ~charge
+  end
+
+let unlink_in t d name =
+  let charge = ref Time.span_zero in
+  match resolve_in t d name ~charge with
+  | None -> Error Fs_error.Enoent
+  | Some (Dir _) -> Error Fs_error.Eisdir
+  | Some (File f) ->
+    Blockmap.iter_live (Storage.Manager.free_block t.manager) f.map;
+    Hashtbl.remove d.parent name;
+    t.files <- t.files - 1;
+    Ok (Time.span_add !charge (meta_write t))
 
 let enumerate t =
   let acc = ref [] in

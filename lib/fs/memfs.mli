@@ -93,4 +93,33 @@ val check : t -> (unit, string) result
     the namespace cannot reach — i.e. no leaks and no double use.  O(files
     + blocks); used by the test suite after random operation sequences. *)
 
+(** {2 Pre-resolved routes}
+
+    The compiled-replay fast path: a {!dirh} pins a directory table once,
+    and the [_in] operations act on a leaf name under it — skipping path
+    formatting, parsing, and per-component table lookups while charging
+    exactly what the path-based walk charges (one metadata read per
+    component, one for the leaf) and still resolving the leaf on every
+    call, since files come and go mid-trace.  A route dies with its file
+    system: rebuild after anything that replaces [t] (cold restart). *)
+
+type dirh
+(** A resolved directory under which leaves are addressed by name. *)
+
+val route : t -> string -> (dirh, Fs_error.t) result
+(** Resolve a directory path to a route.  Side-effect-free setup: charges
+    nothing to the device meters, so routes can be (re)built mid-run. *)
+
+val create_in : t -> dirh -> string -> (Vfs.span, Fs_error.t) result
+val exists_in : t -> dirh -> string -> bool
+
+val write_in :
+  t -> dirh -> string -> offset:int -> bytes:int -> (Vfs.span, Fs_error.t) result
+
+val read_in :
+  t -> dirh -> string -> offset:int -> bytes:int -> (Vfs.span, Fs_error.t) result
+
+val truncate_in : t -> dirh -> string -> size:int -> (Vfs.span, Fs_error.t) result
+val unlink_in : t -> dirh -> string -> (Vfs.span, Fs_error.t) result
+
 include Vfs.S with type t := t

@@ -6,10 +6,25 @@ let valid_name name =
 let parse s =
   if String.length s = 0 || s.[0] <> '/' then Error Fs_error.Einval
   else begin
-    let components =
-      String.split_on_char '/' s |> List.filter (fun c -> c <> "")
-    in
-    if List.for_all valid_name components then Ok components else Error Fs_error.Einval
+    (* One right-to-left pass building the component list in order —
+       equivalent to split-on-'/' + drop empties + validate, without the
+       intermediate lists (this runs once per replayed record).  A
+       component cannot contain '/' by construction, so validity reduces
+       to rejecting "." and "..". *)
+    let ok = ref true in
+    let acc = ref [] in
+    let stop = ref (String.length s) in
+    for i = String.length s - 1 downto 0 do
+      if String.unsafe_get s i = '/' then begin
+        if !stop > i + 1 then begin
+          let c = String.sub s (i + 1) (!stop - i - 1) in
+          if c = "." || c = ".." then ok := false;
+          acc := c :: !acc
+        end;
+        stop := i
+      end
+    done;
+    if !ok then Ok !acc else Error Fs_error.Einval
   end
 
 let to_string = function

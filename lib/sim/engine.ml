@@ -5,8 +5,25 @@ type t = {
 
 and callback = t -> unit
 
-let create () = { clock = Time.zero; agenda = Event_queue.create () }
+(* The agenda structure for engines that don't pick one explicitly:
+   SSMC_QUEUE=heap|wheel|checked, defaulting to the wheel (the heap stays
+   the reference; CI pins the experiments byte-identical across all
+   three). *)
+let default_queue =
+  lazy
+    (match Option.map String.lowercase_ascii (Sys.getenv_opt "SSMC_QUEUE") with
+    | Some "heap" -> Event_queue.Heap
+    | Some "wheel" | None -> Event_queue.Wheel
+    | Some "checked" -> Event_queue.Checked
+    | Some other ->
+      Fmt.invalid_arg "SSMC_QUEUE=%s (expected heap, wheel, or checked)" other)
+
+let create ?queue () =
+  let kind = match queue with Some k -> k | None -> Lazy.force default_queue in
+  { clock = Time.zero; agenda = Event_queue.create ~kind () }
+
 let now t = t.clock
+let queue_kind t = Event_queue.kind t.agenda
 
 let schedule t ~at f =
   if Time.( < ) at t.clock then invalid_arg "Engine.schedule: instant in the past";
@@ -16,42 +33,55 @@ let schedule_after t ~after f = schedule t ~at:(Time.add t.clock after) f
 
 let schedule_every t ~every ?until f =
   if Time.span_to_ns every = 0 then invalid_arg "Engine.schedule_every: zero period";
+  let within at = match until with None -> true | Some limit -> Time.( <= ) at limit in
+  (* Decide before scheduling, not when the tick fires: the old shape
+     enqueued one phantom event a full period past [until], which kept a
+     drained run's clock (and whatever idle accounting hangs off it)
+     running beyond the requested window. *)
   let rec fire engine =
-    let stop =
-      match until with None -> false | Some limit -> Time.( < ) limit engine.clock
-    in
-    if not stop then begin
-      f engine;
-      ignore (schedule_after engine ~after:every fire)
-    end
+    f engine;
+    let next = Time.add engine.clock every in
+    if within next then ignore (schedule engine ~at:next fire)
   in
-  ignore (schedule_after t ~after:every fire)
+  let first = Time.add t.clock every in
+  if within first then ignore (schedule t ~at:first fire)
 
 let cancel t handle = Event_queue.cancel t.agenda handle
 
 (* The innermost simulation loop: peek the timestamp (an unboxed int), then
-   take the payload, so delivering an event allocates nothing. *)
+   take the payload, so delivering an event allocates nothing.  Events
+   sharing a timestamp are delivered as one batch — the clock is written
+   once per group, and the wheel extracts the whole group in one touch
+   (callbacks scheduling more work at the current instant extend the
+   batch, preserving per-event semantics). *)
+let deliver_group t at =
+  t.clock <- at;
+  let more = ref true in
+  while !more do
+    let f = Event_queue.pop_exn t.agenda in
+    f t;
+    if
+      Event_queue.is_empty t.agenda
+      || not (Time.equal (Event_queue.peek_time_exn t.agenda) at)
+    then more := false
+  done
+
 let step t =
   if Event_queue.is_empty t.agenda then false
   else begin
-    let at = Event_queue.peek_time_exn t.agenda in
-    let f = Event_queue.pop_exn t.agenda in
-    t.clock <- at;
-    f t;
+    deliver_group t (Event_queue.peek_time_exn t.agenda);
     true
   end
 
 let run_until t limit =
-  let rec go () =
-    if
-      (not (Event_queue.is_empty t.agenda))
-      && Time.( <= ) (Event_queue.peek_time_exn t.agenda) limit
-    then begin
-      ignore (step t);
-      go ()
+  let running = ref true in
+  while !running do
+    if Event_queue.is_empty t.agenda then running := false
+    else begin
+      let at = Event_queue.peek_time_exn t.agenda in
+      if Time.( <= ) at limit then deliver_group t at else running := false
     end
-  in
-  go ();
+  done;
   if Time.( < ) t.clock limit then t.clock <- limit
 
 let run t = while step t do () done

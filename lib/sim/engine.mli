@@ -7,11 +7,17 @@
 
 type t
 
-val create : unit -> t
-(** A fresh engine with the clock at {!Time.zero} and an empty agenda. *)
+val create : ?queue:Event_queue.kind -> unit -> t
+(** A fresh engine with the clock at {!Time.zero} and an empty agenda.
+    [queue] picks the agenda structure (see {!Event_queue.kind}); when
+    omitted it comes from the [SSMC_QUEUE] environment variable
+    ([heap]/[wheel]/[checked]), defaulting to [Wheel]. *)
 
 val now : t -> Time.t
 (** The current simulated instant. *)
+
+val queue_kind : t -> Event_queue.kind
+(** The agenda structure this engine runs on. *)
 
 val schedule : t -> at:Time.t -> (t -> unit) -> Event_queue.handle
 (** Schedule a callback at an absolute instant.
@@ -22,15 +28,19 @@ val schedule_after : t -> after:Time.span -> (t -> unit) -> Event_queue.handle
 
 val schedule_every :
   t -> every:Time.span -> ?until:Time.t -> (t -> unit) -> unit
-(** Schedule a callback periodically, first firing one period from now and
-    stopping after [until] (or never, if unspecified).
+(** Schedule a callback periodically, first firing one period from now.
+    [until] is inclusive: a tick landing exactly on it fires, later ticks
+    are never enqueued (the agenda holds nothing past [until], so a
+    drained run's clock stops at the last tick).
     @raise Invalid_argument if [every] is zero. *)
 
 val cancel : t -> Event_queue.handle -> unit
 
 val step : t -> bool
-(** Execute the earliest pending event.  Returns [false] if the agenda was
-    empty (and the clock did not move). *)
+(** Execute every event at the earliest pending instant (one clock write
+    per same-timestamp group, including events the callbacks add at that
+    instant).  Returns [false] if the agenda was empty (and the clock did
+    not move). *)
 
 val run_until : t -> Time.t -> unit
 (** Execute every event scheduled strictly before or at the given instant,

@@ -2,17 +2,37 @@
 
     Events with equal timestamps are delivered in insertion order (FIFO),
     which keeps simulations deterministic.  Events can be cancelled in O(1)
-    (lazy deletion). *)
+    (lazy deletion).
+
+    Two interchangeable structures implement the queue, selected at
+    creation: a binary min-heap (the reference: O(log n), no insertion
+    constraints) and a hierarchical {!Timing_wheel} (O(1) for the
+    near-FIFO instant distributions replay produces, but adds must not
+    land before the last popped instant — the engine's scheduling rule
+    already guarantees that).  [Checked] runs both over physically shared
+    entries and fails loudly if they ever disagree on a delivery — the
+    same differential pattern [Storage.Manager] uses for its index. *)
 
 type 'a t
 
 type handle
 (** Identifies a scheduled event for cancellation. *)
 
-val create : unit -> 'a t
+type kind = Heap | Wheel | Checked
+
+val kind_name : kind -> string
+
+val create : ?kind:kind -> unit -> 'a t
+(** A fresh queue; [kind] defaults to [Heap], which accepts adds at any
+    instant.  Choose [Wheel] (or [Checked]) only for engine-shaped
+    workloads where instants never precede the last delivery. *)
+
+val kind : 'a t -> kind
 
 val add : 'a t -> at:Time.t -> 'a -> handle
-(** Schedule a payload at an instant. *)
+(** Schedule a payload at an instant.
+    @raise Invalid_argument under [Wheel]/[Checked] if [at] precedes the
+    instant of the last popped event. *)
 
 val cancel : 'a t -> handle -> unit
 (** Cancelling an already-fired or already-cancelled event is a no-op. *)
@@ -44,3 +64,6 @@ val length : 'a t -> int
 val is_empty : 'a t -> bool
 
 val clear : 'a t -> unit
+(** Drop every pending event (and the queue's references to their
+    payloads), and reset the FIFO tie-break counter so a reused queue
+    reproduces a fresh one's delivery order exactly. *)

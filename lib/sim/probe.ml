@@ -9,15 +9,54 @@
    state once in a global list so [snapshot_all]/[reset_all] can merge or
    clear everything when the harness knows all workers are idle. *)
 
-type counter = string
-type gauge = string
-type summary = string
-type histogram = string
+(* A handle interns its name into a process-wide dense id when it is
+   created (module-load time in practice).  Recording through a handle
+   resolves id -> per-domain cell by array index: the enabled path costs
+   an array load and a tag check, never a string hash.  The intern table
+   is only touched at handle creation and snapshot time, both cold. *)
+type handle = { id : int; h_name : string }
 
-let counter name = name
-let gauge name = name
-let summary name = name
-let histogram name = name
+type counter = handle
+type gauge = handle
+type summary = handle
+type histogram = handle
+
+let intern_mu = Mutex.create ()
+let intern_ids : (string, int) Hashtbl.t = Hashtbl.create 64
+let intern_names : string array ref = ref (Array.make 64 "")
+let intern_count = ref 0
+
+let handle name =
+  Mutex.lock intern_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock intern_mu)
+    (fun () ->
+      match Hashtbl.find_opt intern_ids name with
+      | Some id -> { id; h_name = name }
+      | None ->
+        let id = !intern_count in
+        incr intern_count;
+        if id >= Array.length !intern_names then begin
+          let bigger = Array.make (2 * Array.length !intern_names) "" in
+          Array.blit !intern_names 0 bigger 0 id;
+          intern_names := bigger
+        end;
+        !intern_names.(id) <- name;
+        Hashtbl.add intern_ids name id;
+        { id; h_name = name })
+
+(* The name for a dense id, for snapshots.  Taken under the intern mutex:
+   ids below [intern_count] are fully published once the lock is held. *)
+let name_of_id id =
+  Mutex.lock intern_mu;
+  let n = !intern_names.(id) in
+  Mutex.unlock intern_mu;
+  n
+
+let counter = handle
+let gauge = handle
+let summary = handle
+let histogram = handle
 
 let metrics_on = Atomic.make false
 let timeline_on = Atomic.make false
@@ -36,7 +75,12 @@ type scell = {
   mutable vmax : float;
 }
 
-type cell = Ccell of ccell | Gcell of gcell | Scell of scell | Hcell of Stat.Histogram.t
+type cell =
+  | Empty  (** Slot allocated but this domain never touched the metric. *)
+  | Ccell of ccell
+  | Gcell of gcell
+  | Scell of scell
+  | Hcell of Stat.Histogram.t
 
 type event = {
   ev_name : string;
@@ -52,7 +96,7 @@ type event = {
 let max_events = 2_000_000
 
 type state = {
-  cells : (string, cell) Hashtbl.t;
+  mutable cells : cell array;  (** Indexed by handle id. *)
   mutable events : event list;
   mutable nevents : int;
   mutable dropped : int;
@@ -64,7 +108,7 @@ let registry_mu = Mutex.create ()
 let dls_key =
   Domain.DLS.new_key (fun () ->
       let st =
-        { cells = Hashtbl.create 64; events = []; nevents = 0; dropped = 0 }
+        { cells = Array.make 64 Empty; events = []; nevents = 0; dropped = 0 }
       in
       Mutex.lock registry_mu;
       registry := st :: !registry;
@@ -73,78 +117,86 @@ let dls_key =
 
 let state () = Domain.DLS.get dls_key
 
-(* Cells are interned per domain on first touch.  A name is expected to keep
-   one kind for the whole process; a clash is an instrumentation bug and
-   fails loudly rather than miscounting. *)
+(* A name is expected to keep one kind for the whole process; a clash is an
+   instrumentation bug and fails loudly rather than miscounting. *)
 let kind_clash name =
   invalid_arg (Printf.sprintf "Probe: metric %S used with two kinds" name)
 
-let ccell st name =
-  match Hashtbl.find_opt st.cells name with
-  | Some (Ccell c) -> c
-  | Some _ -> kind_clash name
-  | None ->
+let[@inline never] grow_cells st id =
+  let bigger = Array.make (Stdlib.max (2 * Array.length st.cells) (id + 1)) Empty in
+  Array.blit st.cells 0 bigger 0 (Array.length st.cells);
+  st.cells <- bigger
+
+let slot st (h : handle) =
+  if h.id >= Array.length st.cells then grow_cells st h.id;
+  Array.unsafe_get st.cells h.id
+
+let ccell st (h : counter) =
+  match slot st h with
+  | Ccell c -> c
+  | Empty ->
     let c = { c = 0 } in
-    Hashtbl.add st.cells name (Ccell c);
+    st.cells.(h.id) <- Ccell c;
     c
+  | _ -> kind_clash h.h_name
 
-let gcell st name =
-  match Hashtbl.find_opt st.cells name with
-  | Some (Gcell g) -> g
-  | Some _ -> kind_clash name
-  | None ->
+let gcell st (h : gauge) =
+  match slot st h with
+  | Gcell g -> g
+  | Empty ->
     let g = { g = 0.0 } in
-    Hashtbl.add st.cells name (Gcell g);
+    st.cells.(h.id) <- Gcell g;
     g
+  | _ -> kind_clash h.h_name
 
-let scell st name =
-  match Hashtbl.find_opt st.cells name with
-  | Some (Scell s) -> s
-  | Some _ -> kind_clash name
-  | None ->
+let scell st (h : summary) =
+  match slot st h with
+  | Scell s -> s
+  | Empty ->
     let s = { n = 0; sum = 0.0; vmin = infinity; vmax = neg_infinity } in
-    Hashtbl.add st.cells name (Scell s);
+    st.cells.(h.id) <- Scell s;
     s
+  | _ -> kind_clash h.h_name
 
-let hcell st name =
-  match Hashtbl.find_opt st.cells name with
-  | Some (Hcell h) -> h
-  | Some _ -> kind_clash name
-  | None ->
-    let h = Stat.Histogram.create () in
-    Hashtbl.add st.cells name (Hcell h);
-    h
+let hcell st (h : histogram) =
+  match slot st h with
+  | Hcell hist -> hist
+  | Empty ->
+    let hist = Stat.Histogram.create () in
+    st.cells.(h.id) <- Hcell hist;
+    hist
+  | _ -> kind_clash h.h_name
 
-let incr name =
+let incr h =
   if Atomic.get metrics_on then begin
-    let c = ccell (state ()) name in
+    let c = ccell (state ()) h in
     c.c <- c.c + 1
   end
 
-let add name k =
+let add h k =
   if Atomic.get metrics_on then begin
-    let c = ccell (state ()) name in
+    let c = ccell (state ()) h in
     c.c <- c.c + k
   end
 
-let set name v =
+let set h v =
   if Atomic.get metrics_on then begin
-    let g = gcell (state ()) name in
+    let g = gcell (state ()) h in
     g.g <- v
   end
 
-let observe name v =
+let observe h v =
   if Atomic.get metrics_on then begin
-    let s = scell (state ()) name in
+    let s = scell (state ()) h in
     s.n <- s.n + 1;
     s.sum <- s.sum +. v;
     if v < s.vmin then s.vmin <- v;
     if v > s.vmax then s.vmax <- v
   end
 
-let observe_hist name v =
+let observe_hist h v =
   if Atomic.get metrics_on then
-    Stat.Histogram.observe (hcell (state ()) name) v
+    Stat.Histogram.observe (hcell (state ()) h) v
 
 let push_event st ev =
   if st.nevents >= max_events then st.dropped <- st.dropped + 1
@@ -315,23 +367,27 @@ module Snapshot = struct
 end
 
 let snapshot_state st =
-  Hashtbl.fold
-    (fun name cell acc ->
+  let acc = ref [] in
+  for id = Array.length st.cells - 1 downto 0 do
+    match st.cells.(id) with
+    | Empty -> ()
+    | cell ->
       let v =
         match cell with
+        | Empty -> assert false
         | Ccell { c } -> Snapshot.Counter c
         | Gcell { g } -> Snapshot.Gauge g
         | Scell { n; sum; vmin; vmax } -> Snapshot.Summary { n; sum; vmin; vmax }
         | Hcell h -> Snapshot.Histogram (Stat.Histogram.buckets h)
       in
-      (name, v) :: acc)
-    st.cells []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      acc := (name_of_id id, v) :: !acc
+  done;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
 
 let snapshot () = snapshot_state (state ())
 
 let reset_state st =
-  Hashtbl.reset st.cells;
+  Array.fill st.cells 0 (Array.length st.cells) Empty;
   st.events <- [];
   st.nevents <- 0;
   st.dropped <- 0

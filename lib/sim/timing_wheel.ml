@@ -1,0 +1,312 @@
+(* Hierarchical timing wheel: the O(1) agenda behind Event_queue's [Wheel]
+   kind.  See the interface for the contract; the shape of the structure:
+
+   13 levels of 32 slots each.  A pending entry lives at the level indexed
+   by the highest 5-bit group in which its instant differs from [cursor]
+   (the time of the last extracted batch), in the slot given by those bits
+   of the instant.  Because every pending instant is >= cursor and the
+   cursor only advances to instants that are still pending, all entries in
+   one slot agree on every bit above the slot's level — so slots within a
+   level are ordered by index, and a level-0 slot holds exactly one
+   timestamp.  Popping the minimum therefore extracts a whole
+   same-timestamp batch at once, which is what Engine's group delivery
+   consumes.
+
+   Two operations mutate placement:
+   - [pop_exn] advances the cursor to the minimum pending instant and
+     cascades the one slot per level whose window contains it down to the
+     levels below (each entry cascades at most [levels] times over its
+     life, so adds and pops are O(1) amortized).
+   - [add] appends to a slot and never touches the rest of the structure.
+
+   [peek_exn] is deliberately non-destructive: replay drivers peek an
+   instant beyond their window, walk away, and then schedule *earlier*
+   events — advancing the cursor on peek would put those adds in the past.
+   Peeks take the minimum over the lowest occupied slot of each level,
+   each slot answering from a cached minimum entry ([min_e]) that pushes
+   keep exact from the moment the slot first fills; only a cancellation
+   landing on the cached entry forces a rescan of that one slot.  Without
+   the cache, the lowest occupied slot of a high level — which can hold a
+   large fraction of everything pending — would be rescanned on every
+   batch extraction, turning pops quadratic. *)
+
+type 'a entry = {
+  at : Time.t;
+  seq : int;
+  payload : 'a;
+  mutable cancelled : bool;
+}
+
+let bits = 5
+let wheel_size = 32
+let slot_mask = wheel_size - 1
+let levels = 13 (* 5 * 13 = 65 bits: covers every non-negative OCaml int *)
+
+(* Vacated array cells are reset to this shared dummy so popped entries —
+   and the payload closures they hold — do not stay reachable from the
+   wheel (the Event_queue heap had exactly that leak).  The dummy's payload
+   is never read: every read goes through [len]/[head_len] bounds. *)
+let shared_dummy : unit entry =
+  { at = Time.zero; seq = min_int; payload = (); cancelled = true }
+
+let dummy : 'a. unit -> 'a entry = fun () -> Obj.magic shared_dummy
+
+(* [min_e] is the slot's live minimum by (at, seq), or the dummy when the
+   slot is empty.  Pushes keep it exact; a cancellation is detected lazily
+   (the cached entry's [cancelled] flag) and triggers a rescan. *)
+type 'a slot = {
+  mutable arr : 'a entry array;
+  mutable len : int;
+  mutable min_e : 'a entry;
+}
+
+type 'a t = {
+  slots : 'a slot array; (* [levels * wheel_size], flattened level-major *)
+  occ : int array; (* per-level bitmap of non-empty slots *)
+  mutable summary : int; (* bitmap of levels with [occ <> 0] *)
+  mutable cursor : int; (* ns of the last extracted batch; adds must be >= *)
+  mutable head : 'a entry array; (* staged batch: one timestamp, seq order *)
+  mutable head_len : int;
+  mutable head_pos : int;
+  mutable cached_min : 'a entry option; (* memoized peek *)
+}
+
+exception Empty
+
+let create () =
+  {
+    slots =
+      Array.init (levels * wheel_size) (fun _ ->
+          { arr = [||]; len = 0; min_e = dummy () });
+    occ = Array.make levels 0;
+    summary = 0;
+    cursor = 0;
+    head = [||];
+    head_len = 0;
+    head_pos = 0;
+    cached_min = None;
+  }
+
+(* Index of the lowest set bit (De Bruijn); [x] must be non-zero and fit
+   32 bits, which covers both the slot bitmaps and the level summary. *)
+let lsb_table =
+  [| 0; 1; 28; 2; 29; 14; 24; 3; 30; 22; 20; 15; 25; 17; 4; 8;
+     31; 27; 13; 23; 21; 19; 16; 7; 26; 12; 18; 6; 11; 5; 10; 9 |]
+
+let lsb_index x = lsb_table.((((x land -x) * 0x077CB531) land 0xFFFFFFFF) lsr 27)
+
+let level_for t at =
+  let rec go x k = if x land lnot slot_mask = 0 then k else go (x lsr bits) (k + 1) in
+  go (at lxor t.cursor) 0
+
+(* Is [e] smaller than [m] in delivery order (at, then seq)? *)
+let entry_lt e m =
+  Time.( < ) e.at m.at || (Time.equal e.at m.at && e.seq < m.seq)
+
+let slot_push s e =
+  let cap = Array.length s.arr in
+  if s.len = cap then begin
+    let narr = Array.make (if cap = 0 then 4 else 2 * cap) (dummy ()) in
+    Array.blit s.arr 0 narr 0 s.len;
+    s.arr <- narr
+  end;
+  s.arr.(s.len) <- e;
+  s.len <- s.len + 1;
+  if s.len = 1 || entry_lt e s.min_e then s.min_e <- e
+
+let place t e =
+  let at = Time.to_ns e.at in
+  let lvl = level_for t at in
+  let s = (at lsr (bits * lvl)) land slot_mask in
+  slot_push t.slots.((lvl * wheel_size) + s) e;
+  t.occ.(lvl) <- t.occ.(lvl) lor (1 lsl s);
+  t.summary <- t.summary lor (1 lsl lvl)
+
+let add t e =
+  if Time.to_ns e.at < t.cursor then
+    invalid_arg "Timing_wheel.add: instant before the wheel cursor";
+  place t e;
+  match t.cached_min with
+  | Some m when Time.( <= ) m.at e.at -> ()
+  | Some _ | None -> t.cached_min <- None
+
+(* Swap-remove cancelled entries so peeks do not re-scan dead weight. *)
+let prune_slot s =
+  let i = ref 0 in
+  while !i < s.len do
+    if s.arr.(!i).cancelled then begin
+      s.len <- s.len - 1;
+      s.arr.(!i) <- s.arr.(s.len);
+      s.arr.(s.len) <- dummy ()
+    end
+    else incr i
+  done
+
+(* Recompute a slot's cached minimum after its previous one was cancelled
+   (pruning the dead weight while here). *)
+let refresh_slot_min s =
+  prune_slot s;
+  if s.len > 0 then begin
+    let m = ref s.arr.(0) in
+    for i = 1 to s.len - 1 do
+      let e = Array.unsafe_get s.arr i in
+      if entry_lt e !m then m := e
+    done;
+    s.min_e <- !m
+  end
+  else s.min_e <- dummy ()
+
+(* The live minimum, without moving the cursor: the candidates are the
+   lowest occupied slot of every level (slots within a level are ordered;
+   windows of different levels can interleave, so each level contributes
+   one candidate).  Each candidate slot answers from [min_e] — O(1) unless
+   a cancellation invalidated it. *)
+let scan_min t =
+  let best = ref None in
+  let lvls = ref t.summary in
+  while !lvls <> 0 do
+    let lvl = lsb_index !lvls in
+    lvls := !lvls land (!lvls - 1);
+    let searching = ref true in
+    while !searching && t.occ.(lvl) <> 0 do
+      let s = lsb_index t.occ.(lvl) in
+      let slot = t.slots.((lvl * wheel_size) + s) in
+      if slot.min_e.cancelled then refresh_slot_min slot;
+      if slot.len = 0 then t.occ.(lvl) <- t.occ.(lvl) land lnot (1 lsl s)
+      else begin
+        (match !best with
+        | Some b when not (entry_lt slot.min_e b) -> ()
+        | Some _ | None -> best := Some slot.min_e);
+        searching := false
+      end
+    done;
+    if t.occ.(lvl) = 0 then t.summary <- t.summary land lnot (1 lsl lvl)
+  done;
+  !best
+
+let ensure_head_cap t n =
+  if Array.length t.head < n then
+    t.head <- Array.make (max 16 (max n (2 * Array.length t.head))) (dummy ())
+
+(* Cascading can interleave seqs within a slot; restore FIFO. *)
+let sort_head t =
+  let unsorted = ref false in
+  for i = 1 to t.head_len - 1 do
+    if t.head.(i - 1).seq > t.head.(i).seq then unsorted := true
+  done;
+  if !unsorted then begin
+    let sub = Array.sub t.head 0 t.head_len in
+    Array.sort (fun a b -> compare a.seq b.seq) sub;
+    Array.blit sub 0 t.head 0 t.head_len
+  end
+
+(* Advance the cursor to [at_ns] (the minimum pending instant) and stage
+   every live entry with that timestamp into [head]. *)
+let extract_batch t at_ns =
+  t.cursor <- at_ns;
+  for lvl = levels - 1 downto 1 do
+    let s = (at_ns lsr (bits * lvl)) land slot_mask in
+    if t.occ.(lvl) land (1 lsl s) <> 0 then begin
+      let slot = t.slots.((lvl * wheel_size) + s) in
+      (* Only cascade the slot whose window contains the new cursor; a
+         same-indexed slot ahead of it shares no upper bits with [at_ns]. *)
+      if slot.len > 0 && (Time.to_ns slot.arr.(0).at lxor at_ns) lsr (bits * lvl) = 0
+      then begin
+        let n = slot.len in
+        slot.len <- 0;
+        slot.min_e <- dummy ();
+        t.occ.(lvl) <- t.occ.(lvl) land lnot (1 lsl s);
+        for i = 0 to n - 1 do
+          let e = slot.arr.(i) in
+          slot.arr.(i) <- dummy ();
+          if not e.cancelled then place t e
+        done;
+        if t.occ.(lvl) = 0 then t.summary <- t.summary land lnot (1 lsl lvl)
+      end
+    end
+  done;
+  let s0 = at_ns land slot_mask in
+  let slot = t.slots.(s0) in
+  ensure_head_cap t slot.len;
+  t.head_len <- 0;
+  t.head_pos <- 0;
+  for i = 0 to slot.len - 1 do
+    let e = slot.arr.(i) in
+    slot.arr.(i) <- dummy ();
+    if not e.cancelled then begin
+      t.head.(t.head_len) <- e;
+      t.head_len <- t.head_len + 1
+    end
+  done;
+  slot.len <- 0;
+  slot.min_e <- dummy ();
+  t.occ.(0) <- t.occ.(0) land lnot (1 lsl s0);
+  if t.occ.(0) = 0 then t.summary <- t.summary land lnot 1;
+  sort_head t
+
+(* Skip head entries cancelled since extraction. *)
+let settle_head t =
+  while
+    t.head_pos < t.head_len
+    &&
+    let e = t.head.(t.head_pos) in
+    e.cancelled
+    && begin
+         t.head.(t.head_pos) <- dummy ();
+         t.head_pos <- t.head_pos + 1;
+         true
+       end
+  do
+    ()
+  done
+
+let rec pop_exn t =
+  settle_head t;
+  if t.head_pos < t.head_len then begin
+    let e = t.head.(t.head_pos) in
+    t.head.(t.head_pos) <- dummy ();
+    t.head_pos <- t.head_pos + 1;
+    e
+  end
+  else begin
+    let min =
+      match t.cached_min with
+      | Some m when not m.cancelled -> Some m
+      | Some _ | None -> scan_min t
+    in
+    match min with
+    | None -> raise Empty
+    | Some e ->
+      t.cached_min <- None;
+      extract_batch t (Time.to_ns e.at);
+      pop_exn t
+  end
+
+let peek_exn t =
+  settle_head t;
+  if t.head_pos < t.head_len then t.head.(t.head_pos)
+  else begin
+    match t.cached_min with
+    | Some m when not m.cancelled -> m
+    | Some _ | None -> (
+      match scan_min t with
+      | Some e ->
+        t.cached_min <- Some e;
+        e
+      | None -> raise Empty)
+  end
+
+let clear t =
+  Array.iter
+    (fun s ->
+      s.arr <- [||];
+      s.len <- 0;
+      s.min_e <- dummy ())
+    t.slots;
+  Array.fill t.occ 0 levels 0;
+  t.summary <- 0;
+  t.cursor <- 0;
+  t.head <- [||];
+  t.head_len <- 0;
+  t.head_pos <- 0;
+  t.cached_min <- None

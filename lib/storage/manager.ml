@@ -77,6 +77,18 @@ type meta = {
    header dead where it lies — remount then never resurrects stale data. *)
 type header = { h_block : int; h_version : int; mutable h_live : bool }
 
+(* Both metadata tables are dense-keyed — block ids count up from zero and
+   sector numbers are bounded by the flash geometry — so each is an array
+   indexed directly by its key, with absence a shared sentinel compared by
+   physical identity.  A lookup on the replay hot path is one bounds check
+   and one load, and an insert allocates nothing beyond the record itself;
+   the hashtables these replace allocated a bucket per insert and their
+   resizes dominated preload.  The sentinels are never mutated: every
+   mutation goes through a record a successful lookup returned ([find_meta]
+   raises on the sentinel, [obsolete_header] guards on [h_block]). *)
+let no_meta : meta = { loc = Blank; hdr_sector = min_int }
+let no_header : header = { h_block = min_int; h_version = min_int; h_live = false }
+
 type t = {
   cfg : config;
   engine : Engine.t;
@@ -87,7 +99,7 @@ type t = {
   segs_per_bank : int;
   buffer : Write_buffer.t;
   heat : Heat.t;
-  meta : (block, meta) Hashtbl.t;
+  mutable meta : meta array; (* indexed by block id; [no_meta] = absent *)
   mutable next_block : block;
   mutable open_fresh : int option;
   mutable open_clean : int option;
@@ -98,7 +110,7 @@ type t = {
      and whether it is still live.  Conceptually part of flash (it survives
      power loss); kept here because the device model does not store
      payloads. *)
-  durable : (int, header) Hashtbl.t;
+  durable : header array; (* indexed by sector; [no_header] = absent *)
   mutable next_version : int;
   (* Incrementally maintained segment-state indexes and counters.  The
      indexes answer every allocation/cleaning decision in O(log n); the
@@ -129,9 +141,21 @@ let dram t = t.dram
 let engine t = t.engine
 
 let find_meta t b =
-  match Hashtbl.find_opt t.meta b with
-  | Some m -> m
-  | None -> invalid_arg (Printf.sprintf "Manager: unknown block %d" b)
+  let m = if b >= 0 && b < Array.length t.meta then t.meta.(b) else no_meta in
+  if m != no_meta then m
+  else invalid_arg (Printf.sprintf "Manager: unknown block %d" b)
+
+let ensure_meta_capacity t b =
+  let cap = Array.length t.meta in
+  if b >= cap then begin
+    let narr = Array.make (max (b + 1) (max 1024 (2 * cap))) no_meta in
+    Array.blit t.meta 0 narr 0 cap;
+    t.meta <- narr
+  end
+
+let set_meta t b m =
+  ensure_meta_capacity t b;
+  t.meta.(b) <- m
 
 let erase_count_of_segment t seg =
   (* Segments wear uniformly (whole-segment erases), so the first sector's
@@ -255,14 +279,14 @@ let create cfg ~engine ~flash ~dram =
       segs_per_bank;
       buffer = Write_buffer.create cfg.buffer;
       heat = Heat.create ~half_life:cfg.heat_half_life ();
-      meta = Hashtbl.create 4096;
+      meta = Array.make (nsegments * cfg.segment_sectors) no_meta;
       next_block = 0;
       open_fresh = None;
       open_clean = None;
       open_cold = None;
       timer = None;
       cleaning = false;
-      durable = Hashtbl.create 4096;
+      durable = Array.make (Device.Flash.nsectors flash) no_header;
       next_version = 0;
       idx =
         Seg_index.create ~nbanks
@@ -362,10 +386,10 @@ let or_device_failure = function
    exists and still belongs to this block (cleaning may have erased the
    sector and a later program reused it for someone else). *)
 let obsolete_header t ~block ~hdr_sector =
-  if hdr_sector >= 0 then
-    match Hashtbl.find_opt t.durable hdr_sector with
-    | Some h when h.h_block = block -> h.h_live <- false
-    | Some _ | None -> ()
+  if hdr_sector >= 0 then begin
+    let h = t.durable.(hdr_sector) in
+    if h.h_block = block then h.h_live <- false
+  end
 
 (* Written as part of every sector program (the 16-byte header).  The new
    header supersedes the block's previous one, which is obsoleted in place
@@ -375,7 +399,7 @@ let record_header t m ~sector ~block =
   obsolete_header t ~block ~hdr_sector:m.hdr_sector;
   let version = t.next_version in
   t.next_version <- version + 1;
-  Hashtbl.replace t.durable sector { h_block = block; h_version = version; h_live = true };
+  t.durable.(sector) <- { h_block = block; h_version = version; h_live = true };
   m.hdr_sector <- sector
 
 (* --- Free-segment picks --------------------------------------------------- *)
@@ -715,7 +739,7 @@ and clean_one t ~cursor ~purpose =
       let erases_before = erase_count_of_segment t victim in
       for slot = 0 to Segment.used_slots victim - 1 do
         let sector = Segment.sector_of_slot victim slot in
-        Hashtbl.remove t.durable sector;
+        t.durable.(sector) <- no_header;
         match Device.Flash.erase t.flash ~now:!cursor ~sector with
         | Ok op -> cursor := op.Device.Flash.finish
         | Error Device.Flash.Bad_sector -> ()
@@ -855,7 +879,7 @@ and timer_fired t =
 let alloc t =
   let b = t.next_block in
   t.next_block <- b + 1;
-  Hashtbl.replace t.meta b { loc = Blank; hdr_sector = -1 };
+  set_meta t b { loc = Blank; hdr_sector = -1 };
   b
 
 (* Flush one specific dirty block synchronously (eviction path). *)
@@ -942,7 +966,7 @@ let free_block t b =
      obsoleted in place, so a crash cannot resurrect freed data. *)
   obsolete_header t ~block:b ~hdr_sector:m.hdr_sector;
   Heat.forget t.heat ~block:b;
-  Hashtbl.remove t.meta b
+  t.meta.(b) <- no_meta
 
 let load_cold t b =
   let m = find_meta t b in
@@ -1068,10 +1092,14 @@ let segment_snapshots t =
 let block_is_dirty t b =
   match (find_meta t b).loc with Buffered -> true | Blank | Flashed _ -> false
 
-let block_exists t b = Hashtbl.mem t.meta b
+let block_exists t b = b >= 0 && b < Array.length t.meta && t.meta.(b) != no_meta
 
 let known_blocks t =
-  List.sort compare (Hashtbl.fold (fun b _ acc -> b :: acc) t.meta [])
+  let acc = ref [] in
+  for b = Array.length t.meta - 1 downto 0 do
+    if t.meta.(b) != no_meta then acc := b :: !acc
+  done;
+  !acc
 
 (* The one reset chokepoint for the storage stack: module counters and the
    probe registry clear together, so neither can drift from the other.
@@ -1115,10 +1143,11 @@ let crash_and_remount t =
   (* Deep-copy the headers: they model on-flash state shared by old and new
      manager, but the records are mutable and the dead manager must not
      alias the live one's. *)
-  Hashtbl.iter
+  Array.iteri
     (fun k h ->
-      Hashtbl.replace fresh.durable k
-        { h_block = h.h_block; h_version = h.h_version; h_live = h.h_live })
+      if h != no_header then
+        fresh.durable.(k) <-
+          { h_block = h.h_block; h_version = h.h_version; h_live = h.h_live })
     t.durable;
   fresh.next_version <- t.next_version;
   (* Scan every readable sector's header, charging the device. *)
@@ -1136,9 +1165,9 @@ let crash_and_remount t =
   (* Newest live version of each block wins; headers obsoleted in place
      (superseded or deleted data) never come back. *)
   let winner = Hashtbl.create 1024 in
-  Hashtbl.iter
+  Array.iteri
     (fun sector h ->
-      if h.h_live then
+      if h != no_header && h.h_live then
         match Hashtbl.find_opt winner h.h_block with
         | Some (v, _) when v >= h.h_version -> ()
         | Some _ | None -> Hashtbl.replace winner h.h_block (h.h_version, sector))
@@ -1154,38 +1183,36 @@ let crash_and_remount t =
       let nslots = Segment.nslots seg in
       let occupied = ref 0 in
       for slot = 0 to nslots - 1 do
-        if Hashtbl.mem fresh.durable (Segment.sector_of_slot seg slot) then incr occupied
+        if fresh.durable.(Segment.sector_of_slot seg slot) != no_header then
+          incr occupied
       done;
       if !occupied > 0 then begin
         Segment.open_ seg;
         for slot = 0 to !occupied - 1 do
           let sector = Segment.sector_of_slot seg slot in
-          match Hashtbl.find_opt fresh.durable sector with
-          | None ->
-            (* A hole would mean appends were not sequential. *)
-            assert false
-          | Some h ->
-            (match Segment.append seg ~block:h.h_block with
-            | Some s -> assert (s = slot)
-            | None -> assert false);
-            (* Even a dead header pins its block id: a resurrected id would
-               otherwise collide with it on the next remount. *)
-            max_block := max !max_block h.h_block;
-            let winning =
-              h.h_live
-              &&
-              match Hashtbl.find_opt winner h.h_block with
-              | Some (_, s) -> s = sector
-              | None -> false
-            in
-            if winning then begin
-              Hashtbl.replace fresh.meta h.h_block
-                { loc = Flashed { seg = Segment.id seg; slot }; hdr_sector = sector }
-            end
-            else begin
-              incr stale;
-              Segment.kill seg ~slot
-            end
+          let h = fresh.durable.(sector) in
+          (* A hole would mean appends were not sequential. *)
+          assert (h != no_header);
+          (match Segment.append seg ~block:h.h_block with
+          | Some s -> assert (s = slot)
+          | None -> assert false);
+          (* Even a dead header pins its block id: a resurrected id would
+             otherwise collide with it on the next remount. *)
+          max_block := max !max_block h.h_block;
+          let winning =
+            h.h_live
+            &&
+            match Hashtbl.find_opt winner h.h_block with
+            | Some (_, s) -> s = sector
+            | None -> false
+          in
+          if winning then
+            set_meta fresh h.h_block
+              { loc = Flashed { seg = Segment.id seg; slot }; hdr_sector = sector }
+          else begin
+            incr stale;
+            Segment.kill seg ~slot
+          end
         done;
         if Segment.state seg = Segment.Open then Segment.close seg
       end)

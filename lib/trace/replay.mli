@@ -9,6 +9,42 @@
     replay of a streamed or file-backed trace runs in constant memory no
     matter how long the trace is.  The list variants are thin wrappers. *)
 
+(** A trace lowered to flat struct-of-arrays form for the compiled replay
+    fast path: consumers index int arrays instead of matching on
+    {!Record.op} and allocating per-record closures.  Compile once, replay
+    many times — the arrays are immutable by convention. *)
+module Compiled : sig
+  type t = private {
+    n : int;
+    at_ns : int array;  (** Record instants, in trace time (ns). *)
+    tag : int array;  (** One of the [tag_*] values below. *)
+    file : int array;
+    arg1 : int array;  (** offset (write/read) or size (truncate); else 0. *)
+    arg2 : int array;  (** bytes (write/read); else 0. *)
+  }
+  (** Fields are exposed (read-only) so replay loops index the arrays
+      directly; construct only through {!compile_seq}/{!compile}. *)
+
+  val compile_seq : Record.t Seq.t -> t
+  (** Materialize and lower a trace.  Unlike {!run_seq}, this holds the
+      whole trace (5 ints per record). *)
+
+  val compile : Record.t list -> t
+
+  val length : t -> int
+
+  val record : t -> int -> Record.t
+  (** Reconstruct record [i] (for fallback paths and tests). *)
+
+  (** Dense dispatch tags; [tag] is always one of these. *)
+
+  val tag_create : int
+  val tag_write : int
+  val tag_read : int
+  val tag_truncate : int
+  val tag_delete : int
+end
+
 val run_seq :
   Sim.Engine.t -> Record.t Seq.t -> f:(Sim.Engine.t -> Record.t -> unit) -> unit
 (** For each record in order: run every engine event due before the record's

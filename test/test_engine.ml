@@ -71,13 +71,55 @@ let test_schedule_every () =
   Engine.schedule_every e ~every:(Time.span_ns 100) ~until:(Time.of_ns 450) (fun e ->
       ticks := Time.to_ns (Engine.now e) :: !ticks);
   Engine.run e;
-  Alcotest.(check (list int)) "periodic ticks" [ 100; 200; 300; 400 ] (List.rev !ticks)
+  Alcotest.(check (list int)) "periodic ticks" [ 100; 200; 300; 400 ] (List.rev !ticks);
+  (* No phantom event past [until]: the drained clock stops at the last
+     tick instead of coasting one period beyond the window. *)
+  Alcotest.(check int) "clock stops at last tick" 400 (Time.to_ns (Engine.now e));
+  Alcotest.(check int) "agenda empty" 0 (Engine.pending e)
+
+let test_schedule_every_until_inclusive () =
+  (* A tick landing exactly on [until] fires — pinned, the old check
+     decided after the period had elapsed. *)
+  let e = Engine.create () in
+  let ticks = ref [] in
+  Engine.schedule_every e ~every:(Time.span_ns 100) ~until:(Time.of_ns 400) (fun e ->
+      ticks := Time.to_ns (Engine.now e) :: !ticks);
+  Engine.run e;
+  Alcotest.(check (list int)) "tick on until fires" [ 100; 200; 300; 400 ]
+    (List.rev !ticks);
+  Alcotest.(check int) "nothing scheduled past until" 0 (Engine.pending e);
+  (* until before the first tick: never fires, nothing enqueued. *)
+  let e = Engine.create () in
+  let fired = ref false in
+  Engine.schedule_every e ~every:(Time.span_ns 100) ~until:(Time.of_ns 99) (fun _ ->
+      fired := true);
+  Alcotest.(check int) "no first tick enqueued" 0 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check bool) "never fires" false !fired
 
 let test_schedule_every_zero_period () =
   let e = Engine.create () in
   Alcotest.check_raises "zero period"
     (Invalid_argument "Engine.schedule_every: zero period") (fun () ->
       Engine.schedule_every e ~every:Time.span_zero (fun _ -> ()))
+
+let test_step_delivers_timestamp_group () =
+  let e = Engine.create () in
+  let log = ref [] in
+  List.iter
+    (fun tag -> ignore (Engine.schedule e ~at:(Time.of_ns 5) (fun _ -> log := tag :: !log)))
+    [ 1; 2 ];
+  ignore (Engine.schedule e ~at:(Time.of_ns 9) (fun _ -> log := 9 :: !log));
+  ignore
+    (Engine.schedule e ~at:(Time.of_ns 5) (fun e ->
+         (* Extending the batch at the current instant stays in-batch. *)
+         ignore (Engine.schedule e ~at:(Engine.now e) (fun _ -> log := 4 :: !log));
+         log := 3 :: !log));
+  Alcotest.(check bool) "one step" true (Engine.step e);
+  Alcotest.(check (list int))
+    "whole group, including same-instant adds" [ 1; 2; 3; 4 ] (List.rev !log);
+  Alcotest.(check int) "clock at the group instant" 5 (Time.to_ns (Engine.now e));
+  Alcotest.(check int) "later event untouched" 1 (Engine.pending e)
 
 let test_same_instant_fifo () =
   let e = Engine.create () in
@@ -98,6 +140,10 @@ let suite =
     Alcotest.test_case "run_until" `Quick test_run_until;
     Alcotest.test_case "cancel" `Quick test_cancel;
     Alcotest.test_case "schedule_every" `Quick test_schedule_every;
+    Alcotest.test_case "schedule_every until inclusive" `Quick
+      test_schedule_every_until_inclusive;
     Alcotest.test_case "zero period" `Quick test_schedule_every_zero_period;
     Alcotest.test_case "same-instant FIFO" `Quick test_same_instant_fifo;
+    Alcotest.test_case "step delivers timestamp group" `Quick
+      test_step_delivers_timestamp_group;
   ]

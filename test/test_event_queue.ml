@@ -96,6 +96,119 @@ let prop_cancel_removes =
       let popped = drain [] in
       List.sort compare popped = List.sort compare !kept)
 
+(* --- Kind-parametrized model check ----------------------------------------
+
+   Random add/cancel/pop interleavings against a naive insertion-ordered
+   reference, over all three queue kinds (mirrors test_seg_index's
+   model-based approach).  Adds respect the wheel's contract — never
+   before the last popped instant — which is exactly what the engine
+   guarantees. *)
+
+let prop_matches_model kind =
+  let name =
+    Printf.sprintf "event_queue(%s): matches reference model"
+      (Event_queue.kind_name kind)
+  in
+  QCheck.Test.make ~name ~count:300
+    QCheck.(list (pair (int_bound 2) (int_bound 40)))
+    (fun ops ->
+      let q = Event_queue.create ~kind () in
+      (* Alive entries in insertion order: (at_ns, id, handle). *)
+      let model = ref [] in
+      let next_id = ref 0 in
+      let watermark = ref 0 in
+      let expected_min () =
+        (* Earliest instant; insertion order breaks ties. *)
+        match !model with
+        | [] -> None
+        | first :: rest ->
+          Some
+            (List.fold_left
+               (fun ((bat, _, _) as best) ((at, _, _) as e) ->
+                 if at < bat then e else best)
+               first rest)
+      in
+      let ok = ref true in
+      let do_pop () =
+        match (Event_queue.pop q, expected_min ()) with
+        | None, None -> ()
+        | Some (at, v), Some (eat, eid, _) ->
+          if Time.to_ns at <> eat || v <> eid then ok := false
+          else begin
+            watermark := eat;
+            model := List.filter (fun (_, id, _) -> id <> eid) !model
+          end
+        | Some _, None | None, Some _ -> ok := false
+      in
+      List.iter
+        (fun (action, x) ->
+          match action with
+          | 0 ->
+            let at = !watermark + x in
+            let id = !next_id in
+            incr next_id;
+            let h = Event_queue.add q ~at:(t at) id in
+            model := !model @ [ (at, id, h) ]
+          | 1 ->
+            let n = List.length !model in
+            if n > 0 then begin
+              let at, id, h = List.nth !model (x mod n) in
+              ignore at;
+              Event_queue.cancel q h;
+              model := List.filter (fun (_, i, _) -> i <> id) !model
+            end
+          | _ -> do_pop ())
+        ops;
+      while !ok && not (Event_queue.is_empty q) do
+        do_pop ()
+      done;
+      !ok && Event_queue.is_empty q && !model = [])
+
+let test_wheel_rejects_past_add () =
+  let q = Event_queue.create ~kind:Event_queue.Wheel () in
+  ignore (Event_queue.add q ~at:(t 100) "a");
+  Alcotest.(check string) "pop" "a" (snd (Option.get (Event_queue.pop q)));
+  ignore (Event_queue.add q ~at:(t 100) "same instant ok");
+  Alcotest.check_raises "below the cursor"
+    (Invalid_argument "Timing_wheel.add: instant before the wheel cursor") (fun () ->
+      ignore (Event_queue.add q ~at:(t 99) "b"))
+
+(* Far-apart instants force entries into high wheel levels and exercise
+   the cascade path on extraction. *)
+let test_wheel_cascades () =
+  let q = Event_queue.create ~kind:Event_queue.Checked () in
+  let times = [ 0; 1; 31; 32; 33; 1_000; 1_024; 32_768; 1_000_000; 1_048_576 ] in
+  List.iter (fun at -> ignore (Event_queue.add q ~at:(t at) at)) (List.rev times);
+  let popped = List.init (List.length times) (fun _ -> snd (Option.get (Event_queue.pop q))) in
+  Alcotest.(check (list int)) "sorted across levels" times popped
+
+(* Regression for the space leak: popped (and cleared) entries must not
+   keep payload closures reachable from the queue's internal arrays. *)
+let test_popped_payloads_collectible () =
+  List.iter
+    (fun kind ->
+      let q = Event_queue.create ~kind () in
+      let n = 32 in
+      let weak = Weak.create n in
+      for i = 0 to n - 1 do
+        let payload = ref i in
+        Weak.set weak i (Some payload);
+        ignore (Event_queue.add q ~at:(t i) payload)
+      done;
+      for _ = 1 to n / 2 do
+        ignore (Event_queue.pop q)
+      done;
+      Event_queue.clear q;
+      Gc.full_major ();
+      let retained = ref 0 in
+      for i = 0 to n - 1 do
+        if Weak.check weak i then incr retained
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "no payloads retained (%s)" (Event_queue.kind_name kind))
+        0 !retained)
+    [ Event_queue.Heap; Event_queue.Wheel; Event_queue.Checked ]
+
 let suite =
   [
     Alcotest.test_case "empty queue" `Quick test_empty;
@@ -107,4 +220,11 @@ let suite =
     Alcotest.test_case "interleaved add/pop" `Quick test_interleaved_add_pop;
     QCheck_alcotest.to_alcotest prop_pop_sorted;
     QCheck_alcotest.to_alcotest prop_cancel_removes;
+    QCheck_alcotest.to_alcotest (prop_matches_model Event_queue.Heap);
+    QCheck_alcotest.to_alcotest (prop_matches_model Event_queue.Wheel);
+    QCheck_alcotest.to_alcotest (prop_matches_model Event_queue.Checked);
+    Alcotest.test_case "wheel rejects past add" `Quick test_wheel_rejects_past_add;
+    Alcotest.test_case "wheel cascades across levels" `Quick test_wheel_cascades;
+    Alcotest.test_case "popped payloads collectible" `Quick
+      test_popped_payloads_collectible;
   ]

@@ -170,6 +170,52 @@ let test_streaming_replay_equivalence () =
         (Fs.Memfs.metadata_bytes (fs_of m)))
     [ ("seq-of-list", via_seq_of_list); ("end-to-end stream", via_stream) ]
 
+(* --- Compiled replay equals interpreted replay ------------------------------------ *)
+
+let test_compiled_replay_equivalence () =
+  (* The compiled fast path must be a pure speedup: same trace, same
+     machine, byte-identical result — including across a mid-run cold
+     restart, which kills the pre-resolved route out from under it. *)
+  let trace = gen 26 120.0 in
+  let compiled = Trace.Replay.Compiled.compile trace.Trace.Synth.records in
+  let machine () =
+    (* No backup battery: a depletion fault forces a cold restart. *)
+    Ssmc.Machine.create (Ssmc.Config.solid_state ~backup_wh:0.0 ~seed:26 ())
+  in
+  let run ?faults driver =
+    let m = machine () in
+    Ssmc.Machine.preload m trace.Trace.Synth.initial_files;
+    let r = driver ?faults m in
+    (match Fs.Memfs.check (Option.get (Ssmc.Machine.memfs m)) with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "fsck: %s" msg);
+    r
+  in
+  let interpreted ?faults m = Ssmc.Machine.run ?faults m trace.Trace.Synth.records in
+  let fast ?faults m = Ssmc.Machine.run_compiled ?faults m compiled in
+  let deep_check label (a : Ssmc.Machine.result) (b : Ssmc.Machine.result) =
+    check_same_result label a b;
+    let fcheck what va vb = Alcotest.(check (float 0.0)) (label ^ ": " ^ what) va vb in
+    fcheck "elapsed" (Time.span_to_us a.Ssmc.Machine.elapsed)
+      (Time.span_to_us b.Ssmc.Machine.elapsed);
+    fcheck "read mean"
+      (Stat.Summary.mean a.Ssmc.Machine.read_latency)
+      (Stat.Summary.mean b.Ssmc.Machine.read_latency);
+    fcheck "write mean"
+      (Stat.Summary.mean a.Ssmc.Machine.write_latency)
+      (Stat.Summary.mean b.Ssmc.Machine.write_latency);
+    fcheck "meta mean"
+      (Stat.Summary.mean a.Ssmc.Machine.meta_latency)
+      (Stat.Summary.mean b.Ssmc.Machine.meta_latency)
+  in
+  deep_check "compiled" (run interpreted) (run fast);
+  let faults = [ { Fault.after = Time.span_s 40.0; kind = Fault.Battery_depletion } ] in
+  let af = run ~faults interpreted in
+  let bf = run ~faults fast in
+  Alcotest.(check bool) "cold restart happened" true
+    (List.exists (fun o -> o.Ssmc.Machine.cold_restart) bf.Ssmc.Machine.fault_log);
+  deep_check "compiled+cold-restart" af bf
+
 (* --- memfs / ffs logical equivalence ---------------------------------------------- *)
 
 let apply_all (type fs) (module F : Fs.Vfs.S with type t = fs) (fs : fs) ops =
@@ -282,6 +328,8 @@ let suite =
     Alcotest.test_case "trace file roundtrip" `Quick test_trace_file_roundtrip_same_result;
     Alcotest.test_case "streaming replay equivalence" `Quick
       test_streaming_replay_equivalence;
+    Alcotest.test_case "compiled replay equivalence" `Quick
+      test_compiled_replay_equivalence;
     Alcotest.test_case "battery exhaustion mid-run" `Slow test_battery_exhaustion_mid_run;
     Alcotest.test_case "flash wear-out mid-run" `Slow test_flash_wearout_mid_run;
     Alcotest.test_case "memfs/ffs equivalence" `Quick test_fs_equivalence;

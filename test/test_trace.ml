@@ -18,6 +18,29 @@ let test_record_accessors () =
   Alcotest.(check bool) "not data op" false (Trace.Record.is_data_op rec2);
   Alcotest.(check bool) "time order" true (Trace.Record.compare_by_time rec1 rec2 < 0)
 
+(* --- Compiled form ----------------------------------------------------------- *)
+
+let test_compile_roundtrip () =
+  (* Lowering to struct-of-arrays and reconstructing gives back the exact
+     records, across every op shape and across the growth boundary. *)
+  let many =
+    List.init 3000 (fun i ->
+        match i mod 5 with
+        | 0 -> record i (Trace.Record.Create { file = i })
+        | 1 -> record i (w i (i * 3) (i + 7))
+        | 2 -> record i (r i (i * 2) (i + 1))
+        | 3 -> record i (Trace.Record.Truncate { file = i; size = i * 11 })
+        | _ -> record i (Trace.Record.Delete { file = i }))
+  in
+  let c = Trace.Replay.Compiled.compile many in
+  Alcotest.(check int) "length" (List.length many) (Trace.Replay.Compiled.length c);
+  List.iteri
+    (fun i orig ->
+      let back = Trace.Replay.Compiled.record c i in
+      if back <> orig then
+        Alcotest.failf "record %d did not round-trip: %a" i Trace.Record.pp back)
+    many
+
 (* --- Text format ------------------------------------------------------------ *)
 
 let all_op_shapes =
@@ -386,6 +409,7 @@ let suite =
     Alcotest.test_case "death by truncate" `Quick test_write_death_by_truncate;
     Alcotest.test_case "survivors" `Quick test_write_death_survivors;
     Alcotest.test_case "Baker death fraction" `Slow test_engineering_death_fraction_matches_baker;
+    Alcotest.test_case "compile roundtrip" `Quick test_compile_roundtrip;
     Alcotest.test_case "replay clock" `Quick test_replay_advances_clock;
     Alcotest.test_case "replay due events" `Quick test_replay_runs_due_events;
     Alcotest.test_case "stream equals list" `Quick test_stream_equals_list;
