@@ -27,6 +27,7 @@ let experiments =
     ("e9", "Section 4 DRAM/flash sizing", E9_sizing.run);
     ("e10", "Section 2 storage power and battery life", E10_battery.run);
     ("e11", "Section 3.3 fault injection and crash recovery", E11_faults.run);
+    ("e12", "fleet-scale simulation: a device population in bounded memory", E12_fleet.run);
     ("stream", "streaming replay: peak heap vs trace length", Stream.run);
     ("queue", "event queue: heap vs timing wheel churn rates", Queue_bench.run);
     ("replay", "replay drivers: interpreted vs compiled A/B", Replay_bench.run);

@@ -6,9 +6,49 @@
 open Sim
 open Cmdliner
 
+(* Fleet mode: N heterogeneous devices streamed through the pool in
+   bounded memory (Ssmc.Fleet).  Prints the fleet report plus one
+   machine-parsable line -- devices/s and the process's peak heap -- that
+   CI's bounded-memory check greps for. *)
+let run_fleet ~devices ~shard ~faults_per_device ~duration ~seed ~metrics_json
+    ~verbose =
+  let spec =
+    Ssmc.Fleet.spec ~devices ~shard ~base_seed:seed ~duration
+      ~faults_per_device ()
+  in
+  (match Ssmc.Fleet.validate spec with
+  | Ok () -> ()
+  | Error m ->
+    Fmt.epr "--fleet: %s@." m;
+    exit 2);
+  let t0 = Unix.gettimeofday () in
+  let on_shard ~done_devices ~total =
+    if verbose then Fmt.epr "fleet: %d/%d devices@." done_devices total
+  in
+  let report = Ssmc.Fleet.run ~on_shard spec in
+  let wall = Unix.gettimeofday () -. t0 in
+  Fmt.pr "@[<v>%a@]@." Ssmc.Fleet.pp_report report;
+  (match metrics_json with
+  | None -> ()
+  | Some path ->
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("devices", Json.int report.Ssmc.Fleet.devices);
+                  ("metrics", Probe.Snapshot.to_json report.Ssmc.Fleet.probes);
+                ]));
+        Out_channel.output_char oc '\n');
+    Fmt.pr "wrote metrics JSON to %s@." path);
+  let peak_heap_kw = (Gc.quick_stat ()).Gc.top_heap_words / 1000 in
+  Fmt.pr "fleet-wall: devices_per_s=%.2f wall_s=%.2f peak_heap_kw=%d@."
+    (if wall > 0.0 then float_of_int devices /. wall else Float.infinity)
+    wall peak_heap_kw
+
 let run_simulation machine_kind workload trace_file minutes seed flash_mb dram_mb
     buffer_kb nbanks partitioned wear backup_wh jobs replicate metrics_json trace_out
-    fault_after fault_kind verbose debug =
+    fault_after fault_kind fleet fleet_shard fleet_faults verbose debug =
   if debug then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -37,6 +77,25 @@ let run_simulation machine_kind workload trace_file minutes seed flash_mb dram_m
   end;
   Probe.set_metrics (metrics_json <> None || trace_out <> None);
   Probe.set_timeline (trace_out <> None);
+  (match fleet with
+  | Some devices ->
+    if devices < 1 then begin
+      Fmt.epr "--fleet needs a positive device count@.";
+      exit 2
+    end;
+    if fleet_shard < 1 then begin
+      Fmt.epr "--fleet-shard needs a positive count@.";
+      exit 2
+    end;
+    if fleet_faults < 0 then begin
+      Fmt.epr "--fleet-faults needs a non-negative count@.";
+      exit 2
+    end;
+    run_fleet ~devices ~shard:fleet_shard ~faults_per_device:fleet_faults
+      ~duration:(Time.span_s (60.0 *. minutes))
+      ~seed ~metrics_json ~verbose;
+    exit 0
+  | None -> ());
   let faults =
     List.map
       (fun s -> { Fault.kind = fault_kind; after = Time.span_s s })
@@ -328,6 +387,24 @@ let cmd =
            ~doc:"Backup (lithium) battery capacity in watt-hours; 0 removes it, so \
                  faults that outlast the primary cold-restart the machine.")
   in
+  let fleet =
+    Arg.(value & opt (some int) None & info [ "fleet" ] ~docv:"N"
+           ~doc:"Fleet mode: simulate N heterogeneous devices (hardware variants, \
+                 per-device workloads and seeds) streamed through the Domain pool \
+                 in bounded memory, and print population-level aggregates.  \
+                 --minutes is the per-device trace duration; --seed, --jobs apply.")
+  in
+  let fleet_shard =
+    Arg.(value & opt int 256 & info [ "fleet-shard" ] ~docv:"N"
+           ~doc:"Devices constructed and live per batch in fleet mode: peak memory \
+                 scales with the shard (times jobs), never with --fleet.  Does not \
+                 change results.")
+  in
+  let fleet_faults =
+    Arg.(value & opt int 0 & info [ "fleet-faults" ] ~docv:"N"
+           ~doc:"In fleet mode, inject N random power events into every device's \
+                 run (kinds drawn uniformly; offsets uniform over the duration).")
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Extra statistics.") in
   let debug =
     Arg.(value & flag & info [ "debug" ]
@@ -337,7 +414,8 @@ let cmd =
     Term.(
       const run_simulation $ machine $ workload $ trace_file $ minutes $ seed $ flash_mb
       $ dram_mb $ buffer_kb $ nbanks $ partitioned $ wear $ backup_wh $ jobs $ replicate
-      $ metrics_json $ trace_out $ fault_after $ fault_kind $ verbose $ debug)
+      $ metrics_json $ trace_out $ fault_after $ fault_kind $ fleet $ fleet_shard
+      $ fleet_faults $ verbose $ debug)
   in
   Cmd.v
     (Cmd.info "ssmc_sim" ~doc:"Simulate a solid-state (or conventional) mobile computer")

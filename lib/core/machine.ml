@@ -22,7 +22,11 @@ type t = {
   mutable errors : int;
 }
 
-let create (cfg : Config.t) =
+(* The solid-state assembly, shared by [create] (fresh flash device) and
+   [recycle] (factory-reset flash device): everything except the flash
+   arrays is built from scratch, so a recycled machine is observationally
+   identical to a fresh one. *)
+let assemble_solid (cfg : Config.t) ~manager_cfg ~flash =
   let engine = Engine.create () in
   let rng = Rng.create ~seed:cfg.Config.seed in
   let dram =
@@ -32,6 +36,25 @@ let create (cfg : Config.t) =
   let battery =
     Device.Battery.of_watt_hours ~backup_wh:cfg.Config.backup_wh cfg.Config.battery_wh
   in
+  let mgr = Storage.Manager.create manager_cfg ~engine ~flash ~dram in
+  let memfs = Fs.Memfs.create_fs ~manager:mgr () in
+  {
+    cfg;
+    engine;
+    rng;
+    dram;
+    flash = Some flash;
+    disk = None;
+    manager = Some mgr;
+    fs = Mem memfs;
+    fs_gen = 0;
+    battery;
+    last_account = Time.zero;
+    accounted_j = 0.0;
+    errors = 0;
+  }
+
+let create (cfg : Config.t) =
   match cfg.Config.storage with
   | Config.Solid_state { flash_bytes; nbanks; flash_spec; endurance_override; manager }
     ->
@@ -40,24 +63,18 @@ let create (cfg : Config.t) =
         (Device.Flash.config ~spec:flash_spec ~nbanks ?endurance_override
            ~size_bytes:flash_bytes ())
     in
-    let mgr = Storage.Manager.create manager ~engine ~flash ~dram in
-    let memfs = Fs.Memfs.create_fs ~manager:mgr () in
-    {
-      cfg;
-      engine;
-      rng;
-      dram;
-      flash = Some flash;
-      disk = None;
-      manager = Some mgr;
-      fs = Mem memfs;
-      fs_gen = 0;
-      battery;
-      last_account = Time.zero;
-      accounted_j = 0.0;
-      errors = 0;
-    }
+    assemble_solid cfg ~manager_cfg:manager ~flash
   | Config.Conventional { disk_spec; spindown_timeout; ffs } ->
+    let engine = Engine.create () in
+    let rng = Rng.create ~seed:cfg.Config.seed in
+    let dram =
+      Device.Dram.create ~size_bytes:cfg.Config.dram_bytes
+        ~battery_backed:cfg.Config.battery_backed_dram ()
+    in
+    let battery =
+      Device.Battery.of_watt_hours ~backup_wh:cfg.Config.backup_wh
+        cfg.Config.battery_wh
+    in
     let disk =
       Device.Disk.create ~spec:disk_spec ?spindown_timeout ~rng:(Rng.split rng) ()
     in
@@ -77,6 +94,31 @@ let create (cfg : Config.t) =
       accounted_j = 0.0;
       errors = 0;
     }
+
+let recycle old (cfg : Config.t) =
+  match (cfg.Config.storage, old.flash) with
+  | ( Config.Solid_state { flash_bytes; nbanks; flash_spec; endurance_override; manager },
+      Some flash ) ->
+    let desired =
+      Device.Flash.config ~spec:flash_spec ~nbanks ?endurance_override
+        ~size_bytes:flash_bytes ()
+    in
+    let endurance_matches =
+      match endurance_override with
+      | Some e -> Device.Flash.endurance flash = e && e > 0
+      | None -> Device.Flash.endurance flash = flash_spec.Device.Specs.f_endurance
+    in
+    if
+      Device.Flash.nbanks flash = desired.Device.Flash.nbanks
+      && Device.Flash.sectors_per_bank flash = desired.Device.Flash.sectors_per_bank
+      && Device.Flash.spec flash = desired.Device.Flash.spec
+      && endurance_matches
+    then begin
+      Device.Flash.factory_reset flash;
+      assemble_solid cfg ~manager_cfg:manager ~flash
+    end
+    else create cfg
+  | (Config.Solid_state _ | Config.Conventional _), _ -> create cfg
 
 let config t = t.cfg
 let engine t = t.engine

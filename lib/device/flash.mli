@@ -118,3 +118,12 @@ val read_wait_us : t -> Sim.Stat.Histogram.t
 
 val reset_stats : t -> unit
 (** Clears traffic counters and energy; wear state is preserved. *)
+
+val factory_reset : t -> unit
+(** Restore the device to the state {!create} built it in — pristine wear,
+    no programmed bytes, idle banks, zero counters and meters — reusing
+    the per-sector arrays in place.  A factory-reset device is
+    observationally identical to a freshly created one, which lets
+    shard-churning drivers ({!Ssmc.Fleet}) recycle the allocation across
+    simulated machines; {!Ssmc.Machine.recycle}'s equivalence test pins
+    the identity. *)

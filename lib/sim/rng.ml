@@ -25,6 +25,17 @@ let split_ix t ~index =
      items [0..i-1]. *)
   { state = mix (Int64.add t.state (Int64.mul (Int64.of_int (index + 1)) golden_gamma)) }
 
+let split_ix2 t ~index ~stream =
+  if index < 0 then invalid_arg "Rng.split_ix2: negative index";
+  if stream < 0 then invalid_arg "Rng.split_ix2: negative stream";
+  (* [split_ix (split_ix t ~index) ~index:stream], fused: one call derives
+     the [stream]-th member of item [index]'s seed family.  Fleet-scale
+     sweeps hand device [i] its k independent generators (spec draw,
+     workload draw, trace, faults, ...) this way without materializing the
+     intermediate generator per purpose. *)
+  let s = mix (Int64.add t.state (Int64.mul (Int64.of_int (index + 1)) golden_gamma)) in
+  { state = mix (Int64.add s (Int64.mul (Int64.of_int (stream + 1)) golden_gamma)) }
+
 let copy t = { state = t.state }
 
 let int t bound =

@@ -25,6 +25,17 @@ val split_ix : t -> index:int -> t
     randomness is independent of how many items ran, and on which domain.
     @raise Invalid_argument if [index < 0]. *)
 
+val split_ix2 : t -> index:int -> stream:int -> t
+(** [split_ix2 t ~index ~stream] ≡ [split_ix (split_ix t ~index)
+    ~index:stream], in one call and without the intermediate generator: the
+    [stream]-th member of work item [index]'s seed family.  Pure in [t]'s
+    current state, [index], and [stream], so a million-device fleet can
+    derive each device's generators (spec draw, workload draw, trace,
+    faults) independently, with no stream collisions across
+    (index × stream) pairs ({!Fleet} relies on this; the test suite checks
+    it at N ≥ 2{^20} × 4).
+    @raise Invalid_argument if [index < 0] or [stream < 0]. *)
+
 val copy : t -> t
 (** A generator that will produce the same future sequence as [t]. *)
 

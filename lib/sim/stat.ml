@@ -53,6 +53,147 @@ module Summary = struct
         (stddev t) t.min t.max
 end
 
+module Quantiles = struct
+  (* A deterministic compacting quantile sketch (KLL-shaped, but with no
+     randomness): level [i] holds at most [k] values, each standing for 2^i
+     observations.  When a level overflows it is sorted and every other
+     value survives to the next level, the kept parity alternating per
+     level so the systematic half-rank bias cancels across compactions
+     instead of accumulating.  Memory is O(k log (n/k)) no matter how many
+     observations stream through; with n <= k observations the sketch is
+     exact.  Everything — observe, compact, merge — is a pure function of
+     the observation order, so sketches folded in a fixed order are
+     byte-identical at any job count (the fleet driver's requirement). *)
+
+  type t = {
+    k : int;
+    mutable levels : float array array;  (* levels.(i): buffer, unsorted *)
+    mutable sizes : int array;  (* fill of each level *)
+    mutable flips : bool array;  (* next kept parity per level *)
+    mutable count : int;  (* observations absorbed (= total weight) *)
+  }
+
+  let default_k = 256
+
+  let create ?(k = default_k) () =
+    if k < 2 then invalid_arg "Quantiles.create: k < 2";
+    {
+      k;
+      levels = [| Array.make k 0.0 |];
+      sizes = [| 0 |];
+      flips = [| false |];
+      count = 0;
+    }
+
+  let nlevels t = Array.length t.sizes
+
+  let ensure_level t i =
+    if i >= nlevels t then begin
+      let n = nlevels t in
+      let grow_to = i + 1 in
+      let levels = Array.make grow_to [||] in
+      let sizes = Array.make grow_to 0 in
+      let flips = Array.make grow_to false in
+      Array.blit t.levels 0 levels 0 n;
+      Array.blit t.sizes 0 sizes 0 n;
+      Array.blit t.flips 0 flips 0 n;
+      for j = n to grow_to - 1 do
+        levels.(j) <- Array.make t.k 0.0
+      done;
+      t.levels <- levels;
+      t.sizes <- sizes;
+      t.flips <- flips
+    end
+
+  (* Insert one value carrying weight 2^i at level [i], compacting first if
+     the level is full.  Compaction sorts the level, promotes every other
+     value of the largest even prefix to level i+1 (where each survivor's
+     doubled weight keeps total weight exact), and leaves the odd leftover
+     — the largest value — behind at this level. *)
+  let rec push t i x =
+    ensure_level t i;
+    if t.sizes.(i) = t.k then compact t i;
+    t.levels.(i).(t.sizes.(i)) <- x;
+    t.sizes.(i) <- t.sizes.(i) + 1
+
+  and compact t i =
+    let buf = t.levels.(i) in
+    let size = t.sizes.(i) in
+    let slice = Array.sub buf 0 size in
+    Array.sort Float.compare slice;
+    let even = size - (size land 1) in
+    let start = if t.flips.(i) then 1 else 0 in
+    t.flips.(i) <- not t.flips.(i);
+    t.sizes.(i) <- 0;
+    if size > even then begin
+      buf.(0) <- slice.(even);
+      t.sizes.(i) <- 1
+    end;
+    let j = ref start in
+    while !j < even do
+      push t (i + 1) slice.(!j);
+      j := !j + 2
+    done
+
+  let observe t x =
+    push t 0 x;
+    t.count <- t.count + 1
+
+  let count t = t.count
+
+  let space t =
+    Array.fold_left ( + ) 0 t.sizes
+
+  let quantile t q =
+    if q < 0.0 || q > 1.0 then invalid_arg "Quantiles.quantile";
+    if t.count = 0 then 0.0
+    else begin
+      let items = Array.make (space t) (0.0, 0) in
+      let n = ref 0 in
+      for i = 0 to nlevels t - 1 do
+        let w = 1 lsl i in
+        for j = 0 to t.sizes.(i) - 1 do
+          items.(!n) <- (t.levels.(i).(j), w);
+          incr n
+        done
+      done;
+      Array.sort (fun (a, _) (b, _) -> Float.compare a b) items;
+      (* Same nearest-rank convention as [Histogram.quantile]: the value
+         whose cumulative weight first exceeds round (q * (W - 1)). *)
+      let target = int_of_float (Float.round (q *. float_of_int (t.count - 1))) in
+      let rec go i seen =
+        if i >= Array.length items then fst items.(Array.length items - 1)
+        else begin
+          let v, w = items.(i) in
+          let seen' = seen + w in
+          if seen' > target then v else go (i + 1) seen'
+        end
+      in
+      go 0 0
+    end
+
+  let merge a b =
+    if a.k <> b.k then invalid_arg "Quantiles.merge: sketches of different k";
+    let t = create ~k:a.k () in
+    let absorb src =
+      for i = 0 to nlevels src - 1 do
+        for j = 0 to src.sizes.(i) - 1 do
+          push t i src.levels.(i).(j)
+        done
+      done
+    in
+    absorb a;
+    absorb b;
+    t.count <- a.count + b.count;
+    t
+
+  let reset t =
+    t.levels <- [| Array.make t.k 0.0 |];
+    t.sizes <- [| 0 |];
+    t.flips <- [| false |];
+    t.count <- 0
+end
+
 module Histogram = struct
   (* Buckets are geometric with ratio 2: bucket 0 holds [0, 1), bucket i>0
      holds [2^(i-1), 2^i).  62 buckets cover the full positive int range. *)

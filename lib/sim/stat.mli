@@ -47,6 +47,49 @@ module Summary : sig
   val pp : Format.formatter -> t -> unit
 end
 
+(** {1 Streaming quantile sketches}
+
+    A deterministic compacting sketch (KLL-shaped, no randomness) for
+    quantiles over value ranges a power-of-two {!Histogram} resolves too
+    coarsely — wear counts or lifetimes across a fleet of devices.  Space
+    is O(k log (n/k)) in the observation count [n]; with [n <= k] the
+    sketch is exact.  Observation and merge are pure functions of their
+    input order, so sketches folded in a fixed order are byte-identical at
+    any job count. *)
+
+module Quantiles : sig
+  type t
+
+  val create : ?k:int -> unit -> t
+  (** [k] (default 256) is the per-level buffer width: larger [k] is more
+      accurate and more space.  Exact while the observation count stays
+      within [k].
+      @raise Invalid_argument if [k < 2]. *)
+
+  val observe : t -> float -> unit
+  val count : t -> int
+
+  val quantile : t -> float -> float
+  (** [quantile t q] for [q] in [\[0, 1\]]; 0 when empty.  Nearest-rank over
+      the retained weighted values (the same convention as
+      {!Histogram.quantile}); exact when fewer than [k] values have been
+      observed, approximate with rank error O(log (n/k) / k) beyond.
+      @raise Invalid_argument if [q] is outside [\[0, 1\]]. *)
+
+  val merge : t -> t -> t
+  (** A sketch summarizing the observations of both arguments.  Pure: the
+      arguments are unchanged, and the result depends only on their
+      retained state (in argument order).
+      @raise Invalid_argument if the sketches were created with
+      different [k]. *)
+
+  val space : t -> int
+  (** Values currently retained — the sketch's memory footprint, which
+      stays O(k log (n/k)) regardless of [count] (under test). *)
+
+  val reset : t -> unit
+end
+
 (** {1 Histograms}
 
     Power-of-two bucketed histograms over non-negative values, supporting

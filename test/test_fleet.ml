@@ -1,0 +1,148 @@
+(* Fleet-scale simulation: determinism across job counts and shard
+   sizes, fault composition, and the Machine.recycle = Machine.create
+   identity the fleet's allocation reuse depends on. *)
+open Sim
+
+(* A small but heterogeneous fleet: cheap enough for the suite, yet it
+   exercises every variant, several workloads, and shard remainders. *)
+let small_spec ?(devices = 10) ?(shard = 4) ?(faults_per_device = 0) () =
+  Ssmc.Fleet.spec ~devices ~shard ~base_seed:11 ~duration:(Time.span_s 30.0)
+    ~faults_per_device ()
+
+(* Reports hold only scalars, lists, summaries, and sketches — no
+   closures, no machines — so structural comparison is a complete
+   byte-identity check. *)
+let check_reports_equal what (a : Ssmc.Fleet.report) (b : Ssmc.Fleet.report) =
+  Alcotest.(check bool) (what ^ ": reports byte-identical") true
+    (Stdlib.compare a b = 0);
+  (* Spot checks so a failure names the field instead of "compare <> 0". *)
+  Alcotest.(check int) (what ^ ": ops") a.Ssmc.Fleet.ops b.Ssmc.Fleet.ops;
+  Alcotest.(check (float 0.0))
+    (what ^ ": wear p99")
+    (Stat.Quantiles.quantile a.Ssmc.Fleet.wear_max_erases 0.99)
+    (Stat.Quantiles.quantile b.Ssmc.Fleet.wear_max_erases 0.99);
+  Alcotest.(check string) (what ^ ": probes")
+    (Json.to_string (Probe.Snapshot.to_json a.Ssmc.Fleet.probes))
+    (Json.to_string (Probe.Snapshot.to_json b.Ssmc.Fleet.probes))
+
+let test_jobs_invariance () =
+  let spec = small_spec () in
+  let r1 = Ssmc.Fleet.run ~jobs:1 spec in
+  let r3 = Ssmc.Fleet.run ~jobs:3 spec in
+  check_reports_equal "jobs 1 vs 3" r1 r3;
+  Alcotest.(check int) "all devices accounted" spec.Ssmc.Fleet.devices
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 r1.Ssmc.Fleet.by_variant)
+
+let test_shard_invariance () =
+  let r_small = Ssmc.Fleet.run ~jobs:2 (small_spec ~shard:3 ()) in
+  let r_big = Ssmc.Fleet.run ~jobs:2 (small_spec ~shard:64 ()) in
+  check_reports_equal "shard 3 vs 64" r_small r_big
+
+let test_fault_composition () =
+  (* Random per-device fault schedules compose with fleet aggregation:
+     every device takes its events, and the whole thing stays
+     deterministic (same spec, same report — at different job counts). *)
+  let spec = small_spec ~devices:8 ~faults_per_device:2 () in
+  let r1 = Ssmc.Fleet.run ~jobs:1 spec in
+  let r2 = Ssmc.Fleet.run ~jobs:2 spec in
+  check_reports_equal "faulted runs" r1 r2;
+  Alcotest.(check int) "every device took its faults" 16 r1.Ssmc.Fleet.faults
+
+let test_simulate_device_matches_run () =
+  (* The per-device path is the same whether driven alone or via [run]:
+     summing per-device scalars reproduces the fleet totals. *)
+  let spec = small_spec ~devices:6 ~shard:2 () in
+  let reports =
+    List.init spec.Ssmc.Fleet.devices (fun index ->
+        Ssmc.Fleet.simulate_device spec ~index)
+  in
+  let fleet = Ssmc.Fleet.run ~jobs:2 spec in
+  Alcotest.(check int) "ops add up" fleet.Ssmc.Fleet.ops
+    (List.fold_left (fun acc d -> acc + d.Ssmc.Fleet.d_ops) 0 reports);
+  Alcotest.(check int) "errors add up" fleet.Ssmc.Fleet.op_errors
+    (List.fold_left (fun acc d -> acc + d.Ssmc.Fleet.d_op_errors) 0 reports);
+  (* And re-simulating a device is bit-stable. *)
+  let d2 = Ssmc.Fleet.simulate_device spec ~index:2 in
+  let d2' = Ssmc.Fleet.simulate_device spec ~index:2 in
+  Alcotest.(check bool) "device report reproducible" true (Stdlib.compare d2 d2' = 0)
+
+let test_validate_rejects () =
+  let bad devices shard = { (small_spec ()) with Ssmc.Fleet.devices; shard } in
+  List.iter
+    (fun spec ->
+      match Ssmc.Fleet.validate spec with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "validate accepted a bad spec")
+    [ bad 0 4; bad 4 0; { (small_spec ()) with Ssmc.Fleet.variants = [] };
+      { (small_spec ()) with Ssmc.Fleet.mix = [] };
+      { (small_spec ()) with Ssmc.Fleet.faults_per_device = -1 };
+      { (small_spec ()) with Ssmc.Fleet.wearout_horizon_years = 0.0 } ];
+  Alcotest.check_raises "run rejects"
+    (Invalid_argument "Fleet.run: devices < 1") (fun () ->
+      ignore (Ssmc.Fleet.run (bad 0 4)))
+
+(* --- Machine.recycle = Machine.create ----------------------------------- *)
+
+let run_workload machine records =
+  Ssmc.Machine.preload machine [ (1, 65536); (2, 32768) ];
+  Ssmc.Machine.run machine records
+
+let make_trace ~seed ~profile =
+  (Trace.Synth.generate profile ~rng:(Rng.create ~seed) ~duration:(Time.span_s 60.0))
+    .Trace.Synth.records
+
+let test_recycle_identity () =
+  (* A recycled machine must produce byte-identical run results to a
+     freshly created one — this identity is what lets the fleet reuse
+     machine allocations across shard churn without changing anything. *)
+  let cfg = Ssmc.Config.solid_state ~flash_mb:8 ~dram_mb:2 ~seed:23 () in
+  let records = make_trace ~seed:23 ~profile:Trace.Workloads.pim in
+  let fresh = Ssmc.Machine.create cfg in
+  let r_fresh = run_workload fresh records in
+  (* Dirty a machine with a different workload, then recycle it into the
+     same config: wear, programmed bytes, counters, meters must all reset. *)
+  let dirty = Ssmc.Machine.create cfg in
+  ignore (run_workload dirty (make_trace ~seed:99 ~profile:Trace.Workloads.compile));
+  let recycled = Ssmc.Machine.recycle dirty cfg in
+  let r_recycled = run_workload recycled records in
+  Alcotest.(check bool) "recycle = create (full result)" true
+    (Stdlib.compare r_fresh r_recycled = 0);
+  Alcotest.(check int) "ops" r_fresh.Ssmc.Machine.ops_applied
+    r_recycled.Ssmc.Machine.ops_applied;
+  Alcotest.(check (float 0.0)) "energy" r_fresh.Ssmc.Machine.energy_j
+    r_recycled.Ssmc.Machine.energy_j;
+  (* The reuse actually happened: same flash device object underneath. *)
+  (match (Ssmc.Machine.flash dirty, Ssmc.Machine.flash recycled) with
+  | Some a, Some b ->
+    Alcotest.(check bool) "flash allocation reused" true (a == b)
+  | _ -> Alcotest.fail "expected flash on both machines")
+
+let test_recycle_shape_mismatch_falls_back () =
+  let cfg_a = Ssmc.Config.solid_state ~flash_mb:8 ~seed:5 () in
+  let cfg_b = Ssmc.Config.solid_state ~flash_mb:16 ~seed:5 () in
+  let records = make_trace ~seed:5 ~profile:Trace.Workloads.pim in
+  let old = Ssmc.Machine.create cfg_a in
+  ignore (run_workload old records);
+  let recycled = Ssmc.Machine.recycle old cfg_b in
+  let r_recycled = run_workload recycled records in
+  let r_fresh = run_workload (Ssmc.Machine.create cfg_b) records in
+  Alcotest.(check bool) "fallback result identical to create" true
+    (Stdlib.compare r_fresh r_recycled = 0);
+  match (Ssmc.Machine.flash old, Ssmc.Machine.flash recycled) with
+  | Some a, Some b ->
+    Alcotest.(check bool) "different geometry means fresh flash" true (a != b)
+  | _ -> Alcotest.fail "expected flash on both machines"
+
+let suite =
+  [
+    Alcotest.test_case "report invariant under jobs" `Quick test_jobs_invariance;
+    Alcotest.test_case "report invariant under shard size" `Quick test_shard_invariance;
+    Alcotest.test_case "fault schedules compose deterministically" `Quick
+      test_fault_composition;
+    Alcotest.test_case "simulate_device matches run" `Quick
+      test_simulate_device_matches_run;
+    Alcotest.test_case "validate rejects bad specs" `Quick test_validate_rejects;
+    Alcotest.test_case "recycle identical to create" `Quick test_recycle_identity;
+    Alcotest.test_case "recycle falls back on shape mismatch" `Quick
+      test_recycle_shape_mismatch_falls_back;
+  ]

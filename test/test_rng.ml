@@ -52,6 +52,58 @@ let test_split_ix () =
   Alcotest.check_raises "negative index" (Invalid_argument "Rng.split_ix: negative index")
     (fun () -> ignore (Rng.split_ix (Rng.create ~seed:1) ~index:(-1)))
 
+let test_split_ix2 () =
+  (* split_ix2 is the fused two-level split: identical streams to
+     split_ix (split_ix t ~index) ~index:stream, pure, and rejecting
+     negative keys like its building block. *)
+  let t = Rng.create ~seed:31 in
+  for index = 0 to 5 do
+    for stream = 0 to 5 do
+      let fused = Rng.split_ix2 t ~index ~stream in
+      let nested = Rng.split_ix (Rng.split_ix t ~index) ~index:stream in
+      for _ = 1 to 5 do
+        Alcotest.(check int64)
+          (Printf.sprintf "split_ix2 (%d,%d) = nested split_ix" index stream)
+          (Rng.bits64 nested) (Rng.bits64 fused)
+      done
+    done
+  done;
+  Alcotest.(check int64) "split_ix2 is pure"
+    (Rng.bits64 (Rng.create ~seed:31))
+    (Rng.bits64 t);
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Rng.split_ix2: negative index") (fun () ->
+      ignore (Rng.split_ix2 (Rng.create ~seed:1) ~index:(-1) ~stream:0));
+  Alcotest.check_raises "negative stream"
+    (Invalid_argument "Rng.split_ix2: negative stream") (fun () ->
+      ignore (Rng.split_ix2 (Rng.create ~seed:1) ~index:0 ~stream:(-1)))
+
+let test_split_ix2_fleet_collisions () =
+  (* Domain separation at fleet scale: the per-device seed family must
+     not collide anywhere across 2^20 device indices x 4 streams — a
+     collision would hand two fleet devices correlated randomness.  The
+     fingerprint is each derived generator's first draw (one int64 folded
+     to an int); the set is checked by sort + adjacent scan, so the test
+     is O(n log n) and allocation stays in one flat int array. *)
+  let devices = 1 lsl 20 and streams = 4 in
+  let t = Rng.create ~seed:1993 in
+  let n = devices * streams in
+  let fp = Array.make n 0 in
+  for index = 0 to devices - 1 do
+    for stream = 0 to streams - 1 do
+      fp.((index * streams) + stream) <-
+        Int64.to_int (Rng.bits64 (Rng.split_ix2 t ~index ~stream))
+    done
+  done;
+  Array.sort compare fp;
+  let collisions = ref 0 in
+  for i = 1 to n - 1 do
+    if fp.(i) = fp.(i - 1) then incr collisions
+  done;
+  Alcotest.(check int)
+    (Printf.sprintf "no fingerprint collisions across %d device-index x stream pairs" n)
+    0 !collisions
+
 let test_int_bounds_errors () =
   let rng = Rng.create ~seed:11 in
   Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound <= 0") (fun () ->
@@ -126,6 +178,9 @@ let suite =
     Alcotest.test_case "copy" `Quick test_copy;
     Alcotest.test_case "split independence" `Quick test_split_independence;
     Alcotest.test_case "split_ix keyed splitting" `Quick test_split_ix;
+    Alcotest.test_case "split_ix2 two-level splitting" `Quick test_split_ix2;
+    Alcotest.test_case "split_ix2 fleet-scale collision freedom" `Quick
+      test_split_ix2_fleet_collisions;
     Alcotest.test_case "bound errors" `Quick test_int_bounds_errors;
     Alcotest.test_case "rough uniformity" `Quick test_uniformity_rough;
     Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;

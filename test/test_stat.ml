@@ -140,6 +140,136 @@ let prop_quantile_monotone =
       List.iter (Stat.Histogram.observe h) values;
       Stat.Histogram.quantile h 0.25 <= Stat.Histogram.quantile h 0.75)
 
+(* --- streaming quantile sketch --- *)
+
+(* Exact nearest-rank quantile over a materialized sample: the reference
+   the sketch is compared against. *)
+let exact_quantile values q =
+  let a = Array.of_list values in
+  Array.sort Float.compare a;
+  let n = Array.length a in
+  a.(int_of_float (Float.round (q *. float_of_int (n - 1))))
+
+let test_quantiles_empty_and_errors () =
+  let s = Stat.Quantiles.create () in
+  Alcotest.(check int) "count" 0 (Stat.Quantiles.count s);
+  Alcotest.(check (float 0.0)) "quantile of empty" 0.0 (Stat.Quantiles.quantile s 0.5);
+  Alcotest.check_raises "bad quantile" (Invalid_argument "Quantiles.quantile")
+    (fun () -> ignore (Stat.Quantiles.quantile s 1.5));
+  Alcotest.check_raises "bad k" (Invalid_argument "Quantiles.create: k < 2")
+    (fun () -> ignore (Stat.Quantiles.create ~k:1 ()))
+
+let test_quantiles_exact_when_small () =
+  (* With n <= k nothing is ever compacted, so the sketch IS the sample
+     and every quantile equals the exact nearest-rank answer. *)
+  let s = Stat.Quantiles.create ~k:64 () in
+  let values = List.init 50 (fun i -> float_of_int ((i * 37) mod 50)) in
+  List.iter (Stat.Quantiles.observe s) values;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "exact at q=%.2f" q)
+        (exact_quantile values q) (Stat.Quantiles.quantile s q))
+    [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 1.0 ]
+
+let test_quantiles_merge_exact_when_small () =
+  let a = Stat.Quantiles.create ~k:64 () in
+  let b = Stat.Quantiles.create ~k:64 () in
+  let va = List.init 20 (fun i -> float_of_int (i * 3)) in
+  let vb = List.init 20 (fun i -> 1000.0 -. float_of_int (i * 7)) in
+  List.iter (Stat.Quantiles.observe a) va;
+  List.iter (Stat.Quantiles.observe b) vb;
+  let m = Stat.Quantiles.merge a b in
+  Alcotest.(check int) "merged count" 40 (Stat.Quantiles.count m);
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "merge exact at q=%.2f" q)
+        (exact_quantile (va @ vb) q)
+        (Stat.Quantiles.quantile m q))
+    [ 0.0; 0.25; 0.5; 0.75; 1.0 ];
+  Alcotest.check_raises "mismatched k"
+    (Invalid_argument "Quantiles.merge: sketches of different k") (fun () ->
+      ignore (Stat.Quantiles.merge a (Stat.Quantiles.create ~k:32 ())))
+
+let test_quantiles_space_bound () =
+  (* O(k log (n/k)) space: a million observations through a k=256 sketch
+     must keep only a few thousand values. *)
+  let s = Stat.Quantiles.create () in
+  let rng = Sim.Rng.create ~seed:99 in
+  for _ = 1 to 1_000_000 do
+    Stat.Quantiles.observe s (Sim.Rng.float rng 1e6)
+  done;
+  Alcotest.(check int) "count" 1_000_000 (Stat.Quantiles.count s);
+  Alcotest.(check bool)
+    (Printf.sprintf "space %d <= 4096" (Stat.Quantiles.space s))
+    true
+    (Stat.Quantiles.space s <= 4096)
+
+let test_quantiles_reset () =
+  let s = Stat.Quantiles.create ~k:8 () in
+  for i = 1 to 100 do
+    Stat.Quantiles.observe s (float_of_int i)
+  done;
+  Stat.Quantiles.reset s;
+  Alcotest.(check int) "count after reset" 0 (Stat.Quantiles.count s);
+  Alcotest.(check int) "space after reset" 0 (Stat.Quantiles.space s);
+  Stat.Quantiles.observe s 5.0;
+  Alcotest.(check (float 0.0)) "usable after reset" 5.0 (Stat.Quantiles.quantile s 0.5)
+
+(* Rank error of the sketch against the exact sample quantile: the
+   fraction of the sample between the two answers. *)
+let rank_error values sketch q =
+  let a = Array.of_list values in
+  Array.sort Float.compare a;
+  let n = Array.length a in
+  let rank v =
+    (* values <= v, by binary-search-free scan kept simple: n is 20k. *)
+    let c = ref 0 in
+    Array.iter (fun x -> if x <= v then incr c) a;
+    !c
+  in
+  let exact = int_of_float (Float.round (q *. float_of_int (n - 1))) + 1 in
+  let got = rank (Stat.Quantiles.quantile sketch q) in
+  abs (got - exact) |> float_of_int |> fun d -> d /. float_of_int n
+
+let prop_quantiles_approximation =
+  QCheck.Test.make ~name:"quantiles: sketch within 5% rank error at n=20k"
+    ~count:5 QCheck.small_int (fun seed ->
+      let rng = Sim.Rng.create ~seed in
+      let s = Stat.Quantiles.create ~k:128 () in
+      let values = List.init 20_000 (fun _ -> Sim.Rng.float rng 1e4) in
+      List.iter (Stat.Quantiles.observe s) values;
+      List.for_all
+        (fun q -> rank_error values s q <= 0.05)
+        [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99 ])
+
+let prop_quantiles_merge_matches_stream =
+  (* Merging sketches of two halves must answer like a (similarly sized)
+     sketch — within rank-error tolerance of the exact pooled sample. *)
+  QCheck.Test.make ~name:"quantiles: merge of halves within 5% rank error"
+    ~count:5 QCheck.small_int (fun seed ->
+      let rng = Sim.Rng.create ~seed in
+      let a = Stat.Quantiles.create ~k:128 () in
+      let b = Stat.Quantiles.create ~k:128 () in
+      let va = List.init 8_000 (fun _ -> Sim.Rng.float rng 1e4) in
+      let vb = List.init 8_000 (fun _ -> 5e3 +. Sim.Rng.float rng 1e4) in
+      List.iter (Stat.Quantiles.observe a) va;
+      List.iter (Stat.Quantiles.observe b) vb;
+      let m = Stat.Quantiles.merge a b in
+      Stat.Quantiles.count m = 16_000
+      && List.for_all
+           (fun q -> rank_error (va @ vb) m q <= 0.05)
+           [ 0.1; 0.5; 0.9 ])
+
+let prop_quantiles_monotone =
+  QCheck.Test.make ~name:"quantiles: monotone in q" ~count:50
+    QCheck.(list_of_size (Gen.int_range 1 500) (float_range 0.0 1e6))
+    (fun values ->
+      let s = Stat.Quantiles.create ~k:16 () in
+      List.iter (Stat.Quantiles.observe s) values;
+      Stat.Quantiles.quantile s 0.25 <= Stat.Quantiles.quantile s 0.75)
+
 let suite =
   [
     Alcotest.test_case "counter" `Quick test_counter;
@@ -151,6 +281,15 @@ let suite =
     Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
     Alcotest.test_case "histogram clamps negatives" `Quick test_histogram_negative_clamped;
     Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+    Alcotest.test_case "quantiles empty and errors" `Quick test_quantiles_empty_and_errors;
+    Alcotest.test_case "quantiles exact when small" `Quick test_quantiles_exact_when_small;
+    Alcotest.test_case "quantiles merge exact when small" `Quick
+      test_quantiles_merge_exact_when_small;
+    Alcotest.test_case "quantiles space bound" `Quick test_quantiles_space_bound;
+    Alcotest.test_case "quantiles reset" `Quick test_quantiles_reset;
+    QCheck_alcotest.to_alcotest prop_quantiles_approximation;
+    QCheck_alcotest.to_alcotest prop_quantiles_merge_matches_stream;
+    QCheck_alcotest.to_alcotest prop_quantiles_monotone;
     QCheck_alcotest.to_alcotest prop_welford_matches_naive;
     QCheck_alcotest.to_alcotest prop_histogram_mass;
     QCheck_alcotest.to_alcotest prop_quantile_boundaries;
