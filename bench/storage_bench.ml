@@ -168,6 +168,79 @@ let allocation_table () =
     selectors;
   Table.print t
 
+(* Flush batching through the card array: a drain issues one contiguous
+   group per destination card (never ping-ponging sector-by-sector across
+   cards), so the per-flush allocation cost should stay flat in the card
+   count — each card drains its own buffer once. *)
+let array_flush_table () =
+  let cycles = 50 in
+  let writes_per_cycle = 64 in
+  let words_per_flush ncards =
+    let engine = Engine.create () in
+    let flashes =
+      Stdlib.Array.init ncards (fun _ ->
+          Device.Flash.create
+            (Device.Flash.config ~nbanks:4 ~size_bytes:(4 * Units.mib) ()))
+    in
+    let dram =
+      Device.Dram.create ~size_bytes:(8 * Units.mib) ~battery_backed:true ()
+    in
+    let cfg =
+      {
+        Storage.Manager.default_config with
+        Storage.Manager.segment_sectors = 8;
+        selector = Storage.Manager.Indexed;
+        buffer =
+          {
+            Storage.Write_buffer.capacity_blocks = 1024;
+            writeback_delay = Time.span_s 60.0;
+            refresh_on_rewrite = false;
+          };
+      }
+    in
+    let store =
+      if ncards = 1 then
+        Storage.Store.Single (Storage.Manager.create cfg ~engine ~flash:flashes.(0) ~dram)
+      else
+        Storage.Store.Striped
+          (Storage.Array.create
+             ~striping:(Storage.Striping.Round_robin { strip_blocks = 4 })
+             cfg ~engine ~flashes ~dram)
+    in
+    let blocks =
+      Array.init (cycles * writes_per_cycle) (fun _ -> Storage.Store.alloc store)
+    in
+    let cursor = ref 0 in
+    let words = ref 0.0 in
+    for _ = 1 to cycles do
+      for _ = 1 to writes_per_cycle do
+        ignore (Storage.Store.write_block store blocks.(!cursor));
+        incr cursor
+      done;
+      let before = Gc.minor_words () in
+      ignore (Storage.Store.flush_all store);
+      words := !words +. (Gc.minor_words () -. before);
+      Engine.run_until engine (Time.add (Engine.now engine) (Time.span_s 1.0))
+    done;
+    !words /. float_of_int cycles
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "array drain cost (%d fresh blocks per flush)" writes_per_cycle)
+      ~columns:[ ("cards", Table.Right); ("minor words / flush", Table.Right) ]
+  in
+  List.iter
+    (fun ncards ->
+      let words = words_per_flush ncards in
+      Common.put_metric (Printf.sprintf "storage_words_per_flush_%dcards" ncards) words;
+      Table.add_row t [ Table.cell_i ncards; Printf.sprintf "%.0f" words ])
+    [ 1; 2; 4 ];
+  Table.print t;
+  Common.note
+    "grouped per-card drains keep flush allocation flat in the card count; the \
+     work itself splits across cards."
+
 (* A scaled-down E7 cleaner grid, wall-clocked under both selectors.  The
    two runs must agree on every statistic — the selectors differ only in
    how fast they reach the same decisions. *)
@@ -221,4 +294,5 @@ let run () =
   Common.section "storage manager: indexed decision structures vs scan reference";
   throughput_table ();
   allocation_table ();
+  array_flush_table ();
   e7_comparison ()

@@ -47,11 +47,24 @@ let run_fleet ~devices ~shard ~faults_per_device ~duration ~seed ~metrics_json
     wall peak_heap_kw
 
 let run_simulation machine_kind workload trace_file minutes seed flash_mb dram_mb
-    buffer_kb nbanks partitioned wear backup_wh jobs replicate metrics_json trace_out
-    fault_after fault_kind fleet fleet_shard fleet_faults verbose debug =
+    buffer_kb nbanks cards strip_size partitioned wear backup_wh jobs replicate
+    metrics_json trace_out fault_after fault_kind fleet fleet_shard fleet_faults
+    verbose debug =
   if debug then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
+  end;
+  if cards < 1 then begin
+    Fmt.epr "--cards needs a positive count, got %d@." cards;
+    exit 2
+  end;
+  if strip_size < 1 then begin
+    Fmt.epr "--strip-size needs a positive block count, got %d@." strip_size;
+    exit 2
+  end;
+  if cards > 1 && machine_kind = `Conventional then begin
+    Fmt.epr "--cards requires the solid-state machine@.";
+    exit 2
   end;
   (match jobs with
   | Some j when j < 1 ->
@@ -75,7 +88,9 @@ let run_simulation machine_kind workload trace_file minutes seed flash_mb dram_m
     Fmt.epr "--backup-wh needs a non-negative capacity, got %g@." backup_wh;
     exit 2
   end;
-  Probe.set_metrics (metrics_json <> None || trace_out <> None);
+  (* Multi-card runs read the per-card busy/traffic labels back out of the
+     probe registry for the utilization table below, so metrics go on. *)
+  Probe.set_metrics (metrics_json <> None || trace_out <> None || cards > 1);
   Probe.set_timeline (trace_out <> None);
   (match fleet with
   | Some devices ->
@@ -172,7 +187,9 @@ let run_simulation machine_kind workload trace_file minutes seed flash_mb dram_m
             };
         }
       in
-      Ssmc.Config.solid_state ~flash_mb ~dram_mb ~nbanks ~manager ~backup_wh ~seed ()
+      Ssmc.Config.solid_state ~flash_mb ~dram_mb ~nbanks ~manager ~cards
+        ~striping:(Storage.Striping.Round_robin { strip_blocks = strip_size })
+        ~backup_wh ~seed ()
     | `Conventional -> Ssmc.Config.conventional ~dram_mb ~seed ()
   in
   (* Per-replica probe capture.  Machine.preload resets this domain's probe
@@ -261,7 +278,65 @@ let run_simulation machine_kind workload trace_file minutes seed flash_mb dram_m
         Fmt.pr "wear: min=%d max=%d stddev=%.1f@." e.Storage.Wear.min_erases
           e.Storage.Wear.max_erases e.Storage.Wear.stddev_erases
       | None -> ()
-    end
+    end;
+    (* Multi-card runs: per-card utilization (busy time over the run, from
+       the per-card probe summaries) and wear, one row per card. *)
+    match Ssmc.Machine.store machine with
+    | Some (Storage.Store.Striped array) ->
+      let snap = Probe.snapshot () in
+      let summary_sum name =
+        match Probe.Snapshot.find snap name with
+        | Some (Probe.Snapshot.Summary { sum; _ }) -> sum
+        | _ -> 0.0
+      in
+      let elapsed_us = Time.span_to_us result.Ssmc.Machine.elapsed in
+      let t =
+        Table.create
+          ~title:
+            (Fmt.str "per-card utilization and wear (%d cards, %a striping)"
+               (Storage.Array.ncards array) Storage.Striping.pp_policy
+               (Storage.Array.striping array))
+          ~columns:
+            [
+              ("card", Table.Right);
+              ("busy %", Table.Right);
+              ("reads", Table.Right);
+              ("writes", Table.Right);
+              ("flushed", Table.Right);
+              ("cleanings", Table.Right);
+              ("erases min/max", Table.Right);
+              ("wear stddev", Table.Right);
+            ]
+      in
+      Stdlib.Array.iteri
+        (fun i m ->
+          let label metric = Storage.Banks.probe_label ~card:i metric in
+          let counter name = Probe.Snapshot.counter_value snap (label name) in
+          let busy_pct =
+            if elapsed_us > 0.0 then
+              100.0 *. summary_sum (label "busy_us") /. elapsed_us
+            else 0.0
+          in
+          let e = Storage.Manager.wear_evenness m in
+          Table.add_row t
+            [
+              Table.cell_i i;
+              Table.cell_f ~decimals:1 busy_pct;
+              Table.cell_i (counter "client_reads");
+              Table.cell_i (counter "client_writes");
+              Table.cell_i (counter "blocks_flushed");
+              Table.cell_i (counter "clean_ops");
+              Printf.sprintf "%d/%d" e.Storage.Wear.min_erases
+                e.Storage.Wear.max_erases;
+              Table.cell_f ~decimals:1 e.Storage.Wear.stddev_erases;
+            ])
+        (Storage.Store.managers (Storage.Store.Striped array));
+      Table.print t;
+      if Storage.Array.front_cache_capacity array > 0 then
+        Fmt.pr "front cache: %d hits, %d misses@."
+          (Storage.Array.front_cache_hits array)
+          (Storage.Array.front_cache_misses array)
+    | Some (Storage.Store.Single _) | None -> ()
   end
   else begin
     let seeds = List.init replicate (fun i -> seed + i) in
@@ -331,6 +406,17 @@ let cmd =
   in
   let nbanks =
     Arg.(value & opt int 4 & info [ "banks" ] ~docv:"N" ~doc:"Flash banks.")
+  in
+  let cards =
+    Arg.(value & opt int 1 & info [ "cards" ] ~docv:"N"
+           ~doc:"Flash cards behind a striped array (--flash-mb and --banks are then \
+                 per card).  1 mounts the storage manager directly; above 1 the run \
+                 prints a per-card utilization/wear table.")
+  in
+  let strip_size =
+    Arg.(value & opt int 4 & info [ "strip-size" ] ~docv:"BLOCKS"
+           ~doc:"Round-robin strip size in blocks for the multi-card array; ignored \
+                 with --cards 1.")
   in
   let partitioned =
     Arg.(value & flag & info [ "partitioned" ]
@@ -413,9 +499,9 @@ let cmd =
   let term =
     Term.(
       const run_simulation $ machine $ workload $ trace_file $ minutes $ seed $ flash_mb
-      $ dram_mb $ buffer_kb $ nbanks $ partitioned $ wear $ backup_wh $ jobs $ replicate
-      $ metrics_json $ trace_out $ fault_after $ fault_kind $ fleet $ fleet_shard
-      $ fleet_faults $ verbose $ debug)
+      $ dram_mb $ buffer_kb $ nbanks $ cards $ strip_size $ partitioned $ wear
+      $ backup_wh $ jobs $ replicate $ metrics_json $ trace_out $ fault_after
+      $ fault_kind $ fleet $ fleet_shard $ fleet_faults $ verbose $ debug)
   in
   Cmd.v
     (Cmd.info "ssmc_sim" ~doc:"Simulate a solid-state (or conventional) mobile computer")

@@ -2,11 +2,14 @@ open Sim
 
 type storage =
   | Solid_state of {
-      flash_bytes : int;
+      flash_bytes : int;  (** Per card. *)
       nbanks : int;
       flash_spec : Device.Specs.flash_spec;
       endurance_override : int option;
       manager : Storage.Manager.config;
+      cards : int;
+      striping : Storage.Striping.policy;
+      front_cache_blocks : int;
     }
   | Conventional of {
       disk_spec : Device.Specs.disk_spec;
@@ -24,9 +27,12 @@ type t = {
   seed : int;
 }
 
+let default_striping = Storage.Striping.Round_robin { strip_blocks = 4 }
+
 let solid_state ?(name = "solid-state") ?(dram_mb = 4) ?(flash_mb = 20) ?(nbanks = 4)
     ?(manager = Storage.Manager.default_config) ?(flash_spec = Device.Specs.intel_flash)
-    ?endurance_override ?(battery_wh = 10.0) ?(backup_wh = 0.5) ?(seed = 42) () =
+    ?endurance_override ?(cards = 1) ?(striping = default_striping)
+    ?(front_cache_blocks = 0) ?(battery_wh = 10.0) ?(backup_wh = 0.5) ?(seed = 42) () =
   {
     name;
     dram_bytes = dram_mb * Units.mib;
@@ -39,6 +45,9 @@ let solid_state ?(name = "solid-state") ?(dram_mb = 4) ?(flash_mb = 20) ?(nbanks
           flash_spec;
           endurance_override;
           manager;
+          cards;
+          striping;
+          front_cache_blocks;
         };
     battery_wh;
     backup_wh;
@@ -67,8 +76,9 @@ let dollars t =
   in
   let stable =
     match t.storage with
-    | Solid_state { flash_bytes; flash_spec; _ } ->
-      Units.to_mib flash_bytes *. flash_spec.Device.Specs.f_econ.Device.Specs.dollars_per_mb
+    | Solid_state { flash_bytes; flash_spec; cards; _ } ->
+      Units.to_mib flash_bytes *. float_of_int cards
+      *. flash_spec.Device.Specs.f_econ.Device.Specs.dollars_per_mb
     | Conventional { disk_spec; _ } ->
       Units.to_mib disk_spec.Device.Specs.k_capacity_bytes
       *. disk_spec.Device.Specs.k_econ.Device.Specs.dollars_per_mb

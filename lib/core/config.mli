@@ -8,11 +8,19 @@
 
 type storage =
   | Solid_state of {
-      flash_bytes : int;
-      nbanks : int;
+      flash_bytes : int;  (** Per card: total flash is [cards * flash_bytes]. *)
+      nbanks : int;  (** Per card. *)
       flash_spec : Device.Specs.flash_spec;
       endurance_override : int option;
       manager : Storage.Manager.config;
+      cards : int;
+          (** PCMCIA flash cards behind a striped {!Storage.Array}.
+              [cards = 1] mounts the manager directly — byte-identical to
+              the pre-array machine (enforced by test and CI). *)
+      striping : Storage.Striping.policy;  (** Ignored when [cards = 1]. *)
+      front_cache_blocks : int;
+          (** Shared front cache over the array; 0 = off.  Ignored when
+              [cards = 1]. *)
     }
   | Conventional of {
       disk_spec : Device.Specs.disk_spec;
@@ -38,13 +46,19 @@ val solid_state :
   ?manager:Storage.Manager.config ->
   ?flash_spec:Device.Specs.flash_spec ->
   ?endurance_override:int ->
+  ?cards:int ->
+  ?striping:Storage.Striping.policy ->
+  ?front_cache_blocks:int ->
   ?battery_wh:float ->
   ?backup_wh:float ->
   ?seed:int ->
   unit ->
   t
 (** The paper's machine: defaults 4 MB DRAM, 20 MB Intel-style flash in
-    4 banks, default manager policies, 10 Wh primary + 0.5 Wh backup. *)
+    4 banks, default manager policies, 10 Wh primary + 0.5 Wh backup.
+    [cards] (default 1) scales out to a striped multi-card array —
+    [flash_mb] is then per card — striped by [striping] (default
+    round-robin, 4-block strips) behind an optional shared front cache. *)
 
 val conventional :
   ?name:string ->

@@ -7,11 +7,11 @@ type t = {
   engine : Engine.t;
   rng : Rng.t;
   dram : Device.Dram.t;
-  flash : Device.Flash.t option;
+  flashes : Device.Flash.t array;  (* One per card; empty on conventional. *)
   disk : Device.Disk.t option;
-  (* A cold restart (crash + remount) replaces both: the old manager and
+  (* A cold restart (crash + remount) replaces both: the old store and
      file system die with the DRAM contents. *)
-  mutable manager : Storage.Manager.t option;
+  mutable store : Storage.Store.t option;
   mutable fs : fs_impl;
   (* Bumped whenever [fs] is replaced, so pre-resolved file-system routes
      (compiled replay) know to re-resolve. *)
@@ -22,11 +22,14 @@ type t = {
   mutable errors : int;
 }
 
-(* The solid-state assembly, shared by [create] (fresh flash device) and
-   [recycle] (factory-reset flash device): everything except the flash
+(* The solid-state assembly, shared by [create] (fresh flash devices) and
+   [recycle] (factory-reset flash devices): everything except the flash
    arrays is built from scratch, so a recycled machine is observationally
-   identical to a fresh one. *)
-let assemble_solid (cfg : Config.t) ~manager_cfg ~flash =
+   identical to a fresh one.  A single card mounts its manager directly
+   ([Store.Single]) — exactly the pre-array machine; two or more cards go
+   behind a striped [Storage.Array]. *)
+let assemble_solid (cfg : Config.t) ~manager_cfg ~striping ~front_cache_blocks
+    ~flashes =
   let engine = Engine.create () in
   let rng = Rng.create ~seed:cfg.Config.seed in
   let dram =
@@ -36,16 +39,24 @@ let assemble_solid (cfg : Config.t) ~manager_cfg ~flash =
   let battery =
     Device.Battery.of_watt_hours ~backup_wh:cfg.Config.backup_wh cfg.Config.battery_wh
   in
-  let mgr = Storage.Manager.create manager_cfg ~engine ~flash ~dram in
-  let memfs = Fs.Memfs.create_fs ~manager:mgr () in
+  let store =
+    if Array.length flashes = 1 then
+      Storage.Store.Single
+        (Storage.Manager.create manager_cfg ~engine ~flash:flashes.(0) ~dram)
+    else
+      Storage.Store.Striped
+        (Storage.Array.create ~front_cache_blocks ~striping manager_cfg ~engine
+           ~flashes ~dram)
+  in
+  let memfs = Fs.Memfs.create_fs_store ~store () in
   {
     cfg;
     engine;
     rng;
     dram;
-    flash = Some flash;
+    flashes;
     disk = None;
-    manager = Some mgr;
+    store = Some store;
     fs = Mem memfs;
     fs_gen = 0;
     battery;
@@ -56,14 +67,25 @@ let assemble_solid (cfg : Config.t) ~manager_cfg ~flash =
 
 let create (cfg : Config.t) =
   match cfg.Config.storage with
-  | Config.Solid_state { flash_bytes; nbanks; flash_spec; endurance_override; manager }
-    ->
-    let flash =
-      Device.Flash.create
-        (Device.Flash.config ~spec:flash_spec ~nbanks ?endurance_override
-           ~size_bytes:flash_bytes ())
+  | Config.Solid_state
+      {
+        flash_bytes;
+        nbanks;
+        flash_spec;
+        endurance_override;
+        manager;
+        cards;
+        striping;
+        front_cache_blocks;
+      } ->
+    if cards < 1 then invalid_arg "Machine.create: cards must be at least 1";
+    let flashes =
+      Array.init cards (fun _ ->
+          Device.Flash.create
+            (Device.Flash.config ~spec:flash_spec ~nbanks ?endurance_override
+               ~size_bytes:flash_bytes ()))
     in
-    assemble_solid cfg ~manager_cfg:manager ~flash
+    assemble_solid cfg ~manager_cfg:manager ~striping ~front_cache_blocks ~flashes
   | Config.Conventional { disk_spec; spindown_timeout; ffs } ->
     let engine = Engine.create () in
     let rng = Rng.create ~seed:cfg.Config.seed in
@@ -84,9 +106,9 @@ let create (cfg : Config.t) =
       engine;
       rng;
       dram;
-      flash = None;
+      flashes = [||];
       disk = Some disk;
-      manager = None;
+      store = None;
       fs = Disk_fs fs;
       fs_gen = 0;
       battery;
@@ -96,37 +118,56 @@ let create (cfg : Config.t) =
     }
 
 let recycle old (cfg : Config.t) =
-  match (cfg.Config.storage, old.flash) with
-  | ( Config.Solid_state { flash_bytes; nbanks; flash_spec; endurance_override; manager },
-      Some flash ) ->
+  match cfg.Config.storage with
+  | Config.Solid_state
+      {
+        flash_bytes;
+        nbanks;
+        flash_spec;
+        endurance_override;
+        manager;
+        cards;
+        striping;
+        front_cache_blocks;
+      }
+    when cards >= 1 && Array.length old.flashes = cards ->
     let desired =
       Device.Flash.config ~spec:flash_spec ~nbanks ?endurance_override
         ~size_bytes:flash_bytes ()
     in
-    let endurance_matches =
-      match endurance_override with
-      | Some e -> Device.Flash.endurance flash = e && e > 0
-      | None -> Device.Flash.endurance flash = flash_spec.Device.Specs.f_endurance
-    in
-    if
+    let matches flash =
+      let endurance_matches =
+        match endurance_override with
+        | Some e -> Device.Flash.endurance flash = e && e > 0
+        | None -> Device.Flash.endurance flash = flash_spec.Device.Specs.f_endurance
+      in
       Device.Flash.nbanks flash = desired.Device.Flash.nbanks
       && Device.Flash.sectors_per_bank flash = desired.Device.Flash.sectors_per_bank
       && Device.Flash.spec flash = desired.Device.Flash.spec
       && endurance_matches
-    then begin
-      Device.Flash.factory_reset flash;
-      assemble_solid cfg ~manager_cfg:manager ~flash
+    in
+    if Array.for_all matches old.flashes then begin
+      Array.iter Device.Flash.factory_reset old.flashes;
+      assemble_solid cfg ~manager_cfg:manager ~striping ~front_cache_blocks
+        ~flashes:old.flashes
     end
     else create cfg
-  | (Config.Solid_state _ | Config.Conventional _), _ -> create cfg
+  | Config.Solid_state _ | Config.Conventional _ -> create cfg
 
 let config t = t.cfg
 let engine t = t.engine
 let dram t = t.dram
 let battery t = t.battery
 let rng t = t.rng
-let manager t = t.manager
-let flash t = t.flash
+let store t = t.store
+
+let manager t =
+  match t.store with
+  | Some (Storage.Store.Single m) -> Some m
+  | Some (Storage.Store.Striped _) | None -> None
+
+let flash t = if Array.length t.flashes = 1 then Some t.flashes.(0) else None
+let flashes t = t.flashes
 let disk t = t.disk
 let memfs t = match t.fs with Mem m -> Some m | Disk_fs _ -> None
 let ffs t = match t.fs with Disk_fs f -> Some f | Mem _ -> None
@@ -170,9 +211,9 @@ let fs_preload t path ~size =
 let total_energy t =
   let meters =
     Device.Power.Meter.total_joules (Device.Dram.meter t.dram)
-    +. (match t.flash with
-       | Some f -> Device.Power.Meter.total_joules (Device.Flash.meter f)
-       | None -> 0.0)
+    +. Array.fold_left
+         (fun acc f -> acc +. Device.Power.Meter.total_joules (Device.Flash.meter f))
+         0.0 t.flashes
     +.
     match t.disk with
     | Some d -> Device.Power.Meter.total_joules (Device.Disk.meter d)
@@ -185,7 +226,7 @@ let account t =
   if Time.( < ) t.last_account now then begin
     let dt = Time.diff now t.last_account in
     Device.Dram.charge_idle t.dram dt;
-    (match t.flash with Some f -> Device.Flash.charge_idle f dt | None -> ());
+    Array.iter (fun f -> Device.Flash.charge_idle f dt) t.flashes;
     (match t.disk with Some d -> Device.Disk.finish_accounting d ~now | None -> ());
     t.last_account <- now
   end;
@@ -200,14 +241,14 @@ let account t =
 
 let settle_time t =
   let flash_busy =
-    match t.flash with
-    | Some f ->
-      let busy = ref Time.zero in
-      for bank = 0 to Device.Flash.nbanks f - 1 do
-        busy := Time.max !busy (Device.Flash.bank_busy_until f ~bank)
-      done;
-      !busy
-    | None -> Time.zero
+    let busy = ref Time.zero in
+    Array.iter
+      (fun f ->
+        for bank = 0 to Device.Flash.nbanks f - 1 do
+          busy := Time.max !busy (Device.Flash.bank_busy_until f ~bank)
+        done)
+      t.flashes;
+    !busy
   in
   let disk_busy =
     match t.disk with Some d -> Device.Disk.busy_until d | None -> Time.zero
@@ -234,7 +275,7 @@ let preload t files =
      pieces and the registry explicitly. *)
   let settle = Time.add (settle_time t) (Time.span_s 1.0) in
   Engine.run_until t.engine settle;
-  (match t.manager with Some m -> Storage.Manager.reset_traffic m | None -> ());
+  (match t.store with Some s -> Storage.Store.reset_traffic s | None -> ());
   (match t.disk with Some d -> Device.Disk.reset_stats d | None -> ());
   (match t.fs with
   | Mem _ -> ()
@@ -322,20 +363,20 @@ let rec mkdir_parents t path =
    keeps the bookkeeping in one place), but any block whose only copy sat
    in the write buffer is gone, and the file it belonged to is damaged. *)
 let cold_crash t =
-  let mgr, fs =
-    match (t.manager, t.fs) with
-    | Some m, Mem fs -> (m, fs)
+  let store, fs =
+    match (t.store, t.fs) with
+    | Some s, Mem fs -> (s, fs)
     | _ -> invalid_arg "Machine: fault injection requires solid-state storage"
   in
   let files = Fs.Memfs.enumerate_sparse fs in
-  let fresh_mgr, span, report = Storage.Manager.crash_and_remount mgr in
-  let fresh_fs = Fs.Memfs.create_fs ~manager:fresh_mgr () in
+  let fresh_store, span, report = Storage.Store.crash_and_remount store in
+  let fresh_fs = Fs.Memfs.create_fs_store ~store:fresh_store () in
   let lost = ref 0 in
   let damaged = ref 0 in
   List.iter
     (fun (path, size, blocks) ->
       let survivors =
-        List.filter (fun (_, b) -> Storage.Manager.block_exists fresh_mgr b) blocks
+        List.filter (fun (_, b) -> Storage.Store.block_exists fresh_store b) blocks
       in
       let nlost = List.length blocks - List.length survivors in
       if nlost > 0 then incr damaged;
@@ -345,22 +386,22 @@ let cold_crash t =
       | Ok () -> ()
       | Error e -> Fmt.failwith "crash recovery: adopt %s: %a" path Fs.Fs_error.pp e)
     files;
-  t.manager <- Some fresh_mgr;
+  t.store <- Some fresh_store;
   t.fs <- Mem fresh_fs;
   t.fs_gen <- t.fs_gen + 1;
   (!lost, !damaged, report, span)
 
 let inject_fault t kind =
-  let mgr =
-    match t.manager with
-    | Some m -> m
+  let store =
+    match t.store with
+    | Some s -> s
     | None -> invalid_arg "Machine: fault injection requires solid-state storage"
   in
   (* Settle the energy books first: battery state at the instant of the
      fault decides what survives. *)
   account t;
   let now = Engine.now t.engine in
-  let dirty = (Storage.Manager.stats mgr).Storage.Manager.dirty_blocks in
+  let dirty = (Storage.Store.stats store).Storage.Manager.dirty_blocks in
   Probe.incr p_faults;
   Probe.instant ~name:"fault" ~cat:"fault"
     ~args:
@@ -539,14 +580,21 @@ let run_seq ?(drain = Time.span_s 120.0) ?(faults = []) t records =
   accounting_done := true;
   account t;
   let elapsed = Time.diff (Engine.now t.engine) started in
-  let manager_stats = Option.map Storage.Manager.stats t.manager in
+  let manager_stats = Option.map Storage.Store.stats t.store in
   let lifetime_years =
-    match (t.manager, t.flash, manager_stats) with
-    | Some m, Some f, Some stats ->
+    (* On an array the machine dies with its first worn-out card: the
+       extrapolated lifetime is the minimum over cards. *)
+    match t.store with
+    | Some s ->
       Some
-        (Lifetime.of_run ~flash:f ~stats ~evenness:(Storage.Manager.wear_evenness m)
-           ~elapsed)
-    | _ -> None
+        (Array.fold_left
+           (fun acc m ->
+             Float.min acc
+               (Lifetime.of_run ~flash:(Storage.Manager.flash m)
+                  ~stats:(Storage.Manager.stats m)
+                  ~evenness:(Storage.Manager.wear_evenness m) ~elapsed))
+           infinity (Storage.Store.managers s))
+    | None -> None
   in
   {
     ops_applied = !ops;
@@ -715,14 +763,21 @@ let run_compiled ?(drain = Time.span_s 120.0) ?(faults = []) t (c : Compiled.t) 
   accounting_done := true;
   account t;
   let elapsed = Time.diff (Engine.now t.engine) started in
-  let manager_stats = Option.map Storage.Manager.stats t.manager in
+  let manager_stats = Option.map Storage.Store.stats t.store in
   let lifetime_years =
-    match (t.manager, t.flash, manager_stats) with
-    | Some m, Some f, Some stats ->
+    (* On an array the machine dies with its first worn-out card: the
+       extrapolated lifetime is the minimum over cards. *)
+    match t.store with
+    | Some s ->
       Some
-        (Lifetime.of_run ~flash:f ~stats ~evenness:(Storage.Manager.wear_evenness m)
-           ~elapsed)
-    | _ -> None
+        (Array.fold_left
+           (fun acc m ->
+             Float.min acc
+               (Lifetime.of_run ~flash:(Storage.Manager.flash m)
+                  ~stats:(Storage.Manager.stats m)
+                  ~evenness:(Storage.Manager.wear_evenness m) ~elapsed))
+           infinity (Storage.Store.managers s))
+    | None -> None
   in
   {
     ops_applied = !ops;

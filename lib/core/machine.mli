@@ -27,10 +27,21 @@ val dram : t -> Device.Dram.t
 val battery : t -> Device.Battery.t
 val rng : t -> Sim.Rng.t
 
+val store : t -> Storage.Store.t option
+(** The block store — a single manager or a striped multi-card array
+    ([None] on a conventional machine).  Replaced by a cold restart. *)
+
 val manager : t -> Storage.Manager.t option
-(** The storage manager ([None] on a conventional machine). *)
+(** The storage manager ([None] on a conventional machine {e or} a
+    multi-card array; use {!store} to handle both). *)
 
 val flash : t -> Device.Flash.t option
+(** The flash device of a single-card machine ([None] on conventional or
+    multi-card machines; use {!flashes} for the per-card devices). *)
+
+val flashes : t -> Device.Flash.t array
+(** Every flash card, in card order (empty on a conventional machine). *)
+
 val disk : t -> Device.Disk.t option
 
 val memfs : t -> Fs.Memfs.t option

@@ -62,22 +62,30 @@ and file = { mutable size : int; map : Blockmap.t }
 let dir_table_size = 64
 
 type t = {
-  manager : Storage.Manager.t;
+  store : Storage.Store.t;
   root : (string, node) Hashtbl.t;
   mutable files : int;
   mutable dirs : int;
 }
 
-let create_fs ~manager () =
-  { manager; root = Hashtbl.create 64; files = 0; dirs = 1 }
+let create_fs_store ~store () =
+  { store; root = Hashtbl.create 64; files = 0; dirs = 1 }
 
-let manager t = t.manager
+let create_fs ~manager () = create_fs_store ~store:(Storage.Store.Single manager) ()
+let store t = t.store
+
+let manager t =
+  match t.store with
+  | Storage.Store.Single m -> m
+  | Storage.Store.Striped _ ->
+    invalid_arg "Memfs.manager: fs is mounted on a multi-card array"
+
 let name _ = "memfs"
 
 (* Metadata touches are ordinary DRAM accesses; 64 bytes approximates a
    directory entry or inode record. *)
-let meta_read t = Device.Dram.read (Storage.Manager.dram t.manager) ~bytes:64
-let meta_write t = Device.Dram.write (Storage.Manager.dram t.manager) ~bytes:64
+let meta_read t = Device.Dram.read (Storage.Store.dram t.store) ~bytes:64
+let meta_write t = Device.Dram.write (Storage.Store.dram t.store) ~bytes:64
 
 let ( let* ) = Result.bind
 
@@ -133,7 +141,7 @@ let create t path =
     t.files <- t.files + 1;
     Ok (Time.span_add !charge (meta_write t))
 
-let block_bytes t = Storage.Manager.block_bytes t.manager
+let block_bytes t = Storage.Store.block_bytes t.store
 
 let p_writes = Sim.Probe.counter "fs.memfs.writes"
 let p_reads = Sim.Probe.counter "fs.memfs.reads"
@@ -148,19 +156,19 @@ let write_body t f ~offset ~bytes ~charge =
     let first = offset / bs and last = (offset + bytes - 1) / bs in
     (* Thread completion time through the blocks: each access issues when
        its predecessor finished. *)
-    let start = Sim.Engine.now (Storage.Manager.engine t.manager) in
+    let start = Sim.Engine.now (Storage.Store.engine t.store) in
     let cursor = ref (Time.add start !charge) in
     for i = first to last do
       let b =
         let b = Blockmap.find f.map i in
         if b <> Blockmap.no_block then b
         else begin
-          let b = Storage.Manager.alloc t.manager in
+          let b = Storage.Store.alloc t.store in
           Blockmap.set f.map i b;
           b
         end
       in
-      cursor := Storage.Manager.write_block_at t.manager ~at:!cursor b
+      cursor := Storage.Store.write_block_at t.store ~at:!cursor b
     done;
     charge := Time.diff !cursor start;
     f.size <- max f.size (offset + bytes)
@@ -173,7 +181,7 @@ let read_body t f ~offset ~bytes ~charge =
   if bytes > 0 then begin
     let bs = block_bytes t in
     let first = offset / bs and last = (offset + bytes - 1) / bs in
-    let start = Sim.Engine.now (Storage.Manager.engine t.manager) in
+    let start = Sim.Engine.now (Storage.Store.engine t.store) in
     let cursor = ref (Time.add start !charge) in
     for i = first to last do
       (* How much of this block the range covers. *)
@@ -181,10 +189,10 @@ let read_body t f ~offset ~bytes ~charge =
       let n = hi - lo in
       let b = Blockmap.find f.map i in
       if b <> Blockmap.no_block then
-        cursor := Storage.Manager.read_block_at ~bytes:n t.manager ~at:!cursor b
+        cursor := Storage.Store.read_block_at ~bytes:n t.store ~at:!cursor b
       else
         cursor :=
-          Time.add !cursor (Device.Dram.read (Storage.Manager.dram t.manager) ~bytes:n)
+          Time.add !cursor (Device.Dram.read (Storage.Store.dram t.store) ~bytes:n)
     done;
     charge := Time.diff !cursor start
   end;
@@ -193,7 +201,7 @@ let read_body t f ~offset ~bytes ~charge =
 let truncate_body t f ~size ~charge =
   let bs = block_bytes t in
   let keep = Units.ceil_div size bs in
-  List.iter (Storage.Manager.free_block t.manager) (Blockmap.crop f.map keep);
+  List.iter (Storage.Store.free_block t.store) (Blockmap.crop f.map keep);
   f.size <- min f.size size;
   charge := Time.span_add !charge (meta_write t);
   Ok !charge
@@ -265,7 +273,7 @@ let unlink t path =
   | Ok (`In (_, _, None)) -> Error Fs_error.Enoent
   | Ok (`In (_, _, Some (Dir _))) -> Error Fs_error.Eisdir
   | Ok (`In (table, fname, Some (File f))) ->
-    Blockmap.iter_live (Storage.Manager.free_block t.manager) f.map;
+    Blockmap.iter_live (Storage.Store.free_block t.store) f.map;
     Hashtbl.remove table fname;
     t.files <- t.files - 1;
     Ok (Time.span_add !charge (meta_write t))
@@ -306,7 +314,7 @@ let readdir t path =
   | Ok (`In (_, _, Some (File _))) -> Error Fs_error.Enotdir
   | Ok (`In (_, _, None)) -> Error Fs_error.Enoent
 
-let sync t = Storage.Manager.flush_all t.manager
+let sync t = Storage.Store.flush_all t.store
 
 let preload t path ~size =
   if size < 0 then Error Fs_error.Einval
@@ -316,8 +324,8 @@ let preload t path ~size =
     let* f = lookup_file t path ~charge in
     let bs = block_bytes t in
     for i = 0 to Units.ceil_div size bs - 1 do
-      let b = Storage.Manager.alloc t.manager in
-      Storage.Manager.load_cold t.manager b;
+      let b = Storage.Store.alloc t.store in
+      Storage.Store.load_cold t.store b;
       Blockmap.set f.map i b
     done;
     f.size <- size;
@@ -413,7 +421,7 @@ let unlink_in t d name =
   | None -> Error Fs_error.Enoent
   | Some (Dir _) -> Error Fs_error.Eisdir
   | Some (File f) ->
-    Blockmap.iter_live (Storage.Manager.free_block t.manager) f.map;
+    Blockmap.iter_live (Storage.Store.free_block t.store) f.map;
     Hashtbl.remove d.parent name;
     t.files <- t.files - 1;
     Ok (Time.span_add !charge (meta_write t))
@@ -435,7 +443,7 @@ let enumerate t =
 let adopt t path ~size ~blocks =
   List.iter
     (fun b ->
-      if not (Storage.Manager.block_exists t.manager b) then
+      if not (Storage.Store.block_exists t.store b) then
         invalid_arg "Memfs.adopt: unknown block")
     blocks;
   let* _span = create t path in
@@ -470,7 +478,7 @@ let enumerate_sparse t =
 let adopt_sparse t path ~size ~blocks =
   List.iter
     (fun (_, b) ->
-      if not (Storage.Manager.block_exists t.manager b) then
+      if not (Storage.Store.block_exists t.store b) then
         invalid_arg "Memfs.adopt_sparse: unknown block")
     blocks;
   let* _span = create t path in
@@ -511,7 +519,7 @@ let check t =
   match !duplicate with
   | Some (path, b) -> Error (Printf.sprintf "block %d referenced twice (at %s)" b path)
   | None ->
-    let stats = Storage.Manager.stats t.manager in
+    let stats = Storage.Store.stats t.store in
     let managed =
       stats.Storage.Manager.live_blocks + stats.Storage.Manager.dirty_blocks
     in
@@ -524,9 +532,9 @@ let check t =
       let homeless =
         Hashtbl.fold
           (fun b () acc ->
-            match Storage.Manager.segment_of_block t.manager b with
+            match Storage.Store.segment_of_block t.store b with
             | Some _ -> acc
-            | None -> if Storage.Manager.block_is_dirty t.manager b then acc else b :: acc)
+            | None -> if Storage.Store.block_is_dirty t.store b then acc else b :: acc)
           seen []
       in
       match homeless with

@@ -47,9 +47,18 @@ module Blockmap : sig
 end
 
 val create_fs : manager:Storage.Manager.t -> unit -> t
-(** A fresh, empty file system ("/" exists). *)
+(** A fresh, empty file system ("/" exists) over a single manager
+    (equivalent to [create_fs_store ~store:(Single manager)]). *)
+
+val create_fs_store : store:Storage.Store.t -> unit -> t
+(** Mount over any block store — a single manager or a striped multi-card
+    array; the fs is oblivious to which. *)
+
+val store : t -> Storage.Store.t
 
 val manager : t -> Storage.Manager.t
+(** The single underlying manager.
+    @raise Invalid_argument when mounted on a multi-card array. *)
 
 val preload : t -> string -> size:int -> (unit, Fs_error.t) result
 (** Install a file of [size] bytes directly into flash through the

@@ -1,0 +1,249 @@
+(* This module IS [Storage.Array]; rebind the name so the [a.(i)]
+   indexing operators (which desugar to [Array.get]) hit the stdlib. *)
+module Array = Stdlib.Array
+module A = Stdlib.Array
+open Sim
+
+let log_src = Logs.Src.create "ssmc.storage.array" ~doc:"Striped multi-card array"
+
+module Log = (val Logs.src_log log_src)
+
+let p_flush_groups = Probe.counter "storage.array.flush_card_groups"
+
+type t = {
+  striping : Striping.policy;
+  cards : Manager.t A.t;
+  front : Front_cache.t option;  (* [None] = cache off (capacity 0). *)
+  front_capacity : int;
+  dram : Device.Dram.t;
+  engine : Engine.t;
+  mutable next_global : int;
+}
+
+let ncards t = A.length t.cards
+let striping t = t.striping
+let manager t i = t.cards.(i)
+let dram t = t.dram
+let engine t = t.engine
+let block_bytes t = Manager.block_bytes t.cards.(0)
+let front_cache_capacity t = t.front_capacity
+
+let card_of_block t b = Striping.card_of t.striping ~ncards:(ncards t) ~block:b
+let local_of_block t b = Striping.local_of t.striping ~ncards:(ncards t) ~block:b
+
+let create ?(front_cache_blocks = 0) ~striping cfg ~engine ~flashes ~dram =
+  let n = A.length flashes in
+  (match Striping.validate striping ~ncards:n with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Array.create: " ^ msg));
+  if front_cache_blocks < 0 then
+    invalid_arg "Array.create: negative front cache capacity";
+  let sector = Device.Flash.sector_bytes flashes.(0) in
+  A.iter
+    (fun f ->
+      if Device.Flash.sector_bytes f <> sector then
+        invalid_arg "Array.create: cards must share a sector size")
+    flashes;
+  let cards =
+    A.init n (fun i -> Manager.create ~card:i cfg ~engine ~flash:flashes.(i) ~dram)
+  in
+  {
+    striping;
+    cards;
+    front =
+      (if front_cache_blocks = 0 then None
+       else Some (Front_cache.create ~capacity_blocks:front_cache_blocks));
+    front_capacity = front_cache_blocks;
+    dram;
+    engine;
+    next_global = 0;
+  }
+
+let capacity_blocks t =
+  A.fold_left (fun acc m -> acc + Manager.capacity_blocks m) 0 t.cards
+
+(* --- Client operations ----------------------------------------------------
+
+   Every operation is routing arithmetic plus the card's own code path; the
+   only array-level state is the front cache and the allocation cursor. *)
+
+let alloc t =
+  let g = t.next_global in
+  t.next_global <- g + 1;
+  let c = card_of_block t g in
+  let l = Manager.alloc t.cards.(c) in
+  (* Dense global allocation + dense per-card allocation make the local
+     handle a pure function of the global one; everything else here (and
+     table-free crash recovery) rests on that. *)
+  if l <> local_of_block t g then
+    Fmt.failwith "Array.alloc: card %d handed out local %d, expected %d" c l
+      (local_of_block t g);
+  g
+
+let invalidate_front t b =
+  match t.front with None -> () | Some fc -> Front_cache.invalidate fc ~key:b
+
+let write_block_at t ~at b =
+  invalidate_front t b;
+  Manager.write_block_at t.cards.(card_of_block t b) ~at (local_of_block t b)
+
+let write_block t b =
+  let now = Engine.now t.engine in
+  Time.diff (write_block_at t ~at:now b) now
+
+let read_block_at ?bytes t ~at b =
+  let c = card_of_block t b in
+  let l = local_of_block t b in
+  match t.front with
+  | None -> Manager.read_block_at ?bytes t.cards.(c) ~at l
+  | Some fc ->
+    if not (Manager.block_exists t.cards.(c) l) then
+      (* Let the card raise its usual error without polluting the cache. *)
+      Manager.read_block_at ?bytes t.cards.(c) ~at l
+    else begin
+      match Front_cache.find_or_insert fc ~key:b with
+      | Front_cache.Hit ->
+        let bytes = Option.value bytes ~default:(block_bytes t) in
+        Time.add at (Device.Dram.read t.dram ~bytes)
+      | Front_cache.Miss -> Manager.read_block_at ?bytes t.cards.(c) ~at l
+    end
+
+let read_block ?bytes t b =
+  let now = Engine.now t.engine in
+  Time.diff (read_block_at ?bytes t ~at:now b) now
+
+let free_block t b =
+  invalidate_front t b;
+  Manager.free_block t.cards.(card_of_block t b) (local_of_block t b)
+
+let load_cold t b =
+  Manager.load_cold t.cards.(card_of_block t b) (local_of_block t b)
+
+let flush_all t =
+  (* One contiguous drain per card — flushed sectors are grouped by
+     destination card, never interleaved across cards — and the drains
+     overlap in simulated time (each card programs its own banks), so the
+     caller's stall is the slowest card's. *)
+  let now = Engine.now t.engine in
+  let groups = ref 0 in
+  let worst =
+    A.fold_left
+      (fun worst m ->
+        let span = Manager.flush_all m in
+        if Time.span_to_us span > 0.0 then incr groups;
+        Time.max_span worst span)
+      Time.span_zero t.cards
+  in
+  if !groups > 0 then begin
+    Probe.add p_flush_groups !groups;
+    if Probe.timeline_enabled () then
+      Probe.span ~name:"array.flush" ~cat:"storage"
+        ~args:[ ("card_groups", string_of_int !groups) ]
+        ~start:now ~finish:(Time.add now worst) ()
+  end;
+  worst
+
+(* --- Introspection -------------------------------------------------------- *)
+
+let card_stats t i = Manager.stats t.cards.(i)
+let wear_evenness t i = Manager.wear_evenness t.cards.(i)
+let front_cache_hits t = match t.front with None -> 0 | Some fc -> Front_cache.hits fc
+let front_cache_misses t =
+  match t.front with None -> 0 | Some fc -> Front_cache.misses fc
+
+let stats t =
+  let sum f = A.fold_left (fun acc m -> acc + f (Manager.stats m)) 0 t.cards in
+  let writes = sum (fun s -> s.Manager.client_writes) in
+  let flushed = sum (fun s -> s.Manager.blocks_flushed) in
+  let cleaned = sum (fun s -> s.Manager.blocks_cleaned) in
+  {
+    Manager.client_writes = writes;
+    (* Front-cache hits never reach a card, but they are client reads. *)
+    client_reads = sum (fun s -> s.Manager.client_reads) + front_cache_hits t;
+    absorbed_writes = sum (fun s -> s.Manager.absorbed_writes);
+    cancelled_blocks = sum (fun s -> s.Manager.cancelled_blocks);
+    blocks_flushed = flushed;
+    blocks_cleaned = cleaned;
+    cold_loads = sum (fun s -> s.Manager.cold_loads);
+    hot_retained = sum (fun s -> s.Manager.hot_retained);
+    cleanings = sum (fun s -> s.Manager.cleanings);
+    dirty_blocks = sum (fun s -> s.Manager.dirty_blocks);
+    free_segments = sum (fun s -> s.Manager.free_segments);
+    retired_segments = sum (fun s -> s.Manager.retired_segments);
+    live_blocks = sum (fun s -> s.Manager.live_blocks);
+    write_reduction =
+      (if writes = 0 then 0.0
+       else 1.0 -. (float_of_int flushed /. float_of_int writes));
+    write_amplification =
+      Cleaner.write_amplification ~blocks_written:(flushed + cleaned)
+        ~blocks_flushed:flushed;
+  }
+
+let segment_of_block t b =
+  Manager.segment_of_block t.cards.(card_of_block t b) (local_of_block t b)
+
+let block_is_dirty t b =
+  Manager.block_is_dirty t.cards.(card_of_block t b) (local_of_block t b)
+
+let block_exists t b =
+  b >= 0
+  && Manager.block_exists t.cards.(card_of_block t b) (local_of_block t b)
+
+let reset_traffic t =
+  A.iter Manager.reset_traffic t.cards;
+  match t.front with None -> () | Some fc -> Front_cache.reset_counters fc
+
+(* --- Crash recovery ------------------------------------------------------- *)
+
+let crash_and_remount t =
+  let n = ncards t in
+  (* Every card remounts from its own headers; the scans overlap in
+     simulated time (independent devices), so recovery latency is the
+     slowest card's scan, not the sum. *)
+  let worst = ref Time.span_zero in
+  let scanned = ref 0 and live = ref 0 and stale = ref 0 and lost = ref 0 in
+  let cards =
+    A.map
+      (fun m ->
+        let fresh, span, r = Manager.crash_and_remount m in
+        worst := Time.max_span !worst span;
+        scanned := !scanned + r.Manager.sectors_scanned;
+        live := !live + r.Manager.live_recovered;
+        stale := !stale + r.Manager.stale_discarded;
+        lost := !lost + r.Manager.buffered_lost;
+        fresh)
+      t.cards
+  in
+  (* The front cache was DRAM: gone.  Reuse the object (counters are
+     cumulative traffic, reset via [reset_traffic]) with residency wiped. *)
+  (match t.front with None -> () | Some fc -> Front_cache.clear fc);
+  (* Rebuild the global cursor: the highest surviving global handle is on
+     whichever card kept the deepest local cursor. *)
+  let next_global =
+    A.to_list cards
+    |> List.mapi (fun c m ->
+           let nb = Manager.next_fresh_block m in
+           if nb = 0 then 0
+           else Striping.global_of t.striping ~ncards:n ~card:c ~local:(nb - 1) + 1)
+    |> List.fold_left max 0
+  in
+  (* Cards that lost never-flushed tail allocations restart their local
+     cursor short of the global one; pad them so local handles stay a pure
+     function of global ones. *)
+  A.iteri
+    (fun c m ->
+      Manager.reserve_blocks m
+        ~next:(Striping.locals_before t.striping ~ncards:n ~card:c next_global))
+    cards;
+  let fresh = { t with cards; next_global } in
+  let report =
+    {
+      Manager.sectors_scanned = !scanned;
+      live_recovered = !live;
+      stale_discarded = !stale;
+      buffered_lost = !lost;
+    }
+  in
+  Log.info (fun m ->
+      m "array remount (%d cards): %a" n Manager.pp_remount_report report);
+  (fresh, !worst, report)

@@ -1,0 +1,110 @@
+(** A striped array of flash cards behind one block interface.
+
+    The scale-out analog of Section 3.3's bank partitioning: one machine,
+    several PCMCIA flash cards, each owned by an independent {!Manager}
+    over its own {!Device.Flash.t}.  Blocks map to [(card, local)] by a
+    pure {!Striping} policy — no placement table — so a program or erase
+    in flight on one card never delays operations routed to another: every
+    card has its own banks, its own write buffer, and its own writeback
+    timer on the shared engine (queue occupancy is exactly the engine's
+    timer state, per card).  Busy time is accounted per card through each
+    manager's ["storage.card<i>.busy_us"] probe summary.
+
+    In front of the cards sits an optional shared {!Front_cache}: a clean
+    DRAM LRU over global handles that serves cross-card hot reads without
+    touching any card.
+
+    All managers share one engine and one DRAM device; each card gets its
+    own flash device.  All flash devices must share a sector size.
+
+    With one card, an identity striping, and the front cache off, every
+    operation forwards verbatim to the single manager — the array is
+    byte-identical to the pre-array path (pinned by test and in CI). *)
+
+type t
+
+val create :
+  ?front_cache_blocks:int ->
+  striping:Striping.policy ->
+  Manager.config ->
+  engine:Sim.Engine.t ->
+  flashes:Device.Flash.t array ->
+  dram:Device.Dram.t ->
+  t
+(** One manager per element of [flashes], all sharing [engine] and [dram].
+    [front_cache_blocks] (default 0 = off) sizes the shared front cache.
+    @raise Invalid_argument on an empty [flashes], mismatched sector
+    sizes, an invalid striping policy, or any per-card configuration
+    error {!Manager.create} would reject. *)
+
+val ncards : t -> int
+val striping : t -> Striping.policy
+val manager : t -> int -> Manager.t
+(** The card's manager, for per-card introspection (stats, wear,
+    segment state).  Mutating through it bypasses the front cache —
+    introspection only. *)
+
+val block_bytes : t -> int
+val capacity_blocks : t -> int
+(** Sum over cards. *)
+
+val card_of_block : t -> Manager.block -> int
+(** Where the policy places this global handle. *)
+
+(** {1 Client operations} — the same surface {!Manager} exposes; global
+    handles are dense from zero and never reused, exactly like a single
+    manager's. *)
+
+val alloc : t -> Manager.block
+val write_block : t -> Manager.block -> Sim.Time.span
+val write_block_at : t -> at:Sim.Time.t -> Manager.block -> Sim.Time.t
+val read_block : ?bytes:int -> t -> Manager.block -> Sim.Time.span
+val read_block_at : ?bytes:int -> t -> at:Sim.Time.t -> Manager.block -> Sim.Time.t
+(** A front-cache hit is served at DRAM read cost without touching the
+    block's card; a miss reads through the card and leaves the handle
+    resident. *)
+
+val free_block : t -> Manager.block -> unit
+val load_cold : t -> Manager.block -> unit
+
+val flush_all : t -> Sim.Time.span
+(** Drain every card's write buffer, grouped by destination card (one
+    contiguous drain per card, never interleaved across cards), cards
+    flushing in parallel: the returned span is the slowest card's.  The
+    ["storage.array.flush_card_groups"] probe counts cards that had work
+    per drain. *)
+
+(** {1 Introspection} *)
+
+val stats : t -> Manager.stats
+(** Counters summed across cards (plus front-cache hits folded into
+    [client_reads]); [write_reduction]/[write_amplification] recomputed
+    from the sums. *)
+
+val card_stats : t -> int -> Manager.stats
+val wear_evenness : t -> int -> Wear.evenness
+(** Per card. *)
+
+val dram : t -> Device.Dram.t
+val engine : t -> Sim.Engine.t
+val segment_of_block : t -> Manager.block -> int option
+(** The card-local segment holding the block's flash copy, if flushed
+    (pair with {!card_of_block} to disambiguate). *)
+
+val block_is_dirty : t -> Manager.block -> bool
+val block_exists : t -> Manager.block -> bool
+val front_cache_capacity : t -> int
+val front_cache_hits : t -> int
+val front_cache_misses : t -> int
+val reset_traffic : t -> unit
+
+(** {1 Crash recovery} *)
+
+val crash_and_remount : t -> t * Sim.Time.span * Manager.remount_report
+(** Total power loss: every card remounts from its own sector headers
+    (scans run in parallel — the span is the slowest card's), the front
+    cache is wiped (it was DRAM), reports are summed, and the global
+    allocation cursor is rebuilt from the recovered per-card cursors —
+    cards that lost different numbers of never-flushed tail allocations
+    are re-aligned, so handles stay collision-free.  Global handles for
+    recovered blocks remain valid. *)

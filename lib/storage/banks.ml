@@ -18,6 +18,16 @@ let validate policy ~nbanks =
            write_banks nbanks)
     else Ok ()
 
+let probe_label ?card ?bank metric =
+  let base =
+    match card with
+    | None -> "storage.manager"
+    | Some c -> Printf.sprintf "storage.card%d" c
+  in
+  match bank with
+  | None -> base ^ "." ^ metric
+  | Some b -> Printf.sprintf "%s.bank%d.%s" base b metric
+
 let allowed policy ~nbanks purpose ~bank =
   if bank < 0 || bank >= nbanks then invalid_arg "Banks.allowed: bank out of range";
   match policy with

@@ -27,3 +27,15 @@ val validate : policy -> nbanks:int -> (unit, string) result
 
 val allowed : policy -> nbanks:int -> purpose -> bank:int -> bool
 (** May a segment in [bank] be opened for [purpose]? *)
+
+val probe_label : ?card:int -> ?bank:int -> string -> string
+(** The one probe label scheme shared by bank accounting and per-card
+    accounting, so an array wrapping banked managers never produces
+    duplicated counter names:
+
+    - [probe_label "client_writes"] = ["storage.manager.client_writes"]
+      (the historical single-manager names, unchanged);
+    - [probe_label ~card:2 "client_writes"] = ["storage.card2.client_writes"];
+    - [probe_label ~card:2 ~bank:1 "programs"] =
+      ["storage.card2.bank1.programs"];
+    - [probe_label ~bank:1 "programs"] = ["storage.manager.bank1.programs"]. *)

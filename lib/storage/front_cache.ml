@@ -1,0 +1,122 @@
+(* Clean LRU over global block handles: a doubly-linked recency list
+   threaded through a hash table, same shape as the fs-level
+   [Buffer_cache] but with no dirty state (the array invalidates on
+   write/free, so residents are always clean). *)
+
+type node = {
+  key : int;
+  mutable prev : node option;  (* toward MRU *)
+  mutable next : node option;  (* toward LRU *)
+}
+
+type t = {
+  capacity : int;
+  table : (int, node) Hashtbl.t;
+  mutable mru : node option;
+  mutable lru : node option;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let p_hits = Sim.Probe.counter "storage.front_cache.hits"
+let p_misses = Sim.Probe.counter "storage.front_cache.misses"
+
+let create ~capacity_blocks =
+  if capacity_blocks < 0 then
+    invalid_arg "Front_cache.create: negative capacity";
+  {
+    capacity = capacity_blocks;
+    table = Hashtbl.create (max 16 capacity_blocks);
+    mru = None;
+    lru = None;
+    hits = 0;
+    misses = 0;
+  }
+
+let capacity t = t.capacity
+let size t = Hashtbl.length t.table
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.mru <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.lru <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.mru;
+  node.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some node | None -> t.lru <- Some node);
+  t.mru <- Some node
+
+type lookup = Hit | Miss
+
+let count_hit t =
+  t.hits <- t.hits + 1;
+  Sim.Probe.incr p_hits
+
+let count_miss t =
+  t.misses <- t.misses + 1;
+  Sim.Probe.incr p_misses
+
+let evict_one t =
+  match t.lru with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table node.key
+
+(* The key is known absent: make it resident unless we are a pass-through.
+   Counts nothing itself. *)
+let insert_fresh t ~key =
+  if t.capacity > 0 then begin
+    while size t >= t.capacity do
+      evict_one t
+    done;
+    let node = { key; prev = None; next = None } in
+    Hashtbl.replace t.table key node;
+    push_front t node
+  end
+
+let find_or_insert t ~key =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+    count_hit t;
+    unlink t node;
+    push_front t node;
+    Hit
+  | None ->
+    count_miss t;
+    insert_fresh t ~key;
+    Miss
+
+let insert t ~key =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+    unlink t node;
+    push_front t node
+  | None -> insert_fresh t ~key
+
+let contains t ~key = Hashtbl.mem t.table key
+
+let invalidate t ~key =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table key
+  | None -> ()
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.mru <- None;
+  t.lru <- None
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_counters t =
+  t.hits <- 0;
+  t.misses <- 0

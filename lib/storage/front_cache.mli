@@ -1,0 +1,43 @@
+(** Shared front cache for a multi-card array.
+
+    A clean (read-only) LRU over global block handles, sitting in DRAM in
+    front of every card so cross-card hot blocks are served without
+    touching any card's flash.  It follows the [Buffer_cache] counting
+    contract: [find_or_insert] counts exactly one hit or one miss and
+    refreshes recency exactly once per logical access; [insert] counts
+    nothing; zero capacity is a true pass-through (nothing is retained,
+    every access is a counted miss).
+
+    The cache holds no payloads — residency alone decides whether a read
+    is served from DRAM or routed to a card — and never holds dirty data:
+    writes and frees must [invalidate] the handle, and a crash [clear]s
+    the whole cache (it lives in volatile DRAM). *)
+
+type t
+
+val create : capacity_blocks:int -> t
+(** Raises [Invalid_argument] on negative capacity. *)
+
+val capacity : t -> int
+val size : t -> int
+
+type lookup = Hit | Miss
+
+val find_or_insert : t -> key:int -> lookup
+(** One counted lookup: on [Hit] the entry moves to MRU; on [Miss] the
+    handle becomes resident (evicting the LRU entry if full).  At zero
+    capacity always a counted [Miss], nothing retained. *)
+
+val insert : t -> key:int -> unit
+(** Make [key] resident (refreshing recency if already present) without
+    counting a hit or a miss.  No-op at zero capacity. *)
+
+val contains : t -> key:int -> bool
+val invalidate : t -> key:int -> unit
+val clear : t -> unit
+(** Drop all residency (crash / remount).  Counters survive;
+    use [reset_counters] for the traffic-reset chokepoint. *)
+
+val hits : t -> int
+val misses : t -> int
+val reset_counters : t -> unit

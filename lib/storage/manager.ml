@@ -1,3 +1,6 @@
+(* The library now exports [Storage.Array] (the card array), which would
+   otherwise shadow the stdlib inside the library. *)
+module Array = Stdlib.Array
 open Sim
 
 let log_src = Logs.Src.create "ssmc.storage.manager" ~doc:"Physical storage manager"
@@ -6,14 +9,44 @@ module Log = (val Logs.src_log log_src)
 
 exception Out_of_space
 
-let p_writes = Probe.counter "storage.manager.client_writes"
-let p_reads = Probe.counter "storage.manager.client_reads"
-let p_flushed = Probe.counter "storage.manager.blocks_flushed"
-let p_cleaned = Probe.counter "storage.manager.blocks_cleaned"
-let p_cold = Probe.counter "storage.manager.cold_loads"
-let p_hot_retained = Probe.counter "storage.manager.hot_retained"
-let p_cleanings = Probe.counter "storage.manager.clean_ops"
-let p_remounts = Probe.counter "storage.manager.remounts"
+(* Probe handles are per-instance so each card of an array accounts under
+   its own label prefix ([Banks.probe_label]); a standalone manager
+   ([card = None]) keeps the historical ["storage.manager.*"] names, so
+   single-card machines are observably unchanged.  Handles are cheap
+   interned names — creating a record per manager costs a few words. *)
+type probes = {
+  p_writes : Probe.counter;
+  p_reads : Probe.counter;
+  p_flushed : Probe.counter;
+  p_cleaned : Probe.counter;
+  p_cold : Probe.counter;
+  p_hot_retained : Probe.counter;
+  p_cleanings : Probe.counter;
+  p_remounts : Probe.counter;
+  p_busy_us : Probe.summary;
+  (* Per-bank media-operation accounting, same label scheme as the
+     per-card counters above so an array wrapping banked managers never
+     duplicates a counter name. *)
+  p_bank_programs : Probe.counter array;
+  p_bank_erases : Probe.counter array;
+}
+
+let make_probes ?card ~nbanks () =
+  let l m = Banks.probe_label ?card m in
+  let lb b m = Banks.probe_label ?card ~bank:b m in
+  {
+    p_writes = Probe.counter (l "client_writes");
+    p_reads = Probe.counter (l "client_reads");
+    p_flushed = Probe.counter (l "blocks_flushed");
+    p_cleaned = Probe.counter (l "blocks_cleaned");
+    p_cold = Probe.counter (l "cold_loads");
+    p_hot_retained = Probe.counter (l "hot_retained");
+    p_cleanings = Probe.counter (l "clean_ops");
+    p_remounts = Probe.counter (l "remounts");
+    p_busy_us = Probe.summary (l "busy_us");
+    p_bank_programs = Array.init nbanks (fun b -> Probe.counter (lb b "programs"));
+    p_bank_erases = Array.init nbanks (fun b -> Probe.counter (lb b "erases"));
+  }
 
 type selector = Indexed | Scan | Checked
 
@@ -91,6 +124,8 @@ let no_header : header = { h_block = min_int; h_version = min_int; h_live = fals
 
 type t = {
   cfg : config;
+  card : int option;  (** Position in a [Storage.Array], [None] standalone. *)
+  probes : probes;
   engine : Engine.t;
   flash : Device.Flash.t;
   dram : Device.Dram.t;
@@ -139,6 +174,20 @@ let bank_of_segment t i = i / t.segs_per_bank
 let flash t = t.flash
 let dram t = t.dram
 let engine t = t.engine
+let card t = t.card
+
+(* Busy-time accounting: every client-visible operation observes the span
+   it occupied the card (including bank-queue waits), so an array's
+   per-card utilization falls out of one summary per card. *)
+let note_busy t ~start ~finish =
+  Probe.observe t.probes.p_busy_us (Time.span_to_us (Time.diff finish start))
+
+(* Timeline spans carry the card position when the manager is part of an
+   array; standalone managers emit exactly the historical span args. *)
+let card_args t args =
+  match t.card with
+  | None -> args
+  | Some c -> ("card", string_of_int c) :: args
 
 let find_meta t b =
   let m = if b >= 0 && b < Array.length t.meta then t.meta.(b) else no_meta in
@@ -243,7 +292,7 @@ let rebuild_indexes t =
         | Segment.Open -> ())
     t.segments
 
-let create cfg ~engine ~flash ~dram =
+let create ?card cfg ~engine ~flash ~dram =
   if cfg.segment_sectors <= 0 then invalid_arg "Manager.create: segment_sectors <= 0";
   if cfg.segment_sectors > Device.Flash.sectors_per_bank flash then
     invalid_arg "Manager.create: segment does not fit in a bank";
@@ -271,6 +320,8 @@ let create cfg ~engine ~flash ~dram =
   let t =
     {
       cfg;
+      card;
+      probes = make_probes ?card ~nbanks ();
       engine;
       flash;
       dram;
@@ -707,7 +758,7 @@ and clean_one t ~cursor ~purpose =
       (* Don't clean a segment that frees nothing unless wear leveling
          forced it (in which case it was returned by relocation_victim). *)
       t.c_cleanings <- t.c_cleanings + 1;
-      Probe.incr p_cleanings;
+      Probe.incr t.probes.p_cleanings;
       let clean_start = !cursor in
       let live_in = Segment.live_count victim in
       let bytes = block_bytes t in
@@ -727,21 +778,25 @@ and clean_one t ~cursor ~purpose =
               (Device.Flash.program t.flash ~now:!cursor ~sector:out_sector ~bytes)
           in
           cursor := prog.Device.Flash.finish;
+          Probe.incr t.probes.p_bank_programs.(bank_of_segment t (Segment.id out));
           let m = find_meta t b in
           record_header t m ~sector:out_sector ~block:b;
           m.loc <- Flashed { seg = Segment.id out; slot = out_slot };
           Segment.kill victim ~slot;
           note_kill t victim;
           t.c_cleaned <- t.c_cleaned + 1;
-          Probe.incr p_cleaned)
+          Probe.incr t.probes.p_cleaned)
         (Segment.live_blocks victim);
       (* Erase the sectors that were programmed since the last erase. *)
       let erases_before = erase_count_of_segment t victim in
+      let victim_bank = bank_of_segment t (Segment.id victim) in
       for slot = 0 to Segment.used_slots victim - 1 do
         let sector = Segment.sector_of_slot victim slot in
         t.durable.(sector) <- no_header;
         match Device.Flash.erase t.flash ~now:!cursor ~sector with
-        | Ok op -> cursor := op.Device.Flash.finish
+        | Ok op ->
+          cursor := op.Device.Flash.finish;
+          Probe.incr t.probes.p_bank_erases.(victim_bank)
         | Error Device.Flash.Bad_sector -> ()
         | Error e ->
           Fmt.failwith "Manager: erase failed: %a" Device.Flash.pp_error e
@@ -767,10 +822,11 @@ and clean_one t ~cursor ~purpose =
       if Probe.timeline_enabled () then
         Probe.span ~name:"cleaner.pass" ~cat:"cleaner"
           ~args:
-            [
-              ("segment", string_of_int (Segment.id victim));
-              ("copied", string_of_int live_in);
-            ]
+            (card_args t
+               [
+                 ("segment", string_of_int (Segment.id victim));
+                 ("copied", string_of_int live_in);
+               ])
           ~start:clean_start ~finish:!cursor ();
       true
   end
@@ -785,6 +841,7 @@ let append_block t ~purpose ~cursor b =
       (Device.Flash.program t.flash ~now:!cursor ~sector ~bytes:(block_bytes t))
   in
   cursor := prog.Device.Flash.finish;
+  Probe.incr t.probes.p_bank_programs.(bank_of_segment t (Segment.id seg));
   let m = find_meta t b in
   record_header t m ~sector ~block:b;
   m.loc <- Flashed { seg = Segment.id seg; slot }
@@ -849,19 +906,20 @@ and timer_fired t =
       in
       if retain then begin
         t.c_hot_retained <- t.c_hot_retained + 1;
-        Probe.incr p_hot_retained
+        Probe.incr t.probes.p_hot_retained
       end
       else begin
         (* Reading the buffered copy out of DRAM. *)
         ignore (Device.Dram.read t.dram ~bytes:(block_bytes t));
         append_block t ~purpose:Banks.Fresh_write ~cursor b;
         t.c_flushed <- t.c_flushed + 1;
-        Probe.incr p_flushed
+        Probe.incr t.probes.p_flushed
       end)
     expired;
+  if expired <> [] then note_busy t ~start:now ~finish:!cursor;
   if expired <> [] && Probe.timeline_enabled () then
     Probe.span ~name:"write_buffer.flush_batch" ~cat:"storage"
-      ~args:[ ("blocks", string_of_int (List.length expired)) ]
+      ~args:(card_args t [ ("blocks", string_of_int (List.length expired)) ])
       ~start:now ~finish:!cursor ();
   (* If a backlog remains, continue only after the device digested this
      batch and a spacing gap — pacing bounds how much bank time queued
@@ -882,19 +940,24 @@ let alloc t =
   set_meta t b { loc = Blank; hdr_sector = -1 };
   b
 
+let next_fresh_block t = t.next_block
+
+let reserve_blocks t ~next =
+  if next > t.next_block then t.next_block <- next
+
 (* Flush one specific dirty block synchronously (eviction path). *)
 let flush_now t ~cursor b =
   if Write_buffer.take t.buffer ~block:b then begin
     ignore (Device.Dram.read t.dram ~bytes:(block_bytes t));
     append_block t ~purpose:Banks.Fresh_write ~cursor b;
     t.c_flushed <- t.c_flushed + 1;
-    Probe.incr p_flushed
+    Probe.incr t.probes.p_flushed
   end
 
 let write_block_at t ~at b =
   let m = find_meta t b in
   t.c_writes <- t.c_writes + 1;
-  Probe.incr p_writes;
+  Probe.incr t.probes.p_writes;
   Heat.record_write t.heat ~now:at ~block:b;
   kill_flash_copy t m;
   let cursor = ref at in
@@ -904,7 +967,7 @@ let write_block_at t ~at b =
     (* Write-through: straight to flash; the client eats the program time. *)
     append_block t ~purpose:Banks.Fresh_write ~cursor b;
     t.c_flushed <- t.c_flushed + 1;
-    Probe.incr p_flushed
+    Probe.incr t.probes.p_flushed
   end
   else begin
     let rec admit () =
@@ -933,6 +996,7 @@ let write_block_at t ~at b =
      end);
     arm_timer t
   end;
+  note_busy t ~start:at ~finish:!cursor;
   !cursor
 
 let write_block t b =
@@ -943,12 +1007,13 @@ let read_block_at ?bytes t ~at b =
   let m = find_meta t b in
   let bytes = Option.value bytes ~default:(block_bytes t) in
   t.c_reads <- t.c_reads + 1;
-  Probe.incr p_reads;
+  Probe.incr t.probes.p_reads;
   match m.loc with
   | Blank | Buffered -> Time.add at (Device.Dram.read t.dram ~bytes)
   | Flashed { seg; slot } ->
     let sector = Segment.sector_of_slot t.segments.(seg) slot in
     let op = or_device_failure (Device.Flash.read t.flash ~now:at ~sector ~bytes) in
+    note_busy t ~start:at ~finish:op.Device.Flash.finish;
     op.Device.Flash.finish
 
 let read_block ?bytes t b =
@@ -976,7 +1041,7 @@ let load_cold t b =
   let cursor = ref (Engine.now t.engine) in
   append_block t ~purpose:Banks.Cold_load ~cursor b;
   t.c_cold <- t.c_cold + 1;
-  Probe.incr p_cold
+  Probe.incr t.probes.p_cold
 
 let flush_all t =
   let now = Engine.now t.engine in
@@ -986,8 +1051,9 @@ let flush_all t =
       ignore (Device.Dram.read t.dram ~bytes:(block_bytes t));
       append_block t ~purpose:Banks.Fresh_write ~cursor b;
       t.c_flushed <- t.c_flushed + 1;
-      Probe.incr p_flushed)
+      Probe.incr t.probes.p_flushed)
     (Write_buffer.drain t.buffer);
+  if not (Time.equal !cursor now) then note_busy t ~start:now ~finish:!cursor;
   Time.diff !cursor now
 
 (* --- Introspection -------------------------------------------------------- *)
@@ -1139,7 +1205,7 @@ let crash_and_remount t =
   (match t.timer with Some (h, _) -> Engine.cancel t.engine h | None -> ());
   t.timer <- None;
   ignore (Write_buffer.drain t.buffer);
-  let fresh = create t.cfg ~engine:t.engine ~flash:t.flash ~dram:t.dram in
+  let fresh = create ?card:t.card t.cfg ~engine:t.engine ~flash:t.flash ~dram:t.dram in
   (* Deep-copy the headers: they model on-flash state shared by old and new
      manager, but the records are mutable and the dead manager must not
      alias the live one's. *)
@@ -1238,15 +1304,16 @@ let crash_and_remount t =
     }
   in
   Log.info (fun m -> m "remount: %a" pp_remount_report report);
-  Probe.incr p_remounts;
+  Probe.incr t.probes.p_remounts;
   if Probe.timeline_enabled () then
     Probe.span ~name:"manager.remount" ~cat:"recovery"
       ~args:
-        [
-          ("sectors_scanned", string_of_int report.sectors_scanned);
-          ("live_recovered", string_of_int report.live_recovered);
-          ("stale_discarded", string_of_int report.stale_discarded);
-          ("buffered_lost", string_of_int report.buffered_lost);
-        ]
+        (card_args t
+           [
+             ("sectors_scanned", string_of_int report.sectors_scanned);
+             ("live_recovered", string_of_int report.live_recovered);
+             ("stale_discarded", string_of_int report.stale_discarded);
+             ("buffered_lost", string_of_int report.buffered_lost);
+           ])
       ~start:now ~finish:!cursor ();
   (fresh, Time.diff !cursor now, report)

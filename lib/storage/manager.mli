@@ -75,17 +75,37 @@ type block = int
 (** A logical block handle. *)
 
 val create :
+  ?card:int ->
   config -> engine:Sim.Engine.t -> flash:Device.Flash.t -> dram:Device.Dram.t -> t
-(** @raise Invalid_argument if the configuration is inconsistent with the
+(** [card] is this manager's position in a multi-card {!Array}; it only
+    changes probe labels ([Banks.probe_label]: ["storage.card<i>.*"]
+    instead of the historical ["storage.manager.*"]) and timeline span
+    args, never behavior.
+    @raise Invalid_argument if the configuration is inconsistent with the
     flash geometry (segments must fit within a bank; partitioning must be
     valid; watermarks must satisfy [1 <= low_water <= high_water]). *)
+
+val card : t -> int option
 
 val block_bytes : t -> int
 val capacity_blocks : t -> int
 (** Data blocks flash can hold (excluding retired segments). *)
 
 val alloc : t -> block
-(** A fresh, empty logical block. *)
+(** A fresh, empty logical block.  Handles are dense from zero and never
+    reused. *)
+
+val next_fresh_block : t -> block
+(** The handle the next {!alloc} will return (also an exclusive upper
+    bound on every handle ever allocated, including freed ones — remount
+    pins even dead headers' ids).  A striped array uses this to rebuild
+    its global allocation cursor after remounting every card. *)
+
+val reserve_blocks : t -> next:block -> unit
+(** Advance the allocation cursor so the next {!alloc} returns at least
+    [next] (no-op if it already would).  After a remount, cards that lost
+    never-flushed tail allocations restart their cursor below the global
+    one; the array re-aligns them with this. *)
 
 val write_block : t -> block -> Sim.Time.span
 (** (Re)write a block.  Supersedes any flash copy immediately; the new data

@@ -1,3 +1,5 @@
+(* [Storage.Array] (the card array) would shadow the stdlib inside this library. *)
+module Array = Stdlib.Array
 module Int_map = Map.Make (Int)
 module Int_set = Set.Make (Int)
 

@@ -1,3 +1,5 @@
+(* [Storage.Array] (the card array) would shadow the stdlib inside this library. *)
+module Array = Stdlib.Array
 type state = Free | Open | Closed
 
 type t = {

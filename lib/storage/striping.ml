@@ -1,0 +1,53 @@
+type policy = Round_robin of { strip_blocks : int } | Hashed
+
+let policy_name = function
+  | Round_robin _ -> "round-robin"
+  | Hashed -> "hashed"
+
+let pp_policy ppf = function
+  | Round_robin { strip_blocks } ->
+      Format.fprintf ppf "round-robin(strip=%d)" strip_blocks
+  | Hashed -> Format.fprintf ppf "hashed"
+
+let validate p ~ncards =
+  if ncards <= 0 then Error (Printf.sprintf "array needs >= 1 card, got %d" ncards)
+  else
+    match p with
+    | Round_robin { strip_blocks } when strip_blocks <= 0 ->
+        Error
+          (Printf.sprintf "round-robin strip size must be positive, got %d"
+             strip_blocks)
+    | Round_robin _ | Hashed -> Ok ()
+
+(* Handles are dense from 0, so [Hashed] is exactly round-robin with a
+   strip of one block; both directions stay pure integer arithmetic. *)
+
+let card_of p ~ncards ~block =
+  match p with
+  | Hashed -> block mod ncards
+  | Round_robin { strip_blocks = s } -> block / s mod ncards
+
+let local_of p ~ncards ~block =
+  match p with
+  | Hashed -> block / ncards
+  | Round_robin { strip_blocks = s } ->
+      (* Full stripes before this one contribute [s] blocks to every card;
+         the current strip contributes the in-strip offset. *)
+      (block / (s * ncards) * s) + (block mod s)
+
+let global_of p ~ncards ~card ~local =
+  match p with
+  | Hashed -> (local * ncards) + card
+  | Round_robin { strip_blocks = s } ->
+      (local / s * (s * ncards)) + (card * s) + (local mod s)
+
+let locals_before p ~ncards ~card g =
+  match p with
+  | Hashed -> if g > card then (g - card + ncards - 1) / ncards else 0
+  | Round_robin { strip_blocks = s } ->
+      (* Whole stripes contribute [s] each; within the current stripe the
+         card's strip is [card*s .. card*s + s). *)
+      let stripe = s * ncards in
+      let full = g / stripe * s in
+      let rem = g mod stripe in
+      full + max 0 (min s (rem - (card * s)))

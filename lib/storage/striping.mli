@@ -1,0 +1,45 @@
+(** Block-placement policies for multi-card arrays.
+
+    An array over N cards needs a pure function from a global block handle
+    to the card that stores it.  Global handles are allocated densely from
+    zero and never reused (the managers' own allocation discipline), so the
+    card-local handle is fully determined too: it is the rank of the global
+    handle among all handles routed to that card.  Both directions are
+    closed-form for every policy here — the array keeps {e no} placement
+    table, which is what makes crash recovery trivial: remounting each card
+    recovers its local handles, and the inverse mapping reconstructs the
+    global ones.
+
+    [Round_robin] with strip size [s] sends [s] consecutive handles to each
+    card in turn (the PFS striping shape: sequential files spread across
+    every card at strip granularity).  [Hashed] is the modulo baseline —
+    equivalent to a strip size of 1. *)
+
+type policy = Round_robin of { strip_blocks : int } | Hashed
+
+val policy_name : policy -> string
+val pp_policy : Format.formatter -> policy -> unit
+
+val validate : policy -> ncards:int -> (unit, string) result
+(** [ncards] must be positive; round-robin strips must be positive. *)
+
+val card_of : policy -> ncards:int -> block:int -> int
+(** The card storing global handle [block]. *)
+
+val local_of : policy -> ncards:int -> block:int -> int
+(** The card-local handle: how many global handles before [block] were
+    routed to the same card.  Dense allocation makes this the exact handle
+    the card's manager hands out. *)
+
+val global_of : policy -> ncards:int -> card:int -> local:int -> int
+(** Inverse of [card_of]/[local_of]:
+    [global_of p ~ncards ~card:(card_of p ~ncards ~block:g)
+       ~local:(local_of p ~ncards ~block:g) = g]. *)
+
+val locals_before : policy -> ncards:int -> card:int -> int -> int
+(** [locals_before p ~ncards ~card g]: how many globals in [\[0, g)] route
+    to [card] — the card-local allocation cursor consistent with a global
+    cursor of [g].  After a crash, cards may have lost different numbers of
+    tail allocations (blocks that died before ever reaching flash); the
+    array uses this to re-align every card's cursor with the recovered
+    global one. *)

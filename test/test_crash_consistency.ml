@@ -152,9 +152,14 @@ let check_invariants ~ctx pre post report =
     lost;
   if List.length lost > pre.dirty then
     fail ~ctx "lost %d blocks but only %d were dirty" (List.length lost) pre.dirty;
-  if report.M.buffered_lost <> pre.dirty then
-    fail ~ctx "report says %d buffered lost but buffer held %d"
-      report.M.buffered_lost pre.dirty;
+  (* Per-card array checks pass [None]: the remount report is summed over
+     every card, so the per-manager equality only holds in aggregate. *)
+  (match report with
+  | Some r ->
+    if r.M.buffered_lost <> pre.dirty then
+      fail ~ctx "report says %d buffered lost but buffer held %d" r.M.buffered_lost
+        pre.dirty
+  | None -> ());
   (* Rollback accounting: dirty blocks either vanish (lost) or roll back
      to a flash copy. *)
   let rollbacks =
@@ -232,8 +237,8 @@ let run_crash_point ~ctx ~ops ~crash_index ~cleaner ~wear ~banking ~buffer_block
   let post_b = snapshot b' in
   if post_a.blocks <> post_b.blocks then
     fail ~ctx "recovered block sets diverged across selectors";
-  check_invariants ~ctx pre_a post_a report_a;
-  check_invariants ~ctx pre_b post_b report_b;
+  check_invariants ~ctx pre_a post_a (Some report_a);
+  check_invariants ~ctx pre_b post_b (Some report_b);
   (* 8. Remount is idempotent: crashing the already-clean remounted
      manager recovers the identical state and loses nothing. *)
   let a'', _, report2 = Storage.Manager.crash_and_remount a' in
@@ -290,6 +295,239 @@ let quick_case =
             ~wear:Storage.Wear.Dynamic ~banking:Storage.Banks.Unified
             ~buffer_blocks:8)
         crash_indices)
+
+(* --- Multi-card arrays: crashes inside partial-stripe writes. ---------------
+   The same differential idea one level up: a 2-card striped array runs
+   the op stream, crashes, remounts every card.  Each card's manager must
+   satisfy every single-manager invariant against its own pre-crash state
+   (with the loss report checked in aggregate — it is summed over cards),
+   and on top of that the array's arithmetic placement must keep holding:
+   recovered globals still route to the same card and segment, and the
+   rebuilt global cursor collides with nothing even when the cards lost
+   different numbers of never-flushed tail allocations. *)
+
+let mk_array ~strip_blocks ~buffer_blocks () =
+  let engine = Engine.create () in
+  let flashes =
+    Array.init 2 (fun _ ->
+        Device.Flash.create
+          (Device.Flash.config ~nbanks:2 ~endurance_override:60
+             ~size_bytes:(128 * 1024) ()))
+  in
+  let dram = Device.Dram.create ~size_bytes:Units.mib ~battery_backed:true () in
+  let cfg =
+    {
+      Storage.Manager.default_config with
+      Storage.Manager.segment_sectors = 8;
+      buffer =
+        {
+          Storage.Write_buffer.capacity_blocks = buffer_blocks;
+          writeback_delay = Time.span_ms 5.0;
+          refresh_on_rewrite = true;
+        };
+    }
+  in
+  ( engine,
+    Storage.Array.create ~front_cache_blocks:8
+      ~striping:(Storage.Striping.Round_robin { strip_blocks })
+      cfg ~engine ~flashes ~dram )
+
+(* [run_ops] over the array surface: same stream shape, so crash points
+   land mid-stream exactly like the single-manager grid — including
+   inside partial stripes, since fresh allocations interleave freely with
+   strip boundaries. *)
+let run_ops_array (engine, a) ops =
+  let cap = Storage.Array.capacity_blocks a * 6 / 10 in
+  let live = ref [] in
+  let nlive = ref 0 in
+  List.iter
+    (fun n ->
+      match op_of_int n with
+      | Write k when !nlive > 0 ->
+        ignore (Storage.Array.write_block a (List.nth !live (k mod !nlive)))
+      | Write _ | Fresh when !nlive < cap ->
+        let b = Storage.Array.alloc a in
+        ignore (Storage.Array.write_block a b);
+        live := b :: !live;
+        incr nlive
+      | Write _ | Fresh -> ()
+      | Free k when !nlive > 0 ->
+        let b = List.nth !live (k mod !nlive) in
+        Storage.Array.free_block a b;
+        live := List.filter (fun x -> x <> b) !live;
+        decr nlive
+      | Free _ -> ()
+      | Cold when !nlive < cap ->
+        let b = Storage.Array.alloc a in
+        Storage.Array.load_cold a b;
+        live := b :: !live;
+        incr nlive
+      | Cold -> ()
+      | Advance ms ->
+        Engine.run_until engine
+          (Time.add (Engine.now engine) (Time.span_ms (float_of_int ms))))
+    ops
+
+let array_managers a = Array.init (Storage.Array.ncards a) (Storage.Array.manager a)
+
+let run_array_crash_point ~ctx ~ops ~crash_index ~strip_blocks ~buffer_blocks =
+  let prefix = List.filteri (fun i _ -> i < crash_index) ops in
+  let engine, a = mk_array ~strip_blocks ~buffer_blocks () in
+  run_ops_array (engine, a) prefix;
+  let pre = Array.map snapshot (array_managers a) in
+  let pre_dirty_total = Array.fold_left (fun acc s -> acc + s.dirty) 0 pre in
+  let policy = Storage.Array.striping a in
+  let a', _span, report = Storage.Array.crash_and_remount a in
+  let post = Array.map snapshot (array_managers a') in
+  (* Every single-manager invariant, per card, against its own history. *)
+  Array.iteri
+    (fun card pre_card ->
+      check_invariants
+        ~ctx:(Printf.sprintf "%s card%d" ctx card)
+        pre_card post.(card) None)
+    pre;
+  (* The summed report accounts for every card's buffer exactly. *)
+  if report.Storage.Manager.buffered_lost <> pre_dirty_total then
+    fail ~ctx "summed report says %d buffered lost but the buffers held %d"
+      report.Storage.Manager.buffered_lost pre_dirty_total;
+  (* Arithmetic placement survives: each recovered local maps back to a
+     global that the array still routes to the same card and segment. *)
+  Array.iteri
+    (fun card post_card ->
+      List.iter
+        (fun (local, _, _) ->
+          let g = Storage.Striping.global_of policy ~ncards:2 ~card ~local in
+          if Storage.Array.card_of_block a' g <> card then
+            fail ~ctx "global %d re-routed off card %d" g card;
+          if not (Storage.Array.block_exists a' g) then
+            fail ~ctx "recovered local %d on card %d unreachable as global %d" local
+              card g;
+          let direct =
+            Storage.Manager.segment_of_block (Storage.Array.manager a' card) local
+          in
+          if Storage.Array.segment_of_block a' g <> direct then
+            fail ~ctx "global %d disagrees with card %d about its segment" g card)
+        post_card.blocks)
+    post;
+  (* The rebuilt cursor is collision-free: a fresh stripe of allocations
+     lands where the arithmetic says (the array asserts placement on
+     every alloc), strictly above every recovered global. *)
+  let top =
+    Array.to_seq post
+    |> Seq.mapi (fun card s ->
+           List.fold_left
+             (fun acc (local, _, _) ->
+               max acc (Storage.Striping.global_of policy ~ncards:2 ~card ~local))
+             (-1) s.blocks)
+    |> Seq.fold_left max (-1)
+  in
+  let fresh = List.init ((2 * strip_blocks) + 3) (fun _ -> Storage.Array.alloc a') in
+  List.iter
+    (fun g ->
+      if g <= top then fail ~ctx "fresh global %d collides (top recovered %d)" g top;
+      ignore (Storage.Array.write_block a' g))
+    fresh;
+  ignore (Storage.Array.flush_all a');
+  (* Idempotence one level up: remounting the remounted array changes
+     nothing it recovered (modulo the fresh stripe, which is now durable). *)
+  let a'', _, report2 = Storage.Array.crash_and_remount a' in
+  if report2.Storage.Manager.buffered_lost <> 0 then
+    fail ~ctx "second remount claims buffered loss";
+  Array.iteri
+    (fun card post_card ->
+      let again = snapshot (Storage.Array.manager a'' card) in
+      let recovered_locals =
+        List.filter
+          (fun (local, _, _) ->
+            List.exists (fun (l, _, _) -> l = local) post_card.blocks)
+          again.blocks
+      in
+      if List.length recovered_locals < List.length post_card.blocks then
+        fail ~ctx "card %d dropped recovered blocks on the second remount" card)
+    post
+
+let array_quick_case =
+  Alcotest.test_case "2-card array, strip grid x crash points" `Quick (fun () ->
+      let ops = lcg_ops ~seed:42 ~len:360 in
+      List.iter
+        (fun strip_blocks ->
+          List.iter
+            (fun crash_index ->
+              run_array_crash_point
+                ~ctx:(Printf.sprintf "array strip=%d crash@%d" strip_blocks crash_index)
+                ~ops ~crash_index ~strip_blocks ~buffer_blocks:8)
+            crash_indices)
+        [ 1; 4 ])
+
+let array_grid_case =
+  Alcotest.test_case "2-card array, strip x buffer grid" `Slow (fun () ->
+      let ops = lcg_ops ~seed:97 ~len:360 in
+      List.iter
+        (fun strip_blocks ->
+          List.iter
+            (fun buffer_blocks ->
+              List.iter
+                (fun crash_index ->
+                  run_array_crash_point
+                    ~ctx:
+                      (Printf.sprintf "array strip=%d buf=%d crash@%d" strip_blocks
+                         buffer_blocks crash_index)
+                    ~ops ~crash_index ~strip_blocks ~buffer_blocks)
+                crash_indices)
+            [ 0; 8 ])
+        [ 1; 4; 8 ])
+
+(* Crashes at every fill level of a partial stripe: whole stripes made
+   durable, then [fill] fresh allocations left dirty across the strip
+   boundary.  Exactly [fill] blocks may die, and the survivors (and the
+   re-aligned cursor) must come back consistent. *)
+let test_partial_stripe_crashes () =
+  List.iter
+    (fun strip_blocks ->
+      let stripe = 2 * strip_blocks in
+      let fills =
+        List.sort_uniq compare
+          [ 1; strip_blocks; strip_blocks + 1; stripe - 1; stripe + 1 ]
+        |> List.filter (fun f -> f >= 1)
+      in
+      List.iter
+        (fun fill ->
+          let ctx = Printf.sprintf "strip=%d fill=%d" strip_blocks fill in
+          let engine, a = mk_array ~strip_blocks ~buffer_blocks:64 () in
+          let burst n =
+            List.init n (fun _ ->
+                let g = Storage.Array.alloc a in
+                ignore (Storage.Array.write_block a g);
+                g)
+          in
+          let durable = burst (4 * stripe) in
+          Engine.run_until engine (Time.add (Engine.now engine) (Time.span_ms 50.0));
+          let tail = burst fill in
+          let a', _span, report = Storage.Array.crash_and_remount a in
+          if report.Storage.Manager.buffered_lost <> fill then
+            fail ~ctx "lost %d buffered blocks, expected the %d-block tail"
+              report.Storage.Manager.buffered_lost fill;
+          List.iter
+            (fun g ->
+              if not (Storage.Array.block_exists a' g) then
+                fail ~ctx "durable block %d lost" g)
+            durable;
+          List.iter
+            (fun g ->
+              if Storage.Array.block_exists a' g then
+                fail ~ctx "never-flushed tail block %d resurrected" g)
+            tail;
+          (* The tail died entirely, so its handles were never durable:
+             the cursor resumes at the first tail global and the next
+             stripe of allocations is collision-free by the arithmetic
+             (asserted inside the array on every alloc). *)
+          let resumed = Storage.Array.alloc a' in
+          if resumed <> 4 * stripe then
+            fail ~ctx "cursor resumed at %d, expected %d" resumed (4 * stripe);
+          ignore (Storage.Array.write_block a' resumed);
+          ignore (Storage.Array.flush_all a'))
+        fills)
+    [ 1; 4 ]
 
 (* --- Machine-level faults: battery state decides what survives. ------------- *)
 
@@ -410,6 +648,10 @@ let suite =
   [
     quick_case;
     grid_case ~name:"policy grid x crash points" ~seed:42 ~len:360;
+    array_quick_case;
+    array_grid_case;
+    Alcotest.test_case "partial-stripe crash points (2 cards)" `Quick
+      test_partial_stripe_crashes;
     Alcotest.test_case "warm fault loses nothing" `Quick test_warm_fault_loses_nothing;
     Alcotest.test_case "cold fault: loss bounded by buffer" `Quick
       test_cold_fault_bounded_loss;
