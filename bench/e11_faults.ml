@@ -119,6 +119,7 @@ let run () =
   let survived_name = function
     | `Primary_battery -> "primary battery"
     | `Backup_battery -> "backup battery"
+    | `Parity -> "parity"
     | `Nothing -> "nothing (cold restart)"
   in
   let add_row run (o : Ssmc.Machine.fault_outcome) =

@@ -241,6 +241,63 @@ let array_flush_table () =
     "grouped per-card drains keep flush allocation flat in the card count; the \
      work itself splits across cards."
 
+(* The front cache on the array's hot paths.  Every [write_block] and
+   [free_block] invalidates the written handle and every cached read is a
+   lookup — each a single hash probe (invalidate and insert used to pay a
+   [find_opt] before their [remove]/[replace]).  One cycle per measured op
+   exercises all three paths: invalidate a resident handle, re-insert it
+   on the miss read, then hit it. *)
+let front_cache_table () =
+  let ops = 4000 in
+  let nblocks = 128 in
+  let engine = Engine.create () in
+  let flashes =
+    Stdlib.Array.init 2 (fun _ ->
+        Device.Flash.create (Device.Flash.config ~nbanks:4 ~size_bytes:(4 * Units.mib) ()))
+  in
+  let dram = Device.Dram.create ~size_bytes:(8 * Units.mib) ~battery_backed:true () in
+  let cfg =
+    {
+      Storage.Manager.default_config with
+      Storage.Manager.segment_sectors = 8;
+      selector = Storage.Manager.Indexed;
+      buffer =
+        {
+          Storage.Write_buffer.capacity_blocks = 1024;
+          writeback_delay = Time.span_s 60.0;
+          refresh_on_rewrite = false;
+        };
+    }
+  in
+  let a =
+    Storage.Array.create ~front_cache_blocks:256
+      ~striping:(Storage.Striping.Round_robin { strip_blocks = 4 })
+      cfg ~engine ~flashes ~dram
+  in
+  let blocks = Stdlib.Array.init nblocks (fun _ -> Storage.Array.alloc a) in
+  Stdlib.Array.iter (Storage.Array.load_cold a) blocks;
+  Engine.run_until engine (Time.add (Engine.now engine) (Time.span_s 60.0));
+  Stdlib.Array.iter (fun b -> ignore (Storage.Array.read_block a b)) blocks;
+  let before = Gc.minor_words () in
+  for i = 1 to ops do
+    let b = blocks.(i mod nblocks) in
+    ignore (Storage.Array.write_block a b);
+    ignore (Storage.Array.read_block a b);
+    ignore (Storage.Array.read_block a b)
+  done;
+  let words = (Gc.minor_words () -. before) /. float_of_int ops in
+  let t =
+    Table.create
+      ~title:"front-cache hot paths (invalidate + insert + hit per cycle)"
+      ~columns:[ ("cache blocks", Table.Right); ("minor words / cycle", Table.Right) ]
+  in
+  Common.put_metric "storage_words_per_front_cycle" words;
+  Table.add_row t [ Table.cell_i 256; Printf.sprintf "%.0f" words ];
+  Table.print t;
+  Common.note
+    "each front-cache touch is one hash probe; the cycle's budget is dominated \
+     by the write and miss-read themselves."
+
 (* A scaled-down E7 cleaner grid, wall-clocked under both selectors.  The
    two runs must agree on every statistic — the selectors differ only in
    how fast they reach the same decisions. *)
@@ -295,4 +352,5 @@ let run () =
   throughput_table ();
   allocation_table ();
   array_flush_table ();
+  front_cache_table ();
   e7_comparison ()

@@ -47,7 +47,7 @@ let run_fleet ~devices ~shard ~faults_per_device ~duration ~seed ~metrics_json
     wall peak_heap_kw
 
 let run_simulation machine_kind workload trace_file minutes seed flash_mb dram_mb
-    buffer_kb nbanks cards strip_size partitioned wear backup_wh jobs replicate
+    buffer_kb nbanks cards strip_size parity partitioned wear backup_wh jobs replicate
     metrics_json trace_out fault_after fault_kind fleet fleet_shard fleet_faults
     verbose debug =
   if debug then begin
@@ -64,6 +64,10 @@ let run_simulation machine_kind workload trace_file minutes seed flash_mb dram_m
   end;
   if cards > 1 && machine_kind = `Conventional then begin
     Fmt.epr "--cards requires the solid-state machine@.";
+    exit 2
+  end;
+  if parity && cards < 2 then begin
+    Fmt.epr "--parity needs at least 2 cards (one data + one parity)@.";
     exit 2
   end;
   (match jobs with
@@ -187,8 +191,12 @@ let run_simulation machine_kind workload trace_file minutes seed flash_mb dram_m
             };
         }
       in
-      Ssmc.Config.solid_state ~flash_mb ~dram_mb ~nbanks ~manager ~cards
-        ~striping:(Storage.Striping.Round_robin { strip_blocks = strip_size })
+      let striping =
+        if parity then
+          Storage.Striping.Parity { strip_blocks = strip_size; rotate = true }
+        else Storage.Striping.Round_robin { strip_blocks = strip_size }
+      in
+      Ssmc.Config.solid_state ~flash_mb ~dram_mb ~nbanks ~manager ~cards ~striping
         ~backup_wh ~seed ()
     | `Conventional -> Ssmc.Config.conventional ~dram_mb ~seed ()
   in
@@ -418,6 +426,13 @@ let cmd =
            ~doc:"Round-robin strip size in blocks for the multi-card array; ignored \
                  with --cards 1.")
   in
+  let parity =
+    Arg.(value & flag & info [ "parity" ]
+           ~doc:"Protect the multi-card array with rotating parity strips (RAID-5 \
+                 shape): every write also updates its row's parity block on another \
+                 card, and the array survives losing any single card.  Requires \
+                 --cards 2 or more.")
+  in
   let partitioned =
     Arg.(value & flag & info [ "partitioned" ]
            ~doc:"Partition flash banks into write and read-mostly sets.")
@@ -499,7 +514,7 @@ let cmd =
   let term =
     Term.(
       const run_simulation $ machine $ workload $ trace_file $ minutes $ seed $ flash_mb
-      $ dram_mb $ buffer_kb $ nbanks $ cards $ strip_size $ partitioned $ wear
+      $ dram_mb $ buffer_kb $ nbanks $ cards $ strip_size $ parity $ partitioned $ wear
       $ backup_wh $ jobs $ replicate $ metrics_json $ trace_out $ fault_after
       $ fault_kind $ fleet $ fleet_shard $ fleet_faults $ verbose $ debug)
   in

@@ -94,12 +94,18 @@ let eject ?(surprise = false) t =
   let before = Storage.Manager.stats st.manager in
   let dirty = before.Storage.Manager.dirty_blocks in
   let report =
-    if surprise then
-      (* The buffer (host DRAM) still holds the card's dirty data: gone. *)
-      { flushed_blocks = 0; lost_blocks = dirty; eject_latency = Time.span_zero }
+    if surprise then begin
+      (* The buffer (host DRAM) still holds the card's dirty data: gone.
+         Detaching also cancels the pending writeback timer — without it
+         the dormant manager would keep programming a card that is no
+         longer in the slot. *)
+      let lost = Storage.Manager.detach st.manager in
+      { flushed_blocks = 0; lost_blocks = lost; eject_latency = Time.span_zero }
+    end
     else begin
       let flush_span = Storage.Manager.flush_all st.manager in
       let ckpt_span = write_checkpoint t st in
+      ignore (Storage.Manager.detach st.manager);
       {
         flushed_blocks = dirty;
         lost_blocks = 0;

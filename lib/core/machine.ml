@@ -337,7 +337,7 @@ let apply t record =
 type fault_outcome = {
   at : Time.t;
   kind : Fault.kind;
-  survived_by : [ `Primary_battery | `Backup_battery | `Nothing ];
+  survived_by : [ `Primary_battery | `Backup_battery | `Parity | `Nothing ];
   dirty_at_fault : int;
   blocks_lost : int;
   cold_restart : bool;
@@ -476,12 +476,33 @@ let inject_fault t kind =
       Device.Battery.recharge t.battery;
       o
     end
+  | Fault.Card_eject { card; surprise } -> (
+    (* A card leaves the machine.  Power and DRAM are fine — this is a
+       storage fault, survivable only by a parity-striped array (the
+       array itself rejects anything else). *)
+    match store with
+    | Storage.Store.Striped a ->
+      let r = Storage.Array.eject_card ~surprise a ~card in
+      ignore (r : Storage.Array.eject_report);
+      (* [blocks_lost] stays 0: even the buffered blocks dropped with the
+         card's write buffer remain reconstructible from parity. *)
+      warm `Parity
+    | Storage.Store.Single _ ->
+      invalid_arg "Machine: card eject requires a striped parity array")
+  | Fault.Card_reinsert { card } -> (
+    match store with
+    | Storage.Store.Striped a ->
+      Storage.Array.reinsert_card a ~card;
+      warm `Parity
+    | Storage.Store.Single _ ->
+      invalid_arg "Machine: card reinsert requires a striped parity array")
 
 let pp_fault_outcome ppf o =
   Fmt.pf ppf "%a at %a: %s, dirty=%d lost=%d" Fault.pp_kind o.kind Time.pp o.at
     (match o.survived_by with
     | `Primary_battery -> "rode out on primary"
     | `Backup_battery -> "rode out on backup"
+    | `Parity -> "survived on parity"
     | `Nothing -> "cold restart")
     o.dirty_at_fault o.blocks_lost;
   match o.remount with

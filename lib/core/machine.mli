@@ -70,12 +70,18 @@ val apply : t -> Trace.Record.t -> Sim.Time.span
     storage manager remounts from the surviving flash headers, and the
     namespace is rebuilt over whatever blocks flash still has.  Only
     solid-state machines accept faults (a conventional machine raises
-    [Invalid_argument]). *)
+    [Invalid_argument]).
+
+    [Card_eject]/[Card_reinsert] are storage faults rather than power
+    faults: they require a parity-striped array (anything else raises
+    [Invalid_argument]) and never restart the machine — the array runs
+    degraded until the reinserted card's background rebuild completes
+    (see {!Storage.Array.eject_card}). *)
 
 type fault_outcome = {
   at : Sim.Time.t;
   kind : Sim.Fault.kind;
-  survived_by : [ `Primary_battery | `Backup_battery | `Nothing ];
+  survived_by : [ `Primary_battery | `Backup_battery | `Parity | `Nothing ];
   dirty_at_fault : int;  (** Write-buffer occupancy when the fault hit. *)
   blocks_lost : int;  (** 0 unless [survived_by = `Nothing]. *)
   cold_restart : bool;

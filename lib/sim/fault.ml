@@ -1,9 +1,17 @@
-type kind = Power_failure | Battery_swap | Battery_depletion
+type kind =
+  | Power_failure
+  | Battery_swap
+  | Battery_depletion
+  | Card_eject of { card : int; surprise : bool }
+  | Card_reinsert of { card : int }
 
 let kind_name = function
   | Power_failure -> "power-failure"
   | Battery_swap -> "battery-swap"
   | Battery_depletion -> "battery-depletion"
+  | Card_eject { card; surprise } ->
+    Printf.sprintf "card-eject(%d%s)" card (if surprise then ",surprise" else "")
+  | Card_reinsert { card } -> Printf.sprintf "card-reinsert(%d)" card
 
 let pp_kind ppf k = Fmt.string ppf (kind_name k)
 

@@ -20,6 +20,14 @@ type kind =
   | Battery_depletion
       (** The primary battery runs out abruptly (the gauge lied); the
           machine falls onto its backup, if any. *)
+  | Card_eject of { card : int; surprise : bool }
+      (** One card of a striped array leaves the machine — pulled from
+          its PCMCIA slot mid-run when [surprise], after an orderly flush
+          otherwise.  Only a parity-striped array survives this (the
+          machine layer rejects it for anything else). *)
+  | Card_reinsert of { card : int }
+      (** Blank replacement media arrives in the missing slot; the array
+          rebuilds it in the background. *)
 
 val kind_name : kind -> string
 val pp_kind : Format.formatter -> kind -> unit
@@ -39,8 +47,9 @@ val schedule : event list -> schedule
 val random :
   rng:Rng.t -> ?kinds:kind list -> n:int -> over:Time.span -> unit -> schedule
 (** [n] events at uniformly random offsets in [(0, over]], each with a
-    kind drawn uniformly from [kinds] (default: all three).  Deterministic
-    in the generator's state.
+    kind drawn uniformly from [kinds] (default: the three power kinds —
+    card events need a target and are never generated randomly).
+    Deterministic in the generator's state.
     @raise Invalid_argument if [n < 0], [over] is zero, or [kinds] is
     empty. *)
 

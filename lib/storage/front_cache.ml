@@ -1,12 +1,23 @@
 (* Clean LRU over global block handles: a doubly-linked recency list
    threaded through a hash table, same shape as the fs-level
    [Buffer_cache] but with no dirty state (the array invalidates on
-   write/free, so residents are always clean). *)
+   write/free, so residents are always clean).
+
+   Removal is lazy: the array's hot write path calls [invalidate] on
+   every write and free, and stdlib [Hashtbl] has no single-call
+   remove-and-return, so eager removal would pay two hash lookups per
+   write.  Instead a dead node stays in the table as a tombstone
+   ([live = false], unlinked from the recency list) and is either revived
+   in place by a later insert of the same key — again one lookup — or
+   swept out when tombstones outnumber live entries.  The sweep is
+   O(table) but runs at most once per [live + 16] deaths, so every
+   operation stays amortized O(1) with exactly one hash lookup. *)
 
 type node = {
   key : int;
   mutable prev : node option;  (* toward MRU *)
   mutable next : node option;  (* toward LRU *)
+  mutable live : bool;
 }
 
 type t = {
@@ -14,6 +25,8 @@ type t = {
   table : (int, node) Hashtbl.t;
   mutable mru : node option;
   mutable lru : node option;
+  mutable nlive : int;
+  mutable ndead : int;
   mutable hits : int;
   mutable misses : int;
 }
@@ -29,12 +42,14 @@ let create ~capacity_blocks =
     table = Hashtbl.create (max 16 capacity_blocks);
     mru = None;
     lru = None;
+    nlive = 0;
+    ndead = 0;
     hits = 0;
     misses = 0;
   }
 
 let capacity t = t.capacity
-let size t = Hashtbl.length t.table
+let size t = t.nlive
 
 let unlink t node =
   (match node.prev with
@@ -62,57 +77,99 @@ let count_miss t =
   t.misses <- t.misses + 1;
   Sim.Probe.incr p_misses
 
+(* Sweep tombstones once they dominate: amortized O(1) per death.  Never
+   called between a lookup and the revival of the node it returned. *)
+let maybe_compact t =
+  if t.ndead > max 16 t.nlive then begin
+    Hashtbl.filter_map_inplace
+      (fun _ node -> if node.live then Some node else None)
+      t.table;
+    t.ndead <- 0
+  end
+
+let kill t node =
+  node.live <- false;
+  t.nlive <- t.nlive - 1;
+  t.ndead <- t.ndead + 1
+
 let evict_one t =
   match t.lru with
   | None -> ()
   | Some node ->
     unlink t node;
-    Hashtbl.remove t.table node.key
+    kill t node
 
-(* The key is known absent: make it resident unless we are a pass-through.
-   Counts nothing itself. *)
-let insert_fresh t ~key =
+(* Make a looked-up node resident.  [Some node] must be this call's own
+   lookup result (a dead node revives in place — the single-lookup path);
+   [None] means the key is known absent from the table.  Revive before
+   evicting so compaction never sweeps the node we are holding. *)
+let admit t ~key found =
   if t.capacity > 0 then begin
-    while size t >= t.capacity do
+    (match found with
+    | Some node ->
+      node.live <- true;
+      t.ndead <- t.ndead - 1;
+      push_front t node
+    | None ->
+      let node = { key; prev = None; next = None; live = true } in
+      Hashtbl.add t.table key node;
+      push_front t node);
+    t.nlive <- t.nlive + 1;
+    while t.nlive > t.capacity do
       evict_one t
     done;
-    let node = { key; prev = None; next = None } in
-    Hashtbl.replace t.table key node;
-    push_front t node
+    maybe_compact t
   end
 
 let find_or_insert t ~key =
   match Hashtbl.find_opt t.table key with
-  | Some node ->
+  | Some node when node.live ->
     count_hit t;
     unlink t node;
     push_front t node;
     Hit
-  | None ->
+  | (Some _ | None) as found ->
     count_miss t;
-    insert_fresh t ~key;
+    admit t ~key found;
+    Miss
+
+let lookup t ~key =
+  match Hashtbl.find_opt t.table key with
+  | Some node when node.live ->
+    count_hit t;
+    unlink t node;
+    push_front t node;
+    Hit
+  | Some _ | None ->
+    count_miss t;
     Miss
 
 let insert t ~key =
   match Hashtbl.find_opt t.table key with
-  | Some node ->
+  | Some node when node.live ->
     unlink t node;
     push_front t node
-  | None -> insert_fresh t ~key
+  | (Some _ | None) as found -> admit t ~key found
 
-let contains t ~key = Hashtbl.mem t.table key
+let contains t ~key =
+  match Hashtbl.find_opt t.table key with
+  | Some node -> node.live
+  | None -> false
 
 let invalidate t ~key =
   match Hashtbl.find_opt t.table key with
-  | Some node ->
+  | Some node when node.live ->
     unlink t node;
-    Hashtbl.remove t.table key
-  | None -> ()
+    kill t node;
+    maybe_compact t
+  | Some _ | None -> ()
 
 let clear t =
   Hashtbl.reset t.table;
   t.mru <- None;
-  t.lru <- None
+  t.lru <- None;
+  t.nlive <- 0;
+  t.ndead <- 0
 
 let hits t = t.hits
 let misses t = t.misses

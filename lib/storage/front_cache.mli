@@ -28,6 +28,14 @@ val find_or_insert : t -> key:int -> lookup
     handle becomes resident (evicting the LRU entry if full).  At zero
     capacity always a counted [Miss], nothing retained. *)
 
+val lookup : t -> key:int -> lookup
+(** One counted lookup that commits {e nothing} on a miss: on [Hit] the
+    entry moves to MRU exactly as {!find_or_insert}; on [Miss] the key
+    does not become resident.  For read paths that must not leave a
+    handle resident until the backing read actually returned — pair with
+    {!insert} after the read succeeds (if the read raises, nothing was
+    ever resident, so no spurious hit can follow). *)
+
 val insert : t -> key:int -> unit
 (** Make [key] resident (refreshing recency if already present) without
     counting a hit or a miss.  No-op at zero capacity. *)

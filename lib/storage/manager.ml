@@ -945,6 +945,29 @@ let next_fresh_block t = t.next_block
 let reserve_blocks t ~next =
   if next > t.next_block then t.next_block <- next
 
+let block_exists t b = b >= 0 && b < Array.length t.meta && t.meta.(b) != no_meta
+
+(* Recreate an empty (Blank) block under an already-reserved handle.  A
+   striped array's rebuild path reserves the reinserted card's cursor in
+   one jump ([reserve_blocks]), then revives exactly the handles the
+   degraded bookkeeping says existed — gaps (freed blocks) stay absent. *)
+let revive_block t b =
+  if b < 0 || b >= t.next_block then
+    invalid_arg
+      (Printf.sprintf "Manager.revive_block: handle %d beyond the cursor %d" b
+         t.next_block);
+  if block_exists t b then
+    invalid_arg (Printf.sprintf "Manager.revive_block: block %d already exists" b);
+  set_meta t b { loc = Blank; hdr_sector = -1 }
+
+(* The card is leaving the machine: cancel the pending writeback timer and
+   drop the buffer, so the dormant manager can never program a device that
+   is no longer there.  Returns how many dirty blocks the drop lost. *)
+let detach t =
+  (match t.timer with Some (h, _) -> Engine.cancel t.engine h | None -> ());
+  t.timer <- None;
+  List.length (Write_buffer.drain t.buffer)
+
 (* Flush one specific dirty block synchronously (eviction path). *)
 let flush_now t ~cursor b =
   if Write_buffer.take t.buffer ~block:b then begin
@@ -1157,8 +1180,6 @@ let segment_snapshots t =
 
 let block_is_dirty t b =
   match (find_meta t b).loc with Buffered -> true | Blank | Flashed _ -> false
-
-let block_exists t b = b >= 0 && b < Array.length t.meta && t.meta.(b) != no_meta
 
 let known_blocks t =
   let acc = ref [] in

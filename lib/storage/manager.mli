@@ -107,6 +107,24 @@ val reserve_blocks : t -> next:block -> unit
     never-flushed tail allocations restart their cursor below the global
     one; the array re-aligns them with this. *)
 
+val revive_block : t -> block -> unit
+(** Recreate an empty (Blank) block under a handle that sits below the
+    allocation cursor but currently has no metadata — the gap handles
+    {!reserve_blocks} skips over.  A striped array's rebuild streams a
+    reinserted card back to life this way: reserve the cursor in one
+    jump, then revive exactly the handles its degraded bookkeeping says
+    existed and {!load_cold} the reconstructed ones.
+    @raise Invalid_argument if the handle is at or beyond the cursor, or
+    already exists. *)
+
+val detach : t -> int
+(** The card is leaving the machine: cancel any pending writeback timer
+    and drop the write buffer's contents, so the dormant manager can
+    never again touch a device that is no longer present.  Returns the
+    number of dirty blocks dropped (what a surprise eject loses; call
+    {!flush_all} first for an orderly eject and this returns 0).  The
+    manager is introspection-only afterwards. *)
+
 val write_block : t -> block -> Sim.Time.span
 (** (Re)write a block.  Supersedes any flash copy immediately; the new data
     enters the write buffer (or goes straight to flash when buffering is

@@ -65,6 +65,17 @@ let managers = function
   | Single m -> [| m |]
   | Striped a -> Stdlib.Array.init (Array.ncards a) (Array.manager a)
 
+let health = function
+  | Single _ -> `Healthy
+  | Striped a -> Array.health a
+
+let parity_stats = function
+  | Single _ -> None
+  | Striped a -> (
+    match Array.striping a with
+    | Striping.Parity _ -> Some (Array.parity_stats a)
+    | Striping.Round_robin _ | Striping.Hashed -> None)
+
 let crash_and_remount = function
   | Single m ->
     let fresh, span, report = Manager.crash_and_remount m in

@@ -33,6 +33,12 @@ val managers : t -> Manager.t array
 (** The underlying manager(s) — one per card — for per-card lifetime,
     wear, and stats reporting.  Introspection only. *)
 
+val health : t -> [ `Healthy | `Degraded of int | `Rebuilding of int ]
+(** A [Single] store is always [`Healthy]; see {!Array.health}. *)
+
+val parity_stats : t -> Array.parity_stats option
+(** [Some] only for a parity-striped array. *)
+
 val crash_and_remount : t -> t * Sim.Time.span * Manager.remount_report
 (** Cold restart: remount every card (see {!Array.crash_and_remount});
     summed report, slowest-card span. *)

@@ -306,10 +306,10 @@ let quick_case =
    rebuilt global cursor collides with nothing even when the cards lost
    different numbers of never-flushed tail allocations. *)
 
-let mk_array ~strip_blocks ~buffer_blocks () =
+let mk_array ?(ncards = 2) ?policy ~strip_blocks ~buffer_blocks () =
   let engine = Engine.create () in
   let flashes =
-    Array.init 2 (fun _ ->
+    Array.init ncards (fun _ ->
         Device.Flash.create
           (Device.Flash.config ~nbanks:2 ~endurance_override:60
              ~size_bytes:(128 * 1024) ()))
@@ -327,19 +327,22 @@ let mk_array ~strip_blocks ~buffer_blocks () =
         };
     }
   in
-  ( engine,
-    Storage.Array.create ~front_cache_blocks:8
-      ~striping:(Storage.Striping.Round_robin { strip_blocks })
-      cfg ~engine ~flashes ~dram )
+  let striping =
+    match policy with
+    | Some p -> p
+    | None -> Storage.Striping.Round_robin { strip_blocks }
+  in
+  (engine, Storage.Array.create ~front_cache_blocks:8 ~striping cfg ~engine ~flashes ~dram)
 
 (* [run_ops] over the array surface: same stream shape, so crash points
    land mid-stream exactly like the single-manager grid — including
    inside partial stripes, since fresh allocations interleave freely with
    strip boundaries. *)
-let run_ops_array (engine, a) ops =
+(* Passing [live] lets a caller split the stream around an event (a card
+   eject) and resume with the same working set. *)
+let run_ops_array ?(live = ref []) (engine, a) ops =
   let cap = Storage.Array.capacity_blocks a * 6 / 10 in
-  let live = ref [] in
-  let nlive = ref 0 in
+  let nlive = ref (List.length !live) in
   List.iter
     (fun n ->
       match op_of_int n with
@@ -529,6 +532,141 @@ let test_partial_stripe_crashes () =
         fills)
     [ 1; 4 ]
 
+(* --- Parity arrays: surprise eject mid-stream, degraded service, rebuild. ---
+   The acceptance grid one level up from crashes: a 3-card parity array
+   runs the same op stream, loses a card by surprise at an arbitrary
+   point, and must (a) keep every live block reachable and readable —
+   the degraded-equivalence assertion: eject + reconstruct ≡ before —
+   (b) keep serving the rest of the stream degraded, and (c) return to
+   full health when a replacement card rebuilds, optionally with a power
+   crash in between while still degraded. *)
+
+let all_alive_and_readable ~ctx a live =
+  List.iter
+    (fun g ->
+      if not (Storage.Array.block_exists a g) then fail ~ctx "live block %d vanished" g;
+      match Storage.Array.read_block a g with
+      | (_ : Time.span) -> ()
+      | exception e ->
+        fail ~ctx "live block %d unreadable: %s" g (Printexc.to_string e))
+    live
+
+let rebuild_to_health ~ctx engine a ~card =
+  Storage.Array.reinsert_card a ~card;
+  let tries = ref 0 in
+  while Storage.Array.health a <> `Healthy && !tries < 120 do
+    Engine.run_until engine (Time.add (Engine.now engine) (Time.span_s 1.0));
+    incr tries
+  done;
+  if Storage.Array.health a <> `Healthy then
+    fail ~ctx "rebuild did not complete within %d simulated seconds" !tries
+
+let run_parity_eject_point ~ctx ~ops ~eject_index ~victim ~crash_while_degraded
+    ~strip_blocks ~buffer_blocks =
+  let prefix = List.filteri (fun i _ -> i < eject_index) ops in
+  let suffix = List.filteri (fun i _ -> i >= eject_index) ops in
+  let engine, a =
+    mk_array ~ncards:3
+      ~policy:(Storage.Striping.Parity { strip_blocks; rotate = true })
+      ~strip_blocks ~buffer_blocks ()
+  in
+  let live = ref [] in
+  run_ops_array ~live (engine, a) prefix;
+  let r = Storage.Array.eject_card ~surprise:true a ~card:victim in
+  ignore (r : Storage.Array.eject_report);
+  if Storage.Array.health a <> `Degraded victim then fail ~ctx "not degraded after eject";
+  (* Degraded equivalence: the eject changes nothing the client can see. *)
+  all_alive_and_readable ~ctx:(ctx ^ " (just ejected)") a !live;
+  (* The stream continues against the degraded array — writes, frees,
+     cold loads, and fresh allocations that route to the missing card. *)
+  run_ops_array ~live (engine, a) suffix;
+  all_alive_and_readable ~ctx:(ctx ^ " (degraded, stream done)") a !live;
+  let a, live =
+    if not crash_while_degraded then (a, !live)
+    else begin
+      (* Power dies while the card is still out.  Whatever had a durable
+         home — its own segment, or its parity block's — must come back;
+         the degraded state itself must survive the remount.  A dirty
+         block's flash copy (its own or its parity's) is stale, and the
+         remount discards stale versions, so dirty blocks don't count. *)
+      let durable =
+        List.filter
+          (fun g ->
+            Storage.Array.segment_of_block a g <> None
+            && not (Storage.Array.block_is_dirty a g))
+          !live
+      in
+      let a', _span, _report = Storage.Array.crash_and_remount a in
+      if Storage.Array.health a' <> `Degraded victim then
+        fail ~ctx "crash while degraded dropped the degraded state";
+      all_alive_and_readable ~ctx:(ctx ^ " (after degraded crash)") a' durable;
+      (a', durable)
+    end
+  in
+  rebuild_to_health ~ctx engine a ~card:victim;
+  let ps = Storage.Array.parity_stats a in
+  if
+    List.exists (fun g -> Storage.Array.card_of_block a g = victim) live
+    && ps.Storage.Array.rebuilt_blocks = 0
+  then fail ~ctx "the victim held data but the rebuild streamed nothing";
+  all_alive_and_readable ~ctx:(ctx ^ " (rebuilt)") a live;
+  ignore (Storage.Array.flush_all a);
+  List.iter
+    (fun g ->
+      if
+        Storage.Array.card_of_block a g = victim
+        && Storage.Array.segment_of_block a g = None
+      then fail ~ctx "rebuilt block %d has no flash home" g)
+    live;
+  (* Allocation resumes collision-free (the array asserts placement on
+     every alloc) and the fresh stripe becomes durable. *)
+  let fresh = List.init (3 * strip_blocks) (fun _ -> Storage.Array.alloc a) in
+  List.iter (fun g -> ignore (Storage.Array.write_block a g)) fresh;
+  ignore (Storage.Array.flush_all a)
+
+let parity_quick_case =
+  Alcotest.test_case "3-card parity: eject/degraded/rebuild points" `Quick (fun () ->
+      let ops = lcg_ops ~seed:42 ~len:360 in
+      List.iter
+        (fun crash_while_degraded ->
+          List.iter
+            (fun strip_blocks ->
+              List.iter
+                (fun eject_index ->
+                  run_parity_eject_point
+                    ~ctx:
+                      (Printf.sprintf "parity strip=%d eject@%d%s" strip_blocks
+                         eject_index
+                         (if crash_while_degraded then " +crash" else ""))
+                    ~ops ~eject_index ~victim:1 ~crash_while_degraded ~strip_blocks
+                    ~buffer_blocks:8)
+                [ 40; 161; 301 ])
+            [ 1; 4 ])
+        [ false; true ])
+
+let parity_grid_case =
+  Alcotest.test_case "3-card parity: victim x strip x eject grid" `Slow (fun () ->
+      let ops = lcg_ops ~seed:97 ~len:360 in
+      List.iter
+        (fun victim ->
+          List.iter
+            (fun crash_while_degraded ->
+              List.iter
+                (fun strip_blocks ->
+                  List.iter
+                    (fun eject_index ->
+                      run_parity_eject_point
+                        ~ctx:
+                          (Printf.sprintf "parity victim=%d strip=%d eject@%d%s"
+                             victim strip_blocks eject_index
+                             (if crash_while_degraded then " +crash" else ""))
+                        ~ops ~eject_index ~victim ~crash_while_degraded
+                        ~strip_blocks ~buffer_blocks:8)
+                    crash_indices)
+                [ 1; 4 ])
+            [ false; true ])
+        [ 0; 1; 2 ])
+
 (* --- Machine-level faults: battery state decides what survives. ------------- *)
 
 let solid_machine ?(backup_wh = 0.1) () =
@@ -652,6 +790,8 @@ let suite =
     array_grid_case;
     Alcotest.test_case "partial-stripe crash points (2 cards)" `Quick
       test_partial_stripe_crashes;
+    parity_quick_case;
+    parity_grid_case;
     Alcotest.test_case "warm fault loses nothing" `Quick test_warm_fault_loses_nothing;
     Alcotest.test_case "cold fault: loss bounded by buffer" `Quick
       test_cold_fault_bounded_loss;
