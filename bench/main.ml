@@ -30,6 +30,7 @@ let experiments =
     ("e12", "fleet-scale simulation: a device population in bounded memory", E12_fleet.run);
     ("e13", "striped multi-card storage arrays", E13_card_array.run);
     ("e14", "parity strips and degraded operation", E14_parity.run);
+    ("e15", "page-differential logging trade-off", E15_diff_log.run);
     ("stream", "streaming replay: peak heap vs trace length", Stream.run);
     ("queue", "event queue: heap vs timing wheel churn rates", Queue_bench.run);
     ("replay", "replay drivers: interpreted vs compiled A/B", Replay_bench.run);

@@ -47,9 +47,9 @@ let run_fleet ~devices ~shard ~faults_per_device ~duration ~seed ~metrics_json
     wall peak_heap_kw
 
 let run_simulation machine_kind workload trace_file minutes seed flash_mb dram_mb
-    buffer_kb nbanks cards strip_size parity partitioned wear backup_wh jobs replicate
-    metrics_json trace_out fault_after fault_kind fleet fleet_shard fleet_faults
-    verbose debug =
+    buffer_kb nbanks cards strip_size parity diff_log partitioned wear backup_wh jobs
+    replicate metrics_json trace_out fault_after fault_kind fleet fleet_shard
+    fleet_faults verbose debug =
   if debug then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -189,6 +189,8 @@ let run_simulation machine_kind workload trace_file minutes seed flash_mb dram_m
               Storage.Write_buffer.default_config with
               Storage.Write_buffer.capacity_blocks = buffer_kb * 1024 / 512;
             };
+          diff_log =
+            (if diff_log then Some Storage.Diff_log.default_config else None);
         }
       in
       let striping =
@@ -278,6 +280,18 @@ let run_simulation machine_kind workload trace_file minutes seed flash_mb dram_m
         (match result.Ssmc.Machine.lifetime_years with
         | Some y when Float.is_finite y -> Printf.sprintf "%.1f years" y
         | _ -> "unbounded")
+    | None -> ());
+    (match Ssmc.Machine.store machine with
+    | Some store -> (
+      match Storage.Store.diff_stats store with
+      | Some d ->
+        Fmt.pr
+          "diff log: %d deltas (%d bytes) flushed, %d merges, %d reassembled \
+           reads, %d live chains@."
+          d.Storage.Diff_log.deltas_flushed d.Storage.Diff_log.delta_bytes_flushed
+          d.Storage.Diff_log.merges d.Storage.Diff_log.reassembled_reads
+          d.Storage.Diff_log.chains
+      | None -> ())
     | None -> ());
     if verbose then begin
       match Ssmc.Machine.manager machine with
@@ -433,6 +447,14 @@ let cmd =
                  card, and the array survives losing any single card.  Requires \
                  --cards 2 or more.")
   in
+  let diff_log =
+    Arg.(value & flag & info [ "diff-log" ]
+           ~doc:"Page-differential logging: flushed overwrites program a small \
+                 delta record against the block's durable base page instead of \
+                 rewriting the whole page; reads reassemble the chain, and long \
+                 chains merge back into a full page.  Trades read latency for \
+                 write traffic.")
+  in
   let partitioned =
     Arg.(value & flag & info [ "partitioned" ]
            ~doc:"Partition flash banks into write and read-mostly sets.")
@@ -514,9 +536,9 @@ let cmd =
   let term =
     Term.(
       const run_simulation $ machine $ workload $ trace_file $ minutes $ seed $ flash_mb
-      $ dram_mb $ buffer_kb $ nbanks $ cards $ strip_size $ parity $ partitioned $ wear
-      $ backup_wh $ jobs $ replicate $ metrics_json $ trace_out $ fault_after
-      $ fault_kind $ fleet $ fleet_shard $ fleet_faults $ verbose $ debug)
+      $ dram_mb $ buffer_kb $ nbanks $ cards $ strip_size $ parity $ diff_log
+      $ partitioned $ wear $ backup_wh $ jobs $ replicate $ metrics_json $ trace_out
+      $ fault_after $ fault_kind $ fleet $ fleet_shard $ fleet_faults $ verbose $ debug)
   in
   Cmd.v
     (Cmd.info "ssmc_sim" ~doc:"Simulate a solid-state (or conventional) mobile computer")

@@ -586,9 +586,19 @@ let reinsert_card ?(batch = default_rebuild_batch)
       r_started = Engine.now t.engine;
     }
   in
-  t.health <- Rebuilding r;
-  Log.info (fun f -> f "card %d reinserted; rebuilding %d slots" card d.st_len);
-  schedule_rebuild t r ~batch ~spacing ~at:(Engine.now t.engine)
+  if d.st_len = 0 then begin
+    (* Nothing was ever striped onto this card: the rebuild covers zero
+       slots, so complete immediately rather than burning one spacing
+       tick on an empty rebuild_step. *)
+    t.health <- Healthy;
+    t.last_rebuild <- Some Time.span_zero;
+    Log.info (fun f -> f "card %d reinserted; nothing to rebuild" card)
+  end
+  else begin
+    t.health <- Rebuilding r;
+    Log.info (fun f -> f "card %d reinserted; rebuilding %d slots" card d.st_len);
+    schedule_rebuild t r ~batch ~spacing ~at:(Engine.now t.engine)
+  end
 
 (* --- Introspection -------------------------------------------------------- *)
 
@@ -636,6 +646,14 @@ let pp_parity_stats ppf s =
 
 let card_stats t i = Manager.stats t.cards.(i)
 let wear_evenness t i = Manager.wear_evenness t.cards.(i)
+
+let diff_stats (t : t) =
+  Stdlib.Array.fold_left
+    (fun acc card ->
+      match (acc, Manager.diff_stats card) with
+      | None, s | s, None -> s
+      | Some a, Some b -> Some (Diff_log.add_stats a b))
+    None t.cards
 let front_cache_hits t = match t.front with None -> 0 | Some fc -> Front_cache.hits fc
 let front_cache_misses t =
   match t.front with None -> 0 | Some fc -> Front_cache.misses fc
@@ -898,15 +916,17 @@ let crash_and_remount t =
             then Data_slot
             else filter_slot t.striping cards ~n ~mc:r.r_card ~l r.r_st.(l))
       in
-      Rebuilding
-        {
-          r_card = r.r_card;
-          r_st = st;
-          r_len;
-          r_cursor = 0;
-          r_ev = None;
-          r_started = Engine.now t.engine;
-        }
+      if r_len = 0 then Healthy
+      else
+        Rebuilding
+          {
+            r_card = r.r_card;
+            r_st = st;
+            r_len;
+            r_cursor = 0;
+            r_ev = None;
+            r_started = Engine.now t.engine;
+          }
   in
   let fresh = { t with cards; next_global; health } in
   (match health with

@@ -180,6 +180,10 @@ val card_stats : t -> int -> Manager.stats
 val wear_evenness : t -> int -> Wear.evenness
 (** Per card. *)
 
+val diff_stats : t -> Diff_log.stats option
+(** Per-card page-differential counters summed; [None] when no card has
+    diff logging enabled. *)
+
 val dram : t -> Device.Dram.t
 val engine : t -> Sim.Engine.t
 val segment_of_block : t -> Manager.block -> int option

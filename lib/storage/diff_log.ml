@@ -1,0 +1,155 @@
+type config = {
+  delta_bytes : int;
+  merge_len : int;
+  merge_bytes : int;
+}
+
+let default_config = { delta_bytes = 64; merge_len = 4; merge_bytes = max_int }
+
+type delta = {
+  mutable d_seg : int;
+  mutable d_slot : int;
+  mutable d_sector : int;
+  d_pos : int;
+  d_bytes : int;
+}
+
+type chain = {
+  mutable c_base_seg : int;
+  mutable c_base_slot : int;
+  (* Position-ascending; chains are bounded by the merge threshold, so the
+     list append below never walks more than a handful of records. *)
+  mutable c_deltas : delta list;
+  mutable c_bytes : int;
+}
+
+type t = {
+  cfg : config;
+  chains : (int, chain) Hashtbl.t;
+  mutable deltas_flushed : int;
+  mutable delta_bytes_flushed : int;
+  mutable merges : int;
+  mutable reassembled_reads : int;
+}
+
+let create cfg =
+  if cfg.delta_bytes < 1 then invalid_arg "Diff_log.create: delta_bytes < 1";
+  if cfg.merge_len < 1 then invalid_arg "Diff_log.create: merge_len < 1";
+  if cfg.merge_bytes < 1 then invalid_arg "Diff_log.create: merge_bytes < 1";
+  {
+    cfg;
+    chains = Hashtbl.create 256;
+    deltas_flushed = 0;
+    delta_bytes_flushed = 0;
+    merges = 0;
+    reassembled_reads = 0;
+  }
+
+let config t = t.cfg
+let has_chain t ~block = Hashtbl.mem t.chains block
+
+let base t ~block =
+  match Hashtbl.find_opt t.chains block with
+  | Some c -> Some (c.c_base_seg, c.c_base_slot)
+  | None -> None
+
+let deltas t ~block =
+  match Hashtbl.find_opt t.chains block with Some c -> c.c_deltas | None -> []
+
+let chain_length t ~block =
+  match Hashtbl.find_opt t.chains block with
+  | Some c -> List.length c.c_deltas
+  | None -> 0
+
+let next_pos t ~block = chain_length t ~block
+
+let begin_chain t ~block ~seg ~slot =
+  if Hashtbl.mem t.chains block then
+    invalid_arg (Printf.sprintf "Diff_log.begin_chain: block %d already chained" block);
+  Hashtbl.replace t.chains block
+    { c_base_seg = seg; c_base_slot = slot; c_deltas = []; c_bytes = 0 }
+
+let chain_exn t ~block ~op =
+  match Hashtbl.find_opt t.chains block with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Diff_log.%s: block %d has no chain" op block)
+
+let push_delta t ~block ~pos ~seg ~slot ~sector ~bytes =
+  let c = chain_exn t ~block ~op:"push_delta" in
+  if pos <> List.length c.c_deltas then
+    invalid_arg
+      (Printf.sprintf "Diff_log.push_delta: block %d position %d, expected %d" block
+         pos (List.length c.c_deltas));
+  c.c_deltas <-
+    c.c_deltas @ [ { d_seg = seg; d_slot = slot; d_sector = sector; d_pos = pos; d_bytes = bytes } ];
+  c.c_bytes <- c.c_bytes + bytes
+
+let should_merge t ~block =
+  match Hashtbl.find_opt t.chains block with
+  | None -> false
+  | Some c -> List.length c.c_deltas >= t.cfg.merge_len || c.c_bytes >= t.cfg.merge_bytes
+
+let rebase t ~block ~seg ~slot =
+  let c = chain_exn t ~block ~op:"rebase" in
+  c.c_base_seg <- seg;
+  c.c_base_slot <- slot
+
+let relocate_delta t ~block ~pos ~seg ~slot ~sector =
+  let c = chain_exn t ~block ~op:"relocate_delta" in
+  match List.find_opt (fun d -> d.d_pos = pos) c.c_deltas with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Diff_log.relocate_delta: block %d has no delta at %d" block pos)
+  | Some d ->
+    d.d_seg <- seg;
+    d.d_slot <- slot;
+    d.d_sector <- sector
+
+let drop t ~block = Hashtbl.remove t.chains block
+
+let iter_chains t ~f =
+  Hashtbl.iter (fun block c -> f ~block ~ndeltas:(List.length c.c_deltas)) t.chains
+
+let note_delta_programmed t ~bytes =
+  t.deltas_flushed <- t.deltas_flushed + 1;
+  t.delta_bytes_flushed <- t.delta_bytes_flushed + bytes
+
+let note_merge t = t.merges <- t.merges + 1
+let note_reassembly t = t.reassembled_reads <- t.reassembled_reads + 1
+
+type stats = {
+  chains : int;
+  chained_deltas : int;
+  deltas_flushed : int;
+  delta_bytes_flushed : int;
+  merges : int;
+  reassembled_reads : int;
+}
+
+let stats (t : t) =
+  let chained = ref 0 in
+  Hashtbl.iter (fun _ c -> chained := !chained + List.length c.c_deltas) t.chains;
+  {
+    chains = Hashtbl.length t.chains;
+    chained_deltas = !chained;
+    deltas_flushed = t.deltas_flushed;
+    delta_bytes_flushed = t.delta_bytes_flushed;
+    merges = t.merges;
+    reassembled_reads = t.reassembled_reads;
+  }
+
+let add_stats a b =
+  {
+    chains = a.chains + b.chains;
+    chained_deltas = a.chained_deltas + b.chained_deltas;
+    deltas_flushed = a.deltas_flushed + b.deltas_flushed;
+    delta_bytes_flushed = a.delta_bytes_flushed + b.delta_bytes_flushed;
+    merges = a.merges + b.merges;
+    reassembled_reads = a.reassembled_reads + b.reassembled_reads;
+  }
+
+let reset_counters (t : t) =
+  t.deltas_flushed <- 0;
+  t.delta_bytes_flushed <- 0;
+  t.merges <- 0;
+  t.reassembled_reads <- 0

@@ -1,0 +1,114 @@
+(** Page-differential logging state (Section 3.3's erase/write penalty,
+    attacked the Kim/Whang/Song way).
+
+    Instead of rewriting a whole flash page when a previously-flushed
+    block is overwritten, the manager programs only a small {e delta}
+    record against the block's durable {e base} page.  Deltas chain in
+    overwrite order; a read reassembles the block by reading the base
+    page plus every delta in the chain (summed cost), and once a chain
+    passes the configured length/size threshold it is merged back into a
+    single full base page.
+
+    This module is the pure bookkeeping: which blocks have chains, where
+    their base pages and delta records live, and when a chain is due for
+    a merge.  Devices, headers, and scheduling live in {!Manager}, which
+    consults this table on the flush, read, free, cleaning, and remount
+    paths.  A manager created without a diff config never touches this
+    module, so the plain flush path is byte-identical with the policy
+    off. *)
+
+type config = {
+  delta_bytes : int;
+      (** Bytes programmed per delta record (the encoded diff plus its
+          sector header).  The cost model: an overwrite flush programs
+          this many bytes instead of a whole page. *)
+  merge_len : int;
+      (** Merge a chain back into a full base page once it holds this
+          many deltas. *)
+  merge_bytes : int;
+      (** ... or once the chain's summed delta bytes reach this
+          (whichever threshold trips first). *)
+}
+
+val default_config : config
+(** 64-byte deltas, merge at 4 deltas, byte threshold effectively off. *)
+
+(** One delta record's location.  Coordinates are mutable because the
+    cleaner relocates delta records like any other live slot. *)
+type delta = {
+  mutable d_seg : int;
+  mutable d_slot : int;
+  mutable d_sector : int;
+  d_pos : int;  (** Position in the chain, dense from 0. *)
+  d_bytes : int;  (** Bytes the record occupies (programmed cost). *)
+}
+
+type t
+
+val create : config -> t
+val config : t -> config
+
+val has_chain : t -> block:int -> bool
+val base : t -> block:int -> (int * int) option
+(** The chained block's base-page [(segment, slot)], if it has a chain. *)
+
+val deltas : t -> block:int -> delta list
+(** The chain's delta records, position-ascending; [[]] without a chain. *)
+
+val chain_length : t -> block:int -> int
+val next_pos : t -> block:int -> int
+(** The position the next {!push_delta} should use (= current length). *)
+
+val begin_chain : t -> block:int -> seg:int -> slot:int -> unit
+(** Start an empty chain anchored at the block's current flash copy.
+    No-op semantics are the caller's problem: raises [Invalid_argument]
+    if the block already has a chain. *)
+
+val push_delta :
+  t -> block:int -> pos:int -> seg:int -> slot:int -> sector:int -> bytes:int -> unit
+(** Append a delta record to the chain.  [pos] must equal {!next_pos}
+    (dense positions are what remount's truncation rule relies on).
+    @raise Invalid_argument without a chain or on a position gap. *)
+
+val should_merge : t -> block:int -> bool
+(** Has the chain reached either merge threshold? *)
+
+val rebase : t -> block:int -> seg:int -> slot:int -> unit
+(** The cleaner moved the base page; update its coordinates. *)
+
+val relocate_delta :
+  t -> block:int -> pos:int -> seg:int -> slot:int -> sector:int -> unit
+(** The cleaner moved the delta at [pos]; update its coordinates. *)
+
+val drop : t -> block:int -> unit
+(** Forget the block's chain (after a merge, or when the block is
+    freed).  No-op if it has none. *)
+
+val iter_chains : t -> f:(block:int -> ndeltas:int -> unit) -> unit
+(** Visit every chained block (unspecified order). *)
+
+(** {1 Traffic counters}
+
+    Structural state above; programmed/merged/reassembled counts below.
+    The manager bumps these where it charges the device, so they stay in
+    lockstep with the flash traffic counters. *)
+
+val note_delta_programmed : t -> bytes:int -> unit
+val note_merge : t -> unit
+val note_reassembly : t -> unit
+
+type stats = {
+  chains : int;  (** Blocks currently holding a delta chain. *)
+  chained_deltas : int;  (** Delta records across every live chain. *)
+  deltas_flushed : int;  (** Overwrite flushes encoded as deltas. *)
+  delta_bytes_flushed : int;
+  merges : int;  (** Chains folded back into a full base page. *)
+  reassembled_reads : int;  (** Reads that walked a chain. *)
+}
+
+val stats : t -> stats
+val add_stats : stats -> stats -> stats
+(** Field-wise sum, for aggregating a card array's per-card tables. *)
+
+val reset_counters : t -> unit
+(** Zero the traffic counters; chain state is unaffected. *)

@@ -69,6 +69,7 @@ type config = {
   flush_spacing : Time.span;
   flush_watermark : float option;
   selector : selector;
+  diff_log : Diff_log.config option;
 }
 
 let default_config =
@@ -86,6 +87,7 @@ let default_config =
     flush_spacing = Time.span_ms 100.0;
     flush_watermark = None;
     selector = Indexed;
+    diff_log = None;
   }
 
 type block = int
@@ -107,8 +109,10 @@ type meta = {
 (* A sector header as the log-structured convention stores it on the
    medium.  [h_live] is the in-place obsoletion bit: NOR flash can clear
    bits without an erase, so superseding or deleting a block marks its old
-   header dead where it lies — remount then never resurrects stale data. *)
-type header = { h_block : int; h_version : int; mutable h_live : bool }
+   header dead where it lies — remount then never resurrects stale data.
+   [h_pos] distinguishes a full base page (-1, the only kind without diff
+   logging) from a delta record at that position in its block's chain. *)
+type header = { h_block : int; h_version : int; mutable h_live : bool; h_pos : int }
 
 (* Both metadata tables are dense-keyed — block ids count up from zero and
    sector numbers are bounded by the flash geometry — so each is an array
@@ -120,7 +124,9 @@ type header = { h_block : int; h_version : int; mutable h_live : bool }
    mutation goes through a record a successful lookup returned ([find_meta]
    raises on the sentinel, [obsolete_header] guards on [h_block]). *)
 let no_meta : meta = { loc = Blank; hdr_sector = min_int }
-let no_header : header = { h_block = min_int; h_version = min_int; h_live = false }
+
+let no_header : header =
+  { h_block = min_int; h_version = min_int; h_live = false; h_pos = -1 }
 
 type t = {
   cfg : config;
@@ -130,6 +136,10 @@ type t = {
   flash : Device.Flash.t;
   dram : Device.Dram.t;
   segments : Segment.t array;
+  (* Page-differential chain table, [None] when the policy is off — every
+     consult is guarded on it, so the off path is byte-identical to the
+     pre-diff manager. *)
+  diff : Diff_log.t option;
   retired : bool array;
   segs_per_bank : int;
   buffer : Write_buffer.t;
@@ -301,6 +311,10 @@ let create ?card cfg ~engine ~flash ~dram =
   (match Banks.validate cfg.banking ~nbanks:(Device.Flash.nbanks flash) with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Manager.create: " ^ msg));
+  (match cfg.diff_log with
+  | Some d when d.Diff_log.delta_bytes > Device.Flash.sector_bytes flash ->
+    invalid_arg "Manager.create: diff_log delta_bytes exceed a sector"
+  | Some _ | None -> ());
   let nbanks = Device.Flash.nbanks flash in
   let segs_per_bank = Device.Flash.sectors_per_bank flash / cfg.segment_sectors in
   if segs_per_bank < 1 then invalid_arg "Manager.create: bank smaller than a segment";
@@ -326,6 +340,7 @@ let create ?card cfg ~engine ~flash ~dram =
       flash;
       dram;
       segments;
+      diff = Option.map Diff_log.create cfg.diff_log;
       retired = Array.make nsegments false;
       segs_per_bank;
       buffer = Write_buffer.create cfg.buffer;
@@ -450,8 +465,21 @@ let record_header t m ~sector ~block =
   obsolete_header t ~block ~hdr_sector:m.hdr_sector;
   let version = t.next_version in
   t.next_version <- version + 1;
-  t.durable.(sector) <- { h_block = block; h_version = version; h_live = true };
+  t.durable.(sector) <- { h_block = block; h_version = version; h_live = true; h_pos = -1 };
   m.hdr_sector <- sector
+
+(* A delta record's header.  Deltas deliberately bypass [m.hdr_sector]:
+   that pointer tracks the block's base header (the rollback anchor), and
+   a chain keeps base plus every delta live at once.  [prev_sector]
+   obsoletes the delta's own superseded copy when the cleaner relocates
+   it. *)
+let record_delta_header t ~sector ~block ~pos ~prev_sector =
+  (match prev_sector with
+  | Some s -> obsolete_header t ~block ~hdr_sector:s
+  | None -> ());
+  let version = t.next_version in
+  t.next_version <- version + 1;
+  t.durable.(sector) <- { h_block = block; h_version = version; h_live = true; h_pos = pos }
 
 (* --- Free-segment picks --------------------------------------------------- *)
 
@@ -762,12 +790,35 @@ and clean_one t ~cursor ~purpose =
       let clean_start = !cursor in
       let live_in = Segment.live_count victim in
       let bytes = block_bytes t in
-      (* Copy out the survivors. *)
+      (* Copy out the survivors.  With diff logging on, a live slot may
+         hold a chain's base page or one of its delta records rather than
+         the block's only copy; relocating those updates the chain table
+         (and, for deltas, the record's own header) instead of [m.loc]. *)
       List.iter
         (fun (slot, b) ->
           let sector = Segment.sector_of_slot victim slot in
+          let role =
+            match t.diff with
+            | Some d when Diff_log.has_chain d ~block:b -> (
+              match Diff_log.base d ~block:b with
+              | Some (bs, bl) when bs = Segment.id victim && bl = slot -> `Base d
+              | Some _ | None -> (
+                match
+                  List.find_opt
+                    (fun (dl : Diff_log.delta) ->
+                      dl.Diff_log.d_seg = Segment.id victim && dl.Diff_log.d_slot = slot)
+                    (Diff_log.deltas d ~block:b)
+                with
+                | Some dl -> `Delta (d, dl)
+                | None -> `Whole))
+            | Some _ | None -> `Whole
+          in
+          let nbytes =
+            match role with `Delta (_, dl) -> dl.Diff_log.d_bytes | `Base _ | `Whole -> bytes
+          in
           let read_op =
-            or_device_failure (Device.Flash.read t.flash ~now:!cursor ~sector ~bytes)
+            or_device_failure
+              (Device.Flash.read t.flash ~now:!cursor ~sector ~bytes:nbytes)
           in
           cursor := read_op.Device.Flash.finish;
           let out = ensure_open t ~purpose:Banks.Clean_out ~cursor in
@@ -775,13 +826,29 @@ and clean_one t ~cursor ~purpose =
           let out_sector = Segment.sector_of_slot out out_slot in
           let prog =
             or_device_failure
-              (Device.Flash.program t.flash ~now:!cursor ~sector:out_sector ~bytes)
+              (Device.Flash.program t.flash ~now:!cursor ~sector:out_sector ~bytes:nbytes)
           in
           cursor := prog.Device.Flash.finish;
           Probe.incr t.probes.p_bank_programs.(bank_of_segment t (Segment.id out));
-          let m = find_meta t b in
-          record_header t m ~sector:out_sector ~block:b;
-          m.loc <- Flashed { seg = Segment.id out; slot = out_slot };
+          (match role with
+          | `Whole ->
+            let m = find_meta t b in
+            record_header t m ~sector:out_sector ~block:b;
+            m.loc <- Flashed { seg = Segment.id out; slot = out_slot }
+          | `Base d ->
+            let m = find_meta t b in
+            record_header t m ~sector:out_sector ~block:b;
+            Diff_log.rebase d ~block:b ~seg:(Segment.id out) ~slot:out_slot;
+            (* While the block sits dirty its loc stays Buffered; the
+               chain table alone tracks where the base went. *)
+            (match m.loc with
+            | Flashed _ -> m.loc <- Flashed { seg = Segment.id out; slot = out_slot }
+            | Buffered | Blank -> ())
+          | `Delta (d, dl) ->
+            record_delta_header t ~sector:out_sector ~block:b ~pos:dl.Diff_log.d_pos
+              ~prev_sector:(Some dl.Diff_log.d_sector);
+            Diff_log.relocate_delta d ~block:b ~pos:dl.Diff_log.d_pos
+              ~seg:(Segment.id out) ~slot:out_slot ~sector:out_sector);
           Segment.kill victim ~slot;
           note_kill t victim;
           t.c_cleaned <- t.c_cleaned + 1;
@@ -831,8 +898,8 @@ and clean_one t ~cursor ~purpose =
       true
   end
 
-(* Program one client/cold block at the head of the log. *)
-let append_block t ~purpose ~cursor b =
+(* Program one client/cold block at the head of the log, whole. *)
+let append_full t ~purpose ~cursor b =
   let seg = ensure_open t ~purpose ~cursor in
   let slot = log_append_exn t seg ~block:b ~touch_at:(Engine.now t.engine) in
   let sector = Segment.sector_of_slot seg slot in
@@ -845,6 +912,85 @@ let append_block t ~purpose ~cursor b =
   let m = find_meta t b in
   record_header t m ~sector ~block:b;
   m.loc <- Flashed { seg = Segment.id seg; slot }
+
+(* Program an overwrite as a delta record against the chain's base page:
+   one log slot, but only [delta_bytes] of program traffic.  The block's
+   loc goes back to the base page — reads reassemble base + chain, and
+   the crash harness's placement invariant is over the base. *)
+let append_delta t d ~cursor b ~bseg ~bslot =
+  let nbytes = (Diff_log.config d).Diff_log.delta_bytes in
+  let seg = ensure_open t ~purpose:Banks.Fresh_write ~cursor in
+  let slot = log_append_exn t seg ~block:b ~touch_at:(Engine.now t.engine) in
+  let sector = Segment.sector_of_slot seg slot in
+  let prog =
+    or_device_failure (Device.Flash.program t.flash ~now:!cursor ~sector ~bytes:nbytes)
+  in
+  cursor := prog.Device.Flash.finish;
+  Probe.incr t.probes.p_bank_programs.(bank_of_segment t (Segment.id seg));
+  let pos = Diff_log.next_pos d ~block:b in
+  record_delta_header t ~sector ~block:b ~pos ~prev_sector:None;
+  Diff_log.push_delta d ~block:b ~pos ~seg:(Segment.id seg) ~slot ~sector ~bytes:nbytes;
+  Diff_log.note_delta_programmed d ~bytes:nbytes;
+  (find_meta t b).loc <- Flashed { seg = bseg; slot = bslot }
+
+(* Fold a chain back into a single full base page: read base + deltas
+   (the reassembly cost), retire every chain slot and delta header, then
+   program the merged page as a fresh full write.  Runs on the flush
+   cursor right after the delta that tripped the threshold, so merges
+   ride the writeback timer's pacing like any other flush work. *)
+let merge_chain t d ~cursor b =
+  let m = find_meta t b in
+  let bseg, bslot =
+    match Diff_log.base d ~block:b with Some p -> p | None -> assert false
+  in
+  let full = block_bytes t in
+  let read sector nbytes =
+    let op =
+      or_device_failure (Device.Flash.read t.flash ~now:!cursor ~sector ~bytes:nbytes)
+    in
+    cursor := op.Device.Flash.finish
+  in
+  read (Segment.sector_of_slot t.segments.(bseg) bslot) full;
+  let ds = Diff_log.deltas d ~block:b in
+  List.iter (fun (dl : Diff_log.delta) -> read dl.Diff_log.d_sector dl.Diff_log.d_bytes) ds;
+  (* Retire the chain before acquiring the output segment, so a cleaning
+     pass the allocation may trigger never copies slots we are folding. *)
+  let kill seg slot =
+    let s = t.segments.(seg) in
+    Segment.kill s ~slot;
+    note_kill t s
+  in
+  kill bseg bslot;
+  List.iter
+    (fun (dl : Diff_log.delta) ->
+      kill dl.Diff_log.d_seg dl.Diff_log.d_slot;
+      obsolete_header t ~block:b ~hdr_sector:dl.Diff_log.d_sector)
+    ds;
+  Diff_log.drop d ~block:b;
+  Diff_log.note_merge d;
+  let seg = ensure_open t ~purpose:Banks.Fresh_write ~cursor in
+  let slot = log_append_exn t seg ~block:b ~touch_at:(Engine.now t.engine) in
+  let sector = Segment.sector_of_slot seg slot in
+  let prog =
+    or_device_failure (Device.Flash.program t.flash ~now:!cursor ~sector ~bytes:full)
+  in
+  cursor := prog.Device.Flash.finish;
+  Probe.incr t.probes.p_bank_programs.(bank_of_segment t (Segment.id seg));
+  record_header t m ~sector ~block:b;
+  m.loc <- Flashed { seg = Segment.id seg; slot }
+
+(* The flush dispatch: a chained block's flush becomes a delta append
+   (merging once over the threshold); everything else — first flushes,
+   cold loads, the whole path with the policy off — programs full pages. *)
+let append_block t ~purpose ~cursor b =
+  match t.diff with
+  | Some d when Diff_log.has_chain d ~block:b ->
+    let bseg, bslot =
+      match Diff_log.base d ~block:b with Some p -> p | None -> assert false
+    in
+    append_delta t d ~cursor b ~bseg ~bslot;
+    if Diff_log.should_merge d ~block:b then merge_chain t d ~cursor b
+  | Some _ | None -> append_full t ~purpose ~cursor b
 
 (* --- Writeback timer ------------------------------------------------------ *)
 
@@ -982,7 +1128,16 @@ let write_block_at t ~at b =
   t.c_writes <- t.c_writes + 1;
   Probe.incr t.probes.p_writes;
   Heat.record_write t.heat ~now:at ~block:b;
-  kill_flash_copy t m;
+  (match t.diff with
+  | None -> kill_flash_copy t m
+  | Some d -> (
+    (* Keep the flash copy live: it becomes (or already is) the base page
+       the overwrite will flush a delta against.  A crash before that
+       flush rolls the block back to base + already-flushed deltas. *)
+    match m.loc with
+    | Flashed { seg; slot } ->
+      if not (Diff_log.has_chain d ~block:b) then Diff_log.begin_chain d ~block:b ~seg ~slot
+    | Blank | Buffered -> ()));
   let cursor = ref at in
   let dram_latency = Device.Dram.write t.dram ~bytes:(block_bytes t) in
   cursor := Time.add !cursor dram_latency;
@@ -1036,8 +1191,26 @@ let read_block_at ?bytes t ~at b =
   | Flashed { seg; slot } ->
     let sector = Segment.sector_of_slot t.segments.(seg) slot in
     let op = or_device_failure (Device.Flash.read t.flash ~now:at ~sector ~bytes) in
-    note_busy t ~start:at ~finish:op.Device.Flash.finish;
-    op.Device.Flash.finish
+    let finish = op.Device.Flash.finish in
+    (* Chain reassembly: the base page read above plus every delta record,
+       cursor-threaded — the read-latency side of the diff-log trade. *)
+    let finish =
+      match t.diff with
+      | Some d when Diff_log.has_chain d ~block:b ->
+        Diff_log.note_reassembly d;
+        List.fold_left
+          (fun fin (dl : Diff_log.delta) ->
+            let op =
+              or_device_failure
+                (Device.Flash.read t.flash ~now:fin ~sector:dl.Diff_log.d_sector
+                   ~bytes:dl.Diff_log.d_bytes)
+            in
+            op.Device.Flash.finish)
+          finish (Diff_log.deltas d ~block:b)
+      | Some _ | None -> finish
+    in
+    note_busy t ~start:at ~finish;
+    finish
 
 let read_block ?bytes t b =
   let now = Engine.now t.engine in
@@ -1047,8 +1220,27 @@ let free_block t b =
   let m = find_meta t b in
   (match m.loc with
   | Buffered -> ignore (Write_buffer.remove t.buffer ~block:b)
-  | Flashed _ -> kill_flash_copy t m
-  | Blank -> ());
+  | Flashed _ | Blank -> ());
+  (match t.diff with
+  | Some d when Diff_log.has_chain d ~block:b ->
+    (* The whole chain dies with the block: base page (live even while
+       the block sat dirty) and every delta record and header. *)
+    let kill seg slot =
+      let s = t.segments.(seg) in
+      Segment.kill s ~slot;
+      note_kill t s
+    in
+    (match Diff_log.base d ~block:b with
+    | Some (bseg, bslot) -> kill bseg bslot
+    | None -> assert false);
+    List.iter
+      (fun (dl : Diff_log.delta) ->
+        kill dl.Diff_log.d_seg dl.Diff_log.d_slot;
+        obsolete_header t ~block:b ~hdr_sector:dl.Diff_log.d_sector)
+      (Diff_log.deltas d ~block:b);
+    Diff_log.drop d ~block:b;
+    m.loc <- Blank
+  | Some _ | None -> ( match m.loc with Flashed _ -> kill_flash_copy t m | _ -> ()));
   (* Deletion is durable: whatever header the block still has on flash —
      even a rollback copy left live while the block sat dirty — is
      obsoleted in place, so a crash cannot resurrect freed data. *)
@@ -1104,6 +1296,23 @@ let retired_count t =
   | Scan -> Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 t.retired
   | Indexed | Checked -> t.n_retired
 
+(* [live_block_count] counts live log slots — with chains, a block holds
+   several (base + deltas), and a dirty chained block's base is live with
+   the block counted under [dirty_blocks].  Correct both out so
+   [stats.live_blocks] keeps meaning "blocks whose current data is a
+   flash copy", which fs-level accounting sums against the namespace. *)
+let resident_blocks t =
+  let phys = live_block_count t in
+  match t.diff with
+  | None -> phys
+  | Some d ->
+    let extra = ref 0 in
+    Diff_log.iter_chains d ~f:(fun ~block ~ndeltas ->
+        extra :=
+          !extra + ndeltas
+          + (match (find_meta t block).loc with Buffered -> 1 | Blank | Flashed _ -> 0));
+    phys - !extra
+
 let stats t =
   {
     client_writes = t.c_writes;
@@ -1118,7 +1327,7 @@ let stats t =
     dirty_blocks = Write_buffer.size t.buffer;
     free_segments = free_segment_count t;
     retired_segments = retired_count t;
-    live_blocks = live_block_count t;
+    live_blocks = resident_blocks t;
     write_reduction =
       (if t.c_writes = 0 then 0.0
        else 1.0 -. (float_of_int t.c_flushed /. float_of_int t.c_writes));
@@ -1148,15 +1357,31 @@ let wear_evenness t =
       Fmt.failwith "Manager: wear accumulator diverged from the scan";
     inc
 
+(* A chained block keeps a durable base page on flash even while its
+   newest data sits dirty in DRAM, so placement introspection reports the
+   base — that is the copy a crash rolls back to, and the placement the
+   crash harness asserts survives a remount. *)
+let chain_base t b =
+  match t.diff with Some d -> Diff_log.base d ~block:b | None -> None
+
 let segment_of_block t b =
   match (find_meta t b).loc with
   | Flashed { seg; _ } -> Some seg
-  | Blank | Buffered -> None
+  | Buffered -> Option.map fst (chain_base t b)
+  | Blank -> None
 
 let location_of_block t b =
   match (find_meta t b).loc with
   | Flashed { seg; slot } -> Some (seg, slot)
-  | Blank | Buffered -> None
+  | Buffered -> chain_base t b
+  | Blank -> None
+
+let buffer_pending_entries t = Write_buffer.pending_entries t.buffer
+
+let diff_stats t = Option.map Diff_log.stats t.diff
+
+let delta_chain_length t b =
+  match t.diff with Some d -> Diff_log.chain_length d ~block:b | None -> 0
 
 type segment_snapshot = {
   seg_state : Segment.state;
@@ -1201,6 +1426,7 @@ let reset_traffic t =
   t.c_hot_retained <- 0;
   t.c_cleanings <- 0;
   Write_buffer.reset_counters t.buffer;
+  (match t.diff with Some d -> Diff_log.reset_counters d | None -> ());
   Device.Flash.reset_stats t.flash;
   Device.Dram.reset_stats t.dram;
   Probe.reset ()
@@ -1234,7 +1460,8 @@ let crash_and_remount t =
     (fun k h ->
       if h != no_header then
         fresh.durable.(k) <-
-          { h_block = h.h_block; h_version = h.h_version; h_live = h.h_live })
+          { h_block = h.h_block; h_version = h.h_version; h_live = h.h_live;
+            h_pos = h.h_pos })
     t.durable;
   fresh.next_version <- t.next_version;
   (* Scan every readable sector's header, charging the device. *)
@@ -1249,16 +1476,64 @@ let crash_and_remount t =
     | Error Device.Flash.Bad_sector -> ()
     | Error e -> Fmt.failwith "remount: %a" Device.Flash.pp_error e
   done;
-  (* Newest live version of each block wins; headers obsoleted in place
-     (superseded or deleted data) never come back. *)
+  (* Newest live version of each block's base page wins; headers obsoleted
+     in place (superseded or deleted data) never come back.  Delta headers
+     (h_pos >= 0, diff logging only) are chain members, not base
+     candidates. *)
   let winner = Hashtbl.create 1024 in
   Array.iteri
     (fun sector h ->
-      if h != no_header && h.h_live then
+      if h != no_header && h.h_live && h.h_pos < 0 then
         match Hashtbl.find_opt winner h.h_block with
         | Some (v, _) when v >= h.h_version -> ()
         | Some _ | None -> Hashtbl.replace winner h.h_block (h.h_version, sector))
     fresh.durable;
+  (* Chain recovery (diff logging only): per block, the newest live delta
+     header at each position; then accept only the longest contiguous
+     position prefix of blocks that kept a base.  A chain truncated at a
+     gap — or orphaned by a freed base — rolls the block back to base plus
+     the accepted prefix, the same allowance rollback-to-stale makes for a
+     block that died dirty.  Everything past the cut is discarded as
+     stale. *)
+  let accepted = Hashtbl.create 64 in
+  (match fresh.diff with
+  | None -> ()
+  | Some _ ->
+    let candidates = Hashtbl.create 64 in
+    Array.iteri
+      (fun sector h ->
+        if h != no_header && h.h_live && h.h_pos >= 0 then begin
+          let per =
+            match Hashtbl.find_opt candidates h.h_block with
+            | Some per -> per
+            | None ->
+              let per = Hashtbl.create 8 in
+              Hashtbl.replace candidates h.h_block per;
+              per
+          in
+          match Hashtbl.find_opt per h.h_pos with
+          | Some (v, _) when v >= h.h_version -> ()
+          | Some _ | None -> Hashtbl.replace per h.h_pos (h.h_version, sector)
+        end)
+      fresh.durable;
+    Hashtbl.iter
+      (fun block per ->
+        if Hashtbl.mem winner block then begin
+          let rec go pos =
+            match Hashtbl.find_opt per pos with
+            | Some (_, sector) ->
+              Hashtbl.replace accepted sector (block, pos);
+              go (pos + 1)
+            | None -> ()
+          in
+          go 0
+        end)
+      candidates);
+  (* Accepted delta slots, recorded as the segment rebuild walks them, so
+     the fresh manager's chain table can be rebuilt afterwards. *)
+  let recovered_deltas : (int, (int * int * int * int) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
   (* Rebuild segment occupancy: appends were sequential, so each segment's
      programmed sectors are a prefix of its slots.  The loop drives the
      segments directly; indexes and counters are rebuilt wholesale at the
@@ -1287,7 +1562,7 @@ let crash_and_remount t =
              otherwise collide with it on the next remount. *)
           max_block := max !max_block h.h_block;
           let winning =
-            h.h_live
+            h.h_live && h.h_pos < 0
             &&
             match Hashtbl.find_opt winner h.h_block with
             | Some (_, s) -> s = sector
@@ -1296,6 +1571,14 @@ let crash_and_remount t =
           if winning then
             set_meta fresh h.h_block
               { loc = Flashed { seg = Segment.id seg; slot }; hdr_sector = sector }
+          else if h.h_pos >= 0 && Hashtbl.mem accepted sector then begin
+            (* An accepted chain member: the slot stays live; the chain
+               table entry is registered once every segment is rebuilt. *)
+            let block, pos = Hashtbl.find accepted sector in
+            Hashtbl.replace recovered_deltas block
+              ((pos, Segment.id seg, slot, sector)
+              :: (Option.value ~default:[] (Hashtbl.find_opt recovered_deltas block)))
+          end
           else begin
             incr stale;
             Segment.kill seg ~slot
@@ -1314,6 +1597,22 @@ let crash_and_remount t =
       done;
       if !worn then fresh.retired.(i) <- true)
     fresh.segments;
+  (* Re-register the recovered chains: base coordinates come from the
+     winning base's meta, deltas in position order from the rebuild walk. *)
+  (match fresh.diff with
+  | None -> ()
+  | Some d ->
+    Hashtbl.iter
+      (fun block lst ->
+        (match (find_meta fresh block).loc with
+        | Flashed { seg; slot } -> Diff_log.begin_chain d ~block ~seg ~slot
+        | Blank | Buffered -> assert false);
+        List.iter
+          (fun (pos, seg, slot, sector) ->
+            let bytes = (Diff_log.config d).Diff_log.delta_bytes in
+            Diff_log.push_delta d ~block ~pos ~seg ~slot ~sector ~bytes)
+          (List.sort compare lst))
+      recovered_deltas);
   fresh.next_block <- !max_block + 1;
   rebuild_indexes fresh;
   let report =

@@ -62,6 +62,14 @@ type config = {
           headroom (fewer synchronous evictions on bursts).  [None]
           disables it (pure writeback-delay policy). *)
   selector : selector;
+  diff_log : Diff_log.config option;
+      (** Page-differential logging: a flushed overwrite programs a small
+          delta record against the block's durable base page instead of a
+          whole page; reads reassemble base + chain at summed cost, and
+          chains past the {!Diff_log.config} threshold merge back into a
+          full page on the flush cursor.  [None] (the default) disables
+          the policy — the flush path is then byte-identical to a manager
+          built before it existed. *)
 }
 
 val default_config : config
@@ -193,6 +201,18 @@ val pp_stats : Format.formatter -> stats -> unit
 
 val wear_evenness : t -> Wear.evenness
 (** Erase-count spread across segments. *)
+
+val buffer_pending_entries : t -> int
+(** Writeback-queue entries, stale refresh leftovers included (see
+    {!Write_buffer.pending_entries}) — the gauge the allocation benches
+    pin to show compaction keeps the queue bounded. *)
+
+val diff_stats : t -> Diff_log.stats option
+(** Chain and delta-traffic counters; [None] when diff logging is off. *)
+
+val delta_chain_length : t -> block -> int
+(** Delta records currently chained against the block's base page (0
+    without a chain or with diff logging off). *)
 
 val flash : t -> Device.Flash.t
 val dram : t -> Device.Dram.t

@@ -69,6 +69,10 @@ let health = function
   | Single _ -> `Healthy
   | Striped a -> Array.health a
 
+let diff_stats = function
+  | Single m -> Manager.diff_stats m
+  | Striped a -> Array.diff_stats a
+
 let parity_stats = function
   | Single _ -> None
   | Striped a -> (

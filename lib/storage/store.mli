@@ -39,6 +39,10 @@ val health : t -> [ `Healthy | `Degraded of int | `Rebuilding of int ]
 val parity_stats : t -> Array.parity_stats option
 (** [Some] only for a parity-striped array. *)
 
+val diff_stats : t -> Diff_log.stats option
+(** Summed page-differential logging counters; [None] with the policy
+    off everywhere. *)
+
 val crash_and_remount : t -> t * Sim.Time.span * Manager.remount_report
 (** Cold restart: remount every card (see {!Array.crash_and_remount});
     summed report, slowest-card span. *)

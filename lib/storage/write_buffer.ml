@@ -44,9 +44,32 @@ let p_absorbed = Probe.counter "storage.write_buffer.absorbed"
 let p_admitted = Probe.counter "storage.write_buffer.admitted"
 let p_cancelled = Probe.counter "storage.write_buffer.cancelled"
 
+(* A deadline refresh leaves the block's previous queue entry behind
+   (lazy invalidation), so refresh-heavy hot-block workloads would grow
+   the queue without bound.  When stale entries outnumber live ones,
+   rebuild the queue: pop everything in delivery order and re-add only
+   the entries the table still agrees with.  Popped order is preserved,
+   so same-deadline FIFO ties break exactly as before — delivery is
+   unchanged, and the cost is amortized O(1) per enqueue.  (The queue is
+   Heap-kind, which accepts re-adds at any instant.) *)
+let compact t =
+  let rec collect acc =
+    match Event_queue.pop t.queue with
+    | None -> List.rev acc
+    | Some (at, block) -> (
+      match Hashtbl.find_opt t.deadlines block with
+      | Some d when Time.equal d at -> collect ((at, block) :: acc)
+      | Some _ | None -> collect acc)
+  in
+  List.iter
+    (fun (at, block) -> ignore (Event_queue.add t.queue ~at block))
+    (collect [])
+
 let enqueue t ~block ~deadline =
   Hashtbl.replace t.deadlines block deadline;
-  ignore (Event_queue.add t.queue ~at:deadline block)
+  ignore (Event_queue.add t.queue ~at:deadline block);
+  let pending = Event_queue.length t.queue in
+  if pending > 16 && pending > 2 * Hashtbl.length t.deadlines then compact t
 
 let write t ~now ~block =
   (* Zero capacity is a true pass-through: nothing is ever admitted, so
@@ -146,6 +169,8 @@ let drain t =
     | None -> List.rev acc
   in
   go []
+
+let pending_entries t = Event_queue.length t.queue
 
 let absorbed_writes t = t.absorbed
 let cancelled_blocks t = t.cancelled

@@ -75,6 +75,11 @@ val readmit : t -> now:Sim.Time.t -> block:int -> bool
 val drain : t -> int list
 (** Remove and return everything, in deadline order ([flush_all]). *)
 
+val pending_entries : t -> int
+(** Queue entries currently held, including stale ones left behind by
+    deadline refreshes and removals.  Compaction keeps this within a
+    constant factor of {!size}; exposed so tests can pin the bound. *)
+
 (** {1 Counters} *)
 
 val absorbed_writes : t -> int

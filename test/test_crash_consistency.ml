@@ -10,7 +10,7 @@
 
 open Sim
 
-let mk ~selector ~cleaner ~wear ~banking ~buffer_blocks () =
+let mk ?diff_log ~selector ~cleaner ~wear ~banking ~buffer_blocks () =
   let engine = Engine.create () in
   let flash =
     Device.Flash.create
@@ -32,6 +32,7 @@ let mk ~selector ~cleaner ~wear ~banking ~buffer_blocks () =
       wear;
       banking;
       selector;
+      diff_log;
     }
   in
   (engine, Storage.Manager.create cfg ~engine ~flash ~dram)
@@ -212,16 +213,19 @@ let check_invariants ~ctx pre post report =
     fail ~ctx "free segments %d -> %d" pre.free_segments post.free_segments;
   if post.dirty <> 0 then fail ~ctx "remounted manager has dirty blocks"
 
-let run_crash_point ~ctx ~ops ~crash_index ~cleaner ~wear ~banking ~buffer_blocks =
+let run_crash_point ?diff_log ~ctx ~ops ~crash_index ~cleaner ~wear ~banking
+    ~buffer_blocks () =
   let prefix = List.filteri (fun i _ -> i < crash_index) ops in
   (* Both selectors crash at the same point: the Checked manager asserts
      indexed-vs-scan agreement internally at every decision, and the
      externally visible recovery must agree with the plain Scan manager. *)
   let ea, a =
-    mk ~selector:Storage.Manager.Checked ~cleaner ~wear ~banking ~buffer_blocks ()
+    mk ?diff_log ~selector:Storage.Manager.Checked ~cleaner ~wear ~banking
+      ~buffer_blocks ()
   in
   let eb, b =
-    mk ~selector:Storage.Manager.Scan ~cleaner ~wear ~banking ~buffer_blocks ()
+    mk ?diff_log ~selector:Storage.Manager.Scan ~cleaner ~wear ~banking ~buffer_blocks
+      ()
   in
   run_ops (ea, a) prefix;
   run_ops (eb, b) prefix;
@@ -251,7 +255,7 @@ let run_crash_point ~ctx ~ops ~crash_index ~cleaner ~wear ~banking ~buffer_block
    acceptance criteria require), every one over both selectors. *)
 let crash_indices = [ 15; 40; 77; 120; 161; 200; 247; 301; 355 ]
 
-let grid_case ~name ~seed ~len =
+let grid_case ?diff_log ~name ~seed ~len () =
   Alcotest.test_case name `Slow (fun () ->
       let ops = lcg_ops ~seed ~len in
       List.iter
@@ -265,14 +269,15 @@ let grid_case ~name ~seed ~len =
                       List.iter
                         (fun crash_index ->
                           let ctx =
-                            Printf.sprintf "%s/%s/%s buf=%d crash@%d"
+                            Printf.sprintf "%s/%s/%s buf=%d crash@%d%s"
                               (Storage.Cleaner.policy_name cleaner)
                               (Storage.Wear.policy_name wear)
                               (Storage.Banks.policy_name banking)
                               buffer_blocks crash_index
+                              (if diff_log = None then "" else " +diff")
                           in
-                          run_crash_point ~ctx ~ops ~crash_index ~cleaner ~wear
-                            ~banking ~buffer_blocks)
+                          run_crash_point ?diff_log ~ctx ~ops ~crash_index ~cleaner
+                            ~wear ~banking ~buffer_blocks ())
                         crash_indices)
                     [ 0; 8 ])
                 [ Storage.Banks.Unified; Storage.Banks.Partitioned { write_banks = 1 } ])
@@ -293,7 +298,25 @@ let quick_case =
             ~ctx:(Printf.sprintf "quick crash@%d" crash_index)
             ~ops ~crash_index ~cleaner:Storage.Cleaner.Cost_benefit
             ~wear:Storage.Wear.Dynamic ~banking:Storage.Banks.Unified
-            ~buffer_blocks:8)
+            ~buffer_blocks:8 ())
+        crash_indices)
+
+(* The same single-config pass with page-differential logging on: delta
+   chains are durable state, so every crash point must bring them back
+   under the very same invariants (a chained block's reported placement
+   is its base page, before and after). *)
+let diff_quick_case =
+  Alcotest.test_case "single config + diff logging, all crash points" `Quick
+    (fun () ->
+      let ops = lcg_ops ~seed:42 ~len:360 in
+      List.iter
+        (fun crash_index ->
+          run_crash_point
+            ~diff_log:Storage.Diff_log.default_config
+            ~ctx:(Printf.sprintf "diff quick crash@%d" crash_index)
+            ~ops ~crash_index ~cleaner:Storage.Cleaner.Cost_benefit
+            ~wear:Storage.Wear.Dynamic ~banking:Storage.Banks.Unified
+            ~buffer_blocks:8 ())
         crash_indices)
 
 (* --- Multi-card arrays: crashes inside partial-stripe writes. ---------------
@@ -785,7 +808,10 @@ let test_conventional_machine_rejects_faults () =
 let suite =
   [
     quick_case;
-    grid_case ~name:"policy grid x crash points" ~seed:42 ~len:360;
+    diff_quick_case;
+    grid_case ~name:"policy grid x crash points" ~seed:42 ~len:360 ();
+    grid_case ~diff_log:Storage.Diff_log.default_config
+      ~name:"policy grid x crash points (diff logging)" ~seed:42 ~len:360 ();
     array_quick_case;
     array_grid_case;
     Alcotest.test_case "partial-stripe crash points (2 cards)" `Quick

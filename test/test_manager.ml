@@ -3,7 +3,7 @@ open Sim
 (* A small machine: 256KB flash, 2 banks, 8-sector segments. *)
 let make ?(flash_kib = 256) ?(nbanks = 2) ?(buffer_blocks = 16) ?(delay = 30.0)
     ?(cleaner = Storage.Cleaner.Cost_benefit) ?(wear = Storage.Wear.Dynamic)
-    ?(banking = Storage.Banks.Unified) ?(endurance = 1_000) ?hot_threshold () =
+    ?(banking = Storage.Banks.Unified) ?(endurance = 1_000) ?hot_threshold ?diff_log () =
   let engine = Engine.create () in
   let flash =
     Device.Flash.create
@@ -25,6 +25,7 @@ let make ?(flash_kib = 256) ?(nbanks = 2) ?(buffer_blocks = 16) ?(delay = 30.0)
       wear;
       banking;
       hot_threshold;
+      diff_log;
     }
   in
   (engine, Storage.Manager.create cfg ~engine ~flash ~dram, flash)
@@ -377,6 +378,163 @@ let prop_no_data_loss_random_ops =
           if is_live then Storage.Manager.segment_of_block m b <> None else true)
         blocks live)
 
+(* --- Page-differential logging -------------------------------------------- *)
+
+let diff_cfg ?(delta_bytes = 64) ?(merge_len = 4) () =
+  { Storage.Diff_log.default_config with Storage.Diff_log.delta_bytes; merge_len }
+
+let diff_stats_exn m =
+  match Storage.Manager.diff_stats m with
+  | Some s -> s
+  | None -> Alcotest.fail "diff_stats: expected Some"
+
+let test_diff_delta_traffic () =
+  (* Write-through so every overwrite programs synchronously; huge merge
+     threshold so the chain never folds. *)
+  let _engine, m, flash =
+    make ~buffer_blocks:0 ~diff_log:(diff_cfg ~merge_len:100 ()) ()
+  in
+  let full = Storage.Manager.block_bytes m in
+  let b = Storage.Manager.alloc m in
+  ignore (Storage.Manager.write_block m b);
+  Alcotest.(check int) "first write programs a full page" full
+    (Device.Flash.bytes_programmed flash);
+  for _ = 1 to 3 do
+    ignore (Storage.Manager.write_block m b)
+  done;
+  Alcotest.(check int) "overwrites program 64-byte deltas" (full + (3 * 64))
+    (Device.Flash.bytes_programmed flash);
+  Alcotest.(check int) "chain holds three deltas" 3
+    (Storage.Manager.delta_chain_length m b);
+  let s = diff_stats_exn m in
+  Alcotest.(check int) "deltas_flushed" 3 s.Storage.Diff_log.deltas_flushed;
+  Alcotest.(check int) "delta bytes" (3 * 64) s.Storage.Diff_log.delta_bytes_flushed;
+  Alcotest.(check int) "no merge yet" 0 s.Storage.Diff_log.merges;
+  (* The durable home reported is still the base page. *)
+  Alcotest.(check bool) "base placement reported" true
+    (Storage.Manager.location_of_block m b <> None)
+
+let test_diff_read_reassembly () =
+  let _engine, m, _ =
+    make ~buffer_blocks:0 ~diff_log:(diff_cfg ~merge_len:100 ()) ()
+  in
+  let b = Storage.Manager.alloc m in
+  ignore (Storage.Manager.write_block m b);
+  let base_read = Storage.Manager.read_block m b in
+  for _ = 1 to 3 do
+    ignore (Storage.Manager.write_block m b)
+  done;
+  let chained_read = Storage.Manager.read_block m b in
+  Alcotest.(check bool) "reassembly costs more than a base read" true
+    (Time.span_to_us chained_read > Time.span_to_us base_read);
+  let s = diff_stats_exn m in
+  Alcotest.(check int) "one reassembled read" 1 s.Storage.Diff_log.reassembled_reads
+
+let test_diff_merge_at_threshold () =
+  let _engine, m, _ = make ~buffer_blocks:0 ~diff_log:(diff_cfg ~merge_len:3 ()) () in
+  let b = Storage.Manager.alloc m in
+  ignore (Storage.Manager.write_block m b);
+  for _ = 1 to 3 do
+    ignore (Storage.Manager.write_block m b)
+  done;
+  (* The third delta trips merge_len = 3: the chain folds back into one
+     full page on the same flush cursor. *)
+  let s = diff_stats_exn m in
+  Alcotest.(check int) "one merge" 1 s.Storage.Diff_log.merges;
+  Alcotest.(check int) "chain folded" 0 (Storage.Manager.delta_chain_length m b);
+  Alcotest.(check int) "exactly one live slot remains" 1
+    (Storage.Manager.stats m).Storage.Manager.live_blocks;
+  Alcotest.(check bool) "block still flushed" true
+    (Storage.Manager.segment_of_block m b <> None)
+
+let test_diff_free_drops_chain () =
+  let _engine, m, _ = make ~buffer_blocks:0 ~diff_log:(diff_cfg ~merge_len:100 ()) () in
+  let b = Storage.Manager.alloc m in
+  for _ = 0 to 2 do
+    ignore (Storage.Manager.write_block m b)
+  done;
+  Alcotest.(check int) "chained before free" 2 (Storage.Manager.delta_chain_length m b);
+  Storage.Manager.free_block m b;
+  Alcotest.(check int) "no live slots after free" 0
+    (Storage.Manager.stats m).Storage.Manager.live_blocks;
+  Alcotest.(check int) "no chains after free" 0 (diff_stats_exn m).Storage.Diff_log.chains
+
+let test_diff_buffered_absorption () =
+  (* A chained block rewritten while dirty absorbs in DRAM as usual; the
+     eventual deadline flush programs exactly one delta. *)
+  let engine, m, flash = make ~delay:5.0 ~diff_log:(diff_cfg ~merge_len:100 ()) () in
+  let b = Storage.Manager.alloc m in
+  ignore (Storage.Manager.write_block m b);
+  advance engine (Time.span_s 10.0);
+  Alcotest.(check bool) "base flushed" true (Storage.Manager.segment_of_block m b <> None);
+  let before = Device.Flash.bytes_programmed flash in
+  ignore (Storage.Manager.write_block m b);
+  ignore (Storage.Manager.write_block m b);
+  (* While dirty, the durable home is still the live base page. *)
+  Alcotest.(check bool) "dirty" true (Storage.Manager.block_is_dirty m b);
+  Alcotest.(check bool) "base stays reported while dirty" true
+    (Storage.Manager.segment_of_block m b <> None);
+  advance engine (Time.span_s 10.0);
+  Alcotest.(check int) "two absorbed writes flush as one delta" (before + 64)
+    (Device.Flash.bytes_programmed flash);
+  Alcotest.(check int) "chain length 1" 1 (Storage.Manager.delta_chain_length m b)
+
+let test_diff_crash_recovers_chain () =
+  let _engine, m, _ = make ~buffer_blocks:0 ~diff_log:(diff_cfg ~merge_len:100 ()) () in
+  let blocks = Array.init 4 (fun _ -> Storage.Manager.alloc m) in
+  Array.iter (fun b -> ignore (Storage.Manager.write_block m b)) blocks;
+  (* Chains of length 0, 1, 2, 3. *)
+  Array.iteri
+    (fun i b ->
+      for _ = 1 to i do
+        ignore (Storage.Manager.write_block m b)
+      done)
+    blocks;
+  let m', _span, report = Storage.Manager.crash_and_remount m in
+  Alcotest.(check int) "all blocks recovered" 4 report.Storage.Manager.live_recovered;
+  Alcotest.(check int) "nothing lost" 0 report.Storage.Manager.buffered_lost;
+  Array.iteri
+    (fun i b ->
+      Alcotest.(check int)
+        (Printf.sprintf "block %d chain survives remount" i)
+        i
+        (Storage.Manager.delta_chain_length m' b);
+      ignore (Storage.Manager.read_block m' b))
+    blocks;
+  (* Remount is idempotent: a second crash rebuilds the same chains. *)
+  let m'', _, _ = Storage.Manager.crash_and_remount m' in
+  Array.iteri
+    (fun i b ->
+      Alcotest.(check int)
+        (Printf.sprintf "block %d chain survives second remount" i)
+        i
+        (Storage.Manager.delta_chain_length m'' b))
+    blocks
+
+let test_diff_cleaning_relocates_chains () =
+  (* Tiny flash + churn forces the cleaner to copy base pages and delta
+     records; every block must stay readable with its chain intact. *)
+  let engine, m, _ =
+    make ~flash_kib:64 ~buffer_blocks:0 ~diff_log:(diff_cfg ~merge_len:6 ()) ()
+  in
+  let blocks = Array.init 12 (fun _ -> Storage.Manager.alloc m) in
+  let rng = Rng.create ~seed:7 in
+  Array.iter (fun b -> ignore (Storage.Manager.write_block m b)) blocks;
+  for _ = 1 to 400 do
+    let b = blocks.(Rng.int rng 12) in
+    ignore (Storage.Manager.write_block m b);
+    advance engine (Time.span_ms 1.0)
+  done;
+  Array.iter
+    (fun b ->
+      Alcotest.(check bool) "flushed" true (Storage.Manager.segment_of_block m b <> None);
+      ignore (Storage.Manager.read_block m b))
+    blocks;
+  (* Chains survive a crash even after the cleaner moved them around. *)
+  let m', _, report = Storage.Manager.crash_and_remount m in
+  Alcotest.(check int) "all recovered" 12 report.Storage.Manager.live_recovered;
+  Array.iter (fun b -> ignore (Storage.Manager.read_block m' b)) blocks
+
 let suite =
   [
     Alcotest.test_case "create validation" `Quick test_create_validation;
@@ -395,6 +553,14 @@ let suite =
     Alcotest.test_case "watermark flush" `Quick test_watermark_flush;
     Alcotest.test_case "consistency mid-flight" `Quick test_consistency_mid_flight;
     Alcotest.test_case "reset traffic" `Quick test_reset_traffic;
+    Alcotest.test_case "diff: delta traffic" `Quick test_diff_delta_traffic;
+    Alcotest.test_case "diff: read reassembly" `Quick test_diff_read_reassembly;
+    Alcotest.test_case "diff: merge at threshold" `Quick test_diff_merge_at_threshold;
+    Alcotest.test_case "diff: free drops chain" `Quick test_diff_free_drops_chain;
+    Alcotest.test_case "diff: buffered absorption" `Quick test_diff_buffered_absorption;
+    Alcotest.test_case "diff: crash recovers chains" `Quick test_diff_crash_recovers_chain;
+    Alcotest.test_case "diff: cleaning relocates chains" `Quick
+      test_diff_cleaning_relocates_chains;
     QCheck_alcotest.to_alcotest prop_program_accounting;
     QCheck_alcotest.to_alcotest prop_no_data_loss_random_ops;
   ]

@@ -712,6 +712,28 @@ let test_degraded_crash_keeps_flushed_blocks () =
   Alcotest.(check bool) "rebuilt after the reboot" true
     (Storage.Array.health a' = `Healthy)
 
+let test_reinsert_empty_card_completes_immediately () =
+  (* Regression: reinserting a card that never held striped data used to
+     schedule a rebuild_step for zero slots, leaving the array stuck in
+     [`Rebuilding] until an engine event fired for no work.  An empty
+     rebuild must complete at reinsert time. *)
+  let _engine, a = mk_array ~ncards:3 ~policy:(parity ()) () in
+  let victim = 1 in
+  ignore (Storage.Array.eject_card ~surprise:true a ~card:victim);
+  Alcotest.(check bool) "degraded" true (Storage.Array.health a = `Degraded victim);
+  Storage.Array.reinsert_card a ~card:victim;
+  (* No engine time has passed: health must already be restored. *)
+  Alcotest.(check bool) "healthy immediately, no engine run" true
+    (Storage.Array.health a = `Healthy);
+  let ps = Storage.Array.parity_stats a in
+  Alcotest.(check int) "nothing streamed" 0 ps.Storage.Array.rebuilt_blocks;
+  Alcotest.(check (option (float 0.0))) "zero-length rebuild recorded" (Some 0.0)
+    (Option.map Time.span_to_s ps.Storage.Array.last_rebuild);
+  (* The array is fully serviceable again. *)
+  let b = Storage.Array.alloc a in
+  ignore (Storage.Array.write_block a b);
+  ignore (Storage.Array.flush_all a)
+
 (* --- Machine-level: config plumbing and multi-card runs. -------------------- *)
 
 let small_trace ~seed ~secs =
@@ -917,6 +939,8 @@ let suite =
       test_eject_degraded_reinsert_rebuild;
     Alcotest.test_case "parity: crash while degraded keeps flushed blocks" `Quick
       test_degraded_crash_keeps_flushed_blocks;
+    Alcotest.test_case "parity: reinsert of a never-written card is instant" `Quick
+      test_reinsert_empty_card_completes_immediately;
     Alcotest.test_case "machine: card eject and reinsert under parity" `Quick
       test_machine_card_eject_reinsert;
     Alcotest.test_case "machine: cards=1 mounts the single-manager path" `Quick

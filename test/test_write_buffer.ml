@@ -134,6 +134,54 @@ let test_drain () =
     (Storage.Write_buffer.drain b);
   Alcotest.(check int) "empty after drain" 0 (Storage.Write_buffer.size b)
 
+let test_stale_entries_interleaved () =
+  (* Refreshes and removals leave stale queue entries sharing instants
+     with live ones.  [take_expired ~limit] must deliver live blocks in
+     deadline order and count only them against the limit. *)
+  let b = make ~capacity:10 ~delay:30.0 ~refresh:true () in
+  (* Blocks 1..4 admitted at t=0 (deadline 30), then 1 and 3 refreshed at
+     t=5 (deadline 35) — their t=30 entries go stale.  Block 5 admitted
+     at t=5 lands at the same 35 instant as the refreshes.  Block 2 is
+     removed: its t=30 entry is stale too. *)
+  for block = 1 to 4 do
+    ignore (Storage.Write_buffer.write b ~now:(sec 0.0) ~block)
+  done;
+  ignore (Storage.Write_buffer.write b ~now:(sec 5.0) ~block:1);
+  ignore (Storage.Write_buffer.write b ~now:(sec 5.0) ~block:3);
+  ignore (Storage.Write_buffer.write b ~now:(sec 5.0) ~block:5);
+  ignore (Storage.Write_buffer.remove b ~block:2);
+  (* At t=30 only block 4 is genuinely due; the stale entries for 1, 2,
+     and 3 at that instant must not consume the limit or surface. *)
+  Alcotest.(check (list int)) "stale entries don't count against limit" [ 4 ]
+    (Storage.Write_buffer.take_expired ~limit:1 b ~now:(sec 30.0));
+  (* The refreshed deadline delivers 1, 3, 5 in admission order within
+     the shared instant, limit counting live blocks only. *)
+  Alcotest.(check (list int)) "same-instant batch respects limit" [ 1; 3 ]
+    (Storage.Write_buffer.take_expired ~limit:2 b ~now:(sec 35.0));
+  Alcotest.(check (list int)) "remainder follows in order" [ 5 ]
+    (Storage.Write_buffer.take_expired b ~now:(sec 35.0));
+  Alcotest.(check int) "buffer drained" 0 (Storage.Write_buffer.size b)
+
+let test_refresh_does_not_leak_queue_entries () =
+  (* Each refresh re-adds a queue entry; compaction must keep the queue
+     within a constant factor of the live population instead of letting
+     stale entries pile up one per rewrite. *)
+  let b = make ~capacity:8 ~delay:30.0 ~refresh:true () in
+  for round = 0 to 999 do
+    for block = 1 to 8 do
+      ignore (Storage.Write_buffer.write b ~now:(sec (float_of_int round)) ~block)
+    done
+  done;
+  Alcotest.(check int) "live population" 8 (Storage.Write_buffer.size b);
+  Alcotest.(check bool)
+    (Printf.sprintf "queue stays bounded (pending %d)"
+       (Storage.Write_buffer.pending_entries b))
+    true
+    (Storage.Write_buffer.pending_entries b <= 32);
+  (* And the survivors still come out in deadline order. *)
+  Alcotest.(check (list int)) "delivery order intact" [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+    (Storage.Write_buffer.take_expired b ~now:(sec 2000.0))
+
 (* Conservation: every admitted block is eventually flushed (taken),
    cancelled, or still resident. *)
 let prop_conservation =
@@ -179,5 +227,8 @@ let suite =
     Alcotest.test_case "remove cancels" `Quick test_remove_cancels;
     Alcotest.test_case "readmit" `Quick test_readmit;
     Alcotest.test_case "drain" `Quick test_drain;
+    Alcotest.test_case "stale entries interleaved" `Quick test_stale_entries_interleaved;
+    Alcotest.test_case "refresh does not leak queue entries" `Quick
+      test_refresh_does_not_leak_queue_entries;
     QCheck_alcotest.to_alcotest prop_conservation;
   ]
